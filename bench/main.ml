@@ -1,0 +1,184 @@
+(* Benchmark harness: one Bechamel test per experiment of DESIGN.md's
+   index (the paper has no measurement tables, so the "tables" are the
+   costs of the constructions and deciders the paper reasons about,
+   plus the derived experiments X1-X5).
+
+   Output: one line per bench with the OLS-estimated time per run and
+   the goodness of fit.  Deterministic inputs throughout (seeded
+   RNG). *)
+
+open Bechamel
+open Toolkit
+
+let rng seed = Random.State.make [| seed; 0xbe; 0xca |]
+
+(* Prebuilt inputs (construction cost is not part of the measured
+   closures unless the bench is about construction). *)
+
+let omega n = Mineq.Classical.network Omega ~n
+let omega8 = omega 8
+let omega6 = omega 6
+let omega5 = omega 5
+let omega4 = omega 4
+let baseline6 = Mineq.Baseline.network 6
+let baseline4 = Mineq.Baseline.network 4
+
+let degenerate8 =
+  (* A network with one Figure-5 stage: the Banyan check must reject. *)
+  let n = 8 in
+  let shuffle = Mineq_perm.Pipid_family.perfect_shuffle ~width:n in
+  Mineq.Link_spec.network_of_thetas ~n
+    (Mineq_perm.Perm.identity n :: List.init (n - 2) (fun _ -> shuffle))
+
+let independent_conn_w10 = Mineq.Connection.random_independent (rng 1) ~width:10
+let theta16 = Mineq_perm.Perm.random (rng 2) 16
+let pipid_conn_n10 = Mineq.Pipid_net.connection ~n:10 (Mineq_perm.Perm.random (rng 3) 10)
+let relabelled6 = Mineq.Counterexample.relabelled_equivalent (rng 4) omega6
+
+let perm_pairs n g =
+  let terminals = Mineq.Mi_digraph.inputs g in
+  let p = Mineq_perm.Perm.random (rng (5 + n)) terminals in
+  List.init terminals (fun i -> (i, Mineq_perm.Perm.apply p i))
+
+let pairs6 = perm_pairs 6 omega6
+
+let sim_config = { Mineq_sim.Network_sim.default_config with warmup = 100; cycles = 500 }
+
+let stage f = Staged.stage (fun () -> ignore (Sys.opaque_identity (f ())))
+
+(* Extension experiments: radix generalization (X6), Benes looping
+   (X7), realizable enumeration (X8), fault sweep (X9). *)
+let radix3_omega = Mineq_radix.Rbuild.omega ~radix:3 3
+let benes5 = Mineq.Benes.network 5
+let benes_perm = Mineq_perm.Perm.random (rng 6) 32
+let omega3 = Mineq.Classical.network Omega ~n:3
+let baseline_cascade6 = Mineq.Cascade.of_mi_digraph baseline6
+
+let extension_tests =
+  [ Test.make ~name:"x6_radix3_independence_n3"
+      (stage (fun () -> Mineq_radix.Rnetwork.by_independence radix3_omega));
+    Test.make ~name:"x6_radix3_characterization_n3"
+      (stage (fun () -> Mineq_radix.Rnetwork.by_characterization radix3_omega));
+    Test.make ~name:"x7_benes_looping_n5"
+      (stage (fun () -> Mineq.Benes.route_permutation (Some benes5) ~n:5 benes_perm));
+    Test.make ~name:"x8_realizable_exact_n3"
+      (stage (fun () -> Mineq.Realizable.count_exact omega3));
+    Test.make ~name:"x9_fault_sweep_n6"
+      (stage (fun () -> Mineq.Faults.critical_fault_count baseline_cascade6))
+  ]
+
+let tests =
+  [ (* F1: Figure 1 -- building the Baseline network. *)
+    Test.make ~name:"f1_build_baseline_n10" (stage (fun () -> Mineq.Baseline.network 10));
+    Test.make ~name:"f1_render_baseline_n4" (stage (fun () -> Mineq.Render.stage_table baseline4));
+    (* F3: Lemma 2's component structure. *)
+    Test.make ~name:"f3_component_profile_n6"
+      (stage (fun () -> Mineq.Properties.component_profile baseline6 ~lo:2 ~hi:6));
+    Test.make ~name:"f3_lemma2_structure_n6"
+      (stage (fun () -> Mineq.Properties.lemma2_translate_structure omega6));
+    (* F5: the degenerate stage is rejected by the Banyan check. *)
+    Test.make ~name:"f5_reject_degenerate_n8" (stage (fun () -> Mineq.Banyan.is_banyan degenerate8));
+    (* T1: the graph characterization of [12]. *)
+    Test.make ~name:"t1_banyan_check_n8" (stage (fun () -> Mineq.Banyan.is_banyan omega8));
+    Test.make ~name:"t1_p_properties_n8"
+      (stage (fun () -> Mineq.Properties.p_one_star omega8 && Mineq.Properties.p_star_n omega8));
+    Test.make ~name:"t1_p_properties_dsu_n8"
+      (stage (fun () ->
+           (* The same property families with the union-find engine. *)
+           let n = Mineq.Mi_digraph.stages omega8 in
+           let ok = ref true in
+           for j = 1 to n do
+             if
+               Mineq.Properties.component_count_dsu omega8 ~lo:1 ~hi:j
+               <> Mineq.Properties.expected_components omega8 ~lo:1 ~hi:j
+             then ok := false;
+             if
+               Mineq.Properties.component_count_dsu omega8 ~lo:j ~hi:n
+               <> Mineq.Properties.expected_components omega8 ~lo:j ~hi:n
+             then ok := false
+           done;
+           !ok));
+    (* P1: Proposition 1's reverse construction. *)
+    Test.make ~name:"p1_reverse_independent_w10"
+      (stage (fun () -> Mineq.Connection.reverse_independent independent_conn_w10));
+    (* L2: the property Lemma 2 concludes. *)
+    Test.make ~name:"l2_p_star_n_n8" (stage (fun () -> Mineq.Properties.p_star_n omega8));
+    (* S4: PIPID machinery. *)
+    Test.make ~name:"s4_pipid_connection_n16"
+      (stage (fun () -> Mineq.Pipid_net.connection ~n:16 theta16));
+    Test.make ~name:"s4_independence_check_w9"
+      (stage (fun () -> Mineq.Connection.is_independent pipid_conn_n10));
+    Test.make ~name:"s4_independence_definitional_w9"
+      (stage (fun () -> Mineq.Connection.is_independent_definitional pipid_conn_n10));
+    Test.make ~name:"s4_independent_split_w9"
+      (stage (fun () -> Mineq.Connection.independent_split pipid_conn_n10));
+    (* C1: the classical-network survey (build + decide, all six). *)
+    Test.make ~name:"c1_classical_survey_n6"
+      (stage (fun () ->
+           List.for_all
+             (fun (_, g) -> (Mineq.Equivalence.by_independence g).equivalent)
+             (Mineq.Classical.all_networks ~n:6)));
+    (* X1: decider ablation at fixed size. *)
+    Test.make ~name:"x1_decider_independence_n6"
+      (stage (fun () -> Mineq.Equivalence.by_independence omega6));
+    Test.make ~name:"x1_decider_characterization_n6"
+      (stage (fun () -> Mineq.Equivalence.by_characterization omega6));
+    Test.make ~name:"x1_decider_iso_stagewise_n6"
+      (stage (fun () -> Mineq.Iso_min.to_baseline omega6));
+    Test.make ~name:"x1_decider_iso_generic_n4"
+      (stage (fun () -> Mineq.Equivalence.by_isomorphism omega4));
+    (* X5: independence is sufficient-only -- on a relabelled network
+       it answers "not via this theorem" while the characterization
+       still proves equivalence. *)
+    Test.make ~name:"x5_relabelled_independence_n6"
+      (stage (fun () -> Mineq.Equivalence.by_independence relabelled6));
+    Test.make ~name:"x5_relabelled_characterization_n6"
+      (stage (fun () -> Mineq.Equivalence.by_characterization relabelled6));
+    (* X2: counterexample search (fixed 200-attempt budget). *)
+    Test.make ~name:"x2_buddy_counterexample_n4"
+      (stage (fun () ->
+           Mineq.Counterexample.find_non_equivalent (rng 42) ~n:4 ~attempts:200
+             ~require_buddy:true));
+    (* X3: packet simulation. *)
+    Test.make ~name:"x3_sim_500cycles_n5"
+      (stage (fun () -> Mineq_sim.Network_sim.run ~config:sim_config (rng 43) omega5));
+    (* X4: routing. *)
+    Test.make ~name:"x4_delta_schedule_n6" (stage (fun () -> Mineq.Routing.delta_schedule omega6));
+    Test.make ~name:"x4_route_permutation_n6"
+      (stage (fun () -> Mineq.Routing.link_loads omega6 pairs6));
+    Test.make ~name:"x4_greedy_schedule_n6"
+      (stage (fun () -> Mineq_sim.Circuit.greedy_schedule omega6 pairs6))
+  ]
+  @ extension_tests
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"mineq" tests) in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pp_time ppf ns =
+  if Float.is_nan ns then Format.fprintf ppf "%11s" "n/a"
+  else if ns < 1_000.0 then Format.fprintf ppf "%8.1f ns" ns
+  else if ns < 1_000_000.0 then Format.fprintf ppf "%8.2f us" (ns /. 1_000.0)
+  else if ns < 1_000_000_000.0 then Format.fprintf ppf "%8.2f ms" (ns /. 1_000_000.0)
+  else Format.fprintf ppf "%8.2f s " (ns /. 1_000_000_000.0)
+
+let () =
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let time = match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, time, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Format.printf "%-44s %11s %8s@." "benchmark" "time/run" "r^2";
+  Format.printf "%s@." (String.make 66 '-');
+  List.iter
+    (fun (name, time, r2) -> Format.printf "%-44s %a %8.4f@." name pp_time time r2)
+    rows;
+  Format.printf "@.%d benchmarks.@." (List.length rows)

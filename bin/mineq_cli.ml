@@ -1,0 +1,396 @@
+(* Command-line interface to the mineq library.
+
+   Network specifications accepted everywhere a NETWORK argument
+   appears: one of the six classical names (omega, flip, cube /
+   indirect-binary-cube, mdm / modified-data-manipulator, baseline,
+   reverse-baseline), or "random:SEED" (random link permutations),
+   "pipid:SEED" (random PIPID stages), "buddy:SEED" (random stages
+   with the buddy properties). *)
+
+open Cmdliner
+open Mineq
+
+let parse_network spec ~n =
+  match Classical.of_name spec with
+  | Some kind -> Ok (Classical.network kind ~n)
+  | None -> (
+      match String.split_on_char ':' spec with
+      | [ "random"; seed ] -> (
+          match int_of_string_opt seed with
+          | Some s -> Ok (Link_spec.random_network (Random.State.make [| s |]) ~n)
+          | None -> Error (`Msg "random:SEED needs an integer seed"))
+      | [ "pipid"; seed ] -> (
+          match int_of_string_opt seed with
+          | Some s -> Ok (Link_spec.random_pipid_network (Random.State.make [| s |]) ~n)
+          | None -> Error (`Msg "pipid:SEED needs an integer seed"))
+      | [ "buddy"; seed ] -> (
+          match int_of_string_opt seed with
+          | Some s -> Ok (Counterexample.random_buddy_network (Random.State.make [| s |]) ~n)
+          | None -> Error (`Msg "buddy:SEED needs an integer seed"))
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown network %S (expected a classical name, random:SEED, pipid:SEED or \
+                  buddy:SEED)"
+                 spec)))
+
+let network_arg =
+  let doc = "Network: classical name, random:SEED, pipid:SEED or buddy:SEED." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc)
+
+let n_arg =
+  let doc = "Number of stages (log2 of the terminal count)." in
+  Arg.(value & opt int 4 & info [ "n"; "stages" ] ~docv:"N" ~doc)
+
+let with_network spec n f =
+  match parse_network spec ~n with
+  | Error (`Msg m) ->
+      prerr_endline m;
+      1
+  | Ok g ->
+      f g;
+      0
+
+(* build ------------------------------------------------------------- *)
+
+let build_cmd =
+  let run spec n =
+    with_network spec n (fun g -> print_string (Render.network_summary g))
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a network and print its structural summary")
+    Term.(const run $ network_arg $ n_arg)
+
+(* render ------------------------------------------------------------ *)
+
+let render_cmd =
+  let format_arg =
+    let doc = "Output format: table, matrix or wiring." in
+    Arg.(value & opt (enum [ ("table", `Table); ("matrix", `Matrix); ("wiring", `Wiring) ]) `Table
+         & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+  in
+  let run spec n format =
+    with_network spec n (fun g ->
+        match format with
+        | `Table -> print_string (Render.stage_table g)
+        | `Wiring -> print_string (Render.wiring_diagram g)
+        | `Matrix ->
+            for i = 1 to Mi_digraph.stages g - 1 do
+              print_string (Render.gap_matrix g i)
+            done)
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a network as ASCII (Figure-1 style)")
+    Term.(const run $ network_arg $ n_arg $ format_arg)
+
+(* check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let run spec n =
+    with_network spec n (fun g ->
+        let yes b = if b then "yes" else "no" in
+        Printf.printf "banyan:            %s\n" (yes (Banyan.is_banyan g));
+        Printf.printf "P(1,j) for all j:  %s\n" (yes (Properties.p_one_star g));
+        Printf.printf "P(i,n) for all i:  %s\n" (yes (Properties.p_star_n g));
+        Printf.printf "buddy properties:  %s\n" (yes (Properties.has_buddy_property g));
+        Printf.printf "all independent:   %s\n"
+          (yes (List.for_all Connection.is_independent (Mi_digraph.connections g)));
+        Printf.printf "delta:             %s\n" (yes (Routing.is_delta g));
+        Printf.printf "bidelta:           %s\n" (yes (Routing.is_bidelta g)))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run every structural property check on a network")
+    Term.(const run $ network_arg $ n_arg)
+
+(* equiv ------------------------------------------------------------- *)
+
+let method_arg =
+  let doc = "Decider: independence, characterization or isomorphism." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("independence", Equivalence.Independence);
+             ("characterization", Equivalence.Characterization);
+             ("isomorphism", Equivalence.Isomorphism)
+           ])
+        Equivalence.Characterization
+    & info [ "method"; "m" ] ~docv:"METHOD" ~doc)
+
+let equiv_cmd =
+  let run spec n m =
+    with_network spec n (fun g ->
+        let v = Equivalence.decide m g in
+        Printf.printf "method:     %s\n" (Equivalence.method_name m);
+        Printf.printf "equivalent: %b\n" v.equivalent;
+        Printf.printf "banyan:     %b\n" v.banyan;
+        Printf.printf "detail:     %s\n" v.detail)
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Decide Baseline-equivalence of a network")
+    Term.(const run $ network_arg $ n_arg $ method_arg)
+
+(* iso ---------------------------------------------------------------- *)
+
+let iso_cmd =
+  let network2_arg =
+    let doc = "Second network." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NETWORK2" ~doc)
+  in
+  let run spec1 spec2 n =
+    match (parse_network spec1 ~n, parse_network spec2 ~n) with
+    | Ok g, Ok h -> (
+        match Iso_min.find g h with
+        | None ->
+            print_endline "not isomorphic";
+            1
+        | Some m ->
+            Printf.printf "isomorphic; per-stage label mapping (verified: %b):\n"
+              (Iso_min.verify g h m);
+            Array.iteri
+              (fun s stage_map ->
+                Printf.printf "stage %d: " (s + 1);
+                Array.iteri (fun x y -> Printf.printf "%d->%d " x y) stage_map;
+                print_newline ())
+              m;
+            0)
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+        prerr_endline m;
+        1
+  in
+  Cmd.v
+    (Cmd.info "iso" ~doc:"Find an explicit isomorphism between two networks")
+    Term.(const run $ network_arg $ network2_arg $ n_arg)
+
+(* route -------------------------------------------------------------- *)
+
+let route_cmd =
+  let src_arg =
+    Arg.(required & opt (some int) None & info [ "s"; "source" ] ~docv:"INPUT" ~doc:"Input terminal.")
+  in
+  let dst_arg =
+    Arg.(
+      required & opt (some int) None & info [ "d"; "dest" ] ~docv:"OUTPUT" ~doc:"Output terminal.")
+  in
+  let run spec n src dst =
+    with_network spec n (fun g ->
+        match Routing.route g ~input:src ~output:dst with
+        | None -> Printf.printf "no path from %d to %d\n" src dst
+        | Some p ->
+            Printf.printf "cells: %s\n"
+              (String.concat " -> "
+                 (Array.to_list (Array.map string_of_int p.Routing.cells)));
+            Printf.printf "ports: %s\n"
+              (String.concat ""
+                 (Array.to_list (Array.map string_of_int p.Routing.ports)));
+            Printf.printf "port word: %d\n" (Routing.port_word p))
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route one input/output pair through a network")
+    Term.(const run $ network_arg $ n_arg $ src_arg $ dst_arg)
+
+(* simulate ----------------------------------------------------------- *)
+
+let simulate_cmd =
+  let rate_arg =
+    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RATE" ~doc:"Injection rate per terminal.")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 1000 & info [ "cycles" ] ~docv:"CYCLES" ~doc:"Measured cycles.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let pattern_arg =
+    let doc = "Traffic pattern: uniform, bit-reversal or transpose." in
+    Arg.(
+      value
+      & opt (enum [ ("uniform", `Uniform); ("bit-reversal", `Bitrev); ("transpose", `Transpose) ])
+          `Uniform
+      & info [ "pattern" ] ~docv:"PATTERN" ~doc)
+  in
+  let run spec n rate cycles seed pattern =
+    with_network spec n (fun g ->
+        let pattern =
+          match pattern with
+          | `Uniform -> Mineq_sim.Traffic.uniform
+          | `Bitrev -> Mineq_sim.Traffic.bit_reversal ~n
+          | `Transpose -> Mineq_sim.Traffic.transpose ~n
+        in
+        let config =
+          { Mineq_sim.Network_sim.default_config with injection_rate = rate; cycles; pattern }
+        in
+        let s = Mineq_sim.Network_sim.run ~config (Random.State.make [| seed |]) g in
+        Printf.printf "pattern:        %s\n" (Mineq_sim.Traffic.name pattern);
+        Printf.printf "offered:        %d\n" s.offered;
+        Printf.printf "injected:       %d\n" s.injected;
+        Printf.printf "delivered:      %d\n" s.delivered;
+        Printf.printf "refused:        %d\n" s.refused;
+        Printf.printf "dropped:        %d\n" s.dropped;
+        Printf.printf "throughput:     %.4f pkts/terminal/cycle\n"
+          (Mineq_sim.Network_sim.throughput s);
+        Printf.printf "mean latency:   %.2f cycles\n" (Mineq_sim.Network_sim.mean_latency s);
+        Printf.printf "max latency:    %d cycles\n" s.latency_max)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Packet-level simulation of a network")
+    Term.(const run $ network_arg $ n_arg $ rate_arg $ cycles_arg $ seed_arg $ pattern_arg)
+
+(* survey -------------------------------------------------------------- *)
+
+let survey_cmd =
+  let run n =
+    let nets = Classical.all_networks ~n in
+    Printf.printf "%-26s %-7s %-7s %-7s %-7s\n" "network" "banyan" "indep" "P-char" "delta";
+    List.iter
+      (fun (name, g) ->
+        Printf.printf "%-26s %-7b %-7b %-7b %-7b\n" name (Banyan.is_banyan g)
+          (Equivalence.by_independence g).equivalent
+          (Equivalence.by_characterization g).equivalent
+          (Routing.is_delta g))
+      nets;
+    0
+  in
+  Cmd.v
+    (Cmd.info "survey" ~doc:"Property survey of the six classical networks")
+    Term.(const run $ n_arg)
+
+(* benes --------------------------------------------------------------- *)
+
+let benes_cmd =
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let samples_arg =
+    Arg.(value & opt int 50 & info [ "samples" ] ~docv:"K" ~doc:"Random permutations to route.")
+  in
+  let run n seed samples =
+    let net = Benes.network n in
+    Printf.printf "Benes B(%d): %d stages of %d cells\n" n (Cascade.stages net)
+      (Cascade.cells_per_stage net);
+    Printf.printf "path diversity: %d\n" (Cascade.path_counts net).(0).(0);
+    Printf.printf "%d random permutations routed link-disjoint: %b\n" samples
+      (Benes.rearrangeable_check (Random.State.make [| seed |]) ~n ~samples);
+    Printf.printf "single-fault tolerant: %b\n" (Faults.is_single_fault_tolerant net);
+    0
+  in
+  Cmd.v
+    (Cmd.info "benes" ~doc:"Build the Benes network and demonstrate rearrangeability")
+    Term.(const run $ n_arg $ seed_arg $ samples_arg)
+
+(* faults -------------------------------------------------------------- *)
+
+let faults_cmd =
+  let run spec n =
+    with_network spec n (fun g ->
+        let c = Cascade.of_mi_digraph g in
+        let links = (Cascade.stages c - 1) * Cascade.cells_per_stage c * 2 in
+        Printf.printf "links:                  %d\n" links;
+        Printf.printf "critical link faults:   %d\n" (Faults.critical_fault_count c);
+        Printf.printf "single-fault tolerant:  %b\n" (Faults.is_single_fault_tolerant c);
+        List.iteri
+          (fun k (f, i) ->
+            if k < 8 then
+              Format.printf "  %a: %d disconnected, %d degraded@." Faults.pp_fault f
+                i.Faults.disconnected_pairs i.Faults.degraded_pairs)
+          (Faults.single_link_impacts c))
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Single-link fault sweep of a network")
+    Term.(const run $ network_arg $ n_arg)
+
+(* perms --------------------------------------------------------------- *)
+
+let perms_cmd =
+  let samples_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "samples" ] ~docv:"K"
+          ~doc:"Estimate with K random settings instead of exact enumeration.")
+  in
+  let run spec n samples =
+    with_network spec n (fun g ->
+        if samples > 0 then
+          Printf.printf "distinct permutations over %d random settings: %d\n" samples
+            (Realizable.estimate (Random.State.make [| 1 |]) g ~samples)
+        else begin
+          let switches = Mi_digraph.stages g * Mi_digraph.nodes_per_stage g in
+          Printf.printf "distinct permutations over all 2^%d settings: %d\n" switches
+            (Realizable.count_exact g)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "perms" ~doc:"Count one-pass realizable permutations")
+    Term.(const run $ network_arg $ n_arg $ samples_arg)
+
+(* save / load / dot ---------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Spec file path.")
+
+let save_cmd =
+  let run spec n file =
+    with_network spec n (fun g ->
+        Spec_io.save file g;
+        Printf.printf "wrote %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a network to a spec file")
+    Term.(const run $ network_arg $ n_arg $ file_arg)
+
+let load_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Spec file path.")
+  in
+  let run file =
+    match Spec_io.load file with
+    | Ok g ->
+        print_string (Render.network_summary g);
+        0
+    | Error e ->
+        prerr_endline e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a spec file and print its structural summary")
+    Term.(const run $ path_arg)
+
+let dot_cmd =
+  let run spec n = with_network spec n (fun g -> print_string (Render.to_dot g)) in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz drawing of a network")
+    Term.(const run $ network_arg $ n_arg)
+
+(* rsurvey ------------------------------------------------------------- *)
+
+let rsurvey_cmd =
+  let radix_arg =
+    Arg.(value & opt int 3 & info [ "radix"; "r" ] ~docv:"R" ~doc:"Cell size (r x r).")
+  in
+  let run radix n =
+    let module Rn = Mineq_radix.Rnetwork in
+    let base = Mineq_radix.Rbuild.baseline ~radix n in
+    Printf.printf "%-26s %-7s %-12s %-14s %-7s\n" "network" "banyan" "independent"
+      "P-properties" "delta";
+    List.iter
+      (fun (name, g) ->
+        Printf.printf "%-26s %-7b %-12b %-14b %-7b\n" name (Rn.is_banyan g)
+          (Rn.by_independence g) (Rn.by_characterization g)
+          (Mineq_radix.Rrouting.is_delta g))
+      (Mineq_radix.Rbuild.all_networks ~radix ~n);
+    Printf.printf "all isomorphic to the radix-%d baseline: %b\n" radix
+      (List.for_all
+         (fun (_, g) -> Rn.isomorphic g base)
+         (Mineq_radix.Rbuild.all_networks ~radix ~n));
+    0
+  in
+  Cmd.v
+    (Cmd.info "rsurvey" ~doc:"Property survey of the classical networks at radix r")
+    Term.(const run $ radix_arg $ n_arg)
+
+let main_cmd =
+  let doc = "Baseline-equivalence toolkit for multistage interconnection networks" in
+  let info = Cmd.info "mineq" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ build_cmd; render_cmd; check_cmd; equiv_cmd; iso_cmd; route_cmd; simulate_cmd;
+      survey_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd; save_cmd; load_cmd; dot_cmd
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

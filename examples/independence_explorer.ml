@@ -1,0 +1,80 @@
+(* Exploring the boundary of the paper's characterization:
+
+   1. how common is independence among arbitrary valid stages?
+   2. the Agrawal gap: Banyan + buddy properties without equivalence;
+   3. independence is sufficient, not necessary: relabelling an
+      equivalent network destroys it.
+
+   Run with: dune exec examples/independence_explorer.exe *)
+
+open Mineq
+
+let rng = Random.State.make [| 0x1de; 0xa |]
+
+let () =
+  (* 1. Independence is a thin (affine) slice of all valid stages:
+     there are (2^w)! / ... valid 2-in/2-out stages but only
+     |GL(w,2)|-scale independent ones. *)
+  print_endline "1. How rare is independence among random valid stages?";
+  List.iter
+    (fun width ->
+      let independent = ref 0 in
+      let trials = 2000 in
+      for _ = 1 to trials do
+        if Connection.is_independent (Connection.random_any rng ~width) then incr independent
+      done;
+      Printf.printf "   width %d: %d / %d random stages independent\n" width !independent trials)
+    [ 1; 2; 3; 4 ];
+
+  (* 2. The Agrawal gap. *)
+  print_endline "\n2. Banyan + buddy properties without Baseline-equivalence:";
+  (match Counterexample.find_non_equivalent rng ~n:4 ~attempts:10_000 ~require_buddy:true with
+  | None -> print_endline "   (no instance found - unexpected)"
+  | Some g ->
+      Printf.printf "   found an n=4 instance: banyan=%b buddy=%b equivalent=%b\n"
+        (Banyan.is_banyan g)
+        (Properties.has_buddy_property g)
+        (Equivalence.by_characterization g).equivalent;
+      print_endline "   its P(i,j) component counts (found vs expected):";
+      List.iter
+        (fun (lo, hi, found, expected) ->
+          if found <> expected then
+            Printf.printf "     P(%d,%d): %d components, expected %d   <- failure\n" lo hi found
+              expected)
+        (Properties.full_matrix g));
+
+  (* At n = 3 the gap closes: buddy + Banyan networks appear to be
+     always equivalent (exhaustive-ish sampling). *)
+  let equivalent = ref 0 and banyans = ref 0 in
+  for _ = 1 to 3000 do
+    let g = Counterexample.random_buddy_network rng ~n:3 in
+    if Banyan.is_banyan g then begin
+      incr banyans;
+      if (Equivalence.by_characterization g).equivalent then incr equivalent
+    end
+  done;
+  Printf.printf "   at n=3: %d / %d sampled buddy Banyans equivalent (gap closed)\n" !equivalent
+    !banyans;
+
+  (* 3. Sufficient, not necessary. *)
+  print_endline "\n3. Relabelling preserves equivalence but destroys independence:";
+  let g = Classical.network Indirect_binary_cube ~n:4 in
+  let h = Counterexample.relabelled_equivalent rng g in
+  Printf.printf "   cube n=4:            independent=%b equivalent=%b\n"
+    (List.for_all Connection.is_independent (Mi_digraph.connections g))
+    (Equivalence.by_characterization g).equivalent;
+  Printf.printf "   relabelled cube n=4: independent=%b equivalent=%b\n"
+    (List.for_all Connection.is_independent (Mi_digraph.connections h))
+    (Equivalence.by_characterization h).equivalent;
+
+  (* 4. The linear normal form of an independent connection. *)
+  print_endline "\n4. Normal form f(x) = Bx + c_f, g(x) = Bx + c_g of an independent stage:";
+  let c = Connection.random_independent rng ~width:4 in
+  match Connection.linear_form c with
+  | None -> assert false
+  | Some (b, cf, cg) ->
+      Format.printf "   B =@.%a@." Mineq_bitvec.Gf2_matrix.pp b;
+      Printf.printf "   c_f = %s, c_g = %s, rank B = %d\n"
+        (Mineq_bitvec.Bv.to_bit_string ~width:4 cf)
+        (Mineq_bitvec.Bv.to_bit_string ~width:4 cg)
+        (Mineq_bitvec.Gf2_matrix.rank b)

@@ -1,0 +1,65 @@
+type t = int
+
+let max_width = Sys.int_size - 1
+
+let zero = 0
+
+let is_valid ~width x =
+  width >= 0 && width <= max_width && x >= 0 && x lsr width = 0
+
+let universe_size ~width =
+  if width < 0 || width > max_width then
+    invalid_arg "Bv.universe_size: width out of range";
+  1 lsl width
+
+let bit x i = (x lsr i) land 1 = 1
+
+let set_bit x i b = if b then x lor (1 lsl i) else x land lnot (1 lsl i)
+
+let unit i = 1 lsl i
+
+let units ~width = List.init width (fun i -> unit i)
+
+let xor x y = x lxor y
+
+let popcount x =
+  let rec count acc x = if x = 0 then acc else count (acc + (x land 1)) (x lsr 1) in
+  count 0 x
+
+let parity x = popcount x land 1 = 1
+
+let dot x y = parity (x land y)
+
+let fold_universe ~width ~init ~f =
+  let n = universe_size ~width in
+  let rec go acc x = if x = n then acc else go (f acc x) (x + 1) in
+  go init 0
+
+let iter_universe ~width ~f =
+  let n = universe_size ~width in
+  for x = 0 to n - 1 do
+    f x
+  done
+
+let to_bits ~width x = List.init width (fun i -> bit x (width - 1 - i))
+
+let of_bits bits =
+  List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 bits
+
+let to_bit_string ~width x =
+  String.init width (fun i -> if bit x (width - 1 - i) then '1' else '0')
+
+let of_bit_string s =
+  String.fold_left
+    (fun acc c ->
+      match c with
+      | '0' -> acc lsl 1
+      | '1' -> (acc lsl 1) lor 1
+      | _ -> invalid_arg "Bv.of_bit_string: expected '0' or '1'")
+    0 s
+
+let to_tuple_string ~width x =
+  let bits = to_bits ~width x in
+  "(" ^ String.concat "," (List.map (fun b -> if b then "1" else "0") bits) ^ ")"
+
+let pp ~width ppf x = Format.pp_print_string ppf (to_bit_string ~width x)

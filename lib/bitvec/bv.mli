@@ -1,0 +1,79 @@
+(** Bit vectors of fixed width, i.e. elements of the group [Z2^w].
+
+    A bit vector of width [w] is represented as a non-negative [int]
+    whose bits [0 .. w-1] carry the coordinates; bit [i] of the
+    integer is coordinate [x_i] in the paper's notation
+    [(x_{w-1}, ..., x_1, x_0)].  The group operation is bitwise
+    exclusive-or ([lxor]), written [+] in [Z2^w].
+
+    Widths up to [Sys.int_size - 1] (i.e. 62 on 64-bit systems) are
+    supported, far beyond what any multistage interconnection network
+    experiment needs. *)
+
+type t = int
+(** A bit vector.  The width is carried by context, not by the value. *)
+
+val max_width : int
+(** Largest supported width. *)
+
+val zero : t
+(** The all-zeroes vector (group identity). *)
+
+val is_valid : width:int -> t -> bool
+(** [is_valid ~width x] holds when [x] only uses bits [0 .. width-1]. *)
+
+val universe_size : width:int -> int
+(** [universe_size ~width] is [2^width], the number of vectors. *)
+
+val bit : t -> int -> bool
+(** [bit x i] is coordinate [i] of [x]. *)
+
+val set_bit : t -> int -> bool -> t
+(** [set_bit x i b] is [x] with coordinate [i] set to [b]. *)
+
+val unit : int -> t
+(** [unit i] is the canonical basis vector [e_i] (only bit [i] set). *)
+
+val units : width:int -> t list
+(** [units ~width] is the canonical basis [e_0; ...; e_{width-1}]. *)
+
+val xor : t -> t -> t
+(** Group addition in [Z2^w]. *)
+
+val dot : t -> t -> bool
+(** [dot x y] is the GF(2) inner product [xor_i (x_i * y_i)]. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val parity : t -> bool
+(** [parity x] is [popcount x] modulo 2. *)
+
+val fold_universe : width:int -> init:'a -> f:('a -> t -> 'a) -> 'a
+(** [fold_universe ~width ~init ~f] folds [f] over all [2^width]
+    vectors in increasing integer order. *)
+
+val iter_universe : width:int -> f:(t -> unit) -> unit
+(** Iterate over all [2^width] vectors in increasing integer order. *)
+
+val to_tuple_string : width:int -> t -> string
+(** [(x_{w-1}, ..., x_0)] rendering used in the paper's figures,
+    e.g. ["(0,1,1)"] for [3] at width 3. *)
+
+val to_bit_string : width:int -> t -> string
+(** Plain binary rendering, most significant coordinate first,
+    e.g. ["011"] for [3] at width 3. *)
+
+val of_bit_string : string -> t
+(** Inverse of {!to_bit_string}.  Raises [Invalid_argument] on
+    characters other than ['0'] and ['1']. *)
+
+val of_bits : bool list -> t
+(** [of_bits [x_{w-1}; ...; x_0]] builds a vector from coordinates
+    listed most significant first (mirrors {!to_bit_string}). *)
+
+val to_bits : width:int -> t -> bool list
+(** Coordinates, most significant first. *)
+
+val pp : width:int -> Format.formatter -> t -> unit
+(** Pretty-printer using {!to_bit_string}. *)

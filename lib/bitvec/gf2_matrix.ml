@@ -1,0 +1,184 @@
+type t = { rows : Bv.t array; cols : int }
+
+let check_row ~cols r =
+  if not (Bv.is_valid ~width:cols r) then
+    invalid_arg "Gf2_matrix: row does not fit in the column width"
+
+let of_rows ~cols rows =
+  Array.iter (check_row ~cols) rows;
+  { rows = Array.copy rows; cols }
+
+let create ~rows ~cols f =
+  let mk i =
+    let rec build j acc = if j < 0 then acc else build (j - 1) (Bv.set_bit acc j (f i j)) in
+    build (cols - 1) 0
+  in
+  { rows = Array.init rows mk; cols }
+
+let zero ~rows ~cols = { rows = Array.make rows 0; cols }
+
+let identity n = { rows = Array.init n (fun i -> Bv.unit i); cols = n }
+
+let rows m = Array.length m.rows
+let cols m = m.cols
+let row m i = m.rows.(i)
+let entry m i j = Bv.bit m.rows.(i) j
+
+let column m j =
+  let r = rows m in
+  let rec build i acc = if i = r then acc else build (i + 1) (Bv.set_bit acc i (entry m i j)) in
+  build 0 0
+
+let equal a b = a.cols = b.cols && a.rows = b.rows
+
+let apply m x =
+  let r = rows m in
+  let rec build i acc =
+    if i = r then acc else build (i + 1) (Bv.set_bit acc i (Bv.dot m.rows.(i) x))
+  in
+  build 0 0
+
+let transpose m = create ~rows:m.cols ~cols:(rows m) (fun i j -> entry m j i)
+
+let mul a b =
+  if a.cols <> rows b then invalid_arg "Gf2_matrix.mul: dimension mismatch";
+  let bt = transpose b in
+  create ~rows:(rows a) ~cols:b.cols (fun i j -> Bv.dot a.rows.(i) bt.rows.(j))
+
+let add a b =
+  if a.cols <> b.cols || rows a <> rows b then
+    invalid_arg "Gf2_matrix.add: dimension mismatch";
+  { rows = Array.mapi (fun i r -> r lxor b.rows.(i)) a.rows; cols = a.cols }
+
+let of_linear_map ~width f =
+  (* Column [i] of the matrix is [f e_i]; build rows from columns. *)
+  let images = Array.init width (fun i -> f (Bv.unit i)) in
+  create ~rows:width ~cols:width (fun i j -> Bv.bit images.(j) i)
+
+let is_linear ~width f =
+  f 0 = 0
+  &&
+  let m = of_linear_map ~width f in
+  let ok = ref true in
+  Bv.iter_universe ~width ~f:(fun x -> if f x <> apply m x then ok := false);
+  !ok
+
+(* Gaussian elimination working on an array of rows, each row a bit
+   vector of width [cols] (optionally extended with bookkeeping bits by
+   the caller).  Returns the echelonized rows and the list of pivot
+   columns, scanning columns from most significant to least. *)
+let echelonize ~cols rows =
+  let rows = Array.copy rows in
+  let n = Array.length rows in
+  let pivots = ref [] in
+  let next = ref 0 in
+  for j = cols - 1 downto 0 do
+    if !next < n then begin
+      (* Find a row at or below [!next] with bit [j] set. *)
+      let k = ref (-1) in
+      (try
+         for i = !next to n - 1 do
+           if Bv.bit rows.(i) j then begin
+             k := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !k >= 0 then begin
+        let tmp = rows.(!next) in
+        rows.(!next) <- rows.(!k);
+        rows.(!k) <- tmp;
+        for i = 0 to n - 1 do
+          if i <> !next && Bv.bit rows.(i) j then rows.(i) <- rows.(i) lxor rows.(!next)
+        done;
+        pivots := (j, !next) :: !pivots;
+        incr next
+      end
+    end
+  done;
+  (rows, List.rev !pivots)
+
+let rank m =
+  let _, pivots = echelonize ~cols:m.cols m.rows in
+  List.length pivots
+
+let row_space_basis m =
+  let rows, pivots = echelonize ~cols:m.cols m.rows in
+  List.map (fun (_, i) -> rows.(i)) pivots
+
+let is_invertible m = rows m = m.cols && rank m = m.cols
+
+let inverse m =
+  let n = rows m in
+  if n <> m.cols then None
+  else begin
+    (* Augment each row with the identity in bits [cols .. 2*cols-1]. *)
+    let aug = Array.mapi (fun i r -> r lor (Bv.unit (n + i))) m.rows in
+    let ech, pivots = echelonize ~cols:n aug in
+    if List.length pivots <> n then None
+    else begin
+      (* Row with pivot column [j] holds row [j] of the inverse in the
+         high bits (after full reduction the low part is e_j). *)
+      let inv = Array.make n 0 in
+      List.iter (fun (j, i) -> inv.(j) <- ech.(i) lsr n) pivots;
+      Some { rows = inv; cols = n }
+    end
+  end
+
+let kernel_basis m =
+  let n = m.cols in
+  (* Echelonize the transpose-free way: work with columns by solving
+     [m x = 0] via elimination on an augmented transpose.  Simpler:
+     echelonize rows, then free columns parameterize the kernel. *)
+  let ech, pivots = echelonize ~cols:n m.rows in
+  let pivot_cols = List.map fst pivots in
+  let is_pivot j = List.mem j pivot_cols in
+  let free_cols = List.filter (fun j -> not (is_pivot j)) (List.init n (fun j -> j)) in
+  let basis_for_free jf =
+    (* x_{jf} = 1, other free vars 0; pivot variables determined by
+       their echelon rows: row with pivot jp says x_{jp} = xor of the
+       non-pivot entries of that row times the free assignment. *)
+    let x = ref (Bv.unit jf) in
+    List.iter
+      (fun (jp, i) ->
+        if Bv.bit ech.(i) jf then x := Bv.set_bit !x jp true)
+      pivots;
+    !x
+  in
+  List.map basis_for_free free_cols
+
+let solve m b =
+  let n = m.cols in
+  let r = rows m in
+  (* Augment rows with b as an extra low... use an extra high bit at
+     position [n] carrying b_i. *)
+  let aug = Array.mapi (fun i row -> row lor (if Bv.bit b i then Bv.unit n else 0)) m.rows in
+  ignore r;
+  let ech, pivots = echelonize ~cols:n aug in
+  (* Inconsistent if some row is 0 on the low n bits but 1 on bit n. *)
+  let inconsistent =
+    Array.exists (fun row -> row land (Bv.universe_size ~width:n - 1) = 0 && Bv.bit row n) ech
+  in
+  if inconsistent then None
+  else begin
+    let x = ref 0 in
+    List.iter (fun (jp, i) -> if Bv.bit ech.(i) n then x := Bv.set_bit !x jp true) pivots;
+    Some !x
+  end
+
+let random_invertible rng n =
+  let bound = Bv.universe_size ~width:n in
+  let rec attempt () =
+    let m = { rows = Array.init n (fun _ -> Random.State.int rng bound); cols = n } in
+    if is_invertible m then m else attempt ()
+  in
+  attempt ()
+
+let pp ppf m =
+  let r = rows m in
+  Format.pp_open_vbox ppf 0;
+  for i = 0 to r - 1 do
+    if i > 0 then Format.pp_print_cut ppf ();
+    Format.pp_print_string ppf (Bv.to_bit_string ~width:m.cols m.rows.(i))
+  done;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,76 @@
+(** Matrices over GF(2), used for the linear-algebra view of
+    independent connections.
+
+    A matrix with [rows] rows and [cols] columns maps vectors of width
+    [cols] to vectors of width [rows] by [apply].  Rows are stored as
+    bit vectors ({!Bv.t}); entry [(i, j)] is bit [j] of row [i]. *)
+
+type t
+
+val create : rows:int -> cols:int -> (int -> int -> bool) -> t
+(** [create ~rows ~cols f] has entry [(i, j)] equal to [f i j]. *)
+
+val of_rows : cols:int -> Bv.t array -> t
+(** Build from row vectors.  Raises [Invalid_argument] if a row does
+    not fit in [cols] bits. *)
+
+val zero : rows:int -> cols:int -> t
+
+val identity : int -> t
+(** [identity n] is the [n x n] identity. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val row : t -> int -> Bv.t
+(** [row m i] is row [i] as a bit vector. *)
+
+val entry : t -> int -> int -> bool
+
+val column : t -> int -> Bv.t
+(** [column m j] is column [j] as a bit vector of width [rows m]. *)
+
+val equal : t -> t -> bool
+
+val apply : t -> Bv.t -> Bv.t
+(** [apply m x] is the matrix-vector product [m * x]. *)
+
+val mul : t -> t -> t
+(** Matrix product.  [cols a] must equal [rows b]. *)
+
+val add : t -> t -> t
+(** Entry-wise xor. *)
+
+val transpose : t -> t
+
+val of_linear_map : width:int -> (Bv.t -> Bv.t) -> t
+(** [of_linear_map ~width f] is the matrix of [f] restricted to the
+    canonical basis.  [f] is only evaluated on basis vectors; use
+    {!is_linear} first if [f]'s linearity is in doubt. *)
+
+val is_linear : width:int -> (Bv.t -> Bv.t) -> bool
+(** Exhaustively checks [f (x xor y) = f x xor f y] and [f 0 = 0]
+    over the whole universe (cost [O(4^width)] pair checks reduced to
+    [O(2^width)] by comparing against the matrix of [f]). *)
+
+val rank : t -> int
+
+val is_invertible : t -> bool
+
+val inverse : t -> t option
+(** [None] when the matrix is singular. *)
+
+val kernel_basis : t -> Bv.t list
+(** A basis of the null space [{x | m x = 0}]. *)
+
+val solve : t -> Bv.t -> Bv.t option
+(** [solve m b] is some [x] with [m x = b], or [None]. *)
+
+val row_space_basis : t -> Bv.t list
+(** A basis (in row-echelon order) of the span of the rows. *)
+
+val random_invertible : Random.State.t -> int -> t
+(** A uniformly-ish random invertible [n x n] matrix (rejection
+    sampling on random matrices). *)
+
+val pp : Format.formatter -> t -> unit

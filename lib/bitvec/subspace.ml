@@ -1,0 +1,124 @@
+type t = { width : int; basis : Bv.t list (* reduced echelon, leading bits descending *) }
+
+let width s = s.width
+
+(* Insert a vector into a reduced-echelon basis, keeping it reduced.
+   The representation invariant: basis vectors have pairwise distinct
+   leading (most significant) bits, listed in descending order, and
+   each leading bit appears in no other basis vector. *)
+let leading_bit v =
+  if v = 0 then invalid_arg "Subspace.leading_bit: zero vector";
+  let rec go i = if v lsr i = 1 then i else go (i + 1) in
+  go 0
+
+let reduce_against basis v =
+  List.fold_left (fun v b -> if Bv.bit v (leading_bit b) then v lxor b else v) v basis
+
+let insert basis v =
+  let v = reduce_against basis v in
+  if v = 0 then basis
+  else begin
+    let lv = leading_bit v in
+    (* Reduce existing vectors against v, then insert in order. *)
+    let basis = List.map (fun b -> if Bv.bit b lv then b lxor v else b) basis in
+    let rec ins = function
+      | [] -> [ v ]
+      | b :: rest as l -> if leading_bit b > lv then b :: ins rest else v :: l
+    in
+    ins basis
+  end
+
+let zero ~width =
+  if width < 0 || width > Bv.max_width then invalid_arg "Subspace.zero: bad width";
+  { width; basis = [] }
+
+let of_generators ~width gens =
+  List.iter
+    (fun v ->
+      if not (Bv.is_valid ~width v) then invalid_arg "Subspace.of_generators: vector too wide")
+    gens;
+  { width; basis = List.fold_left insert [] gens }
+
+let full ~width = of_generators ~width (Bv.units ~width)
+
+let basis s = s.basis
+
+let dim s = List.length s.basis
+
+let cardinal s = 1 lsl dim s
+
+let mem s v = reduce_against s.basis v = 0
+
+let equal a b = a.width = b.width && a.basis = b.basis
+
+let subset a b = a.width = b.width && List.for_all (mem b) a.basis
+
+let add_vector s v =
+  if not (Bv.is_valid ~width:s.width v) then invalid_arg "Subspace.add_vector: vector too wide";
+  { s with basis = insert s.basis v }
+
+let sum a b =
+  if a.width <> b.width then invalid_arg "Subspace.sum: width mismatch";
+  { a with basis = List.fold_left insert a.basis b.basis }
+
+let elements s =
+  let els =
+    List.fold_left (fun acc b -> acc @ List.map (fun x -> x lxor b) acc) [ 0 ] s.basis
+  in
+  List.sort compare els
+
+let intersection a b =
+  if a.width <> b.width then invalid_arg "Subspace.intersection: width mismatch";
+  (* Zassenhaus would be cleaner; subspaces here are tiny, so filter
+     the smaller side's elements through the larger side. *)
+  let small, large = if dim a <= dim b then (a, b) else (b, a) in
+  of_generators ~width:a.width (List.filter (mem large) (elements small))
+
+let complement_basis s =
+  let rec grow acc cur = function
+    | [] -> List.rev acc
+    | e :: rest ->
+        if mem cur e then grow acc cur rest
+        else grow (e :: acc) (add_vector cur e) rest
+  in
+  grow [] s (Bv.units ~width:s.width)
+
+let coset_of s v = reduce_against s.basis v
+
+let same_coset s x y = mem s (x lxor y)
+
+let is_translate s xs =
+  match xs with
+  | [] -> false
+  | x0 :: rest ->
+      let unique = List.sort_uniq compare xs in
+      List.length unique = cardinal s
+      && List.for_all (fun x -> same_coset s x0 x) rest
+
+let translate_of_set ~width a b =
+  ignore width;
+  match (a, b) with
+  | [], [] -> Some 0
+  | [], _ | _, [] -> None
+  | a0 :: _, b0 :: _ ->
+      let v = a0 lxor b0 in
+      let sa = List.sort compare (List.map (fun x -> x lxor v) a) in
+      let sb = List.sort compare b in
+      if sa = sb then Some v
+      else begin
+        (* The pairing of a0 may differ; try all offsets induced by b. *)
+        let sa0 = List.sort compare a in
+        let try_offset bv =
+          let v = a0 lxor bv in
+          let shifted = List.sort compare (List.map (fun x -> x lxor v) sa0) in
+          if shifted = sb then Some v else None
+        in
+        List.find_map try_offset b
+      end
+
+let pp ppf s =
+  Format.fprintf ppf "@[<h>span{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf v -> Bv.pp ~width:s.width ppf v))
+    s.basis

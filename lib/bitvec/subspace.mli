@@ -1,0 +1,70 @@
+(** Linear subspaces of [Z2^w] and their cosets (translated sets).
+
+    The paper's Lemma 2 and Proposition 1 argue with sets of node
+    labels that are subspaces or translates of subspaces ("the
+    [v]-translated set of [A]").  This module provides that
+    vocabulary. *)
+
+type t
+(** A subspace, stored as a reduced row-echelon basis so that
+    structural equality coincides with subspace equality. *)
+
+val width : t -> int
+
+val zero : width:int -> t
+(** The trivial subspace [{0}]. *)
+
+val full : width:int -> t
+(** The whole space [Z2^width]. *)
+
+val of_generators : width:int -> Bv.t list -> t
+(** Span of the given vectors. *)
+
+val basis : t -> Bv.t list
+(** The canonical (echelon) basis, possibly empty. *)
+
+val dim : t -> int
+
+val cardinal : t -> int
+(** [2^(dim s)]. *)
+
+val mem : t -> Bv.t -> bool
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] holds when every element of [a] lies in [b]. *)
+
+val add_vector : t -> Bv.t -> t
+(** Span of the subspace and one more vector. *)
+
+val sum : t -> t -> t
+(** Smallest subspace containing both. *)
+
+val intersection : t -> t -> t
+
+val elements : t -> Bv.t list
+(** All [2^dim] elements, ascending.  Intended for small subspaces. *)
+
+val complement_basis : t -> Bv.t list
+(** Vectors extending [basis t] to a basis of the full space. *)
+
+val coset_of : t -> Bv.t -> Bv.t
+(** [coset_of s v] is the canonical representative of [v + s]
+    (the minimum element of the coset), so two vectors are in the same
+    translate of [s] iff their representatives are equal. *)
+
+val same_coset : t -> Bv.t -> Bv.t -> bool
+
+val is_translate : t -> Bv.t list -> bool
+(** [is_translate s xs] holds when the set [xs] (no duplicates
+    expected) is exactly one coset [v + s].  The paper's
+    "translated set" check. *)
+
+val translate_of_set : width:int -> Bv.t list -> Bv.t list -> Bv.t option
+(** [translate_of_set ~width a b] is [Some v] when the set [b] equals
+    [{x xor v | x in a}] for some (any) [v], [None] otherwise.  Used to
+    check Lemma 2's claim that the buddy set [B_j] is a translate of
+    [A_j]. *)
+
+val pp : Format.formatter -> t -> unit

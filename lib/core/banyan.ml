@@ -1,0 +1,44 @@
+module Bv = Mineq_bitvec.Bv
+
+type violation = { source : Bv.t; sink : Bv.t; paths : int }
+
+let path_count_matrix g =
+  let per = Mi_digraph.nodes_per_stage g in
+  let n = Mi_digraph.stages g in
+  (* Forward DP over stages: start with the identity on stage 1 and
+     push counts through each connection. *)
+  let counts = Array.init per (fun u -> Array.init per (fun v -> if u = v then 1 else 0)) in
+  for gap = 1 to n - 1 do
+    let c = Mi_digraph.connection g gap in
+    Array.iteri
+      (fun u row ->
+        let next = Array.make per 0 in
+        Array.iteri
+          (fun x ways ->
+            if ways > 0 then begin
+              let cf, cg = Connection.children c x in
+              next.(cf) <- next.(cf) + ways;
+              next.(cg) <- next.(cg) + ways
+            end)
+          row;
+        counts.(u) <- next)
+      counts
+  done;
+  counts
+
+let check g =
+  let m = path_count_matrix g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let rec scan u v =
+    if u = per then Ok ()
+    else if v = per then scan (u + 1) 0
+    else if m.(u).(v) <> 1 then Error { source = u; sink = v; paths = m.(u).(v) }
+    else scan u (v + 1)
+  in
+  scan 0 0
+
+let is_banyan g = Result.is_ok (check g)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "stage-1 node %d reaches stage-n node %d by %d paths (expected 1)"
+    v.source v.sink v.paths

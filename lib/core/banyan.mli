@@ -1,0 +1,25 @@
+(** The Banyan property (paper, Section 2): between any input and any
+    output there is exactly one path.
+
+    Inputs and outputs attach to the first and last stages (two per
+    node) and play no role in the digraph, so the property reduces to:
+    for every node [u] of stage 1 and every node [v] of stage [n],
+    there is exactly one directed path from [u] to [v]. *)
+
+type violation = {
+  source : Mineq_bitvec.Bv.t;  (** stage-1 node label *)
+  sink : Mineq_bitvec.Bv.t;  (** stage-n node label *)
+  paths : int;  (** the offending path count ([0] or [>= 2]) *)
+}
+
+val path_count_matrix : Mi_digraph.t -> int array array
+(** [m.(u).(v)] = number of stage-1-node-[u] to stage-n-node-[v]
+    paths.  Parallel arcs (double links) count separately. *)
+
+val is_banyan : Mi_digraph.t -> bool
+
+val check : Mi_digraph.t -> (unit, violation) result
+(** Like {!is_banyan} but produces the first violation found (row
+    major). *)
+
+val pp_violation : Format.formatter -> violation -> unit

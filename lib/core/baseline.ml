@@ -1,0 +1,37 @@
+module Bv = Mineq_bitvec.Bv
+
+let stage_connection ~n i =
+  if n < 2 || i < 1 || i > n - 1 then invalid_arg "Baseline.stage_connection: bad stage";
+  let w = n - 1 in
+  let k = n - i in
+  (* Child label: bits [k .. w-1] of x unchanged, routing bit at
+     position [k-1], bits [0 .. k-2] are bits [1 .. k-1] of x. *)
+  let child b x =
+    let high = x land lnot ((1 lsl k) - 1) in
+    let low = (x land ((1 lsl k) - 1)) lsr 1 in
+    high lor (b lsl (k - 1)) lor low
+  in
+  Connection.make ~width:w ~f:(child 0) ~g:(child 1)
+
+let rec network n =
+  if n < 1 then invalid_arg "Baseline.network: need n >= 1"
+  else if n = 1 then Mi_digraph.single_stage ~width:0
+  else begin
+    let w = n - 1 in
+    let msb = 1 lsl (w - 1) in
+    let first = stage_connection ~n 1 in
+    let sub = network (n - 1) in
+    let lift c =
+      (* Run the (n-1)-stage connection independently on each half:
+         the most significant bit selects the subnetwork and is
+         preserved. *)
+      Connection.make ~width:w
+        ~f:(fun y -> y land msb lor Connection.f c (y land (msb - 1)))
+        ~g:(fun y -> y land msb lor Connection.g c (y land (msb - 1)))
+    in
+    Mi_digraph.create (first :: List.map lift (Mi_digraph.connections sub))
+  end
+
+let reverse n = Mi_digraph.reverse (network n)
+
+let is_baseline g = Mi_digraph.equal g (network (Mi_digraph.stages g))

@@ -1,0 +1,24 @@
+(** The Baseline network (paper, Section 2, Figure 1), built by its
+    left-recursive definition: the subnetwork between stages 2 and [n]
+    consists of two [(n-1)]-stage Baseline networks laid out as the
+    upper and lower halves, and stage-1 nodes [2i] and [2i+1] are both
+    connected to the [i]-th node of each subnetwork. *)
+
+val network : int -> Mi_digraph.t
+(** [network n] is the [n]-stage Baseline MI-digraph, [n >= 1]. *)
+
+val reverse : int -> Mi_digraph.t
+(** The Reverse Baseline MI-digraph ([G^-1] with stages renumbered). *)
+
+val stage_connection : n:int -> int -> Connection.t
+(** [stage_connection ~n i] is the closed form of the Baseline
+    connection between stages [i] and [i+1]: with [w = n - 1] label
+    bits, the low [w - i + 1] bits of the child are the node's low
+    bits rotated right with the routing bit injected at position
+    [w - i]:
+    [f x] keeps bits [w-1 .. w-i+1], then [0], then bits
+    [w-i .. 1] of [x]; [g x] likewise with [1].  Equals the recursive
+    construction (tested). *)
+
+val is_baseline : Mi_digraph.t -> bool
+(** Label-exact equality with [network n] (not isomorphism). *)

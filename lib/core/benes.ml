@@ -1,0 +1,84 @@
+module Perm = Mineq_perm.Perm
+
+let network n =
+  if n < 2 then invalid_arg "Benes.network: need n >= 2";
+  Cascade.concat
+    (Cascade.of_mi_digraph (Baseline.network n))
+    (Cascade.of_mi_digraph (Baseline.reverse n))
+
+(* Looping 2-colouring: terminals sharing an input switch must use
+   different subnetworks, and so must terminals whose images share an
+   output switch.  The union of the two pairings is a disjoint union
+   of even cycles, so greedy alternating propagation never
+   contradicts itself. *)
+let looping_colours ~terminals perm =
+  let out_partner = Array.make terminals (-1) in
+  let seen = Array.make (terminals / 2) (-1) in
+  for t = 0 to terminals - 1 do
+    let osw = perm.(t) / 2 in
+    if seen.(osw) < 0 then seen.(osw) <- t
+    else begin
+      out_partner.(t) <- seen.(osw);
+      out_partner.(seen.(osw)) <- t
+    end
+  done;
+  let colour = Array.make terminals (-1) in
+  let stack = Stack.create () in
+  for t0 = 0 to terminals - 1 do
+    if colour.(t0) < 0 then begin
+      Stack.push (t0, 0) stack;
+      while not (Stack.is_empty stack) do
+        let t, c = Stack.pop stack in
+        if colour.(t) < 0 then begin
+          colour.(t) <- c;
+          Stack.push (t lxor 1, 1 - c) stack;
+          Stack.push (out_partner.(t), 1 - c) stack
+        end
+        else assert (colour.(t) = c)
+      done
+    end
+  done;
+  colour
+
+(* Cell sequence per terminal, by the recursive Benes structure:
+   enter switch t/2, descend into subnetwork s(t) (whose cells carry
+   s(t) as their top label bit), recurse on the induced half-size
+   permutation of switch indices, exit at switch (perm t)/2. *)
+let rec route_cells n perm =
+  let terminals = 1 lsl n in
+  if Array.length perm <> terminals then invalid_arg "Benes.route_cells: permutation size";
+  if n = 1 then Array.init 2 (fun _ -> [| 0 |])
+  else begin
+    let colour = looping_colours ~terminals perm in
+    let half = terminals / 2 in
+    let sub_perm = Array.init 2 (fun _ -> Array.make half (-1)) in
+    for t = 0 to terminals - 1 do
+      sub_perm.(colour.(t)).(t / 2) <- perm.(t) / 2
+    done;
+    let sub_cells = Array.map (route_cells (n - 1)) sub_perm in
+    let top = 1 lsl (n - 2) in
+    Array.init terminals (fun t ->
+        let s = colour.(t) in
+        let inner = Array.map (fun c -> (s * top) lor c) sub_cells.(s).(t / 2) in
+        Array.concat [ [| t / 2 |]; inner; [| perm.(t) / 2 |] ])
+  end
+
+let route_permutation _cascade ~n p =
+  let terminals = 1 lsl n in
+  if Perm.size p <> terminals then invalid_arg "Benes.route_permutation: permutation size";
+  let perm = Perm.to_array p in
+  let cells = route_cells n perm in
+  List.init terminals (fun t ->
+      { Cascade.input = t; output = perm.(t); cells = cells.(t) })
+
+let rearrangeable_check rng ~n ~samples =
+  let net = network n in
+  let terminals = 1 lsl n in
+  let rec go k =
+    k = 0
+    ||
+    let p = Perm.random rng terminals in
+    let routes = route_permutation (Some net) ~n p in
+    Cascade.link_disjoint net routes && go (k - 1)
+  in
+  go samples

@@ -1,0 +1,30 @@
+(** The Benes rearrangeable network and the looping routing algorithm.
+
+    The Benes network B(n) is the [n]-stage Baseline followed by its
+    mirror image sharing the middle stage: [2n - 1] stages of
+    [2^(n-1)] cells.  It is the classic payoff of the
+    Baseline-equivalence theory: glue any Baseline-equivalent network
+    to its reverse and the result realizes {e every} permutation of
+    its [2^n] terminals with link-disjoint paths (rearrangeability),
+    routes found by the looping algorithm.
+
+    This module is an extension beyond the reproduced paper (which
+    studies single Banyan-class networks); it demonstrates the
+    library's constructions composing. *)
+
+val network : int -> Cascade.t
+(** [network n] is B(n): [Baseline.network n] concatenated with its
+    reverse, middle stage shared.  [n >= 1]. *)
+
+val route_permutation : Cascade.t option -> n:int -> Mineq_perm.Perm.t -> Cascade.route list
+(** [route_permutation cascade ~n p] runs the looping algorithm and
+    returns one route per terminal, [input i -> output (p i)].  The
+    optional prebuilt cascade (from {!network}) is only used to avoid
+    rebuilding; pass [None] to let the function build it.  The routes
+    are guaranteed link-disjoint and valid on [network n] — the
+    rearrangeability theorem, which the test suite re-verifies
+    instance by instance. *)
+
+val rearrangeable_check : Random.State.t -> n:int -> samples:int -> bool
+(** Routes [samples] random permutations and checks link-disjoint
+    validity of every schedule. *)

@@ -1,0 +1,59 @@
+type 'a classified = { representative : Mi_digraph.t; members : 'a list }
+
+let signature g =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (lo, hi, found, _) -> Buffer.add_string buf (Printf.sprintf "c%d.%d=%d;" lo hi found))
+    (Properties.full_matrix g);
+  for i = 1 to Mi_digraph.stages g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "b%d=%b%b;" i
+         (Properties.output_buddy_stage g i)
+         (Properties.input_buddy_stage g i))
+  done;
+  (* Path-count rows, each sorted, the rows sorted: invariant under
+     relabelling of either boundary stage. *)
+  let rows =
+    Array.to_list (Banyan.path_count_matrix g)
+    |> List.map (fun row -> List.sort compare (Array.to_list row))
+    |> List.sort compare
+  in
+  List.iter
+    (fun row -> Buffer.add_string buf (String.concat "," (List.map string_of_int row) ^ ";"))
+    rows;
+  Buffer.contents buf
+
+let classify tagged =
+  let classes = ref [] in
+  List.iter
+    (fun (g, tag) ->
+      let sg = signature g in
+      let rec place = function
+        | [] -> classes := !classes @ [ ref (g, sg, [ tag ]) ]
+        | cls :: rest ->
+            let rep, s, tags = !cls in
+            if s = sg && Option.is_some (Iso_min.find g rep) then cls := (rep, s, tag :: tags)
+            else place rest
+      in
+      place !classes)
+    tagged;
+  List.map
+    (fun cls ->
+      let rep, _, tags = !cls in
+      { representative = rep; members = List.rev tags })
+    !classes
+
+let class_count gs = List.length (classify (List.map (fun g -> (g, ())) gs))
+
+let contains_baseline cls =
+  (Equivalence.by_characterization cls.representative).equivalent
+
+let sample_banyan_census rng ~n ~samples ~attempts =
+  let rec draw k acc =
+    if k = 0 then List.rev acc
+    else
+      match Counterexample.random_banyan rng ~n ~attempts with
+      | None -> List.rev acc
+      | Some g -> draw (k - 1) ((g, samples - k) :: acc)
+  in
+  classify (draw samples [])

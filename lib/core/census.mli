@@ -1,0 +1,38 @@
+(** Isomorphism-class census of MI-digraphs.
+
+    The paper proves every independent-connection Banyan falls into
+    {e one} class (the Baseline's).  The census machinery measures
+    how many classes the rest of the Banyan universe occupies
+    (experiment X15): sampling at [n = 3] finds a handful of classes,
+    of which exactly one is the Baseline's. *)
+
+type 'a classified = {
+  representative : Mi_digraph.t;
+  members : 'a list;  (** the tags of the instances in this class *)
+}
+
+val signature : Mi_digraph.t -> string
+(** A cheap isomorphism invariant: the [P(i,j)] component-count
+    matrix, the buddy flags per gap, and the sorted path-count
+    profile.  Equal signatures are necessary (not sufficient) for
+    isomorphism; {!classify} uses it to prescreen before running the
+    search. *)
+
+val classify : (Mi_digraph.t * 'a) list -> 'a classified list
+(** Group tagged networks by MI-digraph isomorphism ({!Iso_min});
+    classes ordered by first appearance.  Each instance is compared
+    against one representative per class, after a {!signature}
+    prescreen. *)
+
+val class_count : Mi_digraph.t list -> int
+
+val contains_baseline : 'a classified -> bool
+(** Is this the Baseline's class? *)
+
+val sample_banyan_census :
+  Random.State.t -> n:int -> samples:int -> attempts:int -> int classified list
+(** Draw up to [samples] random Banyan networks (each within
+    [attempts] rejection attempts), classify them, and tag each member
+    with its sample index.  The Baseline class is almost always
+    present; the remainder estimates the diversity of non-equivalent
+    Banyans. *)

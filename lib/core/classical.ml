@@ -1,0 +1,56 @@
+module Perm = Mineq_perm.Perm
+module Family = Mineq_perm.Pipid_family
+
+type kind =
+  | Omega
+  | Flip
+  | Indirect_binary_cube
+  | Modified_data_manipulator
+  | Baseline_net
+  | Reverse_baseline_net
+
+let all_kinds =
+  [ Omega;
+    Flip;
+    Indirect_binary_cube;
+    Modified_data_manipulator;
+    Baseline_net;
+    Reverse_baseline_net
+  ]
+
+let name = function
+  | Omega -> "omega"
+  | Flip -> "flip"
+  | Indirect_binary_cube -> "indirect-binary-cube"
+  | Modified_data_manipulator -> "modified-data-manipulator"
+  | Baseline_net -> "baseline"
+  | Reverse_baseline_net -> "reverse-baseline"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "omega" -> Some Omega
+  | "flip" -> Some Flip
+  | "indirect-binary-cube" | "cube" | "ibc" -> Some Indirect_binary_cube
+  | "modified-data-manipulator" | "mdm" -> Some Modified_data_manipulator
+  | "baseline" -> Some Baseline_net
+  | "reverse-baseline" | "rbaseline" -> Some Reverse_baseline_net
+  | _ -> None
+
+let thetas kind ~n =
+  if n < 2 then invalid_arg "Classical.thetas: need n >= 2";
+  let gaps = n - 1 in
+  let gap i =
+    (* i ranges over 1 .. n-1. *)
+    match kind with
+    | Omega -> Family.perfect_shuffle ~width:n
+    | Flip -> Family.inverse_shuffle ~width:n
+    | Indirect_binary_cube -> Family.butterfly ~width:n i
+    | Modified_data_manipulator -> Family.butterfly ~width:n (n - i)
+    | Baseline_net -> Family.inverse_sub_shuffle ~width:n (n - i + 1)
+    | Reverse_baseline_net -> Family.sub_shuffle ~width:n (i + 1)
+  in
+  List.init gaps (fun k -> gap (k + 1))
+
+let network kind ~n = Link_spec.network_of_thetas ~n (thetas kind ~n)
+
+let all_networks ~n = List.map (fun k -> (name k, network k ~n)) all_kinds

@@ -1,0 +1,42 @@
+(** The six "classical" networks whose equivalence Wu and Feng proved
+    by hand and which the paper derives in one stroke: each is a stack
+    of PIPID link permutations, hence (being Banyan) Baseline-
+    equivalent by Theorem 3.
+
+    Stage conventions (link permutation between stages [i] and
+    [i+1], [1 <= i <= n-1], on [2^n] link labels):
+    - {b Omega} (Lawrie): perfect shuffle [sigma] at every gap.
+    - {b Flip} (Batcher): inverse shuffle [sigma^-1] at every gap.
+    - {b Indirect binary n-cube} (Pease): butterfly [beta_i] at gap
+      [i].
+    - {b Modified data manipulator} (Feng): butterfly [beta_(n-i)] at
+      gap [i].
+    - {b Baseline} (Wu–Feng): inverse sub-shuffle [sigma_(n-i+1)^-1]
+      at gap [i]; identical (label-for-label) to the recursive
+      construction in {!Baseline.network}.
+    - {b Reverse Baseline}: sub-shuffle [sigma_(i+1)] at gap [i];
+      identical to [Mi_digraph.reverse (Baseline.network n)]. *)
+
+type kind =
+  | Omega
+  | Flip
+  | Indirect_binary_cube
+  | Modified_data_manipulator
+  | Baseline_net
+  | Reverse_baseline_net
+
+val all_kinds : kind list
+
+val name : kind -> string
+
+val of_name : string -> kind option
+(** Case-insensitive; accepts the names printed by {!name} as well as
+    short aliases ("omega", "flip", "cube", "mdm", "baseline",
+    "reverse-baseline"). *)
+
+val thetas : kind -> n:int -> Mineq_perm.Perm.t list
+(** The index-digit permutation at each of the [n-1] gaps. *)
+
+val network : kind -> n:int -> Mi_digraph.t
+
+val all_networks : n:int -> (string * Mi_digraph.t) list

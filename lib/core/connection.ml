@@ -1,0 +1,266 @@
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module Subspace = Mineq_bitvec.Subspace
+
+type t = { width : int; f : int array; g : int array }
+
+let width c = c.width
+
+let half c = Array.length c.f
+
+let of_arrays ~width f g =
+  let n = Bv.universe_size ~width in
+  if Array.length f <> n || Array.length g <> n then
+    invalid_arg "Connection.of_arrays: arrays must have length 2^width";
+  let check v =
+    if not (Bv.is_valid ~width v) then invalid_arg "Connection.of_arrays: image out of range"
+  in
+  Array.iter check f;
+  Array.iter check g;
+  { width; f = Array.copy f; g = Array.copy g }
+
+let make ~width ~f ~g =
+  let n = Bv.universe_size ~width in
+  of_arrays ~width (Array.init n f) (Array.init n g)
+
+let f c x = c.f.(x)
+
+let g c x = c.g.(x)
+
+let children c x = (c.f.(x), c.g.(x))
+
+let parents c y =
+  let out = ref [] in
+  for x = half c - 1 downto 0 do
+    if c.g.(x) = y then out := x :: !out;
+    if c.f.(x) = y then out := x :: !out
+  done;
+  !out
+
+let swap c = { c with f = c.g; g = c.f }
+
+let arc_multiset c =
+  let arcs = ref [] in
+  for x = half c - 1 downto 0 do
+    arcs := (x, c.f.(x)) :: (x, c.g.(x)) :: !arcs
+  done;
+  List.sort compare !arcs
+
+let equal_graph a b = a.width = b.width && arc_multiset a = arc_multiset b
+
+let in_degrees c =
+  let deg = Array.make (half c) 0 in
+  Array.iter (fun y -> deg.(y) <- deg.(y) + 1) c.f;
+  Array.iter (fun y -> deg.(y) <- deg.(y) + 1) c.g;
+  deg
+
+let is_mi_stage c = Array.for_all (fun d -> d = 2) (in_degrees c)
+
+(* Independence ---------------------------------------------------- *)
+
+let witness c alpha =
+  if alpha = 0 then invalid_arg "Connection.witness: alpha must be non-zero";
+  let beta = c.f.(alpha) lxor c.f.(0) in
+  let n = half c in
+  let rec ok x =
+    x = n
+    || (c.f.(x lxor alpha) = beta lxor c.f.(x)
+        && c.g.(x lxor alpha) = beta lxor c.g.(x)
+        && ok (x + 1))
+  in
+  if ok 0 then Some beta else None
+
+let is_independent c =
+  (* Witnesses compose: if beta_1, beta_2 witness alpha_1, alpha_2 then
+     beta_1 xor beta_2 witnesses alpha_1 xor alpha_2.  Hence checking
+     the canonical basis suffices. *)
+  let rec go i = i = c.width || (Option.is_some (witness c (Bv.unit i)) && go (i + 1)) in
+  go 0
+
+let is_independent_definitional c =
+  let n = half c in
+  let rec go alpha = alpha = n || (Option.is_some (witness c alpha) && go (alpha + 1)) in
+  go 1
+
+let beta_map c =
+  let betas = Array.make c.width 0 in
+  let rec collect i =
+    if i = c.width then true
+    else
+      match witness c (Bv.unit i) with
+      | Some beta ->
+          betas.(i) <- beta;
+          collect (i + 1)
+      | None -> false
+  in
+  if collect 0 then
+    Some (Gf2.create ~rows:c.width ~cols:c.width (fun r j -> Bv.bit betas.(j) r))
+  else None
+
+let linear_form c =
+  match beta_map c with
+  | None -> None
+  | Some b -> Some (b, c.f.(0), c.g.(0))
+
+let of_linear ~width b ~cf ~cg =
+  if Gf2.rows b <> width || Gf2.cols b <> width then
+    invalid_arg "Connection.of_linear: matrix must be width x width";
+  make ~width ~f:(fun x -> Gf2.apply b x lxor cf) ~g:(fun x -> Gf2.apply b x lxor cg)
+
+let independent_split c =
+  (* An independent split has f x = B x xor cf, g x = B x xor cg with
+     B linear.  {cf, cg} must be the children of 0, and column i of B
+     must map the pair {B e_i xor cf, B e_i xor cg} onto the children
+     of e_i, which pins B e_i up to xor by delta = cf xor cg.  All
+     those choices (and the cf/cg orientation) describe the {e same}
+     unordered decomposition — {B'x xor cf, B'x xor cg} is unchanged
+     when B' = B xor delta u^T — so one candidate verified pointwise
+     decides the question in O(width * 2^width). *)
+  let w = c.width in
+  if w = 0 then if is_independent c then Some c else None
+  else begin
+    let child_pair x = (c.f.(x), c.g.(x)) in
+    let cf, cg = child_pair 0 in
+    let delta = cf lxor cg in
+    let columns = Array.init w (fun i -> fst (child_pair (Bv.unit i)) lxor cf) in
+    (* Necessary condition: each basis pair has the same offset. *)
+    let offsets_ok =
+      Array.for_all
+        (fun i ->
+          let a, b = child_pair (Bv.unit i) in
+          a lxor b = delta)
+        (Array.init w (fun i -> i))
+    in
+    if not offsets_ok then None
+    else begin
+      let apply_b x =
+        let rec go i acc =
+          if i = w then acc else go (i + 1) (if Bv.bit x i then acc lxor columns.(i) else acc)
+        in
+        go 0 0
+      in
+      let n = half c in
+      let rec verify x =
+        x = n
+        ||
+        let bx = apply_b x in
+        let a, b = child_pair x in
+        ((bx lxor cf = a && bx lxor cg = b) || (bx lxor cf = b && bx lxor cg = a))
+        && verify (x + 1)
+      in
+      if verify 0 then begin
+        let split = make ~width:w ~f:(fun x -> apply_b x lxor cf) ~g:(fun x -> apply_b x lxor cg) in
+        assert (equal_graph split c);
+        assert (is_independent split);
+        Some split
+      end
+      else None
+    end
+  end
+
+let random_independent rng ~width =
+  if width = 0 then of_arrays ~width [| 0 |] [| 0 |]
+  else if Random.State.bool rng then begin
+    (* Invertible case: any offsets are valid. *)
+    let b = Gf2.random_invertible rng width in
+    let bound = Bv.universe_size ~width in
+    of_linear ~width b ~cf:(Random.State.int rng bound) ~cg:(Random.State.int rng bound)
+  end
+  else begin
+    (* Corank-1 case: build B with a prescribed kernel vector by
+       composing a rank width-1 projector pattern with random
+       invertibles, then pick cg outside Im(B) xor cf. *)
+    let p = Gf2.create ~rows:width ~cols:width (fun i j -> i = j && i < width - 1) in
+    let u = Gf2.random_invertible rng width and v = Gf2.random_invertible rng width in
+    let b = Gf2.mul u (Gf2.mul p v) in
+    let image = Subspace.of_generators ~width (List.init width (fun j -> Gf2.column b j)) in
+    let bound = Bv.universe_size ~width in
+    let cf = Random.State.int rng bound in
+    let rec pick_cg () =
+      let cg = Random.State.int rng bound in
+      if Subspace.mem image (cf lxor cg) then pick_cg () else cg
+    in
+    of_linear ~width b ~cf ~cg:(pick_cg ())
+  end
+
+let random_any rng ~width =
+  (* Arc slots: each next-stage node exposes two inlet slots; a random
+     permutation assigns the 2 * 2^width outlet slots (2 per node) to
+     inlet slots, giving a uniformly random 2-in 2-out stage. *)
+  let n = Bv.universe_size ~width in
+  let slots = Mineq_perm.Perm.random rng (2 * n) in
+  make ~width
+    ~f:(fun x -> Mineq_perm.Perm.apply slots (2 * x) / 2)
+    ~g:(fun x -> Mineq_perm.Perm.apply slots ((2 * x) + 1) / 2)
+
+(* Reversal (Proposition 1) ---------------------------------------- *)
+
+let reverse_any c =
+  let n = half c in
+  let phi = Array.make n (-1) and psi = Array.make n (-1) in
+  for x = n - 1 downto 0 do
+    let record y =
+      if phi.(y) < 0 then phi.(y) <- x
+      else if psi.(y) < 0 then psi.(y) <- x
+      else invalid_arg "Connection.reverse_any: a node has in-degree > 2"
+    in
+    record c.f.(x);
+    record c.g.(x)
+  done;
+  if Array.exists (fun v -> v < 0) phi || Array.exists (fun v -> v < 0) psi then
+    invalid_arg "Connection.reverse_any: a node has in-degree < 2";
+  { width = c.width; f = phi; g = psi }
+
+let reverse_independent c =
+  if not (is_mi_stage c) then None
+  else
+    match linear_form c with
+    | None -> None
+    | Some (b, _cf, _cg) ->
+        if Gf2.is_invertible b then begin
+          (* Case 1: f and g are bijections; invert them pointwise. *)
+          let n = half c in
+          let phi = Array.make n 0 and psi = Array.make n 0 in
+          for x = n - 1 downto 0 do
+            phi.(c.f.(x)) <- x;
+            psi.(c.g.(x)) <- x
+          done;
+          Some { width = c.width; f = phi; g = psi }
+        end
+        else begin
+          (* Case 2: ker B = {0, a1}; let A be the span of a completion
+             of {a1} to a basis.  Each node y of the next stage has
+             parents {x0, x0 xor a1}, exactly one of which lies in A:
+             phi picks the A-parent, psi the other. *)
+          match Gf2.kernel_basis b with
+          | [ a1 ] ->
+              let ker = Subspace.of_generators ~width:c.width [ a1 ] in
+              let completion = Subspace.complement_basis ker in
+              let a = Subspace.of_generators ~width:c.width completion in
+              let n = half c in
+              let phi = Array.make n (-1) and psi = Array.make n (-1) in
+              for x = n - 1 downto 0 do
+                let record y = if Subspace.mem a x then phi.(y) <- x else psi.(y) <- x in
+                record c.f.(x);
+                record c.g.(x)
+              done;
+              if Array.exists (fun v -> v < 0) phi || Array.exists (fun v -> v < 0) psi then
+                None
+              else Some { width = c.width; f = phi; g = psi }
+          | _ ->
+              (* Rank below width - 1 cannot be a valid MI stage. *)
+              None
+        end
+
+let to_arcs c =
+  List.concat (List.init (half c) (fun x -> [ (x, c.f.(x)); (x, c.g.(x)) ]))
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>connection (width %d):@," c.width;
+  for x = 0 to half c - 1 do
+    Format.fprintf ppf "  %s -> %s, %s@,"
+      (Bv.to_bit_string ~width:c.width x)
+      (Bv.to_bit_string ~width:c.width c.f.(x))
+      (Bv.to_bit_string ~width:c.width c.g.(x))
+  done;
+  Format.fprintf ppf "@]"

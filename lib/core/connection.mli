@@ -1,0 +1,138 @@
+(** Inter-stage connections [(f, g)] and the paper's independence
+    property (Section 3).
+
+    A connection between two stages of [2^width] nodes is a pair of
+    functions [f, g] on node labels (elements of [Z2^width]); the
+    children of node [x] are [f x] and [g x].  The connection is
+    {e independent} when
+
+    {[ forall alpha <> 0, exists beta,
+       forall x, f (x xor alpha) = beta xor f x
+              /\ g (x xor alpha) = beta xor g x ]}
+
+    Key consequences implemented here:
+    - the witness [beta] is unique for each [alpha], and
+      [alpha -> beta] is linear; hence checking the [width] canonical
+      basis vectors suffices ({!is_independent} is [O(width * 2^width)]
+      — the paper's "easy" characterization);
+    - every independent connection has the normal form
+      [f x = B x xor f 0], [g x = B x xor g 0] with a shared linear
+      [B] ({!linear_form});
+    - a valid (in-degree-2) independent connection has [B] either
+      invertible, or of corank 1 with [f 0 xor g 0] outside the image
+      of [B] (the two cases in the proof of Proposition 1);
+    - the reverse of an independent connection can be chosen
+      independent (Proposition 1, {!reverse_independent}). *)
+
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+
+type t
+(** Immutable connection over a given width. *)
+
+val width : t -> int
+(** Number of label bits; the stage has [2^width] nodes. *)
+
+val half : t -> int
+(** [2^width], the number of nodes per stage. *)
+
+val make : width:int -> f:(Bv.t -> Bv.t) -> g:(Bv.t -> Bv.t) -> t
+(** Tabulates [f] and [g].  Images must fit in [width] bits. *)
+
+val of_arrays : width:int -> int array -> int array -> t
+(** Arrays of length [2^width] holding the images of [f] and [g]. *)
+
+val f : t -> Bv.t -> Bv.t
+val g : t -> Bv.t -> Bv.t
+
+val children : t -> Bv.t -> Bv.t * Bv.t
+(** [(f x, g x)] — equal components encode a double link. *)
+
+val parents : t -> Bv.t -> Bv.t list
+(** Labels [x] with [f x = y] or [g x = y], with multiplicity
+    (a parent connected by both [f] and [g] appears twice). *)
+
+val swap : t -> t
+(** Exchange the roles of [f] and [g] (an inessential choice: the
+    MI-digraph is unchanged). *)
+
+val equal_graph : t -> t -> bool
+(** Same arc multiset (i.e. equal up to swapping [f]/[g] pointwise). *)
+
+val is_mi_stage : t -> bool
+(** Every node of the next stage has in-degree exactly 2 (counting
+    double links twice) — the MI-digraph degree requirement. *)
+
+val in_degrees : t -> int array
+
+(** {1 Independence} *)
+
+val witness : t -> Bv.t -> Bv.t option
+(** [witness c alpha] is the unique [beta] making the independence
+    equations hold for this [alpha] (checked over all [x]), if any.
+    [alpha] must be non-zero. *)
+
+val is_independent : t -> bool
+(** Basis-only check ([O(width * 2^width)]).  Equivalent to
+    {!is_independent_definitional}; the equivalence is what makes the
+    characterization "easy" and is enforced by the test suite. *)
+
+val is_independent_definitional : t -> bool
+(** The definition verbatim: every non-zero [alpha] has a witness.
+    [O(4^width)]; used as the oracle in tests and benchmarks. *)
+
+val beta_map : t -> Gf2.t option
+(** The linear map [alpha -> beta] as a matrix, when independent. *)
+
+val linear_form : t -> (Gf2.t * Bv.t * Bv.t) option
+(** [(B, c_f, c_g)] with [f x = B x xor c_f] and [g x = B x xor c_g],
+    when independent ([B] is {!beta_map}, [c_f = f 0], [c_g = g 0]). *)
+
+val of_linear : width:int -> Gf2.t -> cf:Bv.t -> cg:Bv.t -> t
+(** Build the connection [f x = B x xor cf], [g x = B x xor cg].
+    Always independent; {!is_mi_stage} iff [B] is invertible or has
+    corank 1 with [cf xor cg] outside its image. *)
+
+val independent_split : t -> t option
+(** Independence depends on the chosen [(f, g)] decomposition: the
+    same arc multiset can carry both independent and non-independent
+    splits (reversing an independent stage with an arbitrary parent
+    split is the canonical offender).  [independent_split c] decides
+    whether the {e graph} of [c] admits any independent decomposition
+    and returns one if so: the candidate linear part is pinned down by
+    the children of [0] and of the basis vectors (at most a handful of
+    combinations), then verified pointwise.  [O(width * 2^width)]
+    overall. *)
+
+val random_independent : Random.State.t -> width:int -> t
+(** A random independent connection that is a valid MI stage; flips a
+    coin between the invertible-[B] and corank-1 cases. *)
+
+val random_any : Random.State.t -> width:int -> t
+(** A uniformly random valid MI stage (almost surely {e not}
+    independent for [width >= 3]): a random 2-regular bipartite
+    multigraph realized as a random permutation of arc slots. *)
+
+(** {1 Reversal (Proposition 1)} *)
+
+val reverse_any : t -> t
+(** Some connection describing the reversed stage: each node [y]'s two
+    parents split first-seen-first between the reverse [f] and [g].
+    Valid for any MI stage.  Pleasant consequence of the scan order
+    (tested, see [test_connection]): on an {e independent} input the
+    resulting split is again independent — picking the smaller parent
+    of each pair clears the top bit in which the parents differ, a
+    linear projection, so the split stays affine; in the corank-1 case
+    this coincides with Proposition 1's subspace construction. *)
+
+val reverse_independent : t -> t option
+(** Proposition 1's construction: an {e independent} connection for
+    the reversed stage.  [None] when the input is not independent or
+    not a valid MI stage.  Case 1 of the proof ([f], [g] bijections)
+    returns [(f^-1, g^-1)]; case 2 splits parents along the subspace
+    [A] spanned by a basis-completion of the kernel generator. *)
+
+val to_arcs : t -> (int * int) list
+(** Arc list [(x, child)], two per node, in label order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+module Perm = Mineq_perm.Perm
+
+let retry ~attempts make check =
+  let rec go k =
+    if k = 0 then None
+    else begin
+      let x = make () in
+      if check x then Some x else go (k - 1)
+    end
+  in
+  go attempts
+
+let random_banyan rng ~n ~attempts =
+  retry ~attempts (fun () -> Link_spec.random_network rng ~n) Banyan.is_banyan
+
+(* A stage with both buddy properties: pair the nodes of each side at
+   random and connect source pairs to target pairs through a random
+   bijection; both nodes of a source pair get both nodes of the target
+   pair as children. *)
+let random_buddy_stage rng ~width =
+  let per = 1 lsl width in
+  let src = Perm.to_array (Perm.random rng per) in
+  let dst = Perm.to_array (Perm.random rng per) in
+  let f = Array.make per 0 and g = Array.make per 0 in
+  for p = 0 to (per / 2) - 1 do
+    let u1 = src.(2 * p) and u2 = src.((2 * p) + 1) in
+    let v1 = dst.(2 * p) and v2 = dst.((2 * p) + 1) in
+    f.(u1) <- v1;
+    g.(u1) <- v2;
+    f.(u2) <- v1;
+    g.(u2) <- v2
+  done;
+  Connection.of_arrays ~width f g
+
+let random_buddy_network rng ~n =
+  Mi_digraph.create (List.init (n - 1) (fun _ -> random_buddy_stage rng ~width:(n - 1)))
+
+let random_buddy_banyan rng ~n ~attempts =
+  retry ~attempts (fun () -> random_buddy_network rng ~n) Banyan.is_banyan
+
+let find_non_equivalent rng ~n ~attempts ~require_buddy =
+  let make () =
+    if require_buddy then random_buddy_network rng ~n else Link_spec.random_network rng ~n
+  in
+  let check g = Banyan.is_banyan g && not (Equivalence.by_characterization g).equivalent in
+  retry ~attempts make check
+
+let relabelled_equivalent rng g =
+  let per = Mi_digraph.nodes_per_stage g in
+  let n = Mi_digraph.stages g in
+  let maps = Array.init n (fun _ -> Perm.random rng per) in
+  Mi_digraph.relabel g (fun ~stage x -> Perm.apply maps.(stage - 1) x)

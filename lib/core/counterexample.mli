@@ -1,0 +1,29 @@
+(** Negative instances: Banyan MI-digraphs that are {e not}
+    Baseline-equivalent, including ones satisfying Agrawal's buddy
+    properties (the gap shown by [10] that motivates the paper's
+    stronger machinery — experiment X2). *)
+
+val random_banyan : Random.State.t -> n:int -> attempts:int -> Mi_digraph.t option
+(** Rejection-sample uniformly random link-permutation networks until
+    one is Banyan. *)
+
+val random_buddy_banyan : Random.State.t -> n:int -> attempts:int -> Mi_digraph.t option
+(** Rejection-sample networks whose every stage has both buddy
+    properties by construction (random node pairings joined
+    pair-to-pair), until one is Banyan. *)
+
+val random_buddy_network : Random.State.t -> n:int -> Mi_digraph.t
+(** One buddy-by-construction network (not necessarily Banyan). *)
+
+val find_non_equivalent :
+  Random.State.t -> n:int -> attempts:int -> require_buddy:bool -> Mi_digraph.t option
+(** Search for a Banyan network that fails the Baseline
+    characterization; with [require_buddy] the instance additionally
+    satisfies both buddy properties everywhere, exhibiting the
+    insufficiency of Agrawal's Theorem 1. *)
+
+val relabelled_equivalent : Random.State.t -> Mi_digraph.t -> Mi_digraph.t
+(** Randomly relabel every stage: the result is isomorphic to the
+    input (hence exactly as Baseline-equivalent), but its connections
+    are almost surely no longer independent — the instance behind
+    experiment X5 (independence is sufficient, not necessary). *)

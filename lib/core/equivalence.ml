@@ -1,0 +1,134 @@
+module Iso = Mineq_graph.Iso
+
+type method_ = Independence | Characterization | Isomorphism
+
+let all_methods = [ Independence; Characterization; Isomorphism ]
+
+let method_name = function
+  | Independence -> "independence"
+  | Characterization -> "characterization"
+  | Isomorphism -> "isomorphism"
+
+type verdict = { equivalent : bool; banyan : bool; detail : string }
+
+let not_banyan v =
+  { equivalent = false;
+    banyan = false;
+    detail = Format.asprintf "not Banyan: %a" Banyan.pp_violation v
+  }
+
+let by_independence g =
+  match Banyan.check g with
+  | Error v -> not_banyan v
+  | Ok () ->
+      let bad = ref None in
+      List.iteri
+        (fun i c ->
+          if !bad = None && not (Connection.is_independent c) then bad := Some (i + 1))
+        (Mi_digraph.connections g);
+      (match !bad with
+      | Some gap ->
+          { equivalent = false;
+            banyan = true;
+            detail =
+              Printf.sprintf
+                "connection at gap %d is not independent (Theorem 3 does not apply; the \
+                 network may still be equivalent)"
+                gap
+          }
+      | None ->
+          { equivalent = true;
+            banyan = true;
+            detail = "Banyan with independent connections at every gap (Theorem 3)"
+          })
+
+let by_independence_any_split g =
+  match Banyan.check g with
+  | Error v -> not_banyan v
+  | Ok () ->
+      let bad = ref None in
+      List.iteri
+        (fun i c ->
+          if !bad = None && Option.is_none (Connection.independent_split c) then
+            bad := Some (i + 1))
+        (Mi_digraph.connections g);
+      (match !bad with
+      | Some gap ->
+          { equivalent = false;
+            banyan = true;
+            detail =
+              Printf.sprintf
+                "gap %d admits no independent decomposition (Theorem 3 does not apply; the \
+                 network may still be equivalent)"
+                gap
+          }
+      | None ->
+          { equivalent = true;
+            banyan = true;
+            detail =
+              "Banyan; every gap admits an independent decomposition (Theorem 3, canonical \
+               split)"
+          })
+
+let by_characterization g =
+  match Banyan.check g with
+  | Error v -> not_banyan v
+  | Ok () ->
+      let n = Mi_digraph.stages g in
+      let fail lo hi =
+        { equivalent = false;
+          banyan = true;
+          detail =
+            Printf.sprintf "P(%d,%d) fails: %d components, expected %d" lo hi
+              (Properties.component_count g ~lo ~hi)
+              (Properties.expected_components g ~lo ~hi)
+        }
+      in
+      let rec check_prefixes j =
+        if j > n then None
+        else if not (Properties.p_ij g ~lo:1 ~hi:j) then Some (1, j)
+        else check_prefixes (j + 1)
+      in
+      let rec check_suffixes i =
+        if i > n then None
+        else if not (Properties.p_ij g ~lo:i ~hi:n) then Some (i, n)
+        else check_suffixes (i + 1)
+      in
+      (match check_prefixes 1 with
+      | Some (lo, hi) -> fail lo hi
+      | None -> (
+          match check_suffixes 1 with
+          | Some (lo, hi) -> fail lo hi
+          | None ->
+              { equivalent = true;
+                banyan = true;
+                detail = "Banyan satisfying P(1,j) for all j and P(i,n) for all i"
+              }))
+
+let by_isomorphism ?limit g =
+  let base = Baseline.network (Mi_digraph.stages g) in
+  match
+    Iso.find_isomorphism ?limit (Mi_digraph.to_digraph g) (Mi_digraph.to_digraph base)
+  with
+  | Some _ ->
+      { equivalent = true;
+        banyan = Banyan.is_banyan g;
+        detail = "explicit digraph isomorphism onto the Baseline MI-digraph found"
+      }
+  | None ->
+      { equivalent = false;
+        banyan = Banyan.is_banyan g;
+        detail = "no digraph isomorphism onto the Baseline MI-digraph exists"
+      }
+
+let decide ?limit m g =
+  match m with
+  | Independence -> by_independence g
+  | Characterization -> by_characterization g
+  | Isomorphism -> by_isomorphism ?limit g
+
+let equivalent_networks ?limit m a b =
+  match m with
+  | Isomorphism ->
+      Iso.are_isomorphic ?limit (Mi_digraph.to_digraph a) (Mi_digraph.to_digraph b)
+  | _ -> (decide ?limit m a).equivalent && (decide ?limit m b).equivalent

@@ -1,0 +1,152 @@
+type fault =
+  | Link of { gap : int; cell : int; port : int }
+  | Cell of { stage : int; cell : int }
+
+let pp_fault ppf = function
+  | Link { gap; cell; port } -> Format.fprintf ppf "link(gap %d, cell %d, port %d)" gap cell port
+  | Cell { stage; cell } -> Format.fprintf ppf "cell(stage %d, cell %d)" stage cell
+
+type impact = { disconnected_pairs : int; degraded_pairs : int; total_pairs : int }
+
+let validate_fault c = function
+  | Link { gap; cell; port } ->
+      if gap < 1 || gap >= Cascade.stages c then invalid_arg "Faults: bad gap";
+      if cell < 0 || cell >= Cascade.cells_per_stage c then invalid_arg "Faults: bad cell";
+      if port < 0 || port > 1 then invalid_arg "Faults: bad port"
+  | Cell { stage; cell } ->
+      if stage < 1 || stage > Cascade.stages c then invalid_arg "Faults: bad stage";
+      if cell < 0 || cell >= Cascade.cells_per_stage c then invalid_arg "Faults: bad cell"
+
+let path_counts_with c faults =
+  List.iter (validate_fault c) faults;
+  let n = Cascade.stages c in
+  let per = Cascade.cells_per_stage c in
+  let dead_cell = Array.make_matrix n per false in
+  let dead_link = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      match f with
+      | Cell { stage; cell } -> dead_cell.(stage - 1).(cell) <- true
+      | Link { gap; cell; port } -> Hashtbl.replace dead_link (gap - 1, cell, port) ())
+    faults;
+  Array.init per (fun u ->
+      let ways = Array.make per 0 in
+      if not dead_cell.(0).(u) then ways.(u) <- 1;
+      let cur = ref ways in
+      for gap0 = 0 to n - 2 do
+        let conn = Cascade.connection c (gap0 + 1) in
+        let next = Array.make per 0 in
+        Array.iteri
+          (fun x w ->
+            if w > 0 && not dead_cell.(gap0).(x) then begin
+              let step port y =
+                if
+                  (not (Hashtbl.mem dead_link (gap0, x, port)))
+                  && not dead_cell.(gap0 + 1).(y)
+                then next.(y) <- next.(y) + w
+              in
+              let cf, cg = Connection.children conn x in
+              step 0 cf;
+              step 1 cg
+            end)
+          !cur;
+        cur := next
+      done;
+      !cur)
+
+let impact c faults =
+  let before = Cascade.path_counts c in
+  let after = path_counts_with c faults in
+  let per = Cascade.cells_per_stage c in
+  let disconnected = ref 0 and degraded = ref 0 in
+  for u = 0 to per - 1 do
+    for v = 0 to per - 1 do
+      if before.(u).(v) > 0 then begin
+        if after.(u).(v) = 0 then incr disconnected
+        else if after.(u).(v) < before.(u).(v) then incr degraded
+      end
+    done
+  done;
+  { disconnected_pairs = !disconnected; degraded_pairs = !degraded; total_pairs = per * per }
+
+let single_link_impacts c =
+  let per = Cascade.cells_per_stage c in
+  List.concat
+    (List.init
+       (Cascade.stages c - 1)
+       (fun gap0 ->
+         List.concat
+           (List.init per (fun cell ->
+                List.init 2 (fun port ->
+                    let f = Link { gap = gap0 + 1; cell; port } in
+                    (f, impact c [ f ]))))))
+
+let is_single_fault_tolerant c =
+  List.for_all (fun (_, i) -> i.disconnected_pairs = 0) (single_link_impacts c)
+
+let critical_fault_count c =
+  List.length
+    (List.filter (fun (_, i) -> i.disconnected_pairs > 0) (single_link_impacts c))
+
+let survival_probability rng c ~faults ~samples =
+  let gaps = Cascade.stages c - 1 in
+  let per = Cascade.cells_per_stage c in
+  let n_links = gaps * per * 2 in
+  if faults < 0 || faults > n_links then invalid_arg "Faults.survival_probability: fault count";
+  let link_of_id id =
+    Link { gap = (id / (per * 2)) + 1; cell = id / 2 mod per; port = id land 1 }
+  in
+  let survived = ref 0 in
+  for _ = 1 to samples do
+    (* Sample [faults] distinct link ids. *)
+    let chosen = Hashtbl.create faults in
+    while Hashtbl.length chosen < faults do
+      Hashtbl.replace chosen (Random.State.int rng n_links) ()
+    done;
+    let fs = Hashtbl.fold (fun id () acc -> link_of_id id :: acc) chosen [] in
+    if (impact c fs).disconnected_pairs = 0 then incr survived
+  done;
+  float_of_int !survived /. float_of_int samples
+
+let route_around c faults ~input ~output =
+  List.iter (validate_fault c) faults;
+  let n = Cascade.stages c in
+  let per = Cascade.cells_per_stage c in
+  if input < 0 || input >= Cascade.terminals c then invalid_arg "Faults.route_around: input";
+  if output < 0 || output >= Cascade.terminals c then invalid_arg "Faults.route_around: output";
+  let dead_cell = Array.make_matrix n per false in
+  let dead_link = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      match f with
+      | Cell { stage; cell } -> dead_cell.(stage - 1).(cell) <- true
+      | Link { gap; cell; port } -> Hashtbl.replace dead_link (gap - 1, cell, port) ())
+    faults;
+  let src = input / 2 and dst = output / 2 in
+  (* Backward reachability of dst under the faults. *)
+  let reach = Array.make_matrix n per false in
+  reach.(n - 1).(dst) <- not dead_cell.(n - 1).(dst);
+  for s = n - 2 downto 0 do
+    let conn = Cascade.connection c (s + 1) in
+    for x = 0 to per - 1 do
+      if not dead_cell.(s).(x) then begin
+        let cf, cg = Connection.children conn x in
+        reach.(s).(x) <-
+          (reach.(s + 1).(cf) && not (Hashtbl.mem dead_link (s, x, 0)))
+          || (reach.(s + 1).(cg) && not (Hashtbl.mem dead_link (s, x, 1)))
+      end
+    done
+  done;
+  if not reach.(0).(src) then None
+  else begin
+    let cells = Array.make n src in
+    let cur = ref src in
+    for s = 0 to n - 2 do
+      let conn = Cascade.connection c (s + 1) in
+      let cf, cg = Connection.children conn !cur in
+      let via_f = reach.(s + 1).(cf) && not (Hashtbl.mem dead_link (s, !cur, 0)) in
+      cur := (if via_f then cf else cg);
+      cells.(s + 1) <- !cur
+    done;
+    Some { Cascade.input; output; cells }
+  end

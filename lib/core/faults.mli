@@ -1,0 +1,50 @@
+(** Fault analysis: what breaks when a link or a switching cell dies.
+
+    A Banyan network has {e zero} fault tolerance by definition —
+    the input/output path is unique, so any link fault disconnects
+    exactly the terminal pairs routed over it ([2^(s-1) * 2^(n-s-1)]
+    input/output cell pairs for a stage-[s] link, amplified by the
+    two terminals per boundary cell).  Multipath cascades (e.g. the
+    Benes network) survive faults.  This module quantifies both. *)
+
+type fault =
+  | Link of { gap : int; cell : int; port : int }
+      (** The out-link [port] (0 = the [f]-link, 1 = the [g]-link) of
+          [cell] at 1-based [gap]. *)
+  | Cell of { stage : int; cell : int }
+      (** A whole switching cell: all its in- and out-links die. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type impact = {
+  disconnected_pairs : int;
+      (** (source cell, sink cell) pairs with no surviving path;
+          terminal pairs are these times four. *)
+  degraded_pairs : int;
+      (** Pairs still connected but with fewer paths than before. *)
+  total_pairs : int;  (** All (source cell, sink cell) pairs. *)
+}
+
+val impact : Cascade.t -> fault list -> impact
+(** Path-count comparison with and without the faults. *)
+
+val single_link_impacts : Cascade.t -> (fault * impact) list
+(** Every single-link fault and its impact, in stage order. *)
+
+val is_single_fault_tolerant : Cascade.t -> bool
+(** No single link fault disconnects any terminal pair.  False for
+    every Banyan MI-digraph; true for the Benes network. *)
+
+val critical_fault_count : Cascade.t -> int
+(** Number of single-link faults that disconnect at least one pair. *)
+
+val survival_probability :
+  Random.State.t -> Cascade.t -> faults:int -> samples:int -> float
+(** Monte-Carlo estimate of the probability that [faults] random
+    distinct link failures leave every terminal pair connected. *)
+
+val route_around : Cascade.t -> fault list -> input:int -> output:int -> Cascade.route option
+(** A terminal-to-terminal route avoiding the faults (any surviving
+    path, found by backward reachability), or [None] when the faults
+    disconnect the pair.  On multipath cascades (Benes, extra-stage
+    networks) this is the fault-recovery primitive. *)

@@ -1,0 +1,185 @@
+type mapping = int array array
+
+(* Undirected neighbour lists with stage structure: for node (s, x)
+   (stages 0-based here) the list of (s', x') over both gap
+   directions, with multiplicity. *)
+let neighbour_table g =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let tbl = Array.init n (fun _ -> Array.make per []) in
+  List.iteri
+    (fun gap0 c ->
+      for x = 0 to per - 1 do
+        let cf, cg = Connection.children c x in
+        tbl.(gap0).(x) <- (gap0 + 1, cf) :: (gap0 + 1, cg) :: tbl.(gap0).(x);
+        tbl.(gap0 + 1).(cf) <- (gap0, x) :: tbl.(gap0 + 1).(cf);
+        tbl.(gap0 + 1).(cg) <- (gap0, x) :: tbl.(gap0 + 1).(cg)
+      done)
+    (Mi_digraph.connections g);
+  tbl
+
+(* BFS order over the undirected MI-digraph so that (except for
+   component roots) every node appears after one of its neighbours. *)
+let bfs_order tbl n per =
+  let order = Array.make (n * per) (0, 0) in
+  let seen = Array.init n (fun _ -> Array.make per false) in
+  let filled = ref 0 in
+  let q = Queue.create () in
+  let push (s, x) =
+    if not seen.(s).(x) then begin
+      seen.(s).(x) <- true;
+      Queue.add (s, x) q
+    end
+  in
+  for s = 0 to n - 1 do
+    for x = 0 to per - 1 do
+      if not seen.(s).(x) then begin
+        push (s, x);
+        while not (Queue.is_empty q) do
+          let cs, cx = Queue.pop q in
+          order.(!filled) <- (cs, cx);
+          incr filled;
+          List.iter push tbl.(cs).(cx)
+        done
+      end
+    done
+  done;
+  order
+
+let arc_mult_children c x y =
+  let cf, cg = Connection.children c x in
+  (if cf = y then 1 else 0) + if cg = y then 1 else 0
+
+(* Backtracking search for stage-respecting isomorphisms from [a]
+   onto [b]; calls [on_solution] with each complete mapping (the
+   callback may raise to stop early). *)
+let search ~limit ~on_solution a b =
+  let n = Mi_digraph.stages a in
+  let per = Mi_digraph.nodes_per_stage a in
+  if n <> Mi_digraph.stages b || per <> Mi_digraph.nodes_per_stage b then ()
+  else begin
+    let tbl_a = neighbour_table a in
+    let tbl_b = neighbour_table b in
+    let order = bfs_order tbl_a n per in
+    let map = Array.init n (fun _ -> Array.make per (-1)) in
+    let used = Array.init n (fun _ -> Array.make per false) in
+    (* Consistency of x -> y at 0-based stage s against already-mapped
+       neighbours: arc multiplicities must match in both gaps. *)
+    let compatible s x y =
+      let check_outgoing () =
+        let c_a = Mi_digraph.connection a (s + 1) in
+        let c_b = Mi_digraph.connection b (s + 1) in
+        let cf, cg = Connection.children c_a x in
+        List.for_all
+          (fun t ->
+            let mt = map.(s + 1).(t) in
+            mt < 0 || arc_mult_children c_a x t = arc_mult_children c_b y mt)
+          [ cf; cg ]
+      in
+      let check_incoming () =
+        let c_a = Mi_digraph.connection a s in
+        let c_b = Mi_digraph.connection b s in
+        List.for_all
+          (fun p ->
+            let mp = map.(s - 1).(p) in
+            mp < 0 || arc_mult_children c_a p x = arc_mult_children c_b mp y)
+          (Connection.parents c_a x)
+      in
+      (s >= n - 1 || check_outgoing ()) && (s = 0 || check_incoming ())
+    in
+    let candidates s x =
+      (* Images proposed by mapped neighbours; if none, all labels. *)
+      let from_neighbours =
+        List.filter_map
+          (fun (s', x') ->
+            let m = map.(s').(x') in
+            if m < 0 then None
+            else
+              Some
+                (List.filter_map
+                   (fun (t, y) -> if t = s then Some y else None)
+                   tbl_b.(s').(m)))
+          tbl_a.(s).(x)
+      in
+      match from_neighbours with
+      | [] -> List.init per (fun y -> y)
+      | first :: rest ->
+          List.sort_uniq compare
+            (List.filter (fun y -> List.for_all (List.mem y) rest) first)
+    in
+    let nodes_explored = ref 0 in
+    let total = n * per in
+    let rec go i =
+      incr nodes_explored;
+      if limit > 0 && !nodes_explored > limit then failwith "iso_min: node limit exceeded";
+      if i = total then on_solution map
+      else begin
+        let s, x = order.(i) in
+        List.iter
+          (fun y ->
+            if (not used.(s).(y)) && compatible s x y then begin
+              map.(s).(x) <- y;
+              used.(s).(y) <- true;
+              go (i + 1);
+              map.(s).(x) <- -1;
+              used.(s).(y) <- false
+            end)
+          (candidates s x)
+      end
+    in
+    go 0
+  end
+
+exception Found of mapping
+
+let find ?(limit = 0) a b =
+  match search ~limit ~on_solution:(fun m -> raise (Found (Array.map Array.copy m))) a b with
+  | () -> None
+  | exception Found m -> Some m
+
+let to_baseline ?limit g = find ?limit g (Baseline.network (Mi_digraph.stages g))
+
+let verify a b m =
+  let n = Mi_digraph.stages a in
+  let per = Mi_digraph.nodes_per_stage a in
+  let stage_bijection stage_map =
+    Array.length stage_map = per
+    &&
+    let seen = Array.make per false in
+    Array.for_all
+      (fun y ->
+        y >= 0 && y < per
+        &&
+        if seen.(y) then false
+        else begin
+          seen.(y) <- true;
+          true
+        end)
+      stage_map
+  in
+  n = Mi_digraph.stages b
+  && per = Mi_digraph.nodes_per_stage b
+  && Array.length m = n
+  && Array.for_all stage_bijection m
+  && List.for_all
+       (fun gap ->
+         let c_a = Mi_digraph.connection a gap and c_b = Mi_digraph.connection b gap in
+         let rec ok x =
+           x = per
+           || (let cf, cg = Connection.children c_a x in
+               List.for_all
+                 (fun y ->
+                   arc_mult_children c_a x y
+                   = arc_mult_children c_b m.(gap - 1).(x) m.(gap).(y))
+                 (List.sort_uniq compare [ cf; cg ])
+              && ok (x + 1))
+         in
+         ok 0)
+       (List.init (n - 1) (fun i -> i + 1))
+
+let apply g m = Mi_digraph.relabel g (fun ~stage x -> m.(stage - 1).(x))
+
+let automorphism_count ?(limit = 0) g =
+  let count = ref 0 in
+  search ~limit ~on_solution:(fun _ -> incr count) g g;
+  !count

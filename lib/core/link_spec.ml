@@ -1,0 +1,23 @@
+module Perm = Mineq_perm.Perm
+module Index_perm = Mineq_perm.Index_perm
+
+let connection_of_link_perm ~n p =
+  if Perm.size p <> 1 lsl n then
+    invalid_arg "Link_spec.connection_of_link_perm: permutation size must be 2^n";
+  Connection.make ~width:(n - 1)
+    ~f:(fun x -> Perm.apply p (2 * x) / 2)
+    ~g:(fun x -> Perm.apply p ((2 * x) + 1) / 2)
+
+let network ~n perms =
+  if List.length perms <> n - 1 then
+    invalid_arg "Link_spec.network: need exactly n - 1 link permutations";
+  Mi_digraph.create (List.map (connection_of_link_perm ~n) perms)
+
+let network_of_thetas ~n thetas =
+  network ~n (List.map (fun theta -> Index_perm.induce ~width:n theta) thetas)
+
+let random_network rng ~n =
+  network ~n (List.init (n - 1) (fun _ -> Perm.random rng (1 lsl n)))
+
+let random_pipid_network rng ~n =
+  network_of_thetas ~n (List.init (n - 1) (fun _ -> Perm.random rng n))

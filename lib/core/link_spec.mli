@@ -1,0 +1,37 @@
+(** Networks defined by permutations on the links (paper, Section 4,
+    Figure 4).
+
+    An [n]-stage MIN on [N = 2^n] terminals is specified by the
+    [n - 1] permutations of the [N] link labels applied between
+    consecutive stages.  Cell [x] of a stage drives out-links [2x]
+    and [2x + 1]; after the permutation, link [z] enters cell
+    [z / 2] of the next stage ("the [n-1] first bits of a link label
+    are exactly the binary representation of the label of the incident
+    node"). *)
+
+val connection_of_link_perm : n:int -> Mineq_perm.Perm.t -> Connection.t
+(** [connection_of_link_perm ~n p] is the node-level connection
+    induced by the link permutation [p] (of size [2^n]):
+    [f x = p (2x) / 2] and [g x = p (2x + 1) / 2].  Always a valid MI
+    stage (in-degree 2). *)
+
+val network : n:int -> Mineq_perm.Perm.t list -> Mi_digraph.t
+(** Build the MI-digraph from [n - 1] link permutations.  Input and
+    output wirings are irrelevant to the MI-digraph and therefore not
+    taken. *)
+
+val network_of_thetas : n:int -> Mineq_perm.Perm.t list -> Mi_digraph.t
+(** Convenience: each stage given as an index-digit permutation
+    [theta] (size [n]); the link permutation is the induced PIPID. *)
+
+val random_network : Random.State.t -> n:int -> Mi_digraph.t
+(** Uniformly random link permutations at every gap — generally
+    neither Banyan nor buddy nor independent; raw material for the
+    counterexample search. *)
+
+val random_pipid_network : Random.State.t -> n:int -> Mi_digraph.t
+(** Uniformly random index-digit permutation at every gap.  Always
+    independent connections; not necessarily Banyan — a stage with
+    [theta^-1 0 = 0] always breaks the Banyan property (Figure 5),
+    and stage combinations can too (e.g. two identical butterfly
+    stages create parallel paths). *)

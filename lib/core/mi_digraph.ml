@@ -1,0 +1,149 @@
+module Bv = Mineq_bitvec.Bv
+module Digraph = Mineq_graph.Digraph
+
+type t = { width : int; conns : Connection.t array }
+
+let stages g = Array.length g.conns + 1
+
+let width g = g.width
+
+let nodes_per_stage g = Bv.universe_size ~width:g.width
+
+let total_nodes g = stages g * nodes_per_stage g
+
+let inputs g = 2 * nodes_per_stage g
+
+let single_stage ~width =
+  if width < 0 then invalid_arg "Mi_digraph.single_stage: negative width";
+  { width; conns = [||] }
+
+let create conns =
+  match conns with
+  | [] -> invalid_arg "Mi_digraph.create: empty connection list (use single_stage)"
+  | c0 :: rest ->
+      let w = Connection.width c0 in
+      List.iter
+        (fun c ->
+          if Connection.width c <> w then invalid_arg "Mi_digraph.create: width mismatch")
+        rest;
+      (* The paper requires stage count n and 2^(n-1) nodes per stage:
+         with k connections we get n = k + 1 stages, so the width must
+         be n - 1 = k... no: the width is a free parameter of the node
+         labelling; the MI-digraph definition ties them.  Enforce it. *)
+      let n = List.length conns + 1 in
+      if w <> n - 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Mi_digraph.create: %d connections need width %d (2^(n-1) nodes per stage), got \
+              %d"
+             (n - 1) (n - 1) w);
+      List.iter
+        (fun c ->
+          if not (Connection.is_mi_stage c) then
+            invalid_arg "Mi_digraph.create: a connection violates the in-degree-2 requirement")
+        conns;
+      { width = w; conns = Array.of_list conns }
+
+let connection g i =
+  if i < 1 || i > Array.length g.conns then invalid_arg "Mi_digraph.connection: bad gap index";
+  g.conns.(i - 1)
+
+let connections g = Array.to_list g.conns
+
+let children g ~stage x =
+  if stage < 1 || stage >= stages g then invalid_arg "Mi_digraph.children: bad stage";
+  Connection.children g.conns.(stage - 1) x
+
+let parents g ~stage x =
+  if stage <= 1 || stage > stages g then invalid_arg "Mi_digraph.parents: bad stage";
+  Connection.parents g.conns.(stage - 2) x
+
+let reverse g =
+  if Array.length g.conns = 0 then g
+  else begin
+    let rev = Array.map Connection.reverse_any g.conns in
+    let m = Array.length rev in
+    { g with conns = Array.init m (fun i -> rev.(m - 1 - i)) }
+  end
+
+let node_id g ~stage x = ((stage - 1) * nodes_per_stage g) + x
+
+let node_of_id g id =
+  let per = nodes_per_stage g in
+  ((id / per) + 1, id mod per)
+
+let gap_arcs g ~gap ~lo =
+  (* Arcs of the connection at [gap] (1-based), with flat ids relative
+     to a window starting at stage [lo]. *)
+  let per = nodes_per_stage g in
+  let base_src = (gap - lo) * per in
+  let base_dst = (gap + 1 - lo) * per in
+  List.map
+    (fun (x, y) -> (base_src + x, base_dst + y))
+    (Connection.to_arcs g.conns.(gap - 1))
+
+let subgraph g ~lo ~hi =
+  let n = stages g in
+  if lo < 1 || hi > n || lo > hi then invalid_arg "Mi_digraph.subgraph: bad stage range";
+  let per = nodes_per_stage g in
+  let arcs =
+    List.concat (List.init (hi - lo) (fun k -> gap_arcs g ~gap:(lo + k) ~lo))
+  in
+  Digraph.create ~vertices:((hi - lo + 1) * per) arcs
+
+let to_digraph g = subgraph g ~lo:1 ~hi:(stages g)
+
+let equal a b =
+  stages a = stages b
+  && width a = width b
+  && Array.for_all2 Connection.equal_graph a.conns b.conns
+
+let relabel g rename =
+  let per = nodes_per_stage g in
+  let n = stages g in
+  let maps =
+    Array.init n (fun s ->
+        let stage = s + 1 in
+        let img = Array.init per (fun x -> rename ~stage x) in
+        let seen = Array.make per false in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= per || seen.(v) then
+              invalid_arg "Mi_digraph.relabel: not a bijection on a stage";
+            seen.(v) <- true)
+          img;
+        img)
+  in
+  let inv =
+    Array.map
+      (fun img ->
+        let inv = Array.make per 0 in
+        Array.iteri (fun i v -> inv.(v) <- i) img;
+        inv)
+      maps
+  in
+  let conns =
+    Array.mapi
+      (fun k c ->
+        (* Gap k joins stage k+1 (index k) to stage k+2 (index k+1):
+           new_f(y) = map_{k+1}(f(inv_k(y))). *)
+        Connection.make ~width:g.width
+          ~f:(fun y -> maps.(k + 1).(Connection.f c inv.(k).(y)))
+          ~g:(fun y -> maps.(k + 1).(Connection.g c inv.(k).(y))))
+      g.conns
+  in
+  { g with conns }
+
+let map_gaps g f = create (List.mapi (fun i c -> f (i + 1) c) (Array.to_list g.conns))
+
+let is_valid g =
+  (width g = stages g - 1 || Array.length g.conns = 0)
+  && Array.for_all Connection.is_mi_stage g.conns
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>MI-digraph: %d stages, %d nodes per stage@," (stages g)
+    (nodes_per_stage g);
+  Array.iteri
+    (fun i c -> Format.fprintf ppf "gap %d -> %d:@,  %a@," (i + 1) (i + 2) Connection.pp c)
+    g.conns;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,90 @@
+(** Multistage interconnection digraphs (paper, Section 2).
+
+    An MI-digraph with [n] stages has [n * 2^(n-1)] nodes partitioned
+    into stages [1 .. n] of [2^(n-1)] nodes each, with arcs only from
+    stage [i] to stage [i+1]; every node has out-degree 2 (except
+    stage [n]) and in-degree 2 (except stage 1).  Nodes are labelled
+    by [(n-1)]-bit strings within their stage.
+
+    Internally the adjacency is stored as one {!Connection.t} per
+    inter-stage gap — the decomposition [(f, g)] the paper introduces
+    ("such a decomposition ... exists as the outdegree of a node is
+    always two").  The decomposition is not canonical (swapping [f]
+    and [g] anywhere yields the same digraph); graph-level operations
+    are insensitive to it. *)
+
+type t
+
+val stages : t -> int
+(** The number of stages, [n >= 1]. *)
+
+val width : t -> int
+(** Label bits per node: [n - 1]. *)
+
+val nodes_per_stage : t -> int
+(** [2^(n-1)]. *)
+
+val total_nodes : t -> int
+
+val inputs : t -> int
+(** [N = 2^n], the number of network inputs (and outputs). *)
+
+val create : Connection.t list -> t
+(** [create conns] builds the [n]-stage MI-digraph whose gap
+    [i -> i+1] is [List.nth conns (i-1)].  Raises [Invalid_argument]
+    if the list is empty... use {!single_stage} for [n = 1] — or if
+    widths disagree or any connection violates the in-degree-2
+    requirement. *)
+
+val single_stage : width:int -> t
+(** The degenerate 1-stage MI-digraph with [2^width] isolated nodes
+    (only meaningful for recursion base cases when [width = 0]). *)
+
+val connection : t -> int -> Connection.t
+(** [connection g i] is the connection between stages [i] and [i+1],
+    [1 <= i <= n-1] (stages are 1-based as in the paper). *)
+
+val connections : t -> Connection.t list
+
+val children : t -> stage:int -> Mineq_bitvec.Bv.t -> Mineq_bitvec.Bv.t * Mineq_bitvec.Bv.t
+(** Children in the next stage of a node at [stage < n]. *)
+
+val parents : t -> stage:int -> Mineq_bitvec.Bv.t -> Mineq_bitvec.Bv.t list
+(** Parents in the previous stage of a node at [stage > 1]. *)
+
+val reverse : t -> t
+(** The MI-digraph of the reverse network [G^-1]: arcs flipped and
+    stages renumbered so stage 1 of the result is stage [n] of the
+    argument. *)
+
+val node_id : t -> stage:int -> Mineq_bitvec.Bv.t -> int
+(** Flat vertex id used by {!to_digraph}: stage-major, label-minor. *)
+
+val node_of_id : t -> int -> int * Mineq_bitvec.Bv.t
+(** Inverse of {!node_id}: [(stage, label)]. *)
+
+val to_digraph : t -> Mineq_graph.Digraph.t
+(** The flat digraph over all [n * 2^(n-1)] nodes. *)
+
+val subgraph : t -> lo:int -> hi:int -> Mineq_graph.Digraph.t
+(** [(G)_{lo..hi}]: the sub-digraph on stages [lo .. hi] inclusive
+    (1-based, [1 <= lo <= hi <= n]), as a flat digraph whose vertex
+    ids are [(stage - lo) * 2^(n-1) + label]. *)
+
+val equal : t -> t -> bool
+(** Same stage count and identical arc multisets at every gap
+    (i.e. label-preserving equality, not mere isomorphism). *)
+
+val relabel : t -> (stage:int -> Mineq_bitvec.Bv.t -> Mineq_bitvec.Bv.t) -> t
+(** Apply a bijection to the node labels of every stage (checked).
+    Produces an isomorphic MI-digraph; used to manufacture equivalent
+    networks whose connections are no longer independent. *)
+
+val map_gaps : t -> (int -> Connection.t -> Connection.t) -> t
+(** Rebuild with transformed connections (1-based gap index). *)
+
+val is_valid : t -> bool
+(** Re-checks the degree invariants (always true for values built by
+    {!create}). *)
+
+val pp : Format.formatter -> t -> unit

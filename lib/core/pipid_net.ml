@@ -1,0 +1,50 @@
+module Bv = Mineq_bitvec.Bv
+module Perm = Mineq_perm.Perm
+
+let check_theta ~n theta =
+  if Perm.size theta <> n then invalid_arg "Pipid_net: theta must be a permutation of size n"
+
+let k_of ~n theta =
+  check_theta ~n theta;
+  Perm.apply (Perm.inverse theta) 0
+
+let is_degenerate ~n theta = k_of ~n theta = 0
+
+let routing_bit_slot ~n theta =
+  let k = k_of ~n theta in
+  if k = 0 then None else Some (k - 1)
+
+(* Child of node [x] through port [b]: bit [j] of the child is bit
+   [theta (j+1)] of the link label [(x << 1) lor b]. *)
+let child ~n theta b x =
+  let y = (x lsl 1) lor b in
+  let rec build j acc =
+    if j = n - 1 then acc
+    else build (j + 1) (Bv.set_bit acc j (Bv.bit y (Perm.apply theta (j + 1))))
+  in
+  build 0 0
+
+let connection ~n theta =
+  check_theta ~n theta;
+  Connection.make ~width:(n - 1) ~f:(child ~n theta 0) ~g:(child ~n theta 1)
+
+let beta ~n theta alpha =
+  check_theta ~n theta;
+  child ~n theta 0 alpha
+
+(* The induced permutation applied to a full n-bit link label. *)
+let link_image ~n theta y =
+  let rec build j acc =
+    if j = n then acc else build (j + 1) (Bv.set_bit acc j (Bv.bit y (Perm.apply theta j)))
+  in
+  build 0 0
+
+let affine_connection ~n theta ~offset =
+  check_theta ~n theta;
+  if not (Bv.is_valid ~width:n offset) then
+    invalid_arg "Pipid_net.affine_connection: offset out of range";
+  (* The permuted link label is [A y xor offset]; the receiving cell
+     is that label shifted right (the dropped low bit only selects the
+     in-port, which the digraph does not record). *)
+  let via b x = (link_image ~n theta ((x lsl 1) lor b) lxor offset) lsr 1 in
+  Connection.make ~width:(n - 1) ~f:(via 0) ~g:(via 1)

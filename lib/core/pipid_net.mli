@@ -1,0 +1,52 @@
+(** Section 4 of the paper: the connection induced by a PIPID link
+    permutation, in closed form, with its independence witness.
+
+    Let [theta] (size [n]) be the index-digit permutation of the
+    stage and [k = theta^-1 0].  If [k = 0] the two out-links of
+    every cell land on the same next-stage cell: double links, and
+    the network cannot be Banyan (Figure 5).  Otherwise the children
+    of node [x] are
+
+    {[ f x = (x_theta(n-1), ..., x_theta(k+1), 0, x_theta(k-1), ..., x_theta(1))
+       g x = (x_theta(n-1), ..., x_theta(k+1), 1, x_theta(k-1), ..., x_theta(1)) ]}
+
+    and the connection is independent with witness
+    [beta alpha = (alpha_theta(n-1), ..., 0, ..., alpha_theta(1))]
+    (the [f]-image of [alpha]). *)
+
+val routing_bit_slot : n:int -> Mineq_perm.Perm.t -> int option
+(** [Some (k - 1)]: the node-label bit position of the child that
+    carries the chosen out-port ([k = theta^-1 0]); [None] when
+    [k = 0] (degenerate double-link stage).  This slot is what makes
+    bit-directed routing work. *)
+
+val is_degenerate : n:int -> Mineq_perm.Perm.t -> bool
+(** [theta^-1 0 = 0]: Figure 5's stage. *)
+
+val connection : n:int -> Mineq_perm.Perm.t -> Connection.t
+(** The closed-form connection above (also valid in the degenerate
+    case, where [f = g]).  Agrees with
+    [Link_spec.connection_of_link_perm ~n (Index_perm.induce theta)]
+    — enforced by the test suite. *)
+
+val beta : n:int -> Mineq_perm.Perm.t -> Mineq_bitvec.Bv.t -> Mineq_bitvec.Bv.t
+(** The paper's explicit independence witness for a given [alpha]. *)
+
+(** {1 Beyond PIPID: affine link permutations}
+
+    The independence property is strictly wider than PIPID: any
+    {e affine} link permutation [y -> A y xor offset] with [A] a PIPID
+    permutation also induces an independent connection (the witness
+    picks up no dependence on the offset, since
+    [(u xor v) / 2 = u/2 xor v/2] for the dropped low bit).  Networks
+    mixing shuffles with "exchange"-style fixed xors therefore fall
+    under Theorem 3 as well — an extension the paper's framework
+    yields for free. *)
+
+val affine_connection :
+  n:int -> Mineq_perm.Perm.t -> offset:Mineq_bitvec.Bv.t -> Connection.t
+(** The connection of the link permutation
+    [y -> (induced theta) y xor offset].  Independent for every
+    [theta] and [offset]; Banyan-compatible iff
+    [theta^-1 0 <> 0] (the offset never creates double links on its
+    own). *)

@@ -1,0 +1,152 @@
+module Bv = Mineq_bitvec.Bv
+module Subspace = Mineq_bitvec.Subspace
+module Traverse = Mineq_graph.Traverse
+
+let expected_components g ~lo ~hi =
+  let n = Mi_digraph.stages g in
+  if lo < 1 || hi > n || lo > hi then invalid_arg "Properties: bad stage range";
+  1 lsl (n - 1 - (hi - lo))
+
+let component_count g ~lo ~hi = Traverse.component_count (Mi_digraph.subgraph g ~lo ~hi)
+
+let component_count_dsu g ~lo ~hi =
+  let n = Mi_digraph.stages g in
+  if lo < 1 || hi > n || lo > hi then invalid_arg "Properties: bad stage range";
+  let per = Mi_digraph.nodes_per_stage g in
+  let dsu = Mineq_graph.Dsu.create ((hi - lo + 1) * per) in
+  for gap = lo to hi - 1 do
+    let c = Mi_digraph.connection g gap in
+    let base = (gap - lo) * per in
+    for x = 0 to per - 1 do
+      let cf, cg = Connection.children c x in
+      ignore (Mineq_graph.Dsu.union dsu (base + x) (base + per + cf));
+      ignore (Mineq_graph.Dsu.union dsu (base + x) (base + per + cg))
+    done
+  done;
+  Mineq_graph.Dsu.set_count dsu
+
+let p_ij g ~lo ~hi = component_count g ~lo ~hi = expected_components g ~lo ~hi
+
+let p_one_star g =
+  let n = Mi_digraph.stages g in
+  let rec go j = j > n || (p_ij g ~lo:1 ~hi:j && go (j + 1)) in
+  go 1
+
+let p_star_n g =
+  let n = Mi_digraph.stages g in
+  let rec go i = i > n || (p_ij g ~lo:i ~hi:n && go (i + 1)) in
+  go 1
+
+let full_matrix g =
+  let n = Mi_digraph.stages g in
+  List.concat
+    (List.init n (fun l ->
+         let lo = l + 1 in
+         List.init
+           (n - lo + 1)
+           (fun k ->
+             let hi = lo + k in
+             (lo, hi, component_count g ~lo ~hi, expected_components g ~lo ~hi))))
+
+let satisfies_all g = List.for_all (fun (_, _, found, want) -> found = want) (full_matrix g)
+
+(* Buddy properties ------------------------------------------------- *)
+
+let sorted_pair (a, b) = if a <= b then (a, b) else (b, a)
+
+let output_buddy_stage g i =
+  let c = Mi_digraph.connection g i in
+  let per = Mi_digraph.nodes_per_stage g in
+  (* Nodes sharing a child must have identical children sets. *)
+  let rec go y =
+    y = per
+    ||
+    match Connection.parents c y with
+    | [ x1; x2 ] ->
+        sorted_pair (Connection.children c x1) = sorted_pair (Connection.children c x2)
+        && go (y + 1)
+    | _ -> false
+  in
+  go 0
+
+let input_buddy_stage g i =
+  let c = Mi_digraph.connection g i in
+  let per = Mi_digraph.nodes_per_stage g in
+  let parent_set y = List.sort compare (Connection.parents c y) in
+  let rec go x =
+    x = per
+    ||
+    let cf, cg = Connection.children c x in
+    parent_set cf = parent_set cg && go (x + 1)
+  in
+  go 0
+
+let has_buddy_property g =
+  let n = Mi_digraph.stages g in
+  let rec go i = i >= n || (output_buddy_stage g i && input_buddy_stage g i && go (i + 1)) in
+  go 1
+
+(* Lemma 2 component structure -------------------------------------- *)
+
+type component_profile = {
+  lo : int;
+  hi : int;
+  components : Bv.t list array array;
+}
+
+let component_profile g ~lo ~hi =
+  let sub = Mi_digraph.subgraph g ~lo ~hi in
+  let comp, count = Traverse.connected_components sub in
+  let per = Mi_digraph.nodes_per_stage g in
+  let stages = hi - lo + 1 in
+  let components = Array.init count (fun _ -> Array.make stages []) in
+  for v = Mineq_graph.Digraph.vertices sub - 1 downto 0 do
+    let s = v / per and x = v mod per in
+    components.(comp.(v)).(s) <- x :: components.(comp.(v)).(s)
+  done;
+  { lo; hi; components }
+
+let buddies_of_slice c slice =
+  (* For each parent of a slice node, the parent's other child. *)
+  let in_slice = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace in_slice x ()) slice;
+  let out = ref [] in
+  List.iter
+    (fun y ->
+      List.iter
+        (fun p ->
+          let cf, cg = Connection.children c p in
+          let other = if cf = y then cg else cf in
+          (* A parent joined to y by a double link contributes y
+             itself; membership filtering below handles it. *)
+          if not (Hashtbl.mem in_slice other) then out := other :: !out)
+        (Connection.parents c y))
+    slice;
+  List.sort_uniq compare !out
+
+let lemma2_translate_structure g =
+  let n = Mi_digraph.stages g in
+  let width = Mi_digraph.width g in
+  let ok = ref true in
+  for j = 2 to n do
+    if !ok then begin
+      let profile = component_profile g ~lo:j ~hi:n in
+      let expected_slice = 1 lsl (n - j) in
+      Array.iter
+        (fun stages_slices ->
+          Array.iter
+            (fun slice -> if List.length slice <> expected_slice then ok := false)
+            stages_slices;
+          if !ok then begin
+            let a_j = stages_slices.(0) in
+            let c = Mi_digraph.connection g (j - 1) in
+            let b_j = buddies_of_slice c a_j in
+            if List.length b_j <> List.length a_j then ok := false
+            else if
+              Option.is_none (Subspace.translate_of_set ~width a_j b_j)
+            then ok := false
+          end)
+        profile.components
+    end
+  done;
+  !ok

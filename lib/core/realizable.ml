@@ -1,0 +1,93 @@
+module Perm = Mineq_perm.Perm
+
+(* In-port of the downstream cell for each (0-based gap, cell,
+   out-port): which of the child's two in-slots this link feeds
+   (same bookkeeping as the packet simulator). *)
+let downstream_ports g =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  Array.init (n - 1) (fun gap0 ->
+      let c = Mi_digraph.connection g (gap0 + 1) in
+      let filled = Array.make per 0 in
+      let table = Array.make per [||] in
+      for x = 0 to per - 1 do
+        let cf, cg = Connection.children c x in
+        let take y =
+          let slot = filled.(y) in
+          filled.(y) <- slot + 1;
+          slot
+        in
+        let pf = take cf in
+        let pg = take cg in
+        table.(x) <- [| (cf, pf); (cg, pg) |]
+      done;
+      table)
+
+let permutation_of_setting g setting =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  if Array.length setting <> n || Array.exists (fun row -> Array.length row <> per) setting
+  then invalid_arg "Realizable.permutation_of_setting: setting shape";
+  let down = downstream_ports g in
+  let terminals = 2 * per in
+  Perm.of_fun ~size:terminals (fun t ->
+      let cell = ref (t / 2) and in_port = ref (t land 1) in
+      for s = 0 to n - 1 do
+        let out_port = if setting.(s).(!cell) then 1 - !in_port else !in_port in
+        if s < n - 1 then begin
+          let y, slot = down.(s).(!cell).(out_port) in
+          cell := y;
+          in_port := slot
+        end
+        else begin
+          cell := (2 * !cell) + out_port;
+          in_port := 0
+        end
+      done;
+      !cell)
+
+let all_settings g f =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let switches = n * per in
+  if switches > 20 then invalid_arg "Realizable: too many switches for exact enumeration";
+  let setting = Array.make_matrix n per false in
+  for code = 0 to (1 lsl switches) - 1 do
+    for s = 0 to n - 1 do
+      for c = 0 to per - 1 do
+        setting.(s).(c) <- (code lsr ((s * per) + c)) land 1 = 1
+      done
+    done;
+    f setting
+  done
+
+let realizable_exact g =
+  let seen = Hashtbl.create 1024 in
+  all_settings g (fun setting ->
+      let p = permutation_of_setting g setting in
+      let key = Perm.to_array p in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key p);
+  Hashtbl.fold (fun _ p acc -> p :: acc) seen [] |> List.sort Perm.compare
+
+let count_exact g =
+  let seen = Hashtbl.create 1024 in
+  all_settings g (fun setting ->
+      Hashtbl.replace seen (Perm.to_array (permutation_of_setting g setting)) ());
+  Hashtbl.length seen
+
+let estimate rng g ~samples =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to samples do
+    let setting =
+      Array.init n (fun _ -> Array.init per (fun _ -> Random.State.bool rng))
+    in
+    Hashtbl.replace seen (Perm.to_array (permutation_of_setting g setting)) ()
+  done;
+  Hashtbl.length seen
+
+let realizes g p =
+  let terminals = Mi_digraph.inputs g in
+  if Perm.size p <> terminals then invalid_arg "Realizable.realizes: permutation size";
+  Routing.is_admissible g (List.init terminals (fun i -> (i, Perm.apply p i)))

@@ -1,0 +1,44 @@
+(** Which permutations can a network realize in one pass?
+
+    A global {e switch setting} assigns each 2x2 cell one of two
+    states (bar or cross); the composition of all stages then maps
+    every input terminal to a distinct output terminal, i.e. realizes
+    a permutation.  An [n]-stage MIN has [2^(n 2^(n-1))] settings but
+    at most [N!] permutations, and the realizable set is a tiny,
+    structured subset — the functional fingerprint the classical
+    papers (Lawrie, Parker) studied.
+
+    The realizable {e count} is invariant under topological
+    equivalence (an MI-digraph isomorphism induces a terminal
+    relabelling conjugating the realizable sets).  On Banyan networks
+    the count is always the full [2^(n 2^(n-1))]: every switch
+    carries exactly two of the unique paths, so the realized
+    permutation pins down the whole setting — injectivity of
+    settings onto permutations is a Banyan signature, and non-Banyan
+    networks collapse settings (experiment X8).
+
+    Exact enumeration is exponential in the switch count; use
+    {!count_exact} only for [n <= 3] (4096 settings) and
+    {!estimate} beyond. *)
+
+val permutation_of_setting : Mi_digraph.t -> bool array array -> Mineq_perm.Perm.t
+(** [permutation_of_setting g setting] with [setting.(s).(c)] the
+    state of cell [c] at 0-based stage [s] ([false] = bar: terminal
+    port in = port out; [true] = cross). *)
+
+val count_exact : Mi_digraph.t -> int
+(** Number of distinct permutations over all settings.  Cost
+    [O(2^(n 2^(n-1)) * N)] — n = 2 or 3 only. *)
+
+val realizable_exact : Mi_digraph.t -> Mineq_perm.Perm.t list
+(** The realizable set itself, sorted (same cost caveat). *)
+
+val estimate : Random.State.t -> Mi_digraph.t -> samples:int -> int
+(** Distinct permutations seen over random settings — a lower bound
+    that converges quickly because settings map onto permutations
+    uniformly-ish. *)
+
+val realizes : Mi_digraph.t -> Mineq_perm.Perm.t -> bool
+(** Is the given terminal permutation realizable in one pass?
+    Equivalent to admissibility of its path set
+    ({!Routing.is_admissible}), computed that way. *)

@@ -1,0 +1,189 @@
+module Bv = Mineq_bitvec.Bv
+
+let bit_string ~width x = if width = 0 then "0" else Bv.to_bit_string ~width x
+
+let stage_table g =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let w = Mi_digraph.width g in
+  let buf = Buffer.create 1024 in
+  let cell_width = (3 * max w 1) + 6 in
+  for s = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "%-*s" cell_width (Printf.sprintf "stage %d" s))
+  done;
+  Buffer.add_char buf '\n';
+  for x = 0 to per - 1 do
+    for s = 1 to n do
+      let text =
+        if s < n then begin
+          let cf, cg = Mi_digraph.children g ~stage:s x in
+          Printf.sprintf "%s->%s,%s" (bit_string ~width:w x) (bit_string ~width:w cf)
+            (bit_string ~width:w cg)
+        end
+        else bit_string ~width:w x
+      in
+      Buffer.add_string buf (Printf.sprintf "%-*s" cell_width text)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let gap_matrix g i =
+  let per = Mi_digraph.nodes_per_stage g in
+  let w = Mi_digraph.width g in
+  let c = Mi_digraph.connection g i in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "gap %d -> %d (rows: stage %d, cols: stage %d)\n" i (i + 1) i (i + 1));
+  for x = 0 to per - 1 do
+    Buffer.add_string buf (bit_string ~width:w x);
+    Buffer.add_char buf ' ';
+    let cf, cg = Connection.children c x in
+    for y = 0 to per - 1 do
+      let m = (if cf = y then 1 else 0) + if cg = y then 1 else 0 in
+      Buffer.add_char buf (match m with 0 -> '.' | 1 -> '#' | _ -> '2')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let wiring_diagram g =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let w = Mi_digraph.width g in
+  let buf = Buffer.create 4096 in
+  for s = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "stage %d:\n" s);
+    for x = 0 to per - 1 do
+      Buffer.add_string buf (Printf.sprintf "  [%s]\n" (bit_string ~width:w x))
+    done;
+    if s < n then begin
+      Buffer.add_string buf "  links:\n";
+      for x = 0 to per - 1 do
+        let cf, cg = Mi_digraph.children g ~stage:s x in
+        Buffer.add_string buf
+          (Printf.sprintf "    %s:0 -> %s   %s:1 -> %s\n" (bit_string ~width:w x)
+             (bit_string ~width:w cf) (bit_string ~width:w x) (bit_string ~width:w cg))
+      done
+    end
+  done;
+  Buffer.contents buf
+
+(* Recover the index permutation of a gap when the connection is a
+   PIPID stage.  From the closed form: bit j of (f x xor f 0) is bit
+   (theta (j+1) - 1) of x, so the linear part's columns identify
+   theta on 1 .. n-1; the slot where f 0 and g 0 differ (if any) is
+   theta^-1 0, and the one unused digit value belongs to theta 0. *)
+let recognize_gap g i =
+  let n = Mi_digraph.stages g in
+  let w = Mi_digraph.width g in
+  let c = Mi_digraph.connection g i in
+  match Connection.linear_form c with
+  | None -> None
+  | Some (_, cf0, cg0) ->
+      let diff = cf0 lxor cg0 in
+      let theta = Array.make n (-1) in
+      let consistent = ref true in
+      (if diff = 0 then theta.(0) <- 0
+       else if Bv.popcount diff = 1 then begin
+         let slot = ref 0 in
+         for j = 0 to w - 1 do
+           if Bv.bit diff j then slot := j
+         done;
+         theta.(!slot + 1) <- 0
+       end
+       else consistent := false);
+      if !consistent then begin
+        let f0 = Connection.f c 0 in
+        for i_bit = 0 to w - 1 do
+          let fx = Connection.f c (Bv.unit i_bit) lxor f0 in
+          for j = 0 to w - 1 do
+            if Bv.bit fx j then
+              if theta.(j + 1) < 0 then theta.(j + 1) <- i_bit + 1 else consistent := false
+          done
+        done
+      end;
+      if not !consistent then None
+      else begin
+        (* Exactly one digit value should remain for the one unset
+           position (theta 0, or a position whose source bit was
+           dropped). *)
+        let used = Array.make n false in
+        Array.iter (fun v -> if v >= 0 then used.(v) <- true) theta;
+        let missing = ref [] in
+        for v = n - 1 downto 0 do
+          if not used.(v) then missing := v :: !missing
+        done;
+        let unset = ref [] in
+        Array.iteri (fun j v -> if v < 0 then unset := j :: !unset) theta;
+        match (!unset, !missing) with
+        | [ j ], [ v ] -> (
+            theta.(j) <- v;
+            match Mineq_perm.Perm.of_array theta with
+            | exception Invalid_argument _ -> None
+            | t ->
+                if Connection.equal_graph c (Pipid_net.connection ~n t) then Some t else None)
+        | [], [] -> (
+            match Mineq_perm.Perm.of_array theta with
+            | exception Invalid_argument _ -> None
+            | t ->
+                if Connection.equal_graph c (Pipid_net.connection ~n t) then Some t else None)
+        | _ -> None
+      end
+
+let network_summary g =
+  let n = Mi_digraph.stages g in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "MI-digraph: %d stages, %d nodes/stage, %d terminals\n" n
+       (Mi_digraph.nodes_per_stage g) (Mi_digraph.inputs g));
+  Buffer.add_string buf (Printf.sprintf "Banyan: %b\n" (Banyan.is_banyan g));
+  for i = 1 to n - 1 do
+    let c = Mi_digraph.connection g i in
+    let pipid =
+      match recognize_gap g i with
+      | Some theta -> Format.asprintf "PIPID theta = %a" Mineq_perm.Perm.pp_cycles theta
+      | None -> "not PIPID"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "gap %d: independent=%b  out-buddy=%b  in-buddy=%b  %s\n" i
+         (Connection.is_independent c)
+         (Properties.output_buddy_stage g i)
+         (Properties.input_buddy_stage g i)
+         pipid)
+  done;
+  Buffer.contents buf
+
+let to_dot ?(name = "mineq") g =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let w = Mi_digraph.width g in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n  node [shape=box];\n" name);
+  for s = 1 to n do
+    Buffer.add_string buf "  { rank=same;";
+    for x = 0 to per - 1 do
+      Buffer.add_string buf (Printf.sprintf " s%d_%d;" s x)
+    done;
+    Buffer.add_string buf " }\n";
+    for x = 0 to per - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d_%d [label=\"%s\"];\n" s x (bit_string ~width:w x))
+    done
+  done;
+  for s = 1 to n - 1 do
+    for x = 0 to per - 1 do
+      let cf, cg = Mi_digraph.children g ~stage:s x in
+      Buffer.add_string buf (Printf.sprintf "  s%d_%d -> s%d_%d;\n" s x (s + 1) cf);
+      Buffer.add_string buf (Printf.sprintf "  s%d_%d -> s%d_%d;\n" s x (s + 1) cg)
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let labels_figure ~width =
+  let buf = Buffer.create 256 in
+  Bv.iter_universe ~width ~f:(fun x ->
+      Buffer.add_string buf (Bv.to_tuple_string ~width x);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

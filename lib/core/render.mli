@@ -1,0 +1,38 @@
+(** ASCII renderings of MI-digraphs — the programmatic counterpart of
+    the paper's hand-drawn Figures 1, 2, 4 and 5. *)
+
+val stage_table : Mi_digraph.t -> string
+(** One line per node and stage: label, then the two children, e.g.
+    {v
+    stage 1        stage 2        stage 3
+    000 -> 000,100 000 -> 000,010 000 -> 000,001
+    ...
+    v} *)
+
+val gap_matrix : Mi_digraph.t -> int -> string
+(** Adjacency pattern of one gap as a matrix of [.], [#] (arc) and
+    [2] (double link); rows = current stage, columns = next stage. *)
+
+val wiring_diagram : Mi_digraph.t -> string
+(** A drawing in the style of Figure 1: stages as columns of boxed
+    cells, links listed between them.  Cells show their binary
+    label; each link line reads [label:port -> label]. *)
+
+val recognize_gap : Mi_digraph.t -> int -> Mineq_perm.Perm.t option
+(** Recover the index-digit permutation [theta] of a gap when the
+    connection is a PIPID stage (inverse of {!Pipid_net.connection},
+    up to the immaterial [f]/[g] choice). *)
+
+val network_summary : Mi_digraph.t -> string
+(** Header plus, for each gap, the recognized PIPID index permutation
+    (via {!Mineq_perm.Index_perm.recognize} against the gap's
+    link-level behaviour) when the connection's linear form reveals
+    one, the independence verdict, and buddy flags. *)
+
+val labels_figure : width:int -> string
+(** Figure 2: the label column [(x_{w}, ..., x_1)] of one stage. *)
+
+val to_dot : ?name:string -> Mi_digraph.t -> string
+(** Graphviz rendering: stages as ranked columns, cells labelled with
+    their binary strings — paste into [dot -Tsvg] for a faithful
+    Figure-1-style drawing. *)

@@ -1,0 +1,161 @@
+type path = { input : int; output : int; cells : int array; ports : int array }
+
+let check_terminal g t name =
+  if t < 0 || t >= Mi_digraph.inputs g then invalid_arg ("Routing: bad " ^ name)
+
+let route g ~input ~output =
+  check_terminal g input "input";
+  check_terminal g output "output";
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let src = input / 2 and dst = output / 2 in
+  (* Backward reachability of dst from every (stage, cell). *)
+  let reach = Array.init n (fun _ -> Array.make per false) in
+  reach.(n - 1).(dst) <- true;
+  for s = n - 2 downto 0 do
+    let c = Mi_digraph.connection g (s + 1) in
+    for x = 0 to per - 1 do
+      let cf, cg = Connection.children c x in
+      reach.(s).(x) <- reach.(s + 1).(cf) || reach.(s + 1).(cg)
+    done
+  done;
+  if not reach.(0).(src) then None
+  else begin
+    let cells = Array.make n src in
+    let ports = Array.make n 0 in
+    let cur = ref src in
+    for s = 0 to n - 2 do
+      let c = Mi_digraph.connection g (s + 1) in
+      let cf, cg = Connection.children c !cur in
+      (* Count arcs (with multiplicity) leading onward to dst. *)
+      let via_f = reach.(s + 1).(cf) and via_g = reach.(s + 1).(cg) in
+      (match (via_f, via_g) with
+      | true, true -> failwith "Routing.route: multiple paths (network is not Banyan)"
+      | true, false ->
+          ports.(s) <- 0;
+          cur := cf
+      | false, true ->
+          ports.(s) <- 1;
+          cur := cg
+      | false, false -> assert false);
+      cells.(s + 1) <- !cur
+    done;
+    ports.(n - 1) <- output land 1;
+    Some { input; output; cells; ports }
+  end
+
+let route_all_from g ~input =
+  check_terminal g input "input";
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let src = input / 2 in
+  let found : (int array * int array) option array = Array.make per None in
+  let duplicate = ref false in
+  (* Enumerate all 2^(n-1) port-choice words from the source cell. *)
+  let cells = Array.make n src in
+  let ports = Array.make n 0 in
+  let rec explore s cur =
+    if s = n - 1 then begin
+      match found.(cur) with
+      | Some _ -> duplicate := true
+      | None -> found.(cur) <- Some (Array.copy cells, Array.copy ports)
+    end
+    else begin
+      let c = Mi_digraph.connection g (s + 1) in
+      let cf, cg = Connection.children c cur in
+      ports.(s) <- 0;
+      cells.(s + 1) <- cf;
+      explore (s + 1) cf;
+      ports.(s) <- 1;
+      cells.(s + 1) <- cg;
+      explore (s + 1) cg
+    end
+  in
+  explore 0 src;
+  if !duplicate then failwith "Routing.route_all_from: multiple paths (network is not Banyan)";
+  Array.init (2 * per) (fun output ->
+      match found.(output / 2) with
+      | None -> None
+      | Some (cells, ports) ->
+          let ports = Array.copy ports in
+          ports.(n - 1) <- output land 1;
+          Some { input; output; cells = Array.copy cells; ports })
+
+let port_word p =
+  Array.fold_left (fun acc b -> (acc lsl 1) lor b) 0 p.ports
+
+let delta_schedule g =
+  let inputs = Mi_digraph.inputs g in
+  let schedule = Array.make inputs (-1) in
+  let ok = ref true in
+  (try
+     for input = 0 to inputs - 1 do
+       let paths = route_all_from g ~input in
+       Array.iteri
+         (fun output p ->
+           match p with
+           | None -> ok := false
+           | Some p ->
+               let w = port_word p in
+               if schedule.(output) < 0 then schedule.(output) <- w
+               else if schedule.(output) <> w then ok := false)
+         paths;
+       if not !ok then raise Exit
+     done
+   with
+  | Exit -> ()
+  | Failure _ -> ok := false);
+  if !ok then Some schedule else None
+
+let is_delta g = Option.is_some (delta_schedule g)
+
+let is_bidelta g = is_delta g && is_delta (Mi_digraph.reverse g)
+
+let destination_tag_table g =
+  match delta_schedule g with
+  | None -> None
+  | Some schedule ->
+      let n = Mi_digraph.stages g in
+      let table =
+        Array.init n (fun s ->
+            Array.map (fun w -> (w lsr (n - 1 - s)) land 1) schedule)
+      in
+      Some table
+
+type conflict_report = { max_link_load : int; conflicted_links : int; paths_routed : int }
+
+let link_loads g pairs =
+  let n = Mi_digraph.stages g in
+  let per = Mi_digraph.nodes_per_stage g in
+  let loads = Array.make (n * per * 2) 0 in
+  let link_id s cell port = (((s * per) + cell) * 2) + port in
+  let routed = ref 0 in
+  List.iter
+    (fun (input, output) ->
+      match route g ~input ~output with
+      | None -> ()
+      | Some p ->
+          incr routed;
+          Array.iteri
+            (fun s port ->
+              let id = link_id s p.cells.(s) port in
+              loads.(id) <- loads.(id) + 1)
+            p.ports)
+    pairs;
+  let max_load = Array.fold_left max 0 loads in
+  let conflicted = Array.fold_left (fun acc l -> if l > 1 then acc + 1 else acc) 0 loads in
+  { max_link_load = max_load; conflicted_links = conflicted; paths_routed = !routed }
+
+let is_admissible g pairs =
+  let r = link_loads g pairs in
+  r.paths_routed = List.length pairs && r.max_link_load <= 1
+
+let admissible_fraction rng g ~samples =
+  let n_terms = Mi_digraph.inputs g in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let p = Mineq_perm.Perm.random rng n_terms in
+    let pairs = List.init n_terms (fun i -> (i, Mineq_perm.Perm.apply p i)) in
+    if is_admissible g pairs then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples

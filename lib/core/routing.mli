@@ -1,0 +1,70 @@
+(** Paths and routing through MI-digraphs.
+
+    The [N = 2^n] inputs attach two-per-node to stage 1 (input [i]
+    enters cell [i / 2] on port [i mod 2]) and likewise the outputs
+    leave stage [n].  On a Banyan network the input-output path is
+    unique; PIPID-built networks additionally support "very simple bit
+    directed routing" (paper, Sections 1 and 4): at each stage the
+    out-port is a fixed digit of the destination — the delta property
+    of Kruskal and Snir.  This module finds paths, extracts the
+    port words, decides the delta/bidelta properties, and analyses
+    link conflicts of permutation traffic (used by [Mineq_sim]). *)
+
+type path = {
+  input : int;  (** terminal id, [0 .. 2^n - 1] *)
+  output : int;
+  cells : int array;  (** visited cell label at each stage, length [n] *)
+  ports : int array;  (** out-port chosen at stages [1 .. n-1], then the output port *)
+}
+
+val route : Mi_digraph.t -> input:int -> output:int -> path option
+(** The unique input-to-output path, or [None] if there is no path.
+    Raises [Failure] if there are several (non-Banyan). *)
+
+val route_all_from : Mi_digraph.t -> input:int -> path option array
+(** Paths to every output (index = output id), sharing one backward
+    reachability sweep per output.  [O(n 2^n)] per call. *)
+
+val port_word : path -> int
+(** The port choices packed into an integer, stage-1 choice as the
+    {e most} significant bit and the output port as bit 0 — on a delta
+    network this is a function of [output] only. *)
+
+val is_delta : Mi_digraph.t -> bool
+(** Every output is reached by the same port word from every input. *)
+
+val is_bidelta : Mi_digraph.t -> bool
+(** Delta in both directions (Kruskal–Snir): [is_delta] of the
+    network and of its reverse. *)
+
+val delta_schedule : Mi_digraph.t -> int array option
+(** When delta: for each output, the shared port word. *)
+
+val destination_tag_table : Mi_digraph.t -> int array array option
+(** When delta: [t.(s).(o)] is the port to take at stage [s+1]
+    (0-based array over the [n] hops including the exit) to reach
+    output [o] — the "bit-directed" control table. *)
+
+(** {1 Permutation traffic analysis} *)
+
+type conflict_report = {
+  max_link_load : int;
+  conflicted_links : int;  (** links carrying more than one path *)
+  paths_routed : int;
+}
+
+val link_loads : Mi_digraph.t -> (int * int) list -> conflict_report
+(** [(input, output)] pairs, each routed on its unique path; loads
+    counted on every inter-stage link and on the output links.
+    Non-routable pairs are ignored (and not counted in
+    [paths_routed]). *)
+
+val is_admissible : Mi_digraph.t -> (int * int) list -> bool
+(** The pairs can be routed simultaneously without sharing any link
+    ([max_link_load <= 1]). *)
+
+val admissible_fraction :
+  Random.State.t -> Mi_digraph.t -> samples:int -> float
+(** Monte-Carlo estimate of the fraction of full permutations that
+    are admissible (a classic MIN figure of merit; Omega passes
+    exactly [2^...] of them — see the experiments). *)

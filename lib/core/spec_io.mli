@@ -1,0 +1,27 @@
+(** Textual network specifications: save and reload MI-digraphs.
+
+    Format (line oriented, [#] comments, blank lines ignored):
+
+    {v
+    mineq-spec 1
+    stages 4
+    gap theta 3 0 1 2
+    gap raw 0 0 1 1 2 2 3 3 | 4 4 5 5 6 6 7 7
+    ...
+    v}
+
+    One [gap] line per inter-stage connection, in order.  [theta]
+    gives an index-digit permutation (the images of digits
+    [0 .. n-1]); [raw] gives the [f] images and then the [g] images
+    of every node label.  {!to_string} emits [theta] lines whenever
+    the gap is a recognizable PIPID stage. *)
+
+val to_string : Mi_digraph.t -> string
+
+val of_string : string -> (Mi_digraph.t, string) result
+(** Parse; the error carries a line number and reason. *)
+
+val save : string -> Mi_digraph.t -> unit
+(** Write to a file path. *)
+
+val load : string -> (Mi_digraph.t, string) result

@@ -1,0 +1,132 @@
+type t = { succ : int array array; pred : int array array }
+
+let compute_pred succ =
+  let n = Array.length succ in
+  let deg = Array.make n 0 in
+  Array.iter (fun outs -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) outs) succ;
+  let pred = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun u outs ->
+      Array.iter
+        (fun v ->
+          pred.(v).(fill.(v)) <- u;
+          fill.(v) <- fill.(v) + 1)
+        outs)
+    succ;
+  pred
+
+let of_succ succ =
+  let n = Array.length succ in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 0 || v >= n then invalid_arg "Digraph.of_succ: vertex out of range"))
+    succ;
+  let succ = Array.map Array.copy succ in
+  { succ; pred = compute_pred succ }
+
+let create ~vertices arcs =
+  if vertices < 0 then invalid_arg "Digraph.create: negative vertex count";
+  let deg = Array.make vertices 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= vertices || v < 0 || v >= vertices then
+        invalid_arg "Digraph.create: arc endpoint out of range";
+      deg.(u) <- deg.(u) + 1)
+    arcs;
+  let succ = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make vertices 0 in
+  List.iter
+    (fun (u, v) ->
+      succ.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1)
+    arcs;
+  { succ; pred = compute_pred succ }
+
+let vertices g = Array.length g.succ
+
+let arc_count g = Array.fold_left (fun acc outs -> acc + Array.length outs) 0 g.succ
+
+let succ g u = Array.to_list g.succ.(u)
+
+let pred g u = Array.to_list g.pred.(u)
+
+let out_degree g u = Array.length g.succ.(u)
+
+let in_degree g u = Array.length g.pred.(u)
+
+let arcs g =
+  let out = ref [] in
+  for u = vertices g - 1 downto 0 do
+    let outs = g.succ.(u) in
+    for i = Array.length outs - 1 downto 0 do
+      out := (u, outs.(i)) :: !out
+    done
+  done;
+  !out
+
+let arc_multiplicity g u v =
+  Array.fold_left (fun acc w -> if w = v then acc + 1 else acc) 0 g.succ.(u)
+
+let has_arc g u v = arc_multiplicity g u v > 0
+
+let reverse g = { succ = Array.map Array.copy g.pred; pred = Array.map Array.copy g.succ }
+
+let map_vertices g f =
+  let n = vertices g in
+  let img = Array.init n f in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then invalid_arg "Digraph.map_vertices: not a bijection";
+      seen.(v) <- true)
+    img;
+  let succ = Array.make n [||] in
+  Array.iteri (fun u outs -> succ.(img.(u)) <- Array.map (fun v -> img.(v)) outs) g.succ;
+  { succ; pred = compute_pred succ }
+
+let sorted_succ g u =
+  let a = Array.copy g.succ.(u) in
+  Array.sort Stdlib.compare a;
+  a
+
+let equal a b =
+  vertices a = vertices b
+  &&
+  let n = vertices a in
+  let rec go u = u = n || (sorted_succ a u = sorted_succ b u && go (u + 1)) in
+  go 0
+
+let union a b =
+  if vertices a <> vertices b then invalid_arg "Digraph.union: vertex count mismatch";
+  let succ = Array.mapi (fun u outs -> Array.append outs b.succ.(u)) a.succ in
+  { succ; pred = compute_pred succ }
+
+let induced g vs =
+  let back = Array.of_list vs in
+  let m = Array.length back in
+  let fwd = Hashtbl.create m in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem fwd v then invalid_arg "Digraph.induced: duplicate vertex";
+      Hashtbl.add fwd v i)
+    back;
+  let succ =
+    Array.init m (fun i ->
+        let outs = g.succ.(back.(i)) in
+        let kept = Array.to_list outs |> List.filter_map (Hashtbl.find_opt fwd) in
+        Array.of_list kept)
+  in
+  ({ succ; pred = compute_pred succ }, back)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph on %d vertices:@," (vertices g);
+  Array.iteri
+    (fun u outs ->
+      Format.fprintf ppf "  %d -> [%a]@," u
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Format.pp_print_int)
+        (Array.to_list outs))
+    g.succ;
+  Format.fprintf ppf "@]"

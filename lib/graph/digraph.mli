@@ -1,0 +1,56 @@
+(** Finite directed graphs with vertices [0 .. n-1].
+
+    Parallel arcs are preserved (the paper's Fig. 5 stage produces
+    double links, and in/out-degree counts must see both). *)
+
+type t
+
+val create : vertices:int -> (int * int) list -> t
+(** [create ~vertices arcs] builds a digraph.  Raises
+    [Invalid_argument] on endpoints outside [0 .. vertices-1].
+    Duplicate arcs are kept. *)
+
+val of_succ : int array array -> t
+(** Build from successor lists: [succ.(u)] is the array of arc heads
+    out of [u].  The arrays are copied. *)
+
+val vertices : t -> int
+
+val arc_count : t -> int
+
+val succ : t -> int -> int list
+(** Successors of a vertex, one entry per arc, in insertion order. *)
+
+val pred : t -> int -> int list
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val arcs : t -> (int * int) list
+(** Every arc, grouped by tail. *)
+
+val has_arc : t -> int -> int -> bool
+
+val arc_multiplicity : t -> int -> int -> int
+
+val reverse : t -> t
+(** All arcs flipped: the paper's reverse network [G^-1]. *)
+
+val map_vertices : t -> (int -> int) -> t
+(** [map_vertices g f] relabels vertices through the bijection [f]
+    (raises [Invalid_argument] if [f] is not a bijection on
+    [0 .. n-1]). *)
+
+val equal : t -> t -> bool
+(** Same vertex count and same arc multiset. *)
+
+val union : t -> t -> t
+(** Same vertex set required; arcs concatenated. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the sub-digraph induced by the vertex list [vs]
+    (in the given order) together with the map from new indices back
+    to original vertices. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = { parent : int array; size : int array; mutable sets : int }
+
+let create n =
+  if n < 0 then invalid_arg "Dsu.create: negative size";
+  { parent = Array.init n (fun i -> i); size = Array.make n 1; sets = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    (* Path halving. *)
+    t.parent.(x) <- t.parent.(p);
+    find t t.parent.(x)
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let big, small = if t.size.(ra) >= t.size.(rb) then (ra, rb) else (rb, ra) in
+    t.parent.(small) <- big;
+    t.size.(big) <- t.size.(big) + t.size.(small);
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let set_count t = t.sets
+
+let set_size t x = t.size.(find t x)
+
+let components_of_digraph g =
+  let t = create (Digraph.vertices g) in
+  List.iter (fun (u, v) -> ignore (union t u v)) (Digraph.arcs g);
+  t

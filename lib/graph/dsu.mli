@@ -1,0 +1,27 @@
+(** Disjoint-set union (union-find) with path halving and union by
+    size — the alternative engine for connected-component counting
+    (the [P(i,j)] checks), benchmarked against BFS in the x1 ablation
+    and cross-validated by the test suite. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative (with path compression). *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; [false] when already together. *)
+
+val same : t -> int -> int -> bool
+
+val set_count : t -> int
+(** Number of disjoint sets. *)
+
+val set_size : t -> int -> int
+(** Size of the set containing an element. *)
+
+val components_of_digraph : Digraph.t -> t
+(** Union across every arc (ignoring orientation): the sets are the
+    connected components of the underlying undirected graph. *)

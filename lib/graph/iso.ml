@@ -1,0 +1,201 @@
+(* Colour refinement: colours are dense ints; a refinement round maps
+   each vertex to the signature (colour, sorted succ colours, sorted
+   pred colours) and re-densifies.  Stops when the number of colours
+   stops growing. *)
+
+let refine_colours g =
+  let n = Digraph.vertices g in
+  let initial v = (Digraph.in_degree g v, Digraph.out_degree g v) in
+  let densify sigs =
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt tbl s with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            incr next;
+            Hashtbl.add tbl s c;
+            c)
+      sigs
+  in
+  let cur = ref (densify (Array.init n (fun v -> (initial v, [], [])))) in
+  let classes colours = Array.fold_left (fun acc c -> max acc (c + 1)) 0 colours in
+  let rec loop () =
+    let c = !cur in
+    let sig_of v =
+      let outs = List.sort compare (List.map (fun w -> c.(w)) (Digraph.succ g v)) in
+      let ins = List.sort compare (List.map (fun w -> c.(w)) (Digraph.pred g v)) in
+      ((c.(v), 0), outs, ins)
+    in
+    let next = densify (Array.init n sig_of) in
+    if classes next > classes c then begin
+      cur := next;
+      loop ()
+    end
+  in
+  loop ();
+  !cur
+
+let colour_histogram g =
+  let colours = refine_colours g in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun c -> Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    colours;
+  Hashtbl.fold (fun c k acc -> (c, k) :: acc) tbl [] |> List.sort compare
+
+(* Align colourings of two graphs: refine the disjoint union so colour
+   ids are comparable across the graphs. *)
+let joint_colours g1 g2 =
+  let n1 = Digraph.vertices g1 and n2 = Digraph.vertices g2 in
+  let arcs =
+    Digraph.arcs g1 @ List.map (fun (u, v) -> (u + n1, v + n1)) (Digraph.arcs g2)
+  in
+  let union = Digraph.create ~vertices:(n1 + n2) arcs in
+  let colours = refine_colours union in
+  (Array.sub colours 0 n1, Array.sub colours n1 n2)
+
+exception Node_limit
+
+let search ~limit ~on_solution g1 g2 =
+  let n = Digraph.vertices g1 in
+  if n <> Digraph.vertices g2 || Digraph.arc_count g1 <> Digraph.arc_count g2 then ()
+  else begin
+    let c1, c2 = joint_colours g1 g2 in
+    let hist colours =
+      let tbl = Hashtbl.create 16 in
+      Array.iter
+        (fun c -> Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+        colours;
+      Hashtbl.fold (fun c k acc -> (c, k) :: acc) tbl [] |> List.sort compare
+    in
+    if hist c1 <> hist c2 then ()
+    else begin
+      let mapping = Array.make n (-1) in
+      let inverse = Array.make n (-1) in
+      let used = Array.make n false in
+      let nodes = ref 0 in
+      (* Order vertices of g1: prefer vertices adjacent to already
+         ordered ones, tie-break by rarest colour class. *)
+      let class_size = Hashtbl.create 16 in
+      Array.iter
+        (fun c ->
+          Hashtbl.replace class_size c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt class_size c)))
+        c1;
+      let order = Array.make n (-1) in
+      let placed = Array.make n false in
+      let adjacency_bonus = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let best = ref (-1) in
+        let best_key = ref (max_int, max_int) in
+        for v = 0 to n - 1 do
+          if not placed.(v) then begin
+            let key = (-adjacency_bonus.(v), Hashtbl.find class_size c1.(v)) in
+            if key < !best_key then begin
+              best_key := key;
+              best := v
+            end
+          end
+        done;
+        let v = !best in
+        order.(i) <- v;
+        placed.(v) <- true;
+        List.iter
+          (fun w -> adjacency_bonus.(w) <- adjacency_bonus.(w) + 1)
+          (Digraph.succ g1 v @ Digraph.pred g1 v)
+      done;
+      let compatible u v =
+        (* Both directions of the check are needed: u's arcs into the
+           mapped region must exist at v, and v's arcs into the mapped
+           region must exist at u (otherwise v could have extra arcs to
+           already-mapped vertices that u lacks). *)
+        c1.(u) = c2.(v)
+        && Digraph.out_degree g1 u = Digraph.out_degree g2 v
+        && Digraph.in_degree g1 u = Digraph.in_degree g2 v
+        (* Self-loops must be checked here: u is not yet in the
+           mapping, so the neighbour scans below skip the u -> u arc. *)
+        && Digraph.arc_multiplicity g1 u u = Digraph.arc_multiplicity g2 v v
+        && List.for_all
+             (fun w ->
+               mapping.(w) < 0
+               || Digraph.arc_multiplicity g1 u w = Digraph.arc_multiplicity g2 v mapping.(w))
+             (Digraph.succ g1 u)
+        && List.for_all
+             (fun w ->
+               mapping.(w) < 0
+               || Digraph.arc_multiplicity g1 w u = Digraph.arc_multiplicity g2 mapping.(w) v)
+             (Digraph.pred g1 u)
+        && List.for_all
+             (fun w' ->
+               inverse.(w') < 0
+               || Digraph.arc_multiplicity g2 v w' = Digraph.arc_multiplicity g1 u inverse.(w'))
+             (Digraph.succ g2 v)
+        && List.for_all
+             (fun w' ->
+               inverse.(w') < 0
+               || Digraph.arc_multiplicity g2 w' v = Digraph.arc_multiplicity g1 inverse.(w') u)
+             (Digraph.pred g2 v)
+      in
+      let rec go i =
+        incr nodes;
+        if limit > 0 && !nodes > limit then raise Node_limit;
+        if i = n then on_solution (Array.copy mapping)
+        else begin
+          let u = order.(i) in
+          for v = 0 to n - 1 do
+            if (not used.(v)) && compatible u v then begin
+              mapping.(u) <- v;
+              inverse.(v) <- u;
+              used.(v) <- true;
+              go (i + 1);
+              mapping.(u) <- -1;
+              inverse.(v) <- -1;
+              used.(v) <- false
+            end
+          done
+        end
+      in
+      go 0
+    end
+  end
+
+exception Found of int array
+
+let is_isomorphism g1 g2 m =
+  let n = Digraph.vertices g1 in
+  n = Digraph.vertices g2
+  && Array.length m = n
+  && (let seen = Array.make n false in
+      Array.for_all
+        (fun v ->
+          if v < 0 || v >= n || seen.(v) then false
+          else begin
+            seen.(v) <- true;
+            true
+          end)
+        m)
+  && Digraph.arc_count g1 = Digraph.arc_count g2
+  && List.for_all
+       (fun (u, v) ->
+         Digraph.arc_multiplicity g1 u v = Digraph.arc_multiplicity g2 m.(u) m.(v))
+       (Digraph.arcs g1)
+
+let find_isomorphism ?(limit = 0) g1 g2 =
+  match search ~limit ~on_solution:(fun m -> raise (Found m)) g1 g2 with
+  | () -> None
+  | exception Found m ->
+      assert (is_isomorphism g1 g2 m);
+      Some m
+  | exception Node_limit -> failwith "iso: node limit exceeded"
+
+let are_isomorphic ?limit g1 g2 = Option.is_some (find_isomorphism ?limit g1 g2)
+
+let count_automorphisms ?(limit = 0) g =
+  let count = ref 0 in
+  (match search ~limit ~on_solution:(fun _ -> incr count) g g with
+  | () -> ()
+  | exception Node_limit -> failwith "iso: node limit exceeded");
+  !count

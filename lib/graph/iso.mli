@@ -1,0 +1,34 @@
+(** Generic digraph isomorphism by colour refinement plus backtracking.
+
+    This is the "ground truth" (and deliberately expensive) decider
+    the paper's characterizations are benchmarked against: it makes no
+    use of stage structure, labels, or independence. *)
+
+val refine_colours : Digraph.t -> int array
+(** Stable colouring under 1-dimensional Weisfeiler–Leman refinement:
+    initial colour = (in-degree, out-degree); repeatedly split classes
+    by the multiset of successor and predecessor colours until stable.
+    Isomorphic vertices always share a colour (the converse may fail). *)
+
+val colour_histogram : Digraph.t -> (int * int) list
+(** [(colour, class size)] pairs of the stable colouring, sorted —
+    a cheap isomorphism invariant. *)
+
+val find_isomorphism : ?limit:int -> Digraph.t -> Digraph.t -> int array option
+(** [find_isomorphism g1 g2] is [Some m] with [m] a bijection such
+    that [u -> v] is an arc of [g1] with multiplicity [k] iff
+    [m.(u) -> m.(v)] has multiplicity [k] in [g2]; [None] if no
+    isomorphism exists.  [limit] bounds the number of backtracking
+    nodes explored (default unlimited); raises [Failure "iso: node
+    limit exceeded"] when hit, so callers can distinguish "no" from
+    "gave up". *)
+
+val are_isomorphic : ?limit:int -> Digraph.t -> Digraph.t -> bool
+
+val is_isomorphism : Digraph.t -> Digraph.t -> int array -> bool
+(** Certificate check: verifies a claimed mapping preserves vertex
+    count and every arc multiplicity in both directions. *)
+
+val count_automorphisms : ?limit:int -> Digraph.t -> int
+(** Number of automorphisms (backtracking enumeration; intended for
+    small graphs and the test suite). *)

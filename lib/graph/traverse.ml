@@ -1,0 +1,111 @@
+let bfs ~neighbours n source =
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (neighbours u)
+  done;
+  dist
+
+let bfs_distances g source = bfs ~neighbours:(Digraph.succ g) (Digraph.vertices g) source
+
+let bfs_undirected_distances g source =
+  let neighbours u = Digraph.succ g u @ Digraph.pred g u in
+  bfs ~neighbours (Digraph.vertices g) source
+
+let connected_components g =
+  let n = Digraph.vertices g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if comp.(v) < 0 then begin
+      let id = !count in
+      incr count;
+      comp.(v) <- id;
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun w ->
+            if comp.(w) < 0 then begin
+              comp.(w) <- id;
+              Queue.add w q
+            end)
+          (Digraph.succ g u @ Digraph.pred g u)
+      done
+    end
+  done;
+  (comp, !count)
+
+let component_count g = snd (connected_components g)
+
+let component_members g =
+  let comp, count = connected_components g in
+  let members = Array.make count [] in
+  for v = Digraph.vertices g - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  members
+
+let reachable_from g source =
+  let dist = bfs_distances g source in
+  Array.map (fun d -> d >= 0) dist
+
+let topological_order g =
+  let n = Digraph.vertices g in
+  let indeg = Array.init n (fun v -> Digraph.in_degree g v) in
+  let q = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v q) indeg;
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order.(!filled) <- u;
+    incr filled;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      (Digraph.succ g u)
+  done;
+  if !filled = n then Some order else None
+
+let is_acyclic g = Option.is_some (topological_order g)
+
+let count_paths_matrix g ~sources ~sinks =
+  match topological_order g with
+  | None -> invalid_arg "Traverse.count_paths_matrix: digraph has a cycle"
+  | Some order ->
+      let n = Digraph.vertices g in
+      let sources = Array.of_list sources in
+      let sinks = Array.of_list sinks in
+      let result = Array.make_matrix (Array.length sources) (Array.length sinks) 0 in
+      (* One backward DP per sink column would be |sinks| passes; do a
+         forward DP per source instead (same cost) so parallel arcs
+         accumulate naturally. *)
+      Array.iteri
+        (fun i s ->
+          let ways = Array.make n 0 in
+          ways.(s) <- 1;
+          Array.iter
+            (fun u ->
+              if ways.(u) > 0 then
+                List.iter (fun v -> ways.(v) <- ways.(v) + ways.(u)) (Digraph.succ g u))
+            order;
+          Array.iteri (fun j t -> result.(i).(j) <- ways.(t)) sinks)
+        sources;
+      result
+
+let count_paths g u v =
+  match count_paths_matrix g ~sources:[ u ] ~sinks:[ v ] with
+  | [| [| c |] |] -> c
+  | _ -> assert false

@@ -1,0 +1,42 @@
+(** Traversals: BFS, connected components of the underlying undirected
+    graph, and path counting on acyclic digraphs.
+
+    Connected components are the workhorse of the paper's [P(i,j)]
+    properties ("the connected components of an MI-digraph are those of
+    the undirected underlying graph"). *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** Directed BFS from a source; unreachable vertices get [-1]. *)
+
+val bfs_undirected_distances : Digraph.t -> int -> int array
+(** BFS ignoring arc orientation. *)
+
+val connected_components : Digraph.t -> int array * int
+(** [(comp, count)] where [comp.(v)] is the component id of [v]
+    (ids are [0 .. count-1], numbered by smallest contained vertex)
+    in the {e undirected underlying graph}. *)
+
+val component_count : Digraph.t -> int
+
+val component_members : Digraph.t -> int list array
+(** Vertices of each component, ascending. *)
+
+val reachable_from : Digraph.t -> int -> bool array
+(** Directed reachability (includes the source). *)
+
+val topological_order : Digraph.t -> int array option
+(** A topological order of the vertices, or [None] if the digraph has
+    a directed cycle. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val count_paths_matrix : Digraph.t -> sources:int list -> sinks:int list -> int array array
+(** [count_paths_matrix g ~sources ~sinks] returns [m] with
+    [m.(i).(j)] the number of directed paths from [List.nth sources i]
+    to [List.nth sinks j].  Parallel arcs count as distinct paths.
+    Raises [Invalid_argument] on cyclic digraphs (path counts would be
+    infinite). *)
+
+val count_paths : Digraph.t -> int -> int -> int
+(** Number of directed paths between two vertices of an acyclic
+    digraph. *)

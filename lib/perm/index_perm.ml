@@ -1,0 +1,46 @@
+module Bv = Mineq_bitvec.Bv
+
+let apply_theta ~width theta x =
+  if Perm.size theta <> width then invalid_arg "Index_perm.apply_theta: size mismatch";
+  let rec build j acc =
+    if j = width then acc else build (j + 1) (Bv.set_bit acc j (Bv.bit x (Perm.apply theta j)))
+  in
+  build 0 0
+
+let induce ~width theta =
+  let n = Bv.universe_size ~width in
+  Perm.of_fun ~size:n (fun x -> apply_theta ~width theta x)
+
+let recognize ~width p =
+  let n = Bv.universe_size ~width in
+  if Perm.size p <> n then invalid_arg "Index_perm.recognize: size mismatch";
+  if Perm.apply p 0 <> 0 then None
+  else begin
+    (* A maps e_i to e_{theta^-1 i}: bit j of (A e_i) is
+       [theta j = i], which is set exactly at j = theta^-1 i. *)
+    let log2 v =
+      let rec go i = if v lsr i = 1 then Some i else if v lsr i = 0 then None else go (i + 1) in
+      if v <= 0 then None else go 0
+    in
+    let theta_inv = Array.make width (-1) in
+    let ok = ref true in
+    for i = 0 to width - 1 do
+      match log2 (Perm.apply p (Bv.unit i)) with
+      | Some j when Perm.apply p (Bv.unit i) = Bv.unit j -> theta_inv.(i) <- j
+      | _ -> ok := false
+    done;
+    if not !ok then None
+    else
+      match Perm.of_array theta_inv with
+      | exception Invalid_argument _ -> None
+      | ti ->
+          let theta = Perm.inverse ti in
+          if Perm.equal (induce ~width theta) p then Some theta else None
+  end
+
+let is_pipid ~width p = Option.is_some (recognize ~width p)
+
+let compose_law ~width t1 t2 =
+  Perm.equal
+    (Perm.compose (induce ~width t1) (induce ~width t2))
+    (induce ~width (Perm.compose t2 t1))

@@ -1,0 +1,31 @@
+(** PIPID permutations: Permutations Induced by a Permutation on the
+    Index Digits (paper, Section 4, following Lenfant & Tahé).
+
+    Given [theta], a permutation of the digit indices [{0, ..., w-1}],
+    the induced permutation [A] on [{0, ..., 2^w - 1}] is
+
+    {[ A (x_{w-1}, ..., x_1, x_0) = (x_{theta(w-1)}, ..., x_{theta(1)}, x_{theta(0)}) ]}
+
+    i.e. bit [j] of [A x] is bit [theta j] of [x]. *)
+
+val induce : width:int -> Perm.t -> Perm.t
+(** [induce ~width theta] is the PIPID permutation of
+    [{0, ..., 2^width - 1}] induced by [theta] (a permutation of size
+    [width]). *)
+
+val apply_theta : width:int -> Perm.t -> Mineq_bitvec.Bv.t -> Mineq_bitvec.Bv.t
+(** Apply the induced permutation to one value without tabulating all
+    [2^width] images. *)
+
+val recognize : width:int -> Perm.t -> Perm.t option
+(** [recognize ~width p] recovers [theta] such that
+    [induce ~width theta = p], or returns [None] when [p] is not a
+    PIPID permutation.  Cost: [O(2^width)] verification after an
+    [O(width)] candidate extraction. *)
+
+val is_pipid : width:int -> Perm.t -> bool
+
+val compose_law : width:int -> Perm.t -> Perm.t -> bool
+(** Sanity law exposed for tests:
+    [compose (induce t1) (induce t2) = induce (compose t2 t1)]
+    (note the reversal: index permutations compose contravariantly). *)

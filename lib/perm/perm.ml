@@ -1,0 +1,151 @@
+type t = int array
+(* The array is never mutated after construction and never exposed. *)
+
+let size = Array.length
+
+let validate img =
+  let n = Array.length img in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Perm.of_array: image out of range";
+      if seen.(v) then invalid_arg "Perm.of_array: image repeated";
+      seen.(v) <- true)
+    img
+
+let of_array img =
+  validate img;
+  Array.copy img
+
+let of_fun ~size f =
+  let img = Array.init size f in
+  validate img;
+  img
+
+let identity n = Array.init n (fun i -> i)
+
+let to_array p = Array.copy p
+
+let apply p i = p.(i)
+
+let compose p q =
+  if size p <> size q then invalid_arg "Perm.compose: size mismatch";
+  Array.map (fun v -> p.(v)) q
+
+let inverse p =
+  let inv = Array.make (size p) 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) p;
+  inv
+
+let equal = ( = )
+
+let compare = Stdlib.compare
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i v -> if i <> v then ok := false) p;
+  !ok
+
+let rec power p k =
+  if k < 0 then power (inverse p) (-k)
+  else if k = 0 then identity (size p)
+  else begin
+    let half = power p (k / 2) in
+    let sq = compose half half in
+    if k land 1 = 1 then compose p sq else sq
+  end
+
+let cycles p =
+  let n = size p in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      let rec collect j acc =
+        if seen.(j) then List.rev acc
+        else begin
+          seen.(j) <- true;
+          collect p.(j) (j :: acc)
+        end
+      in
+      out := collect i [] :: !out
+    end
+  done;
+  List.rev !out
+
+let order p =
+  let lcm a b =
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    a / gcd a b * b
+  in
+  List.fold_left (fun acc c -> lcm acc (List.length c)) 1 (cycles p)
+
+let parity_odd p =
+  let swaps = List.fold_left (fun acc c -> acc + List.length c - 1) 0 (cycles p) in
+  swaps land 1 = 1
+
+let fixed_points p =
+  let out = ref [] in
+  Array.iteri (fun i v -> if i = v then out := i :: !out) p;
+  List.rev !out
+
+let random rng n =
+  let img = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = img.(i) in
+    img.(i) <- img.(j);
+    img.(j) <- tmp
+  done;
+  img
+
+let transposition ~size:n a b =
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Perm.transposition: out of range";
+  Array.init n (fun i -> if i = a then b else if i = b then a else i)
+
+let rotation ~size:n k =
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> (i + k) mod n)
+
+let orbit p i =
+  let rec go j acc = if j = i && acc <> [] then List.rev acc else go p.(j) (j :: acc) in
+  go i []
+
+let generate ?(limit = 1_000_000) ~size:n gens =
+  List.iter
+    (fun g -> if size g <> n then invalid_arg "Perm.generate: generator size mismatch")
+    gens;
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let add p =
+    if not (Hashtbl.mem seen p) then begin
+      if Hashtbl.length seen >= limit then failwith "Perm.generate: group order limit exceeded";
+      Hashtbl.add seen p ();
+      Queue.add p q
+    end
+  in
+  add (identity n);
+  while not (Queue.is_empty q) do
+    let p = Queue.pop q in
+    List.iter (fun g -> add (compose g p)) gens
+  done;
+  Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare
+
+let group_order ?limit ~size gens = List.length (generate ?limit ~size gens)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>[%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list p)
+
+let pp_cycles ppf p =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           Format.pp_print_int)
+        c)
+    (cycles p)

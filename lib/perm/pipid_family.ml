@@ -1,0 +1,32 @@
+let identity ~width = Perm.identity width
+
+let sub_shuffle ~width k =
+  if k < 1 || k > width then invalid_arg "Pipid_family.sub_shuffle: need 1 <= k <= width";
+  (* Image bit j reads argument bit theta j.  Within the low k digits
+     the image is a circular left shift: bit 0 of the image is bit
+     k-1 of the argument, bit j (1 <= j < k) is bit j-1. *)
+  Perm.of_fun ~size:width (fun j -> if j >= k then j else if j = 0 then k - 1 else j - 1)
+
+let perfect_shuffle ~width = sub_shuffle ~width width
+
+let inverse_sub_shuffle ~width k = Perm.inverse (sub_shuffle ~width k)
+
+let inverse_shuffle ~width = inverse_sub_shuffle ~width width
+
+let butterfly ~width k =
+  if k < 1 || k > width - 1 then
+    invalid_arg "Pipid_family.butterfly: need 1 <= k <= width - 1";
+  Perm.transposition ~size:width 0 k
+
+let bit_reversal ~width = Perm.of_fun ~size:width (fun j -> width - 1 - j)
+
+let all_named ~width =
+  let range lo hi f = List.init (hi - lo + 1) (fun i -> f (lo + i)) in
+  [ ("identity", identity ~width);
+    ("sigma", perfect_shuffle ~width);
+    ("sigma^-1", inverse_shuffle ~width);
+    ("rho", bit_reversal ~width)
+  ]
+  @ range 1 width (fun k -> (Printf.sprintf "sigma_%d" k, sub_shuffle ~width k))
+  @ range 1 width (fun k -> (Printf.sprintf "sigma_%d^-1" k, inverse_sub_shuffle ~width k))
+  @ range 1 (width - 1) (fun k -> (Printf.sprintf "beta_%d" k, butterfly ~width k))

@@ -1,0 +1,46 @@
+(** The classical PIPID generators used to define multistage
+    interconnection networks (paper Section 4; Hockney & Jesshope;
+    Wu & Feng).
+
+    Each generator is given as the index-digit permutation [theta]
+    (a {!Perm.t} of size [width]); apply {!Index_perm.induce} to get
+    the permutation of the [2^width] link labels.
+
+    Bit conventions: labels are [(x_{w-1}, ..., x_1, x_0)] with bit 0
+    the least significant; [theta] acts as
+    [bit j of image = bit (theta j) of argument]. *)
+
+val perfect_shuffle : width:int -> Perm.t
+(** The perfect shuffle [sigma]: circular left shift of the binary
+    representation,
+    [sigma (x_{w-1}, ..., x_0) = (x_{w-2}, ..., x_0, x_{w-1})]. *)
+
+val inverse_shuffle : width:int -> Perm.t
+(** [sigma^-1], circular right shift. *)
+
+val sub_shuffle : width:int -> int -> Perm.t
+(** [sub_shuffle ~width k] is the [k]-sub-shuffle [sigma_k]: the
+    perfect shuffle applied to the low [k] digits, identity on digits
+    [k .. w-1].  [sub_shuffle ~width width = perfect_shuffle ~width].
+    Requires [1 <= k <= width]. *)
+
+val inverse_sub_shuffle : width:int -> int -> Perm.t
+(** [sigma_k^-1]. *)
+
+val butterfly : width:int -> int -> Perm.t
+(** [butterfly ~width k] is the [k]-butterfly [beta_k]: exchange of
+    digits [k] and [0] (an involution).  Requires
+    [1 <= k <= width - 1]; [beta_0] would be the identity. *)
+
+val bit_reversal : width:int -> Perm.t
+(** [rho]: digit [j] goes to digit [w-1-j]. *)
+
+val identity : width:int -> Perm.t
+(** The identity index permutation (induces the identity on links;
+    note that as an inter-stage pattern it yields the degenerate
+    double-link stage of the paper's Fig. 5). *)
+
+val all_named : width:int -> (string * Perm.t) list
+(** Every generator above at each admissible parameter, with
+    human-readable names — used by tests, the CLI and the explorer
+    example. *)

@@ -1,0 +1,88 @@
+module Perm = Mineq_perm.Perm
+
+let rec baseline ~radix n =
+  if n < 2 then invalid_arg "Rbuild.baseline: need n >= 2";
+  let ctx = Rv.context ~radix ~width:(n - 1) in
+  let top_weight = Rv.universe_size ctx / radix in
+  let first = Rconnection.make ctx (fun j x -> (x / radix) + (j * top_weight)) in
+  if n = 2 then Rnetwork.create [ first ]
+  else begin
+    let sub = baseline ~radix (n - 1) in
+    let lift c =
+      Rconnection.make ctx (fun j y ->
+          let top = y / top_weight and rest = y mod top_weight in
+          (top * top_weight) + Rconnection.child c j rest)
+    in
+    Rnetwork.create (first :: List.map lift (Rnetwork.connections sub))
+  end
+
+let connection_of_link_perm ~radix ~n p =
+  let link_count = int_of_float (float_of_int radix ** float_of_int n +. 0.5) in
+  if Perm.size p <> link_count then
+    invalid_arg "Rbuild.connection_of_link_perm: permutation size must be radix^n";
+  let ctx = Rv.context ~radix ~width:(n - 1) in
+  Rconnection.make ctx (fun j x -> Perm.apply p ((radix * x) + j) / radix)
+
+let network ~radix ~n perms =
+  if List.length perms <> n - 1 then
+    invalid_arg "Rbuild.network: need exactly n - 1 link permutations";
+  Rnetwork.create (List.map (connection_of_link_perm ~radix ~n) perms)
+
+let is_degenerate ~n theta =
+  if Perm.size theta <> n then invalid_arg "Rbuild.is_degenerate: theta size";
+  Perm.apply theta 0 = 0
+
+let pipid_connection ~radix ~n theta =
+  if Perm.size theta <> n then invalid_arg "Rbuild.pipid_connection: theta size";
+  let link_ctx = Rv.context ~radix ~width:n in
+  let cell_ctx = Rv.context ~radix ~width:(n - 1) in
+  Rconnection.make cell_ctx (fun j x ->
+      let y = (x * radix) + j in
+      let rec build d acc =
+        if d = n then acc
+        else build (d + 1) (Rv.set_digit link_ctx acc d (Rv.digit link_ctx y (Perm.apply theta d)))
+      in
+      build 0 0 / radix)
+
+(* The index-digit permutations are radix-independent: the same theta
+   acts on binary bits or base-r digits. *)
+let stack ~radix ~n gap_theta =
+  if n < 2 then invalid_arg "Rbuild: need n >= 2";
+  Rnetwork.create
+    (List.init (n - 1) (fun k -> pipid_connection ~radix ~n (gap_theta (k + 1))))
+
+let omega ~radix n =
+  let sigma = Mineq_perm.Pipid_family.perfect_shuffle ~width:n in
+  stack ~radix ~n (fun _ -> sigma)
+
+let flip ~radix n =
+  let sigma_inv = Mineq_perm.Pipid_family.inverse_shuffle ~width:n in
+  stack ~radix ~n (fun _ -> sigma_inv)
+
+let cube ~radix n = stack ~radix ~n (fun i -> Mineq_perm.Pipid_family.butterfly ~width:n i)
+
+let modified_data_manipulator ~radix n =
+  stack ~radix ~n (fun i -> Mineq_perm.Pipid_family.butterfly ~width:n (n - i))
+
+let baseline_by_subshuffles ~radix n =
+  stack ~radix ~n (fun i -> Mineq_perm.Pipid_family.inverse_sub_shuffle ~width:n (n - i + 1))
+
+let reverse_baseline ~radix n =
+  stack ~radix ~n (fun i -> Mineq_perm.Pipid_family.sub_shuffle ~width:n (i + 1))
+
+let all_networks ~radix ~n =
+  [ ("omega", omega ~radix n);
+    ("flip", flip ~radix n);
+    ("cube", cube ~radix n);
+    ("modified-data-manipulator", modified_data_manipulator ~radix n);
+    ("baseline", baseline_by_subshuffles ~radix n);
+    ("reverse-baseline", reverse_baseline ~radix n)
+  ]
+
+let random_pipid_network rng ~radix ~n =
+  Rnetwork.create
+    (List.init (n - 1) (fun _ -> pipid_connection ~radix ~n (Perm.random rng n)))
+
+let random_network rng ~radix ~n =
+  let ctx = Rv.context ~radix ~width:(n - 1) in
+  Rnetwork.create (List.init (n - 1) (fun _ -> Rconnection.random_any rng ctx))

@@ -1,0 +1,53 @@
+(** Constructions of radix-[r] networks: the recursive Baseline, link
+    permutations, and PIPID stages over base-[r] digits. *)
+
+val baseline : radix:int -> int -> Rnetwork.t
+(** [baseline ~radix n] is the [n]-stage radix-[r] Baseline by the
+    left-recursive construction: stage-1 cells [r*i .. r*i + r-1] all
+    connect to cell [i] of each of the [r] subnetworks. *)
+
+val connection_of_link_perm : radix:int -> n:int -> Mineq_perm.Perm.t -> Rconnection.t
+(** Cell [x] drives out-links [r*x .. r*x + r-1]; after the
+    permutation of the [r^n] link labels, link [z] enters cell
+    [z / r]. *)
+
+val network : radix:int -> n:int -> Mineq_perm.Perm.t list -> Rnetwork.t
+
+val pipid_connection : radix:int -> n:int -> Mineq_perm.Perm.t -> Rconnection.t
+(** The stage induced by the index-digit permutation [theta] (size
+    [n]) on base-[r] digit labels; independent for every [theta]
+    (generalizing Section 4), degenerate multi-links iff
+    [theta 0 = 0]. *)
+
+val is_degenerate : n:int -> Mineq_perm.Perm.t -> bool
+
+val omega : radix:int -> int -> Rnetwork.t
+(** Radix-[r] Omega: the base-[r] perfect shuffle (circular digit
+    rotation) at every gap. *)
+
+val flip : radix:int -> int -> Rnetwork.t
+(** Inverse digit rotation at every gap (the reverse of Omega). *)
+
+val cube : radix:int -> int -> Rnetwork.t
+(** Indirect [r]-ary [n]-cube: digit transposition [(0 i)] at gap
+    [i]. *)
+
+val modified_data_manipulator : radix:int -> int -> Rnetwork.t
+(** Digit transposition [(0, n-i)] at gap [i] (reverse of the cube). *)
+
+val baseline_by_subshuffles : radix:int -> int -> Rnetwork.t
+(** The Wu–Feng definition at radix [r]: inverse sub-rotation of the
+    low [n-i+1] digits at gap [i]; equal (label-for-label) to
+    {!baseline} — tested. *)
+
+val reverse_baseline : radix:int -> int -> Rnetwork.t
+(** Sub-rotation of the low [i+1] digits at gap [i]. *)
+
+val all_networks : radix:int -> n:int -> (string * Rnetwork.t) list
+(** The six classical constructions at radix [r] — the paper's main
+    corollary generalized (experiment X6). *)
+
+val random_pipid_network : Random.State.t -> radix:int -> n:int -> Rnetwork.t
+
+val random_network : Random.State.t -> radix:int -> n:int -> Rnetwork.t
+(** Random valid stages (not PIPID). *)

@@ -1,0 +1,101 @@
+type t = { ctx : Rv.ctx; children : int array array (* children.(j).(x) = h_j x *) }
+
+let ctx c = c.ctx
+
+let radix c = Rv.radix c.ctx
+
+let half c = Rv.universe_size c.ctx
+
+let make ctx child =
+  let r = Rv.radix ctx in
+  let n = Rv.universe_size ctx in
+  let children =
+    Array.init r (fun j ->
+        Array.init n (fun x ->
+            let y = child j x in
+            if not (Rv.is_valid ctx y) then invalid_arg "Rconnection.make: image out of range";
+            y))
+  in
+  { ctx; children }
+
+let child c j x = c.children.(j).(x)
+
+let children c x = List.init (radix c) (fun j -> c.children.(j).(x))
+
+let parents c y =
+  let out = ref [] in
+  for x = half c - 1 downto 0 do
+    Array.iter (fun tbl -> if tbl.(x) = y then out := x :: !out) c.children
+  done;
+  !out
+
+let in_degrees c =
+  let deg = Array.make (half c) 0 in
+  Array.iter (fun tbl -> Array.iter (fun y -> deg.(y) <- deg.(y) + 1) tbl) c.children;
+  deg
+
+let is_mi_stage c =
+  let r = radix c in
+  Array.for_all (fun d -> d = r) (in_degrees c)
+
+let witness c alpha =
+  if alpha = 0 then invalid_arg "Rconnection.witness: alpha must be non-zero";
+  let ctx = c.ctx in
+  let beta = Rv.sub ctx c.children.(0).(alpha) c.children.(0).(0) in
+  let n = half c in
+  let check_fn tbl =
+    let rec go x =
+      x = n || (tbl.(Rv.add ctx x alpha) = Rv.add ctx beta tbl.(x) && go (x + 1))
+    in
+    go 0
+  in
+  if Array.for_all check_fn c.children then Some beta else None
+
+let is_independent c =
+  List.for_all (fun e -> Option.is_some (witness c e)) (Rv.generators c.ctx)
+
+let is_independent_definitional c =
+  let n = half c in
+  let rec go alpha = alpha = n || (Option.is_some (witness c alpha) && go (alpha + 1)) in
+  go 1
+
+let additive_form c =
+  let gens = Rv.generators c.ctx in
+  let images = List.map (fun e -> witness c e) gens in
+  if List.for_all Option.is_some images then
+    Some
+      ( Array.of_list (List.map Option.get images),
+        Array.map (fun tbl -> tbl.(0)) c.children )
+  else None
+
+let reverse_any c =
+  let r = radix c in
+  let n = half c in
+  let rev = Array.init r (fun _ -> Array.make n (-1)) in
+  let fill = Array.make n 0 in
+  for x = 0 to n - 1 do
+    Array.iter
+      (fun tbl ->
+        let y = tbl.(x) in
+        if fill.(y) >= r then invalid_arg "Rconnection.reverse_any: in-degree above radix";
+        rev.(fill.(y)).(y) <- x;
+        fill.(y) <- fill.(y) + 1)
+      c.children
+  done;
+  if Array.exists (fun f -> f < r) fill then
+    invalid_arg "Rconnection.reverse_any: in-degree below radix";
+  { ctx = c.ctx; children = rev }
+
+let random_any rng ctx =
+  let r = Rv.radix ctx in
+  let n = Rv.universe_size ctx in
+  let slots = Mineq_perm.Perm.random rng (r * n) in
+  make ctx (fun j x -> Mineq_perm.Perm.apply slots ((r * x) + j) / r)
+
+let to_arcs c =
+  List.concat
+    (List.init (half c) (fun x -> List.map (fun y -> (x, y)) (children c x)))
+
+let arc_multiset c = List.sort compare (to_arcs c)
+
+let equal_graph a b = Rv.universe_size a.ctx = Rv.universe_size b.ctx && radix a = radix b && arc_multiset a = arc_multiset b

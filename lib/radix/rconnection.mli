@@ -1,0 +1,65 @@
+(** Inter-stage connections for [r x r] switching cells: an [r]-tuple
+    of child functions [h_0, ..., h_{r-1}] on [(Z_r)^m]-labelled
+    cells, generalizing the paper's pair [(f, g)].
+
+    Independence generalizes verbatim with xor replaced by the group
+    operation of [(Z_r)^m]:
+
+    {[ forall alpha <> 0, exists beta, forall x, forall j,
+       h_j (x + alpha) = beta + h_j x ]}
+
+    The witness is unique and additive in [alpha], so checking the [m]
+    canonical generators suffices — the "easy" check survives the
+    generalization. *)
+
+type t
+
+val ctx : t -> Rv.ctx
+
+val radix : t -> int
+
+val half : t -> int
+(** Cells per stage: [r^m]. *)
+
+val make : Rv.ctx -> (int -> int -> int) -> t
+(** [make ctx child] tabulates [child j x] for
+    [j in 0..r-1], [x in 0..r^m-1]. *)
+
+val child : t -> int -> int -> int
+(** [child c j x] is [h_j x]. *)
+
+val children : t -> int -> int list
+(** All [r] children in port order (duplicates = multi-links). *)
+
+val parents : t -> int -> int list
+(** With multiplicity. *)
+
+val is_mi_stage : t -> bool
+(** Every next-stage cell has in-degree exactly [r]. *)
+
+val witness : t -> int -> int option
+(** The unique [beta] for a non-zero [alpha], if any. *)
+
+val is_independent : t -> bool
+(** Generator-only check, [O(m r^m)] verifications. *)
+
+val is_independent_definitional : t -> bool
+(** All non-zero [alpha]; the oracle for tests. *)
+
+val additive_form : t -> (int array * int array) option
+(** [(images, offsets)] with [images.(i) = beta (e_i)] and
+    [offsets.(j) = h_j 0], such that
+    [h_j x = B x + offsets.(j)] where [B] is the additive map sending
+    [e_i] to [images.(i)]; present iff independent. *)
+
+val reverse_any : t -> t
+(** Parents split arbitrarily into [r] reverse child functions;
+    raises [Invalid_argument] if the stage violates in-degree [r]. *)
+
+val random_any : Random.State.t -> Rv.ctx -> t
+(** Uniformly random valid stage (random assignment of the [r * r^m]
+    outlet slots to inlet slots). *)
+
+val to_arcs : t -> (int * int) list
+
+val equal_graph : t -> t -> bool

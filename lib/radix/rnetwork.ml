@@ -1,0 +1,122 @@
+module Digraph = Mineq_graph.Digraph
+module Traverse = Mineq_graph.Traverse
+
+type t = { ctx : Rv.ctx; conns : Rconnection.t array }
+
+let create conns =
+  match conns with
+  | [] -> invalid_arg "Rnetwork.create: empty connection list"
+  | c0 :: rest ->
+      let ctx = Rconnection.ctx c0 in
+      List.iter
+        (fun c ->
+          if
+            Rv.radix (Rconnection.ctx c) <> Rv.radix ctx
+            || Rv.width (Rconnection.ctx c) <> Rv.width ctx
+          then invalid_arg "Rnetwork.create: context mismatch")
+        rest;
+      if Rv.width ctx <> List.length conns then
+        invalid_arg "Rnetwork.create: need digit width = stage count - 1";
+      List.iter
+        (fun c ->
+          if not (Rconnection.is_mi_stage c) then
+            invalid_arg "Rnetwork.create: a connection violates the in-degree requirement")
+        conns;
+      { ctx; conns = Array.of_list conns }
+
+let stages g = Array.length g.conns + 1
+
+let ctx g = g.ctx
+
+let radix g = Rv.radix g.ctx
+
+let cells_per_stage g = Rv.universe_size g.ctx
+
+let terminals g = radix g * cells_per_stage g
+
+let connection g i =
+  if i < 1 || i > Array.length g.conns then invalid_arg "Rnetwork.connection: bad gap";
+  g.conns.(i - 1)
+
+let connections g = Array.to_list g.conns
+
+let reverse g =
+  let rev = Array.map Rconnection.reverse_any g.conns in
+  let m = Array.length rev in
+  { g with conns = Array.init m (fun i -> rev.(m - 1 - i)) }
+
+let subgraph g ~lo ~hi =
+  let n = stages g in
+  if lo < 1 || hi > n || lo > hi then invalid_arg "Rnetwork.subgraph: bad stage range";
+  let per = cells_per_stage g in
+  let arcs =
+    List.concat
+      (List.init (hi - lo) (fun k ->
+           let gap = lo + k in
+           let base_src = (gap - lo) * per and base_dst = (gap + 1 - lo) * per in
+           List.map
+             (fun (x, y) -> (base_src + x, base_dst + y))
+             (Rconnection.to_arcs g.conns.(gap - 1))))
+  in
+  Digraph.create ~vertices:((hi - lo + 1) * per) arcs
+
+let to_digraph g = subgraph g ~lo:1 ~hi:(stages g)
+
+let equal a b =
+  stages a = stages b
+  && radix a = radix b
+  && Array.for_all2 Rconnection.equal_graph a.conns b.conns
+
+let is_banyan g =
+  let per = cells_per_stage g in
+  let n = stages g in
+  let ok = ref true in
+  for u = 0 to per - 1 do
+    if !ok then begin
+      let ways = Array.make per 0 in
+      ways.(u) <- 1;
+      let cur = ref ways in
+      for gap = 1 to n - 1 do
+        let c = connection g gap in
+        let next = Array.make per 0 in
+        Array.iteri
+          (fun x w ->
+            if w > 0 then
+              List.iter (fun y -> next.(y) <- next.(y) + w) (Rconnection.children c x))
+          !cur;
+        cur := next
+      done;
+      if not (Array.for_all (fun w -> w = 1) !cur) then ok := false
+    end
+  done;
+  !ok
+
+let expected_components g ~lo ~hi =
+  let n = stages g in
+  if lo < 1 || hi > n || lo > hi then invalid_arg "Rnetwork: bad stage range";
+  let rec pow acc k = if k = 0 then acc else pow (acc * radix g) (k - 1) in
+  pow 1 (n - 1 - (hi - lo))
+
+let component_count g ~lo ~hi = Traverse.component_count (subgraph g ~lo ~hi)
+
+let p_ij g ~lo ~hi = component_count g ~lo ~hi = expected_components g ~lo ~hi
+
+let p_one_star g =
+  let n = stages g in
+  let rec go j = j > n || (p_ij g ~lo:1 ~hi:j && go (j + 1)) in
+  go 1
+
+let p_star_n g =
+  let n = stages g in
+  let rec go i = i > n || (p_ij g ~lo:i ~hi:n && go (i + 1)) in
+  go 1
+
+let by_characterization g = is_banyan g && p_one_star g && p_star_n g
+
+let by_independence g =
+  is_banyan g && List.for_all Rconnection.is_independent (connections g)
+
+let isomorphic ?limit a b =
+  stages a = stages b
+  && radix a = radix b
+  && Mineq_graph.Iso.are_isomorphic ?limit (to_digraph a) (to_digraph b)

@@ -1,0 +1,67 @@
+(** MI-digraphs with [r x r] cells: [n] stages of [r^(n-1)] cells,
+    with the Banyan property, the [P(i,j)] component properties
+    (expected count [r^(n-1-(j-i))]) and the equivalence deciders,
+    all generalized from the binary development.
+
+    The paper proves Theorem 3 only for [r = 2] and notes the graph
+    characterization generalizes; whether {e independence} still
+    implies Baseline-equivalence at higher radix is exactly what
+    experiment X6 tests (spoiler: every sampled instance agrees). *)
+
+type t
+
+val create : Rconnection.t list -> t
+(** [n-1] connections over the same context, each a valid MI stage;
+    the digit width must be [n - 1]. *)
+
+val stages : t -> int
+
+val ctx : t -> Rv.ctx
+
+val radix : t -> int
+
+val cells_per_stage : t -> int
+
+val terminals : t -> int
+(** [r^n]. *)
+
+val connection : t -> int -> Rconnection.t
+(** 1-based gap index. *)
+
+val connections : t -> Rconnection.t list
+
+val reverse : t -> t
+
+val to_digraph : t -> Mineq_graph.Digraph.t
+
+val subgraph : t -> lo:int -> hi:int -> Mineq_graph.Digraph.t
+
+val equal : t -> t -> bool
+
+(** {1 Properties} *)
+
+val is_banyan : t -> bool
+
+val expected_components : t -> lo:int -> hi:int -> int
+
+val component_count : t -> lo:int -> hi:int -> int
+
+val p_ij : t -> lo:int -> hi:int -> bool
+
+val p_one_star : t -> bool
+
+val p_star_n : t -> bool
+
+(** {1 Equivalence with the radix-r Baseline} *)
+
+val by_characterization : t -> bool
+(** Banyan + both [P] families (the generalized [12] theorem). *)
+
+val by_independence : t -> bool
+(** Banyan + every connection independent — the radix-r {e analogue}
+    of Theorem 3 (conjectured; validated experimentally, X6). *)
+
+val isomorphic : ?limit:int -> t -> t -> bool
+(** Ground truth: generic digraph isomorphism between two radix
+    networks (small sizes only).  [Rbuild.baseline] provides the
+    canonical comparison target. *)

@@ -1,0 +1,71 @@
+type path = { input : int; output : int; cells : int array; ports : int array }
+
+let check_terminal g t name =
+  if t < 0 || t >= Rnetwork.terminals g then invalid_arg ("Rrouting: bad " ^ name)
+
+let route g ~input ~output =
+  check_terminal g input "input";
+  check_terminal g output "output";
+  let r = Rnetwork.radix g in
+  let n = Rnetwork.stages g in
+  let per = Rnetwork.cells_per_stage g in
+  let src = input / r and dst = output / r in
+  let reach = Array.init n (fun _ -> Array.make per false) in
+  reach.(n - 1).(dst) <- true;
+  for s = n - 2 downto 0 do
+    let c = Rnetwork.connection g (s + 1) in
+    for x = 0 to per - 1 do
+      reach.(s).(x) <- List.exists (fun y -> reach.(s + 1).(y)) (Rconnection.children c x)
+    done
+  done;
+  if not reach.(0).(src) then None
+  else begin
+    let cells = Array.make n src in
+    let ports = Array.make n 0 in
+    let cur = ref src in
+    for s = 0 to n - 2 do
+      let c = Rnetwork.connection g (s + 1) in
+      let onward =
+        List.filteri (fun _ y -> reach.(s + 1).(y)) (Rconnection.children c !cur)
+      in
+      (match onward with
+      | [ _ ] ->
+          let rec find_port j =
+            if reach.(s + 1).(Rconnection.child c j !cur) then j else find_port (j + 1)
+          in
+          let port = find_port 0 in
+          ports.(s) <- port;
+          cur := Rconnection.child c port !cur
+      | [] -> assert false
+      | _ -> failwith "Rrouting.route: multiple paths (network is not Banyan)");
+      cells.(s + 1) <- !cur
+    done;
+    ports.(n - 1) <- output mod r;
+    Some { input; output; cells; ports }
+  end
+
+let port_word g p =
+  let r = Rnetwork.radix g in
+  Array.fold_left (fun acc d -> (acc * r) + d) 0 p.ports
+
+let delta_schedule g =
+  let terminals = Rnetwork.terminals g in
+  let schedule = Array.make terminals (-1) in
+  let ok = ref true in
+  (try
+     for input = 0 to terminals - 1 do
+       for output = 0 to terminals - 1 do
+         match route g ~input ~output with
+         | None -> raise Exit
+         | Some p ->
+             let w = port_word g p in
+             if schedule.(output) < 0 then schedule.(output) <- w
+             else if schedule.(output) <> w then raise Exit
+       done
+     done
+   with
+  | Exit -> ok := false
+  | Failure _ -> ok := false);
+  if !ok then Some schedule else None
+
+let is_delta g = Option.is_some (delta_schedule g)

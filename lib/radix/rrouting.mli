@@ -1,0 +1,23 @@
+(** Digit-directed routing through radix-[r] MI-digraphs, mirroring
+    [Mineq.Routing]: the [r^n] terminals attach [r] per boundary cell
+    (input [i] enters cell [i / r] on port [i mod r]). *)
+
+type path = {
+  input : int;
+  output : int;
+  cells : int array;  (** visited cell per stage *)
+  ports : int array;  (** out-port per stage, then the exit port *)
+}
+
+val route : Rnetwork.t -> input:int -> output:int -> path option
+(** The unique path, [None] if unreachable; raises [Failure] when
+    several paths exist (non-Banyan). *)
+
+val port_word : Rnetwork.t -> path -> int
+(** Port choices packed base-[r], first stage most significant. *)
+
+val is_delta : Rnetwork.t -> bool
+(** The port word to each output is source-independent
+    (digit-directed routing). *)
+
+val delta_schedule : Rnetwork.t -> int array option

@@ -1,0 +1,73 @@
+type ctx = { radix : int; width : int; pow : int array }
+(* pow.(i) = radix^i, with one extra entry pow.(width) = universe. *)
+
+let context ~radix ~width =
+  if radix < 2 then invalid_arg "Rv.context: radix must be >= 2";
+  if width < 0 then invalid_arg "Rv.context: width must be >= 0";
+  let pow = Array.make (width + 1) 1 in
+  for i = 1 to width do
+    if pow.(i - 1) > max_int / radix then invalid_arg "Rv.context: radix^width overflows";
+    pow.(i) <- pow.(i - 1) * radix
+  done;
+  { radix; width; pow }
+
+let radix c = c.radix
+let width c = c.width
+let universe_size c = c.pow.(c.width)
+
+let is_valid c x = x >= 0 && x < universe_size c
+
+let digit c x i = x / c.pow.(i) mod c.radix
+
+let set_digit c x i d =
+  if d < 0 || d >= c.radix then invalid_arg "Rv.set_digit: digit out of range";
+  x + ((d - digit c x i) * c.pow.(i))
+
+let unit c i = c.pow.(i)
+
+let scale_unit c i d =
+  if d < 0 || d >= c.radix then invalid_arg "Rv.scale_unit: digit out of range";
+  d * c.pow.(i)
+
+let add c x y =
+  let rec go i acc =
+    if i = c.width then acc
+    else go (i + 1) (acc + (((digit c x i + digit c y i) mod c.radix) * c.pow.(i)))
+  in
+  go 0 0
+
+let neg c x =
+  let rec go i acc =
+    if i = c.width then acc
+    else go (i + 1) (acc + ((c.radix - digit c x i) mod c.radix * c.pow.(i)))
+  in
+  go 0 0
+
+let sub c x y = add c x (neg c y)
+
+let to_digits c x = List.init c.width (fun i -> digit c x (c.width - 1 - i))
+
+let of_digits c ds =
+  if List.length ds <> c.width then invalid_arg "Rv.of_digits: wrong digit count";
+  List.fold_left
+    (fun acc d ->
+      if d < 0 || d >= c.radix then invalid_arg "Rv.of_digits: digit out of range";
+      (acc * c.radix) + d)
+    0 ds
+
+let to_string c x =
+  let ds = to_digits c x in
+  if c.radix <= 10 then String.concat "" (List.map string_of_int ds)
+  else String.concat "." (List.map string_of_int ds)
+
+let iter_universe c f =
+  for x = 0 to universe_size c - 1 do
+    f x
+  done
+
+let fold_universe c ~init ~f =
+  let n = universe_size c in
+  let rec go acc x = if x = n then acc else go (f acc x) (x + 1) in
+  go init 0
+
+let generators c = List.init c.width (fun i -> unit c i)

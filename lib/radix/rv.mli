@@ -1,0 +1,62 @@
+(** Digit vectors: elements of the group [(Z_r)^m] for an arbitrary
+    radix [r >= 2].
+
+    The paper's closing note: "the results obtained here apply only to
+    networks built with 2 x 2 switching cells, whereas our graph
+    characterization has been generalized to arbitrary size of cells."
+    This library carries the whole development to [r x r] cells; the
+    binary case ([r = 2]) coincides with [Mineq_bitvec.Bv] (tested).
+
+    A vector of [m] digits is packed into a non-negative [int] in base
+    [r]: digit [i] has positional weight [r^i].  The group operation
+    is digit-wise addition modulo [r] (for [r = 2] this is xor). *)
+
+type ctx
+(** Radix/width context (precomputed powers). *)
+
+val context : radix:int -> width:int -> ctx
+(** Raises [Invalid_argument] unless [radix >= 2], [width >= 0] and
+    [radix^width] fits in an [int]. *)
+
+val radix : ctx -> int
+val width : ctx -> int
+
+val universe_size : ctx -> int
+(** [radix^width]. *)
+
+val is_valid : ctx -> int -> bool
+
+val digit : ctx -> int -> int -> int
+(** [digit ctx x i] is digit [i] of [x]. *)
+
+val set_digit : ctx -> int -> int -> int -> int
+(** [set_digit ctx x i d]. *)
+
+val unit : ctx -> int -> int
+(** [unit ctx i] has digit [i] equal to 1, others 0. *)
+
+val scale_unit : ctx -> int -> int -> int
+(** [scale_unit ctx i d] has digit [i] equal to [d]. *)
+
+val add : ctx -> int -> int -> int
+(** Digit-wise addition mod [r]. *)
+
+val neg : ctx -> int -> int
+
+val sub : ctx -> int -> int -> int
+
+val of_digits : ctx -> int list -> int
+(** Most significant digit first (mirrors {!to_digits}). *)
+
+val to_digits : ctx -> int -> int list
+
+val to_string : ctx -> int -> string
+(** Digits separated by [.] when [r > 10], concatenated otherwise,
+    most significant first. *)
+
+val iter_universe : ctx -> (int -> unit) -> unit
+
+val fold_universe : ctx -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val generators : ctx -> int list
+(** The canonical generators [e_0, ..., e_{m-1}] of [(Z_r)^m]. *)

@@ -1,0 +1,12 @@
+let stage_recurrence p =
+  let miss = 1.0 -. (p /. 2.0) in
+  1.0 -. (miss *. miss)
+
+let acceptance ~n ~offered =
+  if offered < 0.0 || offered > 1.0 then invalid_arg "Analytic.acceptance: offered in [0,1]";
+  let rec go i p = if i = n then p else go (i + 1) (stage_recurrence p) in
+  if offered = 0.0 then 1.0 else go 0 offered /. offered
+
+let throughput ~n ~offered = offered *. acceptance ~n ~offered
+
+let saturation ~n = throughput ~n ~offered:1.0

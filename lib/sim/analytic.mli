@@ -1,0 +1,32 @@
+(** Patel's analytic throughput model for unbuffered MINs
+    (J.H. Patel, "Performance of processor-memory interconnections
+    for multiprocessors", IEEE ToC 1981).
+
+    Under uniform random traffic, if each of a cell's two output
+    links is requested independently with probability [p/2] when its
+    inputs carry requests with probability [p], the acceptance
+    recurrence per stage of 2x2 crossbars is
+
+    {[ p_{i+1} = 1 - (1 - p_i / 2)^2 ]}
+
+    and the network's normalized throughput after [n] stages is
+    [p_n / p_0 * offered].  The model is memoryless: a blocked packet
+    vanishes.  The capacity-1 drop-on-full simulator retains
+    arbitration losers for one retry, so it runs slightly {e above}
+    this model — experiment X14 measures the gap (2–20% over
+    n = 2..7). *)
+
+val stage_recurrence : float -> float
+(** One application of the recurrence. *)
+
+val acceptance : n:int -> offered:float -> float
+(** Probability that a packet injected at rate [offered] survives all
+    [n] stages. *)
+
+val throughput : n:int -> offered:float -> float
+(** Delivered packets per terminal per cycle: [offered * acceptance].
+    Requires [0 <= offered <= 1]. *)
+
+val saturation : n:int -> float
+(** [throughput ~n ~offered:1.0] — the classical asymptotic
+    [~ 4 / (n + 3)] behaviour. *)

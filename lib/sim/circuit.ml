@@ -1,0 +1,54 @@
+module Mi_digraph = Mineq.Mi_digraph
+module Routing = Mineq.Routing
+module Perm = Mineq_perm.Perm
+
+type schedule = { rounds : (int * int) list list; round_count : int }
+
+let path_links g (input, output) =
+  match Routing.route g ~input ~output with
+  | None -> failwith "Circuit: unroutable input/output pair"
+  | Some p ->
+      let n = Mi_digraph.stages g in
+      let per = Mi_digraph.nodes_per_stage g in
+      List.init n (fun s -> (((s * per) + p.cells.(s)) * 2) + p.ports.(s))
+
+let greedy_schedule g pairs =
+  let links = List.map (fun pair -> (pair, path_links g pair)) pairs in
+  let n_links = Mi_digraph.stages g * Mi_digraph.nodes_per_stage g * 2 in
+  let rec rounds acc pending =
+    match pending with
+    | [] -> List.rev acc
+    | _ ->
+        let used = Array.make n_links false in
+        let taken, left =
+          List.fold_left
+            (fun (taken, left) ((_, ls) as item) ->
+              if List.exists (fun l -> used.(l)) ls then (taken, item :: left)
+              else begin
+                List.iter (fun l -> used.(l) <- true) ls;
+                (item :: taken, left)
+              end)
+            ([], []) pending
+        in
+        assert (taken <> []);
+        rounds (List.rev_map fst taken :: acc) (List.rev left)
+  in
+  let rounds = rounds [] links in
+  { rounds; round_count = List.length rounds }
+
+let rounds_needed g p =
+  let terminals = Mi_digraph.inputs g in
+  if Perm.size p <> terminals then invalid_arg "Circuit.rounds_needed: permutation size";
+  let pairs = List.init terminals (fun i -> (i, Perm.apply p i)) in
+  (greedy_schedule g pairs).round_count
+
+let average_rounds rng g ~samples =
+  let terminals = Mi_digraph.inputs g in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    total := !total + rounds_needed g (Perm.random rng terminals)
+  done;
+  float_of_int !total /. float_of_int samples
+
+let identity_is_admissible g =
+  rounds_needed g (Perm.identity (Mi_digraph.inputs g)) = 1

@@ -1,0 +1,38 @@
+(** Circuit-switched analysis: routing whole permutations as
+    simultaneous link-disjoint paths (the operating mode of the
+    array-processor alignment networks the classical MINs were
+    designed for — Lawrie's Omega aligning data for an array
+    processor, Batcher's Flip in STARAN).
+
+    A permutation is {e admissible} when all [N] paths are pairwise
+    link-disjoint; an inadmissible permutation is realized in several
+    passes. *)
+
+type schedule = {
+  rounds : (int * int) list list;
+      (** each round: the (input, output) pairs routed together *)
+  round_count : int;
+}
+
+val greedy_schedule : Mineq.Mi_digraph.t -> (int * int) list -> schedule
+(** First-fit decreasing-free greedy: scan the pending pairs in
+    order, accept a pair into the current round when its unique path
+    shares no link with the paths already accepted; repeat until all
+    pairs are placed.  Raises [Failure] on unroutable pairs. *)
+
+val rounds_needed : Mineq.Mi_digraph.t -> Mineq_perm.Perm.t -> int
+(** Rounds of {!greedy_schedule} for a full permutation. *)
+
+val average_rounds :
+  Random.State.t -> Mineq.Mi_digraph.t -> samples:int -> float
+(** Mean rounds over uniformly random permutations. *)
+
+val identity_is_admissible : Mineq.Mi_digraph.t -> bool
+(** Does the identity permutation pass in one round?  Always [false]
+    on a Banyan MI-digraph under this straight terminal wiring: inputs
+    [2i] and [2i+1] share their first-stage cell and target outputs
+    sharing a last-stage cell, so their unique paths coincide on every
+    inter-stage link.  (The classical "Omega passes the identity"
+    statements assume the shuffled input wiring, which the MI-digraph
+    abstraction deliberately drops.)  Kept as a sanity check of the
+    conflict analysis. *)

@@ -1,0 +1,67 @@
+(** Cycle-accurate packet simulation of an MI-digraph operated as a
+    packet-switched MIN with 2x2 buffered crossbar switches.
+
+    Model (standard input-queued MIN simulator):
+    - each cell has one FIFO per input link, of [buffer_capacity]
+      packets;
+    - each cycle, every cell forwards the head packet of each input
+      FIFO toward its requested out-port; when both heads request the
+      same port, a per-cell round-robin arbiter picks one and the
+      other stalls;
+    - a forwarded packet needs a free slot in the downstream FIFO
+      (credit-based backpressure) unless [drop_on_full] is set, in
+      which case it is dropped instead of stalling;
+    - stages are processed last-to-first within a cycle, so a slot
+      freed this cycle is usable this cycle (unit pipeline latency);
+    - injection: each terminal independently injects with probability
+      [injection_rate] per cycle, destination drawn from [pattern];
+      a full first-stage FIFO refuses the injection (counted, so
+      offered vs accepted load is visible).
+
+    Routing uses each packet's unique Banyan path, precomputed per
+    (source cell, destination): on delta networks this coincides with
+    destination-tag routing. *)
+
+type config = {
+  buffer_capacity : int;  (** >= 1 *)
+  injection_rate : float;  (** [0, 1] per terminal per cycle *)
+  pattern : Traffic.t;
+  warmup : int;  (** cycles before statistics start *)
+  cycles : int;  (** measured cycles *)
+  drop_on_full : bool;  (** drop instead of backpressure stall *)
+}
+
+val default_config : config
+(** capacity 4, rate 0.5, uniform, 200 warmup, 1000 measured,
+    backpressure. *)
+
+type stats = {
+  offered : int;  (** injection attempts during measurement *)
+  refused : int;  (** injections refused at a full source FIFO *)
+  injected : int;
+  delivered : int;
+  dropped : int;
+  latency_sum : int;
+  latency_max : int;
+  measured_cycles : int;
+  terminals : int;
+}
+
+val throughput : stats -> float
+(** Delivered packets per terminal per cycle. *)
+
+val mean_latency : stats -> float
+(** Mean delivery latency in cycles ([nan] if nothing delivered). *)
+
+val run : ?config:config -> Random.State.t -> Mineq.Mi_digraph.t -> stats
+(** Simulate.  Raises [Failure] if the network is not Banyan (packets
+    would not have unique paths). *)
+
+val saturation_sweep :
+  ?config:config ->
+  Random.State.t ->
+  Mineq.Mi_digraph.t ->
+  rates:float list ->
+  (float * float * float) list
+(** [(rate, throughput, mean latency)] per injection rate — the
+    classic load/latency curve. *)

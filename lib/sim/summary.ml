@@ -1,0 +1,99 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t = if t.n = 0 then nan else t.min_v
+
+let max_value t = if t.n = 0 then nan else t.max_v
+
+let half_width_95 t =
+  if t.n < 2 then nan else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+let of_samples xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "(no samples)"
+  else if t.n = 1 then Format.fprintf ppf "%.4f (n=1)" t.mean
+  else Format.fprintf ppf "%.4f ± %.4f (n=%d)" t.mean (half_width_95 t) t.n
+
+module Histogram = struct
+  type h = { lo : float; hi : float; buckets : int array; mutable total : int }
+
+  let create ~lo ~hi ~buckets =
+    if buckets < 1 || not (lo < hi) then invalid_arg "Histogram.create: bad shape";
+    { lo; hi; buckets = Array.make buckets 0; total = 0 }
+
+  let bucket_of h x =
+    let k = Array.length h.buckets in
+    let raw = int_of_float (float_of_int k *. ((x -. h.lo) /. (h.hi -. h.lo))) in
+    max 0 (min (k - 1) raw)
+
+  let add h x =
+    h.buckets.(bucket_of h x) <- h.buckets.(bucket_of h x) + 1;
+    h.total <- h.total + 1
+
+  let counts h = Array.copy h.buckets
+
+  let total h = h.total
+
+  let bucket_mid h i =
+    let k = float_of_int (Array.length h.buckets) in
+    h.lo +. ((float_of_int i +. 0.5) /. k *. (h.hi -. h.lo))
+
+  let quantile h q =
+    if h.total = 0 then nan
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int h.total in
+      let rec find i acc =
+        if i = Array.length h.buckets - 1 then bucket_mid h i
+        else begin
+          let acc = acc + h.buckets.(i) in
+          if float_of_int acc >= target then bucket_mid h i else find (i + 1) acc
+        end
+      in
+      find 0 0
+    end
+
+  let pp ppf h =
+    let widest = Array.fold_left max 1 h.buckets in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let bar = String.make (max 1 (c * 40 / widest)) '#' in
+          Format.fprintf ppf "[%8.2f, %8.2f) %6d %s@."
+            (h.lo +. (float_of_int i /. float_of_int (Array.length h.buckets) *. (h.hi -. h.lo)))
+            (h.lo
+            +. (float_of_int (i + 1) /. float_of_int (Array.length h.buckets) *. (h.hi -. h.lo)))
+            c bar
+        end)
+      h.buckets
+end
+
+let replicate ~seeds metric =
+  of_samples (List.map (fun seed -> metric (Random.State.make [| seed |])) seeds)

@@ -1,0 +1,61 @@
+(** Streaming summary statistics (Welford) and fixed-width histograms
+    for simulation experiments: run a metric over many seeds, report
+    mean, standard deviation and confidence half-width without storing
+    the samples. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val half_width_95 : t -> float
+(** Normal-approximation 95% confidence half-width,
+    [1.96 * stddev / sqrt count]; [nan] with fewer than two samples. *)
+
+val of_samples : float list -> t
+
+val pp : Format.formatter -> t -> unit
+(** ["mean ± hw (n=..)"]. *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  (** Uniform buckets on [lo, hi); out-of-range samples land in the
+      first/last bucket. *)
+
+  val add : h -> float -> unit
+
+  val counts : h -> int array
+
+  val total : h -> int
+
+  val quantile : h -> float -> float
+  (** Approximate quantile (bucket midpoint), [q in [0, 1]].  [nan]
+      when empty. *)
+
+  val pp : Format.formatter -> h -> unit
+  (** One line per non-empty bucket with a crude bar. *)
+end
+
+(** {1 Replicated simulation runs} *)
+
+val replicate : seeds:int list -> (Random.State.t -> float) -> t
+(** Run a seeded metric once per seed and summarize. *)

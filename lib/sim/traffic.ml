@@ -1,0 +1,44 @@
+module Perm = Mineq_perm.Perm
+
+type t =
+  | Uniform
+  | Permutation of Perm.t
+  | Hotspot of { fraction : float; target : int }
+  | Bit_reversal of int
+  | Transpose of int
+
+let uniform = Uniform
+
+let permutation p = Permutation p
+
+let hotspot ~fraction ~target =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Traffic.hotspot: bad fraction";
+  Hotspot { fraction; target }
+
+let bit_reversal ~n = Bit_reversal n
+
+let transpose ~n = Transpose n
+
+let name = function
+  | Uniform -> "uniform"
+  | Permutation _ -> "permutation"
+  | Hotspot { fraction; target } -> Printf.sprintf "hotspot(%.2f@%d)" fraction target
+  | Bit_reversal _ -> "bit-reversal"
+  | Transpose _ -> "transpose"
+
+let reverse_bits ~n x =
+  let rec go i acc = if i = n then acc else go (i + 1) ((acc lsl 1) lor ((x lsr i) land 1)) in
+  go 0 0
+
+let rotate_bits ~n ~by x =
+  let by = by mod n in
+  ((x lsl by) lor (x lsr (n - by))) land ((1 lsl n) - 1)
+
+let draw t rng ~terminals ~src =
+  match t with
+  | Uniform -> Random.State.int rng terminals
+  | Permutation p -> Perm.apply p src
+  | Hotspot { fraction; target } ->
+      if Random.State.float rng 1.0 < fraction then target else Random.State.int rng terminals
+  | Bit_reversal n -> reverse_bits ~n src
+  | Transpose n -> rotate_bits ~n ~by:(n / 2) src

@@ -1,0 +1,30 @@
+(** Traffic patterns for the MIN simulator.
+
+    A pattern maps an injecting input terminal to a destination
+    terminal, possibly randomly.  All randomness flows through the
+    caller-provided [Random.State.t] so experiments are exactly
+    reproducible. *)
+
+type t
+
+val uniform : t
+(** Destination uniform over all terminals. *)
+
+val permutation : Mineq_perm.Perm.t -> t
+(** Fixed destination per source. *)
+
+val hotspot : fraction:float -> target:int -> t
+(** With probability [fraction] the destination is [target],
+    otherwise uniform.  Models a contended memory module. *)
+
+val bit_reversal : n:int -> t
+(** Destination = bit-reversed source (the classic adversarial
+    pattern for shuffle-based networks). *)
+
+val transpose : n:int -> t
+(** Destination = source rotated by [n/2] bits (matrix transpose). *)
+
+val name : t -> string
+
+val draw : t -> Random.State.t -> terminals:int -> src:int -> int
+(** The destination of a packet injected at [src]. *)

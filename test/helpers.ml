@@ -1,0 +1,51 @@
+(* Shared test utilities. *)
+
+let rng_of seed = Random.State.make [| seed; 0x6d696e65; 0x71 |]
+
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let check_true name actual = check_bool name true actual
+
+let check_false name actual = check_bool name false actual
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let slow name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Generators --------------------------------------------------------- *)
+
+(* A deterministic seed per generated case, so qcheck shrinking stays
+   reproducible: generate an int seed, derive everything from it. *)
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+
+let small_n_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 6)
+
+let n_and_seed =
+  QCheck.pair small_n_gen seed_gen
+
+let random_theta rng n = Mineq_perm.Perm.random rng n
+
+(* A random Banyan PIPID network.  A degenerate stage (theta^-1 0 = 0)
+   always breaks the Banyan property, but avoiding those is not
+   sufficient (e.g. two identical butterfly stages create parallel
+   paths), so rejection-sample on the Banyan check itself. *)
+let random_banyan_pipid rng ~n =
+  let stage () =
+    let rec pick () =
+      let theta = random_theta rng n in
+      if Mineq.Pipid_net.is_degenerate ~n theta then pick () else theta
+    in
+    pick ()
+  in
+  let rec attempt () =
+    let g = Mineq.Link_spec.network_of_thetas ~n (List.init (n - 1) (fun _ -> stage ())) in
+    if Mineq.Banyan.is_banyan g then g else attempt ()
+  in
+  attempt ()
+
+let all_classical ~n = Mineq.Classical.all_networks ~n

@@ -1,0 +1,97 @@
+open Helpers
+module A = Mineq_sim.Analytic
+
+let feq ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let test_recurrence () =
+  feq "full load one stage" 0.75 (A.stage_recurrence 1.0);
+  feq "zero stays zero" 0.0 (A.stage_recurrence 0.0);
+  (* p = 0.5: 1 - 0.75^2 = 0.4375. *)
+  feq "half load" 0.4375 (A.stage_recurrence 0.5)
+
+let test_acceptance_boundaries () =
+  feq "zero stages accept all" 1.0 (A.acceptance ~n:0 ~offered:0.7);
+  feq "zero load accepted" 1.0 (A.acceptance ~n:5 ~offered:0.0);
+  Alcotest.check_raises "bad load" (Invalid_argument "Analytic.acceptance: offered in [0,1]")
+    (fun () -> ignore (A.acceptance ~n:3 ~offered:1.5))
+
+let test_monotonicity () =
+  (* Throughput decreases with stage count and increases with load. *)
+  let rec stages n acc =
+    if n > 10 then ()
+    else begin
+      let t = A.saturation ~n in
+      check_true "decreasing in n" (t <= acc +. 1e-12);
+      stages (n + 1) t
+    end
+  in
+  stages 1 1.0;
+  let t1 = A.throughput ~n:4 ~offered:0.3 in
+  let t2 = A.throughput ~n:4 ~offered:0.6 in
+  check_true "increasing in offered load" (t1 < t2)
+
+let test_asymptotic_shape () =
+  (* Exact small cases of the recurrence... *)
+  feq "saturation n=1" 0.75 (A.saturation ~n:1);
+  feq "saturation n=2" 0.609375 (A.saturation ~n:2);
+  (* ...and the classical O(4/n) asymptotic: the relative error of
+     4/(n+3) shrinks monotonically (slowly — it is still ~10% at
+     n = 32; the recurrence has logarithmic corrections). *)
+  let relerr n =
+    let exact = A.saturation ~n in
+    Float.abs (exact -. (4.0 /. float_of_int (n + 3))) /. exact
+  in
+  let errs = List.map relerr [ 4; 8; 16; 32 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_true "approximation error decreases in n" (decreasing errs);
+  check_true "within 15% by n=32" (relerr 32 < 0.15)
+
+let test_against_simulator () =
+  (* X14: the drop-on-full capacity-1 simulator lands near (a little
+     above) the analytic unbuffered model -- its queues retain
+     arbitration losers for a retry, which the memoryless model does
+     not credit.  Accept 25%. *)
+  let n = 5 in
+  let g = Mineq.Classical.network Omega ~n in
+  let config =
+    { Mineq_sim.Network_sim.default_config with
+      injection_rate = 1.0;
+      cycles = 3000;
+      buffer_capacity = 1;
+      drop_on_full = true
+    }
+  in
+  let sim = Mineq_sim.Network_sim.throughput (Mineq_sim.Network_sim.run ~config (rng_of 700) g) in
+  let model = A.saturation ~n in
+  check_true
+    (Printf.sprintf "simulated %.3f within 25%% of analytic %.3f" sim model)
+    (Float.abs (sim -. model) /. model < 0.25)
+
+let props =
+  [ qcheck "acceptance in (0, 1]" (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let n = Random.State.int rng 12 in
+        let offered = Random.State.float rng 1.0 in
+        let a = A.acceptance ~n ~offered in
+        a > 0.0 && a <= 1.0 +. 1e-12);
+    qcheck "recurrence maps [0,1] into [0,1]"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let p = Random.State.float (rng_of seed) 1.0 in
+        let q = A.stage_recurrence p in
+        q >= 0.0 && q <= 1.0 && q <= p)
+  ]
+
+let suite =
+  [ quick "recurrence values" test_recurrence;
+    quick "acceptance boundaries" test_acceptance_boundaries;
+    quick "monotonicity" test_monotonicity;
+    quick "asymptotic 4/(n+3)" test_asymptotic_shape;
+    slow "matches the simulator (X14)" test_against_simulator
+  ]
+  @ props

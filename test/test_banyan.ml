@@ -1,0 +1,97 @@
+open Helpers
+module B = Mineq.Banyan
+module C = Mineq.Connection
+module M = Mineq.Mi_digraph
+
+let test_baseline_banyan () =
+  for n = 2 to 6 do
+    check_true (Printf.sprintf "baseline %d is Banyan" n)
+      (B.is_banyan (Mineq.Baseline.network n))
+  done
+
+let test_classical_banyan () =
+  List.iter
+    (fun (name, g) -> check_true (name ^ " is Banyan") (B.is_banyan g))
+    (all_classical ~n:5)
+
+let test_path_count_matrix_baseline () =
+  let g = Mineq.Baseline.network 4 in
+  let m = B.path_count_matrix g in
+  Array.iter (fun row -> Array.iter (fun c -> check_int "every count 1" 1 c) row) m
+
+let test_degenerate_stage_not_banyan () =
+  (* Identity link permutation: double links (Figure 5). *)
+  let n = 3 in
+  let thetas =
+    [ Mineq_perm.Perm.identity n; Mineq_perm.Pipid_family.perfect_shuffle ~width:n ]
+  in
+  let g = Mineq.Link_spec.network_of_thetas ~n thetas in
+  check_false "degenerate stage breaks Banyan" (B.is_banyan g);
+  match B.check g with
+  | Ok () -> Alcotest.fail "expected a violation"
+  | Error v -> check_true "violation shows multiple or zero paths" (v.paths <> 1)
+
+let test_repeated_butterfly_not_banyan () =
+  (* Two identical butterfly stages create parallel paths even though
+     no single stage is degenerate. *)
+  let n = 3 in
+  let b1 = Mineq_perm.Pipid_family.butterfly ~width:n 1 in
+  let g = Mineq.Link_spec.network_of_thetas ~n [ b1; b1 ] in
+  check_false "repeated butterfly not Banyan" (B.is_banyan g);
+  match B.check g with
+  | Ok () -> Alcotest.fail "expected a violation"
+  | Error v ->
+      check_int "exactly two parallel paths" 2 v.paths
+
+let test_violation_reporting () =
+  let n = 3 in
+  let thetas = [ Mineq_perm.Perm.identity n; Mineq_perm.Perm.identity n ] in
+  let g = Mineq.Link_spec.network_of_thetas ~n thetas in
+  match B.check g with
+  | Ok () -> Alcotest.fail "identity stack is not Banyan"
+  | Error v ->
+      check_true "violation fields in range"
+        (v.source >= 0 && v.source < M.nodes_per_stage g && v.sink >= 0
+        && v.sink < M.nodes_per_stage g);
+      (* With identity stages, node x reaches only x, by 4 paths. *)
+      check_int "first violation is 0 -/-> 1" 0 v.source;
+      check_true "zero paths to a different node or 4 to itself"
+        ((v.sink <> v.source && v.paths = 0) || (v.sink = v.source && v.paths = 4))
+
+let test_two_stage_networks () =
+  (* n = 2: a single connection; Banyan iff the two children of each
+     node differ and the stage is a perfect matching of pairs. *)
+  let good = C.make ~width:1 ~f:(fun x -> x) ~g:(fun x -> x lxor 1) in
+  check_true "crossbar stage is Banyan" (B.is_banyan (M.create [ good ]));
+  let double = C.make ~width:1 ~f:(fun x -> x) ~g:(fun x -> x) in
+  check_false "double link stage is not Banyan" (B.is_banyan (M.create [ double ]))
+
+let props =
+  [ qcheck "helper generator really yields Banyan networks" n_and_seed (fun (n, seed) ->
+        B.is_banyan (random_banyan_pipid (rng_of seed) ~n));
+    qcheck "Banyan is invariant under relabelling" n_and_seed (fun (n, seed) ->
+        let rng = rng_of seed in
+        let g = random_banyan_pipid rng ~n in
+        B.is_banyan (Mineq.Counterexample.relabelled_equivalent rng g));
+    qcheck "Banyan is invariant under reversal" n_and_seed (fun (n, seed) ->
+        let g = random_banyan_pipid (rng_of seed) ~n in
+        B.is_banyan (M.reverse g));
+    qcheck "path counts sum to 2^(2(n-1)) overall" n_and_seed (fun (n, seed) ->
+        (* Every network routes 2^(n-1) port words from each of the
+           2^(n-1) sources, Banyan or not. *)
+        let g = Mineq.Link_spec.random_network (rng_of seed) ~n in
+        let m = B.path_count_matrix g in
+        let total = Array.fold_left (Array.fold_left ( + )) 0 m in
+        total = 1 lsl (2 * (n - 1)))
+  ]
+
+let suite =
+  [ quick "baseline is Banyan" test_baseline_banyan;
+    quick "classical networks are Banyan" test_classical_banyan;
+    quick "path count matrix all ones" test_path_count_matrix_baseline;
+    quick "degenerate stage (Figure 5)" test_degenerate_stage_not_banyan;
+    quick "repeated butterfly" test_repeated_butterfly_not_banyan;
+    quick "violation reporting" test_violation_reporting;
+    quick "two-stage networks" test_two_stage_networks
+  ]
+  @ props

@@ -1,0 +1,127 @@
+open Helpers
+module B = Mineq.Baseline
+module M = Mineq.Mi_digraph
+
+let test_small_cases () =
+  let g2 = B.network 2 in
+  check_int "n=2 stages" 2 (M.stages g2);
+  (* The 2-stage Baseline: node x of stage 1 connects to 0 and 1. *)
+  let cf, cg = M.children g2 ~stage:1 0 in
+  check_int "f child" 0 cf;
+  check_int "g child" 1 cg;
+  let cf, cg = M.children g2 ~stage:1 1 in
+  check_int "f child of 1" 0 cf;
+  check_int "g child of 1" 1 cg
+
+let test_left_recursive_structure () =
+  (* Stage-1 nodes 2i and 2i+1 both connect to node i of the two
+     subnetworks (upper half = labels with top bit 0). *)
+  for n = 3 to 6 do
+    let g = B.network n in
+    let per = M.nodes_per_stage g in
+    let top = 1 lsl (n - 2) in
+    for i = 0 to (per / 2) - 1 do
+      let cf0, cg0 = M.children g ~stage:1 (2 * i) in
+      let cf1, cg1 = M.children g ~stage:1 ((2 * i) + 1) in
+      check_int "even node, upper subnetwork node i" i cf0;
+      check_int "even node, lower subnetwork node i" (i + top) cg0;
+      check_int "odd node, same upper child" i cf1;
+      check_int "odd node, same lower child" (i + top) cg1
+    done
+  done
+
+let test_matches_link_perm_definition () =
+  for n = 2 to 7 do
+    check_true
+      (Printf.sprintf "recursive = sub-shuffle stack at n=%d" n)
+      (M.equal (B.network n) (Mineq.Classical.network Baseline_net ~n))
+  done
+
+let test_stage_connection_closed_form () =
+  for n = 2 to 6 do
+    let g = B.network n in
+    for i = 1 to n - 1 do
+      check_true
+        (Printf.sprintf "closed form stage %d/%d" i n)
+        (Mineq.Connection.equal_graph (M.connection g i) (B.stage_connection ~n i))
+    done
+  done
+
+let test_last_stage_is_straight_pairs () =
+  let n = 5 in
+  let g = B.network n in
+  let per = M.nodes_per_stage g in
+  for x = 0 to per - 1 do
+    let cf, cg = M.children g ~stage:(n - 1) x in
+    check_int "f clears bit 0" (x land lnot 1) cf;
+    check_int "g sets bit 0" (x lor 1) cg
+  done
+
+let test_reverse_network () =
+  for n = 2 to 5 do
+    check_true "reverse = Mi_digraph.reverse" (M.equal (B.reverse n) (M.reverse (B.network n)))
+  done
+
+let test_is_baseline () =
+  check_true "baseline recognized" (B.is_baseline (B.network 4));
+  check_false "omega is not label-identical to baseline"
+    (B.is_baseline (Mineq.Classical.network Omega ~n:4))
+
+let test_stage_connection_bounds () =
+  Alcotest.check_raises "stage 0 rejected"
+    (Invalid_argument "Baseline.stage_connection: bad stage") (fun () ->
+      ignore (B.stage_connection ~n:4 0));
+  Alcotest.check_raises "stage n rejected"
+    (Invalid_argument "Baseline.stage_connection: bad stage") (fun () ->
+      ignore (B.stage_connection ~n:4 4))
+
+let test_independence_of_baseline_stages () =
+  for n = 2 to 7 do
+    let g = B.network n in
+    List.iter
+      (fun c -> check_true "baseline stage independent" (Mineq.Connection.is_independent c))
+      (M.connections g)
+  done
+
+let props =
+  [ qcheck "baseline is its own mirror class: reverse is equivalent"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 6))
+      (fun n ->
+        (Mineq.Equivalence.by_characterization (B.reverse n)).equivalent);
+    qcheck "subnetworks of the baseline are baselines"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 3 6))
+      (fun n ->
+        (* Drop stage 1 and restrict to the upper half: must equal the
+           (n-1)-stage baseline. *)
+        let g = B.network n in
+        let top = 1 lsl (n - 2) in
+        let sub_conns =
+          List.map
+            (fun gap ->
+              let c = M.connection g gap in
+              Mineq.Connection.make ~width:(n - 2)
+                ~f:(fun x ->
+                  let y = Mineq.Connection.f c x in
+                  assert (y < top);
+                  y)
+                ~g:(fun x ->
+                  let y = Mineq.Connection.g c x in
+                  assert (y < top);
+                  y))
+            (List.init (n - 2) (fun i -> i + 2))
+        in
+        M.equal (M.create sub_conns) (B.network (n - 1)))
+  ]
+
+let suite =
+  [ quick "small cases" test_small_cases;
+    quick "left-recursive structure" test_left_recursive_structure;
+    quick "matches Wu-Feng link permutations" test_matches_link_perm_definition;
+    quick "closed-form stage connections" test_stage_connection_closed_form;
+    quick "last stage pairs" test_last_stage_is_straight_pairs;
+    quick "reverse network" test_reverse_network;
+    quick "is_baseline" test_is_baseline;
+    quick "stage bounds" test_stage_connection_bounds;
+    quick "stage independence" test_independence_of_baseline_stages
+  ]
+  @ props

@@ -1,0 +1,104 @@
+open Helpers
+module B = Mineq.Benes
+module C = Mineq.Cascade
+module Perm = Mineq_perm.Perm
+
+let test_structure () =
+  for n = 2 to 5 do
+    let net = B.network n in
+    check_int "stages" ((2 * n) - 1) (C.stages net);
+    check_int "width" (n - 1) (C.width net);
+    check_false "not banyan (path diversity)" (C.is_banyan net)
+  done;
+  Alcotest.check_raises "n=1 rejected" (Invalid_argument "Benes.network: need n >= 2")
+    (fun () -> ignore (B.network 1))
+
+let test_identity_routes () =
+  let n = 3 in
+  let net = B.network n in
+  let routes = B.route_permutation (Some net) ~n (Perm.identity 8) in
+  check_int "one route per terminal" 8 (List.length routes);
+  List.iter
+    (fun r ->
+      check_int "identity endpoint" r.C.input r.C.output;
+      check_true "valid" (C.route_is_valid net r))
+    routes;
+  check_true "identity link-disjoint (unlike single Banyans!)" (C.link_disjoint net routes)
+
+let test_reversal_permutation () =
+  let n = 3 in
+  let net = B.network n in
+  let p = Perm.of_fun ~size:8 (fun i -> 7 - i) in
+  let routes = B.route_permutation (Some net) ~n p in
+  check_true "reversal realized" (C.link_disjoint net routes)
+
+let test_all_permutations_n2 () =
+  (* Exhaustive: all 24 permutations of 4 terminals route on B(2). *)
+  let net = B.network 2 in
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  let all = perms [ 0; 1; 2; 3 ] in
+  check_int "4! permutations" 24 (List.length all);
+  List.iter
+    (fun img ->
+      let p = Perm.of_array (Array.of_list img) in
+      let routes = B.route_permutation (Some net) ~n:2 p in
+      check_true "every permutation of 4 routes" (C.link_disjoint net routes))
+    all
+
+let test_rearrangeable_check () =
+  check_true "n=4 sample check" (B.rearrangeable_check (rng_of 300) ~n:4 ~samples:30)
+
+let test_route_shape () =
+  let n = 4 in
+  let net = B.network n in
+  let p = Perm.random (rng_of 301) 16 in
+  List.iter
+    (fun r ->
+      check_int "route length 2n-1" ((2 * n) - 1) (Array.length r.C.cells);
+      check_int "starts at input switch" (r.C.input / 2) r.C.cells.(0);
+      check_int "ends at output switch" (r.C.output / 2) r.C.cells.((2 * n) - 2))
+    (B.route_permutation (Some net) ~n p)
+
+let test_wrong_size_rejected () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Benes.route_permutation: permutation size") (fun () ->
+      ignore (B.route_permutation None ~n:3 (Perm.identity 4)))
+
+let props =
+  [ qcheck "rearrangeability on random permutations" ~count:30
+      (QCheck.make
+         ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+         QCheck.Gen.(pair (int_range 2 5) (int_bound 100000)))
+      (fun (n, seed) ->
+        let net = B.network n in
+        let p = Perm.random (rng_of seed) (1 lsl n) in
+        let routes = B.route_permutation (Some net) ~n p in
+        C.link_disjoint net routes);
+    qcheck "routes always touch both outer stages correctly" ~count:20
+      (QCheck.make
+         ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+         QCheck.Gen.(pair (int_range 2 4) (int_bound 100000)))
+      (fun (n, seed) ->
+        let net = B.network n in
+        let p = Perm.random (rng_of seed) (1 lsl n) in
+        List.for_all
+          (fun r -> C.route_is_valid net r && r.C.output = Perm.apply p r.C.input)
+          (B.route_permutation (Some net) ~n p))
+  ]
+
+let suite =
+  [ quick "structure" test_structure;
+    quick "identity routes" test_identity_routes;
+    quick "reversal permutation" test_reversal_permutation;
+    quick "all permutations at n=2" test_all_permutations_n2;
+    quick "rearrangeable sample check" test_rearrangeable_check;
+    quick "route shape" test_route_shape;
+    quick "wrong size rejected" test_wrong_size_rejected
+  ]
+  @ props

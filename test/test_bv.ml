@@ -1,0 +1,95 @@
+open Helpers
+module Bv = Mineq_bitvec.Bv
+
+let test_zero_and_units () =
+  check_int "zero is 0" 0 Bv.zero;
+  check_int "unit 0" 1 (Bv.unit 0);
+  check_int "unit 3" 8 (Bv.unit 3);
+  check_int "units count" 5 (List.length (Bv.units ~width:5));
+  List.iteri (fun i u -> check_int "unit order" (1 lsl i) u) (Bv.units ~width:6)
+
+let test_validity () =
+  check_true "0 valid at width 0" (Bv.is_valid ~width:0 0);
+  check_false "1 invalid at width 0" (Bv.is_valid ~width:0 1);
+  check_true "7 valid at width 3" (Bv.is_valid ~width:3 7);
+  check_false "8 invalid at width 3" (Bv.is_valid ~width:3 8);
+  check_false "negative invalid" (Bv.is_valid ~width:3 (-1));
+  check_false "too-large width invalid" (Bv.is_valid ~width:(Bv.max_width + 1) 0)
+
+let test_universe_size () =
+  check_int "2^0" 1 (Bv.universe_size ~width:0);
+  check_int "2^10" 1024 (Bv.universe_size ~width:10);
+  Alcotest.check_raises "negative width rejected"
+    (Invalid_argument "Bv.universe_size: width out of range") (fun () ->
+      ignore (Bv.universe_size ~width:(-1)))
+
+let test_bits () =
+  check_true "bit 0 of 5" (Bv.bit 5 0);
+  check_false "bit 1 of 5" (Bv.bit 5 1);
+  check_true "bit 2 of 5" (Bv.bit 5 2);
+  check_int "set bit" 7 (Bv.set_bit 5 1 true);
+  check_int "clear bit" 4 (Bv.set_bit 5 0 false);
+  check_int "set already-set bit" 5 (Bv.set_bit 5 0 true)
+
+let test_popcount_parity () =
+  check_int "popcount 0" 0 (Bv.popcount 0);
+  check_int "popcount 255" 8 (Bv.popcount 255);
+  check_int "popcount 5" 2 (Bv.popcount 5);
+  check_false "parity 5" (Bv.parity 5);
+  check_true "parity 7" (Bv.parity 7)
+
+let test_dot () =
+  check_false "dot orthogonal" (Bv.dot 0b101 0b010);
+  check_true "dot overlapping once" (Bv.dot 0b101 0b100);
+  check_false "dot overlapping twice" (Bv.dot 0b101 0b101)
+
+let test_strings () =
+  check_int "of_bit_string" 5 (Bv.of_bit_string "101");
+  Alcotest.(check string) "to_bit_string" "0101" (Bv.to_bit_string ~width:4 5);
+  Alcotest.(check string) "tuple string" "(1,0,1)" (Bv.to_tuple_string ~width:3 5);
+  Alcotest.check_raises "bad char" (Invalid_argument "Bv.of_bit_string: expected '0' or '1'")
+    (fun () -> ignore (Bv.of_bit_string "10x"))
+
+let test_bits_lists () =
+  Alcotest.(check (list bool)) "to_bits" [ true; false; true ] (Bv.to_bits ~width:3 5);
+  check_int "of_bits" 5 (Bv.of_bits [ true; false; true ]);
+  check_int "of_bits empty" 0 (Bv.of_bits [])
+
+let test_fold_iter () =
+  check_int "fold counts universe" 8 (Bv.fold_universe ~width:3 ~init:0 ~f:(fun a _ -> a + 1));
+  check_int "fold sums universe" 28 (Bv.fold_universe ~width:3 ~init:0 ~f:( + ));
+  let seen = ref [] in
+  Bv.iter_universe ~width:2 ~f:(fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "iter order" [ 0; 1; 2; 3 ] (List.rev !seen)
+
+let props =
+  [ qcheck "xor is associative"
+      QCheck.(triple (int_bound 1023) (int_bound 1023) (int_bound 1023))
+      (fun (a, b, c) -> Bv.xor (Bv.xor a b) c = Bv.xor a (Bv.xor b c));
+    qcheck "xor self-inverse" QCheck.(pair (int_bound 1023) (int_bound 1023)) (fun (a, b) ->
+        Bv.xor (Bv.xor a b) b = a);
+    qcheck "string round trip" QCheck.(int_bound 4095) (fun x ->
+        Bv.of_bit_string (Bv.to_bit_string ~width:12 x) = x);
+    qcheck "bits round trip" QCheck.(int_bound 4095) (fun x ->
+        Bv.of_bits (Bv.to_bits ~width:12 x) = x);
+    qcheck "dot is bilinear" QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+      (fun (a, b, c) ->
+        Bv.dot (Bv.xor a b) c = (Bv.dot a c <> Bv.dot b c));
+    qcheck "popcount after set_bit" QCheck.(pair (int_bound 255) (int_bound 7)) (fun (x, i) ->
+        let set = Bv.popcount (Bv.set_bit x i true) in
+        let cleared = Bv.popcount (Bv.set_bit x i false) in
+        set - cleared = 1)
+  ]
+
+let suite =
+  [ quick "zero and units" test_zero_and_units;
+    quick "validity" test_validity;
+    quick "universe size" test_universe_size;
+    quick "bit get/set" test_bits;
+    quick "popcount and parity" test_popcount_parity;
+    quick "gf2 inner product" test_dot;
+    quick "string conversions" test_strings;
+    quick "bit list conversions" test_bits_lists;
+    quick "fold and iter" test_fold_iter
+  ]
+  @ props

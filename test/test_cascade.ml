@@ -1,0 +1,128 @@
+open Helpers
+module C = Mineq.Cascade
+module M = Mineq.Mi_digraph
+
+let baseline_cascade n = C.of_mi_digraph (Mineq.Baseline.network n)
+
+let test_of_mi_digraph () =
+  let c = baseline_cascade 4 in
+  check_int "stages" 4 (C.stages c);
+  check_int "width" 3 (C.width c);
+  check_int "cells" 8 (C.cells_per_stage c);
+  check_int "terminals" 16 (C.terminals c);
+  match C.to_mi_digraph c with
+  | Some g -> check_true "round trip" (M.equal g (Mineq.Baseline.network 4))
+  | None -> Alcotest.fail "square cascade converts back"
+
+let test_concat () =
+  let a = baseline_cascade 3 in
+  let b = C.of_mi_digraph (Mineq.Baseline.reverse 3) in
+  let glued = C.concat a b in
+  check_int "glued stages" 5 (C.stages glued);
+  check_true "non-square has no MI-digraph" (Option.is_none (C.to_mi_digraph glued));
+  check_int "gap 1 from first part" 0
+    (if Mineq.Connection.equal_graph (C.connection glued 1) (C.connection a 1) then 0 else 1);
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Cascade.concat: width mismatch")
+    (fun () -> ignore (C.concat a (baseline_cascade 4)))
+
+let test_path_counts () =
+  let c = baseline_cascade 3 in
+  let counts = C.path_counts c in
+  Array.iter (Array.iter (fun w -> check_int "banyan counts" 1 w)) counts;
+  check_true "square baseline cascade banyan" (C.is_banyan c);
+  (* Benes: exactly 2^(n-1) paths between any terminal pair. *)
+  let benes = Mineq.Benes.network 3 in
+  let counts = C.path_counts benes in
+  Array.iter (Array.iter (fun w -> check_int "benes path diversity" 4 w)) counts;
+  check_false "benes not banyan" (C.is_banyan benes)
+
+let test_reverse () =
+  let c = baseline_cascade 4 in
+  let r = C.reverse c in
+  check_int "same stages" 4 (C.stages r);
+  (* Reverse of the cascade equals the cascade of the reverse. *)
+  match C.to_mi_digraph r with
+  | Some g -> check_true "matches Mi_digraph.reverse" (M.equal g (Mineq.Baseline.reverse 4))
+  | None -> Alcotest.fail "square"
+
+let test_route_validity () =
+  let c = baseline_cascade 3 in
+  (match Mineq.Routing.route (Mineq.Baseline.network 3) ~input:2 ~output:5 with
+  | None -> Alcotest.fail "route exists"
+  | Some p ->
+      let r = { C.input = 2; output = 5; cells = p.Mineq.Routing.cells } in
+      check_true "converted route valid" (C.route_is_valid c r));
+  let bogus = { C.input = 0; output = 0; cells = [| 0; 3; 0 |] } in
+  check_false "non-arc hop rejected" (C.route_is_valid c bogus);
+  let wrong_start = { C.input = 7; output = 0; cells = [| 0; 0; 0 |] } in
+  check_false "wrong attachment rejected" (C.route_is_valid c wrong_start)
+
+let test_link_disjoint () =
+  let c = baseline_cascade 3 in
+  let route input output =
+    match Mineq.Routing.route (Mineq.Baseline.network 3) ~input ~output with
+    | Some p -> { C.input; output; cells = p.Mineq.Routing.cells }
+    | None -> Alcotest.fail "route exists"
+  in
+  (* 0->0 and 1->1 share every link (co-located pair). *)
+  check_false "conflicting pair" (C.link_disjoint c [ route 0 0; route 1 1 ]);
+  (* 0->0 and 1->4: same first cell, disjoint onward. *)
+  check_true "disjoint pair" (C.link_disjoint c [ route 0 0; route 1 4 ]);
+  check_true "empty set" (C.link_disjoint c []);
+  (* Same output link used twice. *)
+  check_false "output collision" (C.link_disjoint c [ route 0 3; route 0 3 ])
+
+let test_create_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cascade.create: empty connection list")
+    (fun () -> ignore (C.create []))
+
+let test_unrolled_shuffle_exchange_is_omega () =
+  (* Parker's recirculating shuffle-exchange: one shuffle stage passed
+     n-1 times.  Unrolling the recirculation yields exactly the Omega
+     MI-digraph. *)
+  let n = 4 in
+  let gap =
+    Mineq.Link_spec.connection_of_link_perm ~n
+      (Mineq_perm.Index_perm.induce ~width:n (Mineq_perm.Pipid_family.perfect_shuffle ~width:n))
+  in
+  let unrolled =
+    List.fold_left
+      (fun acc c -> C.concat acc c)
+      (C.create [ gap ])
+      (List.init (n - 2) (fun _ -> C.create [ gap ]))
+  in
+  match C.to_mi_digraph unrolled with
+  | Some g ->
+      check_true "unrolled recirculation = omega"
+        (M.equal g (Mineq.Classical.network Omega ~n))
+  | None -> Alcotest.fail "unrolled network is square"
+
+let props =
+  [ qcheck "extra-stage cascades multiply path counts" ~count:20 n_and_seed (fun (n, seed) ->
+        (* Gluing a Banyan network with the reverse of another Banyan
+           of the same size gives exactly 2^(n-1) paths per pair:
+           counts compose as matrix products of all-ones rows. *)
+        let rng = rng_of seed in
+        let a = C.of_mi_digraph (random_banyan_pipid rng ~n) in
+        let b = C.of_mi_digraph (Mineq.Mi_digraph.reverse (random_banyan_pipid rng ~n)) in
+        let counts = C.path_counts (C.concat a b) in
+        let expected = 1 lsl (n - 1) in
+        Array.for_all (Array.for_all (fun w -> w = expected)) counts);
+    qcheck "square cascades round trip" ~count:20 n_and_seed (fun (n, seed) ->
+        let g = random_banyan_pipid (rng_of seed) ~n in
+        match C.to_mi_digraph (C.of_mi_digraph g) with
+        | Some h -> M.equal g h
+        | None -> false)
+  ]
+
+let suite =
+  [ quick "of/to MI-digraph" test_of_mi_digraph;
+    quick "concat" test_concat;
+    quick "path counts" test_path_counts;
+    quick "reverse" test_reverse;
+    quick "route validity" test_route_validity;
+    quick "link disjointness" test_link_disjoint;
+    quick "create validation" test_create_validation;
+    quick "unrolled shuffle-exchange = omega" test_unrolled_shuffle_exchange_is_omega
+  ]
+  @ props

@@ -1,0 +1,84 @@
+open Helpers
+module Circuit = Mineq_sim.Circuit
+module Perm = Mineq_perm.Perm
+
+let omega n = Mineq.Classical.network Omega ~n
+
+let test_identity_inadmissible () =
+  (* Structural fact of the straight-wired model: co-located inputs
+     to co-located outputs always collide. *)
+  List.iter
+    (fun (name, g) ->
+      check_false (name ^ " identity inadmissible") (Circuit.identity_is_admissible g))
+    (all_classical ~n:4)
+
+let test_schedule_covers_all_pairs () =
+  let g = omega 4 in
+  let p = Perm.random (rng_of 140) 16 in
+  let pairs = List.init 16 (fun i -> (i, Perm.apply p i)) in
+  let s = Circuit.greedy_schedule g pairs in
+  check_int "rounds counted" (List.length s.rounds) s.round_count;
+  let scheduled = List.concat s.rounds in
+  check_int "all pairs placed" 16 (List.length scheduled);
+  Alcotest.(check (list (pair int int)))
+    "exactly the input pairs"
+    (List.sort compare pairs)
+    (List.sort compare scheduled)
+
+let test_rounds_are_admissible () =
+  let g = omega 4 in
+  let p = Perm.random (rng_of 141) 16 in
+  let pairs = List.init 16 (fun i -> (i, Perm.apply p i)) in
+  let s = Circuit.greedy_schedule g pairs in
+  List.iter
+    (fun round -> check_true "round is conflict-free" (Mineq.Routing.is_admissible g round))
+    s.rounds
+
+let test_rounds_bounds () =
+  let g = omega 4 in
+  let p = Perm.random (rng_of 142) 16 in
+  let r = Circuit.rounds_needed g p in
+  check_true "at least one round" (r >= 1);
+  check_true "at most N rounds" (r <= 16)
+
+let test_average_rounds_reasonable () =
+  let avg = Circuit.average_rounds (rng_of 143) (omega 4) ~samples:30 in
+  (* Random permutations on a 16-terminal Omega need a handful of
+     passes; the greedy schedule lands between 2 and 6 on average. *)
+  check_true "average in plausible band" (avg >= 1.5 && avg <= 6.0)
+
+let test_size_validation () =
+  Alcotest.check_raises "wrong permutation size"
+    (Invalid_argument "Circuit.rounds_needed: permutation size") (fun () ->
+      ignore (Circuit.rounds_needed (omega 3) (Perm.identity 4)))
+
+let props =
+  [ qcheck "greedy never needs more rounds than pairs" ~count:15
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let g = omega 3 in
+        let p = Perm.random (rng_of seed) 8 in
+        let r = Circuit.rounds_needed g p in
+        r >= 1 && r <= 8);
+    qcheck "equivalent networks need statistically similar rounds" ~count:5
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        (* Not a per-permutation invariant (labelling matters for a
+           specific permutation), but averages over many random
+           permutations must be close. *)
+        let a = Circuit.average_rounds (rng_of seed) (omega 4) ~samples:40 in
+        let b =
+          Circuit.average_rounds (rng_of (seed + 1)) (Mineq.Baseline.network 4) ~samples:40
+        in
+        Float.abs (a -. b) < 1.0)
+  ]
+
+let suite =
+  [ quick "identity inadmissible (model property)" test_identity_inadmissible;
+    quick "schedule covers all pairs" test_schedule_covers_all_pairs;
+    quick "rounds are admissible" test_rounds_are_admissible;
+    quick "round bounds" test_rounds_bounds;
+    quick "average rounds plausible" test_average_rounds_reasonable;
+    quick "size validation" test_size_validation
+  ]
+  @ props

@@ -1,0 +1,125 @@
+open Helpers
+module Cl = Mineq.Classical
+module M = Mineq.Mi_digraph
+module Perm = Mineq_perm.Perm
+
+let test_inventory () =
+  check_int "six networks" 6 (List.length Cl.all_kinds);
+  check_int "all_networks matches" 6 (List.length (Cl.all_networks ~n:3));
+  List.iter
+    (fun k ->
+      match Cl.of_name (Cl.name k) with
+      | Some k' -> check_true "name round trip" (k = k')
+      | None -> Alcotest.fail ("name not parsed: " ^ Cl.name k))
+    Cl.all_kinds
+
+let test_aliases () =
+  check_true "cube alias" (Cl.of_name "cube" = Some Cl.Indirect_binary_cube);
+  check_true "mdm alias" (Cl.of_name "MDM" = Some Cl.Modified_data_manipulator);
+  check_true "case insensitive" (Cl.of_name "OMEGA" = Some Cl.Omega);
+  check_true "unknown rejected" (Cl.of_name "banana" = None)
+
+let test_theta_counts () =
+  List.iter
+    (fun k -> check_int (Cl.name k ^ " gap count") 4 (List.length (Cl.thetas k ~n:5)))
+    Cl.all_kinds
+
+let test_omega_is_uniform_shuffle () =
+  let thetas = Cl.thetas Cl.Omega ~n:5 in
+  let sigma = Mineq_perm.Pipid_family.perfect_shuffle ~width:5 in
+  List.iter (fun t -> check_true "every gap is sigma" (Perm.equal t sigma)) thetas
+
+let test_flip_is_reverse_omega () =
+  for n = 3 to 6 do
+    check_true
+      (Printf.sprintf "flip = reverse of omega (n=%d)" n)
+      (M.equal (Cl.network Cl.Flip ~n) (M.reverse (Cl.network Cl.Omega ~n)))
+  done
+
+let test_mdm_is_reverse_cube () =
+  for n = 3 to 6 do
+    check_true
+      (Printf.sprintf "mdm = reverse of cube (n=%d)" n)
+      (M.equal
+         (Cl.network Cl.Modified_data_manipulator ~n)
+         (M.reverse (Cl.network Cl.Indirect_binary_cube ~n)))
+  done
+
+let test_all_distinct_as_labelled_graphs () =
+  (* The six constructions give six distinct labelled digraphs for
+     n >= 3 (they are isomorphic but not equal). *)
+  let nets = Cl.all_networks ~n:4 in
+  List.iteri
+    (fun i (name_i, gi) ->
+      List.iteri
+        (fun j (name_j, gj) ->
+          if i < j then
+            check_false (Printf.sprintf "%s <> %s" name_i name_j) (M.equal gi gj))
+        nets)
+    nets
+
+let test_all_banyan_and_independent () =
+  List.iter
+    (fun (name, g) ->
+      check_true (name ^ " Banyan") (Mineq.Banyan.is_banyan g);
+      List.iter
+        (fun c ->
+          check_true (name ^ " stages independent") (Mineq.Connection.is_independent c))
+        (M.connections g))
+    (Cl.all_networks ~n:5)
+
+let test_cube_stage_structure () =
+  (* Gap i of the cube uses butterfly beta_i: the routing bit lands at
+     node-label position i - 1... verified through the PIPID slot. *)
+  let n = 5 in
+  List.iteri
+    (fun idx theta ->
+      let gap = idx + 1 in
+      match Mineq.Pipid_net.routing_bit_slot ~n theta with
+      | None -> Alcotest.fail "cube stages are not degenerate"
+      | Some slot -> check_int (Printf.sprintf "cube gap %d slot" gap) (gap - 1) slot)
+    (Cl.thetas Cl.Indirect_binary_cube ~n)
+
+let test_n2_collapse () =
+  (* At n = 2 all six networks coincide: one crossbar gap. *)
+  let nets = Cl.all_networks ~n:2 in
+  match nets with
+  | (_, first) :: rest ->
+      List.iter (fun (name, g) -> check_true ("n=2 " ^ name) (M.equal first g)) rest
+  | [] -> Alcotest.fail "no networks"
+
+let test_thetas_requires_n2 () =
+  Alcotest.check_raises "n=1 rejected" (Invalid_argument "Classical.thetas: need n >= 2")
+    (fun () -> ignore (Cl.thetas Cl.Omega ~n:1))
+
+let props =
+  let kind_gen =
+    QCheck.make
+      ~print:(fun (k, n) -> Printf.sprintf "%s n=%d" (Cl.name k) n)
+      QCheck.Gen.(
+        pair (oneofl Cl.all_kinds) (int_range 2 6))
+  in
+  [ qcheck "every classical network passes every decider" ~count:40 kind_gen (fun (k, n) ->
+        let g = Cl.network k ~n in
+        (Mineq.Equivalence.by_independence g).equivalent
+        && (Mineq.Equivalence.by_characterization g).equivalent);
+    qcheck "classical networks are delta" ~count:20 kind_gen (fun (k, n) ->
+        Mineq.Routing.is_delta (Cl.network k ~n));
+    qcheck "classical networks satisfy the buddy properties" ~count:20 kind_gen
+      (fun (k, n) -> Mineq.Properties.has_buddy_property (Cl.network k ~n))
+  ]
+
+let suite =
+  [ quick "inventory" test_inventory;
+    quick "name aliases" test_aliases;
+    quick "theta counts" test_theta_counts;
+    quick "omega = shuffle stack" test_omega_is_uniform_shuffle;
+    quick "flip reverses omega" test_flip_is_reverse_omega;
+    quick "mdm reverses cube" test_mdm_is_reverse_cube;
+    quick "six distinct labelled graphs" test_all_distinct_as_labelled_graphs;
+    quick "all Banyan with independent stages" test_all_banyan_and_independent;
+    quick "cube stage slots" test_cube_stage_structure;
+    quick "n=2 collapse" test_n2_collapse;
+    quick "n bounds" test_thetas_requires_n2
+  ]
+  @ props

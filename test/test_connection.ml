@@ -1,0 +1,329 @@
+open Helpers
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module C = Mineq.Connection
+
+let shift_conn width =
+  (* The Baseline-style first stage: f x = x >> 1, g sets the top bit. *)
+  C.make ~width ~f:(fun x -> x lsr 1) ~g:(fun x -> (x lsr 1) lor (1 lsl (width - 1)))
+
+let test_basic_accessors () =
+  let c = shift_conn 3 in
+  check_int "width" 3 (C.width c);
+  check_int "half" 8 (C.half c);
+  check_int "f" 0b010 (C.f c 0b101);
+  check_int "g" 0b110 (C.g c 0b101);
+  let cf, cg = C.children c 0b101 in
+  check_int "children f" 0b010 cf;
+  check_int "children g" 0b110 cg
+
+let test_parents () =
+  let c = shift_conn 3 in
+  Alcotest.(check (list int)) "parents of 010" [ 0b100; 0b101 ] (List.sort compare (C.parents c 0b010));
+  Alcotest.(check (list int)) "parents of 110" [ 0b100; 0b101 ] (List.sort compare (C.parents c 0b110))
+
+let test_double_link_parents () =
+  let c = C.make ~width:2 ~f:(fun x -> x) ~g:(fun x -> x) in
+  Alcotest.(check (list int)) "double link parent listed twice" [ 1; 1 ] (C.parents c 1)
+
+let test_swap_equal_graph () =
+  let c = shift_conn 4 in
+  check_true "swap preserves the graph" (C.equal_graph c (C.swap c));
+  check_false "different graphs differ"
+    (C.equal_graph c (C.make ~width:4 ~f:(fun x -> x) ~g:(fun x -> x lxor 1)))
+
+let test_is_mi_stage () =
+  check_true "shift stage valid" (C.is_mi_stage (shift_conn 4));
+  check_true "identity double-link stage valid"
+    (C.is_mi_stage (C.make ~width:3 ~f:(fun x -> x) ~g:(fun x -> x)));
+  check_false "constant stage invalid"
+    (C.is_mi_stage (C.make ~width:3 ~f:(fun _ -> 0) ~g:(fun _ -> 1)));
+  let degs = C.in_degrees (C.make ~width:2 ~f:(fun _ -> 0) ~g:(fun _ -> 1)) in
+  Alcotest.(check (array int)) "in degrees" [| 4; 4; 0; 0 |] degs
+
+let test_witness_shift () =
+  let c = shift_conn 3 in
+  (* f (x xor alpha) = (x xor alpha) >> 1 = f x xor (alpha >> 1). *)
+  (match C.witness c 0b100 with
+  | Some beta -> check_int "beta of 100" 0b010 beta
+  | None -> Alcotest.fail "shift stage is independent");
+  (match C.witness c 0b001 with
+  | Some beta -> check_int "beta of 001 is 0" 0 beta
+  | None -> Alcotest.fail "alpha = 001 has witness 0")
+
+let test_witness_rejects () =
+  (* A valid MI stage that is not independent: swap two f-images of a
+     linear stage.  width 3: f = id except 0 <-> 1 swapped. *)
+  let f x = if x = 0 then 1 else if x = 1 then 0 else x in
+  let c = C.make ~width:3 ~f ~g:(fun x -> x lxor 0b100) in
+  check_true "still a valid stage" (C.is_mi_stage c);
+  check_false "not independent" (C.is_independent c);
+  check_false "definitional agrees" (C.is_independent_definitional c)
+
+let test_zero_alpha_rejected () =
+  Alcotest.check_raises "alpha = 0" (Invalid_argument "Connection.witness: alpha must be non-zero")
+    (fun () -> ignore (C.witness (shift_conn 3) 0))
+
+let test_independence_shift () =
+  let c = shift_conn 5 in
+  check_true "shift stage independent" (C.is_independent c);
+  check_true "definitional agrees" (C.is_independent_definitional c)
+
+let test_linear_form () =
+  let c = shift_conn 4 in
+  match C.linear_form c with
+  | None -> Alcotest.fail "expected linear form"
+  | Some (b, cf, cg) ->
+      check_int "cf" 0 cf;
+      check_int "cg" 0b1000 cg;
+      Bv.iter_universe ~width:4 ~f:(fun x ->
+          check_int "f matches B x xor cf" (C.f c x) (Gf2.apply b x lxor cf);
+          check_int "g matches B x xor cg" (C.g c x) (Gf2.apply b x lxor cg))
+
+let test_of_linear_round_trip () =
+  let rng = rng_of 42 in
+  for _ = 1 to 20 do
+    let b = Gf2.random_invertible rng 4 in
+    let cf = Random.State.int rng 16 and cg = Random.State.int rng 16 in
+    let c = C.of_linear ~width:4 b ~cf ~cg in
+    check_true "linear connection independent" (C.is_independent c);
+    match C.linear_form c with
+    | None -> Alcotest.fail "linear form must exist"
+    | Some (b', cf', cg') ->
+        check_true "matrix recovered" (Gf2.equal b b');
+        check_int "cf recovered" cf cf';
+        check_int "cg recovered" cg cg'
+  done
+
+let test_random_independent_valid () =
+  let rng = rng_of 43 in
+  for width = 1 to 6 do
+    for _ = 1 to 10 do
+      let c = C.random_independent rng ~width in
+      check_true "independent" (C.is_independent c);
+      check_true "valid MI stage" (C.is_mi_stage c)
+    done
+  done
+
+let test_random_any_valid () =
+  let rng = rng_of 44 in
+  for width = 1 to 6 do
+    for _ = 1 to 10 do
+      check_true "valid MI stage" (C.is_mi_stage (C.random_any rng ~width))
+    done
+  done
+
+let test_reverse_any () =
+  let c = shift_conn 4 in
+  let r = C.reverse_any c in
+  check_true "reverse is a valid stage" (C.is_mi_stage r);
+  (* Reversing the arcs: child y of x in c means x is child of y in r. *)
+  Bv.iter_universe ~width:4 ~f:(fun x ->
+      let cf, cg = C.children c x in
+      List.iter
+        (fun y -> check_true "arc reversed" (List.mem x (C.children r y |> fun (a, b) -> [ a; b ])))
+        [ cf; cg ])
+
+let test_reverse_independent_case1 () =
+  (* Invertible B: both f and g are bijections. *)
+  let rng = rng_of 45 in
+  let b = Gf2.random_invertible rng 4 in
+  let c = C.of_linear ~width:4 b ~cf:3 ~cg:9 in
+  match C.reverse_independent c with
+  | None -> Alcotest.fail "reverse must exist"
+  | Some r ->
+      check_true "reverse independent" (C.is_independent r);
+      check_true "reverse valid" (C.is_mi_stage r);
+      (* equal_graph compares arc multisets, so the f/g split chosen
+         by either construction is immaterial. *)
+      check_true "reverse has the reversed arcs" (C.equal_graph (C.reverse_any c) r)
+
+let test_reverse_independent_case2 () =
+  (* Corank-1 B built deterministically: project out the top bit then
+     permute; cf xor cg outside the image. *)
+  let width = 4 in
+  let b =
+    Gf2.create ~rows:width ~cols:width (fun i j -> i = j && i < width - 1)
+  in
+  let c = C.of_linear ~width b ~cf:0 ~cg:(1 lsl (width - 1)) in
+  check_true "case-2 stage is valid" (C.is_mi_stage c);
+  check_true "case-2 stage is independent" (C.is_independent c);
+  match C.reverse_independent c with
+  | None -> Alcotest.fail "Proposition 1 guarantees a reverse"
+  | Some r ->
+      check_true "reverse is independent (Proposition 1)" (C.is_independent r);
+      check_true "reverse is a valid stage" (C.is_mi_stage r)
+
+let test_reverse_independent_rejects_dependent () =
+  let f x = if x = 0 then 1 else if x = 1 then 0 else x in
+  let c = C.make ~width:3 ~f ~g:(fun x -> x lxor 0b100) in
+  check_true "input not independent gives None" (Option.is_none (C.reverse_independent c))
+
+let test_reverse_any_preserves_independence () =
+  (* Pleasant surprise, kept as a regression: reverse_any's
+     first-seen pairing IS independent whenever the input is.  Its
+     min-of-the-two-parents choice clears the top bit in which the two
+     parents differ — a linear projection — so the resulting split is
+     affine; in the corank-1 case this coincides exactly with
+     Proposition 1's subspace construction. *)
+  let rng = rng_of 46 in
+  for _ = 1 to 50 do
+    let c = C.random_independent rng ~width:5 in
+    check_true "reverse_any split is independent" (C.is_independent (C.reverse_any c))
+  done
+
+let test_independent_split () =
+  (* An unlucky split of an independent graph: swap the f/g roles at
+     a single point.  The graph is unchanged; the stored split is no
+     longer affine. *)
+  let rng = rng_of 47 in
+  let found_unlucky = ref false in
+  for _ = 1 to 30 do
+    let c = C.random_independent rng ~width:4 in
+    if C.f c 0 <> C.g c 0 then begin
+      let swapped =
+        C.make ~width:4
+          ~f:(fun x -> if x = 0 then C.g c 0 else C.f c x)
+          ~g:(fun x -> if x = 0 then C.f c 0 else C.g c x)
+      in
+      check_true "same graph after the point swap" (C.equal_graph c swapped);
+      if not (C.is_independent swapped) then begin
+        found_unlucky := true;
+        match C.independent_split swapped with
+        | None -> Alcotest.fail "the graph does admit an independent split"
+        | Some r' ->
+            check_true "re-split is independent" (C.is_independent r');
+            check_true "same graph" (C.equal_graph swapped r')
+      end
+    end
+  done;
+  check_true "unlucky splits occur (otherwise this test is vacuous)" !found_unlucky;
+  (* A graph with no independent decomposition at all. *)
+  let f x = if x = 0 then 1 else if x = 1 then 0 else x in
+  let dependent = C.make ~width:3 ~f ~g:(fun x -> x lxor 0b100) in
+  check_true "dependent graph has no split" (Option.is_none (C.independent_split dependent));
+  (* Splits of already-independent connections are found. *)
+  let c = shift_conn 4 in
+  (match C.independent_split c with
+  | Some c' -> check_true "found and equal as a graph" (C.equal_graph c c')
+  | None -> Alcotest.fail "independent connection must admit a split")
+
+let test_to_arcs () =
+  let c = shift_conn 2 in
+  let arcs = C.to_arcs c in
+  check_int "arc count" 8 (List.length arcs);
+  check_true "contains f arc" (List.mem (0b11, 0b01) arcs);
+  check_true "contains g arc" (List.mem (0b11, 0b11) arcs)
+
+(* Properties ------------------------------------------------------- *)
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (w, s) -> Printf.sprintf "w=%d seed=%d" w s)
+      QCheck.Gen.(pair (int_range 1 6) (int_bound 100000))
+  in
+  [ qcheck "basis independence check equals definitional check" ~count:200 gen
+      (fun (w, seed) ->
+        let rng = rng_of seed in
+        (* Mix independent and arbitrary stages to exercise both
+           outcomes. *)
+        let c =
+          if Random.State.bool rng then C.random_independent rng ~width:w
+          else C.random_any rng ~width:w
+        in
+        C.is_independent c = C.is_independent_definitional c);
+    qcheck "witness map is linear (beta of xor = xor of betas)" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let c = C.random_independent rng ~width:w in
+        let a1 = 1 + Random.State.int rng ((1 lsl w) - 1) in
+        let a2 = 1 + Random.State.int rng ((1 lsl w) - 1) in
+        if a1 = a2 then true
+        else
+          match (C.witness c a1, C.witness c a2, C.witness c (a1 lxor a2)) with
+          | Some b1, Some b2, Some b12 -> b12 = b1 lxor b2
+          | _ -> false);
+    qcheck "linear form reproduces the connection" gen (fun (w, seed) ->
+        let c = C.random_independent (rng_of seed) ~width:w in
+        match C.linear_form c with
+        | None -> false
+        | Some (b, cf, cg) ->
+            Bv.fold_universe ~width:w ~init:true ~f:(fun acc x ->
+                acc && C.f c x = Gf2.apply b x lxor cf && C.g c x = Gf2.apply b x lxor cg));
+    qcheck "independent stage: B invertible or corank 1 with offset outside image" gen
+      (fun (w, seed) ->
+        let c = C.random_independent (rng_of seed) ~width:w in
+        match C.linear_form c with
+        | None -> false
+        | Some (b, cf, cg) ->
+            let rank = Gf2.rank b in
+            if rank = w then true
+            else
+              rank = w - 1
+              && Option.is_none (Gf2.solve b (cf lxor cg)));
+    qcheck "reverse of reverse has the original arcs" gen (fun (w, seed) ->
+        let c = C.random_any (rng_of seed) ~width:w in
+        C.equal_graph c (C.reverse_any (C.reverse_any c)));
+    qcheck "Proposition 1: reverse of independent is independent" ~count:200 gen
+      (fun (w, seed) ->
+        let c = C.random_independent (rng_of seed) ~width:w in
+        match C.reverse_independent c with
+        | None -> false
+        | Some r ->
+            C.is_independent r && C.is_mi_stage r
+            (* r must carry exactly the reversed arcs: reversing it
+               again gives back c's arc multiset. *)
+            && C.equal_graph (C.reverse_any r) c);
+    qcheck "independent_split succeeds on any reverse of an independent stage" ~count:100
+      gen (fun (w, seed) ->
+        (* Proposition 1 in split-insensitive form: the reversed graph
+           always admits an independent decomposition. *)
+        let c = C.random_independent (rng_of seed) ~width:w in
+        match C.independent_split (C.reverse_any c) with
+        | Some r -> C.is_independent r
+        | None -> false);
+    qcheck "independent_split is sound" ~count:100 gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let c =
+          if Random.State.bool rng then C.random_independent rng ~width:w
+          else C.random_any rng ~width:w
+        in
+        match C.independent_split c with
+        | Some c' -> C.is_independent c' && C.equal_graph c c'
+        | None -> not (C.is_independent c));
+    qcheck "random_any stages are rarely independent at width >= 3" ~count:50
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        (* Statistical sanity: over 50 samples at width 4 we expect
+           none independent; accept the run if fewer than 3 are. *)
+        let rng = rng_of seed in
+        let independent = ref 0 in
+        for _ = 1 to 10 do
+          if C.is_independent (C.random_any rng ~width:4) then incr independent
+        done;
+        !independent <= 1)
+  ]
+
+let suite =
+  [ quick "accessors" test_basic_accessors;
+    quick "parents" test_parents;
+    quick "double link parents" test_double_link_parents;
+    quick "swap and graph equality" test_swap_equal_graph;
+    quick "MI stage validity" test_is_mi_stage;
+    quick "witness on shift stage" test_witness_shift;
+    quick "witness rejects dependent stage" test_witness_rejects;
+    quick "zero alpha rejected" test_zero_alpha_rejected;
+    quick "independence of shift stage" test_independence_shift;
+    quick "linear form" test_linear_form;
+    quick "of_linear round trip" test_of_linear_round_trip;
+    quick "random independent stages valid" test_random_independent_valid;
+    quick "random stages valid" test_random_any_valid;
+    quick "reverse_any" test_reverse_any;
+    quick "reverse_any preserves independence" test_reverse_any_preserves_independence;
+    quick "independent_split (canonical re-split)" test_independent_split;
+    quick "Proposition 1 case 1" test_reverse_independent_case1;
+    quick "Proposition 1 case 2" test_reverse_independent_case2;
+    quick "reverse_independent rejects dependent" test_reverse_independent_rejects_dependent;
+    quick "to_arcs" test_to_arcs
+  ]
+  @ props

@@ -1,0 +1,76 @@
+open Helpers
+module Cx = Mineq.Counterexample
+module E = Mineq.Equivalence
+
+let test_random_banyan () =
+  let rng = rng_of 100 in
+  match Cx.random_banyan rng ~n:3 ~attempts:500 with
+  | None -> Alcotest.fail "expected a random Banyan at n=3"
+  | Some g -> check_true "banyan" (Mineq.Banyan.is_banyan g)
+
+let test_random_buddy_banyan () =
+  let rng = rng_of 101 in
+  match Cx.random_buddy_banyan rng ~n:4 ~attempts:2000 with
+  | None -> Alcotest.fail "expected a buddy Banyan at n=4"
+  | Some g ->
+      check_true "banyan" (Mineq.Banyan.is_banyan g);
+      check_true "buddy" (Mineq.Properties.has_buddy_property g)
+
+let test_agrawal_gap () =
+  (* The fact the paper leans on: buddy properties do NOT characterize
+     equivalence. *)
+  let rng = rng_of 102 in
+  match Cx.find_non_equivalent rng ~n:4 ~attempts:5000 ~require_buddy:true with
+  | None -> Alcotest.fail "expected Agrawal-gap instance at n=4"
+  | Some g ->
+      check_true "banyan" (Mineq.Banyan.is_banyan g);
+      check_true "buddy everywhere" (Mineq.Properties.has_buddy_property g);
+      check_false "but not equivalent" (E.by_characterization g).equivalent;
+      check_false "ground truth agrees" (E.by_isomorphism g).equivalent
+
+let test_attempt_exhaustion () =
+  let rng = rng_of 103 in
+  (* attempts = 0 must return None immediately. *)
+  check_true "zero attempts" (Option.is_none (Cx.random_banyan rng ~n:3 ~attempts:0))
+
+let test_relabelled_equivalent () =
+  let rng = rng_of 104 in
+  let g = Mineq.Baseline.network 4 in
+  let h = Cx.relabelled_equivalent rng g in
+  check_true "still valid" (Mineq.Mi_digraph.is_valid h);
+  check_true "still banyan" (Mineq.Banyan.is_banyan h);
+  check_true "still equivalent" (E.by_characterization h).equivalent;
+  check_true "isomorphic to original"
+    (Option.is_some (Mineq.Iso_min.find g h))
+
+let props =
+  [ qcheck "buddy generator always satisfies buddy" ~count:40 n_and_seed (fun (n, seed) ->
+        Mineq.Properties.has_buddy_property
+          (Cx.random_buddy_network (rng_of seed) ~n));
+    qcheck "non-equivalent finds are never false positives" ~count:10
+      (QCheck.make
+         ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+         QCheck.Gen.(pair (int_range 3 4) (int_bound 100000)))
+      (fun (n, seed) ->
+        match
+          Cx.find_non_equivalent (rng_of seed) ~n ~attempts:800 ~require_buddy:false
+        with
+        | None -> true
+        | Some g ->
+            Mineq.Banyan.is_banyan g && not (E.by_isomorphism g).equivalent);
+    qcheck "relabelling is an equivalence-class operation" ~count:20 n_and_seed
+      (fun (n, seed) ->
+        let rng = rng_of seed in
+        let g = random_banyan_pipid rng ~n in
+        let h = Cx.relabelled_equivalent rng g in
+        (E.by_characterization g).equivalent = (E.by_characterization h).equivalent)
+  ]
+
+let suite =
+  [ quick "random banyan generator" test_random_banyan;
+    quick "buddy banyan generator" test_random_buddy_banyan;
+    quick "Agrawal gap (X2)" test_agrawal_gap;
+    quick "attempt exhaustion" test_attempt_exhaustion;
+    quick "relabelled equivalent" test_relabelled_equivalent
+  ]
+  @ props

@@ -1,0 +1,126 @@
+open Helpers
+module D = Mineq_graph.Digraph
+
+let diamond () = D.create ~vertices:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_create_and_degrees () =
+  let g = diamond () in
+  check_int "vertices" 4 (D.vertices g);
+  check_int "arcs" 4 (D.arc_count g);
+  check_int "out degree" 2 (D.out_degree g 0);
+  check_int "in degree" 2 (D.in_degree g 3);
+  check_int "in degree of source" 0 (D.in_degree g 0);
+  Alcotest.(check (list int)) "succ" [ 1; 2 ] (List.sort compare (D.succ g 0));
+  Alcotest.(check (list int)) "pred" [ 1; 2 ] (List.sort compare (D.pred g 3))
+
+let test_bad_arcs () =
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Digraph.create: arc endpoint out of range") (fun () ->
+      ignore (D.create ~vertices:2 [ (0, 2) ]))
+
+let test_parallel_arcs () =
+  let g = D.create ~vertices:2 [ (0, 1); (0, 1) ] in
+  check_int "multiplicity" 2 (D.arc_multiplicity g 0 1);
+  check_int "arc count" 2 (D.arc_count g);
+  check_int "out degree counts both" 2 (D.out_degree g 0);
+  check_int "in degree counts both" 2 (D.in_degree g 1);
+  check_true "has_arc" (D.has_arc g 0 1);
+  check_false "no reverse arc" (D.has_arc g 1 0)
+
+let test_reverse () =
+  let g = diamond () in
+  let r = D.reverse g in
+  check_true "reversed arc" (D.has_arc r 1 0);
+  check_false "original direction gone" (D.has_arc r 0 1);
+  check_true "double reverse is original" (D.equal g (D.reverse r))
+
+let test_of_succ () =
+  let g = D.of_succ [| [| 1 |]; [| 0; 0 |] |] in
+  check_int "parallel from succ" 2 (D.arc_multiplicity g 1 0);
+  check_int "arcs" 3 (D.arc_count g)
+
+let test_map_vertices () =
+  let g = diamond () in
+  let m = D.map_vertices g (fun v -> 3 - v) in
+  check_true "arc mapped" (D.has_arc m 3 2);
+  check_true "arc mapped 2" (D.has_arc m 1 0);
+  check_false "old arcs gone" (D.has_arc m 0 1);
+  Alcotest.check_raises "non-bijection rejected"
+    (Invalid_argument "Digraph.map_vertices: not a bijection") (fun () ->
+      ignore (D.map_vertices g (fun _ -> 0)))
+
+let test_equal () =
+  let g1 = D.create ~vertices:3 [ (0, 1); (1, 2) ] in
+  let g2 = D.create ~vertices:3 [ (1, 2); (0, 1) ] in
+  check_true "arc order irrelevant" (D.equal g1 g2);
+  check_false "different arcs" (D.equal g1 (D.create ~vertices:3 [ (0, 1); (2, 1) ]));
+  check_false "different sizes" (D.equal g1 (D.create ~vertices:4 [ (0, 1); (1, 2) ]))
+
+let test_union () =
+  let g1 = D.create ~vertices:3 [ (0, 1) ] in
+  let g2 = D.create ~vertices:3 [ (1, 2) ] in
+  let u = D.union g1 g2 in
+  check_int "union arcs" 2 (D.arc_count u);
+  check_true "arc from g1" (D.has_arc u 0 1);
+  check_true "arc from g2" (D.has_arc u 1 2)
+
+let test_induced () =
+  let g = diamond () in
+  let sub, back = D.induced g [ 0; 1; 3 ] in
+  check_int "induced vertices" 3 (D.vertices sub);
+  check_int "induced arcs" 2 (D.arc_count sub);
+  check_true "kept arc" (D.has_arc sub 0 1);
+  check_true "kept arc via back map" (back.(2) = 3);
+  check_false "arc through removed vertex gone" (D.has_arc sub 0 2)
+
+let test_arcs_listing () =
+  let g = diamond () in
+  check_int "arcs list length" 4 (List.length (D.arcs g));
+  List.iter (fun (u, v) -> check_true "listed arcs exist" (D.has_arc g u v)) (D.arcs g)
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+      QCheck.Gen.(pair (int_range 1 30) (int_bound 100000))
+  in
+  let random_graph (n, seed) =
+    let rng = rng_of seed in
+    let m = Random.State.int rng (3 * n) in
+    D.create ~vertices:n
+      (List.init m (fun _ -> (Random.State.int rng n, Random.State.int rng n)))
+  in
+  [ qcheck "reverse preserves arc count" gen (fun p ->
+        let g = random_graph p in
+        D.arc_count g = D.arc_count (D.reverse g));
+    qcheck "degree sums equal arc count" gen (fun p ->
+        let g = random_graph p in
+        let n = D.vertices g in
+        let outs = List.init n (fun v -> D.out_degree g v) in
+        let ins = List.init n (fun v -> D.in_degree g v) in
+        List.fold_left ( + ) 0 outs = D.arc_count g
+        && List.fold_left ( + ) 0 ins = D.arc_count g);
+    qcheck "map by identity is equal" gen (fun p ->
+        let g = random_graph p in
+        D.equal g (D.map_vertices g (fun v -> v)));
+    qcheck "map round trip" gen (fun (n, seed) ->
+        let g = random_graph (n, seed) in
+        let perm = Mineq_perm.Perm.random (rng_of (seed + 1)) (D.vertices g) in
+        let mapped = D.map_vertices g (Mineq_perm.Perm.apply perm) in
+        let back = D.map_vertices mapped (Mineq_perm.Perm.apply (Mineq_perm.Perm.inverse perm)) in
+        D.equal g back)
+  ]
+
+let suite =
+  [ quick "create and degrees" test_create_and_degrees;
+    quick "bad arcs rejected" test_bad_arcs;
+    quick "parallel arcs" test_parallel_arcs;
+    quick "reverse" test_reverse;
+    quick "of_succ" test_of_succ;
+    quick "map_vertices" test_map_vertices;
+    quick "equal" test_equal;
+    quick "union" test_union;
+    quick "induced subgraph" test_induced;
+    quick "arcs listing" test_arcs_listing
+  ]
+  @ props

@@ -1,0 +1,79 @@
+open Helpers
+module Dsu = Mineq_graph.Dsu
+module D = Mineq_graph.Digraph
+
+let test_initial () =
+  let t = Dsu.create 5 in
+  check_int "initial sets" 5 (Dsu.set_count t);
+  check_false "initially separate" (Dsu.same t 0 4);
+  check_int "singleton size" 1 (Dsu.set_size t 3)
+
+let test_union () =
+  let t = Dsu.create 5 in
+  check_true "first union merges" (Dsu.union t 0 1);
+  check_false "repeat union is no-op" (Dsu.union t 1 0);
+  check_true "same after union" (Dsu.same t 0 1);
+  check_int "sets decreased" 4 (Dsu.set_count t);
+  check_int "merged size" 2 (Dsu.set_size t 0);
+  ignore (Dsu.union t 2 3);
+  ignore (Dsu.union t 0 3);
+  check_int "chained size" 4 (Dsu.set_size t 1);
+  check_true "transitivity" (Dsu.same t 1 2)
+
+let test_find_canonical () =
+  let t = Dsu.create 6 in
+  ignore (Dsu.union t 0 1);
+  ignore (Dsu.union t 1 2);
+  ignore (Dsu.union t 2 3);
+  let r = Dsu.find t 0 in
+  List.iter (fun x -> check_int "same representative" r (Dsu.find t x)) [ 1; 2; 3 ]
+
+let test_components_of_digraph () =
+  let g = D.create ~vertices:6 [ (0, 1); (1, 2); (4, 3) ] in
+  let t = Dsu.components_of_digraph g in
+  check_int "three components" 3 (Dsu.set_count t);
+  check_true "0 with 2" (Dsu.same t 0 2);
+  check_true "3 with 4" (Dsu.same t 3 4);
+  check_false "5 isolated" (Dsu.same t 5 0)
+
+let props =
+  [ qcheck "agrees with BFS component count"
+      (QCheck.make
+         ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+         QCheck.Gen.(pair (int_range 1 30) (int_bound 100000)))
+      (fun (n, seed) ->
+        let rng = rng_of seed in
+        let m = Random.State.int rng (2 * n) in
+        let g =
+          D.create ~vertices:n
+            (List.init m (fun _ -> (Random.State.int rng n, Random.State.int rng n)))
+        in
+        Dsu.set_count (Dsu.components_of_digraph g) = Mineq_graph.Traverse.component_count g);
+    qcheck "window component counts: DSU = BFS" ~count:40 n_and_seed (fun (n, seed) ->
+        let rng = rng_of seed in
+        let g = Mineq.Link_spec.random_network rng ~n in
+        let lo = 1 + Random.State.int rng n in
+        let hi = lo + Random.State.int rng (n - lo + 1) in
+        Mineq.Properties.component_count g ~lo ~hi
+        = Mineq.Properties.component_count_dsu g ~lo ~hi);
+    qcheck "set sizes sum to n"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let n = 2 + Random.State.int rng 30 in
+        let t = Dsu.create n in
+        for _ = 1 to n do
+          ignore (Dsu.union t (Random.State.int rng n) (Random.State.int rng n))
+        done;
+        let reps = List.sort_uniq compare (List.init n (Dsu.find t)) in
+        List.length reps = Dsu.set_count t
+        && List.fold_left (fun acc r -> acc + Dsu.set_size t r) 0 reps = n)
+  ]
+
+let suite =
+  [ quick "initial state" test_initial;
+    quick "union" test_union;
+    quick "canonical find" test_find_canonical;
+    quick "digraph components" test_components_of_digraph
+  ]
+  @ props

@@ -1,0 +1,151 @@
+open Helpers
+module F = Mineq.Faults
+module C = Mineq.Cascade
+
+let baseline_cascade n = C.of_mi_digraph (Mineq.Baseline.network n)
+
+let test_banyan_zero_tolerance () =
+  (* Any single link fault in a Banyan disconnects pairs. *)
+  let c = baseline_cascade 3 in
+  check_false "baseline not fault tolerant" (F.is_single_fault_tolerant c);
+  let total_links = (C.stages c - 1) * C.cells_per_stage c * 2 in
+  check_int "every link is critical" total_links (F.critical_fault_count c)
+
+let test_benes_tolerance () =
+  let benes = Mineq.Benes.network 3 in
+  check_true "benes single-fault tolerant" (F.is_single_fault_tolerant benes);
+  check_int "no critical links" 0 (F.critical_fault_count benes)
+
+let test_link_impact_counts () =
+  (* A stage-s link of an n-stage Banyan carries the paths of
+     2^(s-1) sources to 2^(n-s-1) sinks. *)
+  let n = 4 in
+  let c = baseline_cascade n in
+  let check_gap gap =
+    let i = F.impact c [ F.Link { gap; cell = 0; port = 0 } ] in
+    let expected = (1 lsl (gap - 1)) * (1 lsl (n - gap - 1)) in
+    check_int (Printf.sprintf "gap %d disconnects 2^(s-1) * 2^(n-s-1)" gap) expected
+      i.disconnected_pairs;
+    check_int "no degradation in a banyan" 0 i.degraded_pairs
+  in
+  List.iter check_gap [ 1; 2; 3 ]
+
+let test_cell_fault () =
+  let c = baseline_cascade 3 in
+  (* Killing a stage-1 cell severs its whole reachability cone: the
+     source itself reaches nothing. *)
+  let i = F.impact c [ F.Cell { stage = 1; cell = 0 } ] in
+  check_int "source loses all sinks" (C.cells_per_stage c) i.disconnected_pairs;
+  (* Killing a middle cell hurts several sources. *)
+  let i = F.impact c [ F.Cell { stage = 2; cell = 0 } ] in
+  check_true "middle cell hurts more than one pair" (i.disconnected_pairs > 1)
+
+let test_benes_degradation () =
+  (* In the Benes network a link fault degrades (removes paths) but
+     never disconnects. *)
+  let benes = Mineq.Benes.network 3 in
+  let i = F.impact benes [ F.Link { gap = 3; cell = 0; port = 0 } ] in
+  check_int "nothing disconnected" 0 i.disconnected_pairs;
+  check_true "some pairs degraded" (i.degraded_pairs > 0)
+
+let test_multiple_faults () =
+  let benes = Mineq.Benes.network 2 in
+  (* B(2) has path diversity 2: killing both stage-1 out-links of a
+     cell disconnects it. *)
+  let faults = [ F.Link { gap = 1; cell = 0; port = 0 }; F.Link { gap = 1; cell = 0; port = 1 } ] in
+  let i = F.impact benes faults in
+  check_true "double fault disconnects" (i.disconnected_pairs > 0)
+
+let test_validation () =
+  let c = baseline_cascade 3 in
+  Alcotest.check_raises "bad gap" (Invalid_argument "Faults: bad gap") (fun () ->
+      ignore (F.impact c [ F.Link { gap = 3; cell = 0; port = 0 } ]));
+  Alcotest.check_raises "bad port" (Invalid_argument "Faults: bad port") (fun () ->
+      ignore (F.impact c [ F.Link { gap = 1; cell = 0; port = 2 } ]));
+  Alcotest.check_raises "bad stage" (Invalid_argument "Faults: bad stage") (fun () ->
+      ignore (F.impact c [ F.Cell { stage = 0; cell = 0 } ]))
+
+let test_single_link_report_shape () =
+  let c = baseline_cascade 3 in
+  let report = F.single_link_impacts c in
+  check_int "one entry per link" ((C.stages c - 1) * C.cells_per_stage c * 2)
+    (List.length report)
+
+let test_survival_probability () =
+  let rng = rng_of 850 in
+  let c = baseline_cascade 3 in
+  Alcotest.(check (float 1e-9)) "no faults always survive" 1.0
+    (F.survival_probability rng c ~faults:0 ~samples:20);
+  Alcotest.(check (float 1e-9)) "banyan never survives one fault" 0.0
+    (F.survival_probability rng c ~faults:1 ~samples:50);
+  let benes = Mineq.Benes.network 3 in
+  Alcotest.(check (float 1e-9)) "benes always survives one fault" 1.0
+    (F.survival_probability rng benes ~faults:1 ~samples:50);
+  let p2 = F.survival_probability rng benes ~faults:2 ~samples:100 in
+  let p6 = F.survival_probability rng benes ~faults:6 ~samples:100 in
+  check_true "survival decreases with fault count" (p2 >= p6);
+  Alcotest.check_raises "too many faults"
+    (Invalid_argument "Faults.survival_probability: fault count") (fun () ->
+      ignore (F.survival_probability rng c ~faults:1000 ~samples:1))
+
+let test_route_around () =
+  let benes = Mineq.Benes.network 3 in
+  let fault = F.Link { gap = 2; cell = 0; port = 0 } in
+  (* Every pair still routes around a single fault in the Benes. *)
+  for input = 0 to 7 do
+    for output = 0 to 7 do
+      match F.route_around benes [ fault ] ~input ~output with
+      | None -> Alcotest.fail "benes routes around any single fault"
+      | Some r ->
+          check_true "route valid on the cascade" (C.route_is_valid benes r);
+          (* The dead link is the f-link of cell 0 at gap 2: a route
+             through cell 0 at stage 2 must continue to the g-child
+             (distinct from the f-child in the Benes). *)
+          let cf, cg = Mineq.Connection.children (C.connection benes 2) 0 in
+          check_true "distinct children" (cf <> cg);
+          check_true "avoids the fault" (not (r.C.cells.(1) = 0 && r.C.cells.(2) = cf))
+    done
+  done;
+  (* A Banyan pair severed by its unique path's fault gets None. *)
+  let c = baseline_cascade 3 in
+  (match Mineq.Routing.route (Mineq.Baseline.network 3) ~input:0 ~output:7 with
+  | None -> Alcotest.fail "path exists"
+  | Some p ->
+      let gap = 1 in
+      let fault = F.Link { gap; cell = p.Mineq.Routing.cells.(0); port = p.Mineq.Routing.ports.(0) } in
+      check_true "severed pair unroutable"
+        (Option.is_none (F.route_around c [ fault ] ~input:0 ~output:7));
+      check_true "other pairs still route"
+        (Option.is_some (F.route_around c [ fault ] ~input:4 ~output:0)))
+
+let props =
+  [ qcheck "every single link fault in a Banyan disconnects exactly its cone" ~count:20
+      n_and_seed (fun (n, seed) ->
+        let g = random_banyan_pipid (rng_of seed) ~n in
+        let c = C.of_mi_digraph g in
+        List.for_all
+          (fun (f, i) ->
+            match f with
+            | F.Link { gap; _ } ->
+                i.F.disconnected_pairs = (1 lsl (gap - 1)) * (1 lsl (n - gap - 1))
+            | F.Cell _ -> true)
+          (F.single_link_impacts c));
+    qcheck "no fault means no impact" ~count:10 n_and_seed (fun (n, seed) ->
+        let c = C.of_mi_digraph (random_banyan_pipid (rng_of seed) ~n) in
+        let i = F.impact c [] in
+        i.F.disconnected_pairs = 0 && i.F.degraded_pairs = 0)
+  ]
+
+let suite =
+  [ quick "banyan zero tolerance" test_banyan_zero_tolerance;
+    quick "benes tolerance" test_benes_tolerance;
+    quick "link impact cone sizes" test_link_impact_counts;
+    quick "cell faults" test_cell_fault;
+    quick "benes degradation" test_benes_degradation;
+    quick "multiple faults" test_multiple_faults;
+    quick "survival probability" test_survival_probability;
+    quick "route around faults" test_route_around;
+    quick "validation" test_validation;
+    quick "report shape" test_single_link_report_shape
+  ]
+  @ props

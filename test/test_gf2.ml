@@ -1,0 +1,152 @@
+open Helpers
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+
+let m_of_rows cols rows = Gf2.of_rows ~cols (Array.of_list rows)
+
+let test_identity () =
+  let i3 = Gf2.identity 3 in
+  check_int "rows" 3 (Gf2.rows i3);
+  check_int "cols" 3 (Gf2.cols i3);
+  for x = 0 to 7 do
+    check_int "identity acts trivially" x (Gf2.apply i3 x)
+  done;
+  check_int "identity rank" 3 (Gf2.rank i3);
+  check_true "identity invertible" (Gf2.is_invertible i3)
+
+let test_entry_row_column () =
+  let m = m_of_rows 3 [ 0b101; 0b010 ] in
+  check_true "entry 0 0" (Gf2.entry m 0 0);
+  check_false "entry 0 1" (Gf2.entry m 0 1);
+  check_int "row 1" 0b010 (Gf2.row m 1);
+  check_int "column 0 = rows' bit 0" 0b01 (Gf2.column m 0);
+  check_int "column 1" 0b10 (Gf2.column m 1);
+  check_int "column 2" 0b01 (Gf2.column m 2)
+
+let test_apply () =
+  (* Matrix [[1 0 1]; [0 1 0]]: y0 = x0 xor x2, y1 = x1. *)
+  let m = m_of_rows 3 [ 0b101; 0b010 ] in
+  check_int "apply 101" 0b00 (Gf2.apply m 0b101);
+  check_int "apply 100" 0b01 (Gf2.apply m 0b100);
+  check_int "apply 010" 0b10 (Gf2.apply m 0b010)
+
+let test_mul () =
+  let a = m_of_rows 2 [ 0b01; 0b11 ] in
+  let b = m_of_rows 2 [ 0b10; 0b01 ] in
+  let ab = Gf2.mul a b in
+  for x = 0 to 3 do
+    check_int "mul = composed apply" (Gf2.apply a (Gf2.apply b x)) (Gf2.apply ab x)
+  done
+
+let test_transpose () =
+  let m = m_of_rows 3 [ 0b101; 0b010 ] in
+  let t = Gf2.transpose m in
+  check_int "transpose rows" 3 (Gf2.rows t);
+  check_int "transpose cols" 2 (Gf2.cols t);
+  check_true "transpose entry" (Gf2.entry t 0 0);
+  check_true "double transpose" (Gf2.equal m (Gf2.transpose t))
+
+let test_rank_singular () =
+  let singular = m_of_rows 3 [ 0b101; 0b101; 0b010 ] in
+  check_int "rank with repeated row" 2 (Gf2.rank singular);
+  check_false "singular not invertible" (Gf2.is_invertible singular);
+  check_true "inverse of singular is None" (Option.is_none (Gf2.inverse singular));
+  check_int "zero matrix rank" 0 (Gf2.rank (Gf2.zero ~rows:3 ~cols:3))
+
+let test_inverse () =
+  let m = m_of_rows 3 [ 0b011; 0b110; 0b001 ] in
+  match Gf2.inverse m with
+  | None -> Alcotest.fail "expected invertible"
+  | Some inv ->
+      check_true "m * inv = I" (Gf2.equal (Gf2.mul m inv) (Gf2.identity 3));
+      check_true "inv * m = I" (Gf2.equal (Gf2.mul inv m) (Gf2.identity 3))
+
+let test_kernel () =
+  let m = m_of_rows 3 [ 0b101; 0b010 ] in
+  let kernel = Gf2.kernel_basis m in
+  check_int "kernel dim" 1 (List.length kernel);
+  List.iter (fun v -> check_int "kernel vector maps to 0" 0 (Gf2.apply m v)) kernel;
+  check_int "full-rank kernel trivial" 0 (List.length (Gf2.kernel_basis (Gf2.identity 4)))
+
+let test_solve () =
+  let m = m_of_rows 3 [ 0b101; 0b010 ] in
+  (match Gf2.solve m 0b11 with
+  | None -> Alcotest.fail "expected solvable"
+  | Some x -> check_int "solution checks" 0b11 (Gf2.apply m x));
+  (* Inconsistent system: row 0 = row 1 but different rhs bits. *)
+  let m2 = m_of_rows 2 [ 0b11; 0b11 ] in
+  check_true "inconsistent detected" (Option.is_none (Gf2.solve m2 0b01))
+
+let test_of_linear_map () =
+  let f x = ((x lsl 1) lor (x lsr 2)) land 7 in
+  (* Rotation is linear. *)
+  check_true "rotation is linear" (Gf2.is_linear ~width:3 f);
+  let m = Gf2.of_linear_map ~width:3 f in
+  for x = 0 to 7 do
+    check_int "matrix matches map" (f x) (Gf2.apply m x)
+  done;
+  check_false "xor-with-constant not linear" (Gf2.is_linear ~width:3 (fun x -> x lxor 1));
+  check_false "and-shift not linear" (Gf2.is_linear ~width:3 (fun x -> if x = 3 then 1 else 0))
+
+let test_add () =
+  let a = m_of_rows 2 [ 0b01; 0b11 ] in
+  check_true "a + a = 0" (Gf2.equal (Gf2.add a a) (Gf2.zero ~rows:2 ~cols:2))
+
+let test_row_space () =
+  let m = m_of_rows 3 [ 0b101; 0b101; 0b010; 0b111 ] in
+  check_int "row space dim" 2 (List.length (Gf2.row_space_basis m))
+
+let props =
+  let random_matrix_gen =
+    QCheck.make
+      ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+      QCheck.Gen.(pair (int_range 1 6) (int_bound 100000))
+  in
+  [ qcheck "random invertible is invertible" random_matrix_gen (fun (n, seed) ->
+        Gf2.is_invertible (Gf2.random_invertible (rng_of seed) n));
+    qcheck "inverse round trip" random_matrix_gen (fun (n, seed) ->
+        let m = Gf2.random_invertible (rng_of seed) n in
+        match Gf2.inverse m with
+        | None -> false
+        | Some inv -> Gf2.equal (Gf2.mul m inv) (Gf2.identity n));
+    qcheck "apply distributes over xor" random_matrix_gen (fun (n, seed) ->
+        let rng = rng_of seed in
+        let m = Gf2.random_invertible rng n in
+        let bound = Bv.universe_size ~width:n in
+        let x = Random.State.int rng bound and y = Random.State.int rng bound in
+        Gf2.apply m (x lxor y) = Gf2.apply m x lxor Gf2.apply m y);
+    qcheck "rank of product bounded" random_matrix_gen (fun (n, seed) ->
+        let rng = rng_of seed in
+        let a = Gf2.random_invertible rng n in
+        let rows = Array.init n (fun _ -> Random.State.int rng (1 lsl n)) in
+        let b = Gf2.of_rows ~cols:n rows in
+        Gf2.rank (Gf2.mul a b) = Gf2.rank b);
+    qcheck "kernel dim + rank = cols" random_matrix_gen (fun (n, seed) ->
+        let rng = rng_of seed in
+        let rows = Array.init n (fun _ -> Random.State.int rng (1 lsl n)) in
+        let m = Gf2.of_rows ~cols:n rows in
+        List.length (Gf2.kernel_basis m) + Gf2.rank m = n);
+    qcheck "solve finds preimages of applied vectors" random_matrix_gen (fun (n, seed) ->
+        let rng = rng_of seed in
+        let rows = Array.init n (fun _ -> Random.State.int rng (1 lsl n)) in
+        let m = Gf2.of_rows ~cols:n rows in
+        let x = Random.State.int rng (1 lsl n) in
+        let b = Gf2.apply m x in
+        match Gf2.solve m b with None -> false | Some y -> Gf2.apply m y = b)
+  ]
+
+let suite =
+  [ quick "identity" test_identity;
+    quick "entry/row/column" test_entry_row_column;
+    quick "apply" test_apply;
+    quick "mul" test_mul;
+    quick "transpose" test_transpose;
+    quick "rank of singular" test_rank_singular;
+    quick "inverse" test_inverse;
+    quick "kernel" test_kernel;
+    quick "solve" test_solve;
+    quick "of_linear_map / is_linear" test_of_linear_map;
+    quick "add" test_add;
+    quick "row space basis" test_row_space
+  ]
+  @ props

@@ -1,0 +1,95 @@
+open Helpers
+module Perm = Mineq_perm.Perm
+module Ip = Mineq_perm.Index_perm
+module Family = Mineq_perm.Pipid_family
+
+let test_identity_induces_identity () =
+  check_true "identity theta"
+    (Perm.is_identity (Ip.induce ~width:4 (Perm.identity 4)))
+
+let test_shuffle_example () =
+  (* Perfect shuffle at width 3: (x2,x1,x0) -> (x1,x0,x2): 5 = 101 ->
+     011 = 3. *)
+  let sigma = Family.perfect_shuffle ~width:3 in
+  let a = Ip.induce ~width:3 sigma in
+  check_int "shuffle of 101" 0b011 (Perm.apply a 0b101);
+  check_int "shuffle of 100" 0b001 (Perm.apply a 0b100);
+  check_int "shuffle of 001" 0b010 (Perm.apply a 0b001);
+  check_int "shuffle fixes 0" 0 (Perm.apply a 0);
+  check_int "shuffle fixes all-ones" 0b111 (Perm.apply a 0b111)
+
+let test_apply_theta_matches_induce () =
+  let rng = rng_of 3 in
+  for _ = 1 to 20 do
+    let theta = Perm.random rng 5 in
+    let a = Ip.induce ~width:5 theta in
+    for x = 0 to 31 do
+      check_int "pointwise agreement" (Perm.apply a x) (Ip.apply_theta ~width:5 theta x)
+    done
+  done
+
+let test_recognize () =
+  let rng = rng_of 4 in
+  for _ = 1 to 20 do
+    let theta = Perm.random rng 4 in
+    match Ip.recognize ~width:4 (Ip.induce ~width:4 theta) with
+    | None -> Alcotest.fail "induced permutation not recognized"
+    | Some t -> check_true "theta recovered" (Perm.equal t theta)
+  done
+
+let test_recognize_rejects () =
+  (* xor-with-1 is a bijection fixing no basis structure: not PIPID. *)
+  let p = Perm.of_fun ~size:16 (fun x -> x lxor 1) in
+  check_false "xor translation is not PIPID" (Ip.is_pipid ~width:4 p);
+  (* A transposition of two arbitrary points. *)
+  let q = Perm.transposition ~size:16 3 5 in
+  check_false "point swap is not PIPID" (Ip.is_pipid ~width:4 q);
+  (* A linear but non-monomial map: x -> (x0 xor x1, x1): images of
+     units are not all units. *)
+  let lin = Perm.of_fun ~size:4 (fun x -> ((x lxor (x lsr 1)) land 1) lor (x land 2)) in
+  check_false "non-monomial linear map is not PIPID" (Ip.is_pipid ~width:2 lin)
+
+let test_compose_law () =
+  let rng = rng_of 5 in
+  for _ = 1 to 10 do
+    let t1 = Perm.random rng 4 and t2 = Perm.random rng 4 in
+    check_true "contravariant composition" (Ip.compose_law ~width:4 t1 t2)
+  done
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (w, s) -> Printf.sprintf "w=%d seed=%d" w s)
+      QCheck.Gen.(pair (int_range 1 8) (int_bound 100000))
+  in
+  [ qcheck "induced permutation is linear" gen (fun (w, seed) ->
+        let theta = Perm.random (rng_of seed) w in
+        let a = Ip.induce ~width:w theta in
+        Mineq_bitvec.Gf2_matrix.is_linear ~width:w (Perm.apply a));
+    qcheck "induce of inverse is inverse of induce" gen (fun (w, seed) ->
+        let theta = Perm.random (rng_of seed) w in
+        Perm.equal
+          (Ip.induce ~width:w (Perm.inverse theta))
+          (Perm.inverse (Ip.induce ~width:w theta)));
+    qcheck "recognition round trip" gen (fun (w, seed) ->
+        let theta = Perm.random (rng_of seed) w in
+        match Ip.recognize ~width:w (Ip.induce ~width:w theta) with
+        | None -> false
+        | Some t -> Perm.equal t theta);
+    qcheck "induced permutation preserves popcount" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let theta = Perm.random rng w in
+        let a = Ip.induce ~width:w theta in
+        let x = Random.State.int rng (1 lsl w) in
+        Mineq_bitvec.Bv.popcount (Perm.apply a x) = Mineq_bitvec.Bv.popcount x)
+  ]
+
+let suite =
+  [ quick "identity induces identity" test_identity_induces_identity;
+    quick "perfect shuffle example" test_shuffle_example;
+    quick "apply_theta matches induce" test_apply_theta_matches_induce;
+    quick "recognize recovers theta" test_recognize;
+    quick "recognize rejects non-PIPID" test_recognize_rejects;
+    quick "composition law" test_compose_law
+  ]
+  @ props

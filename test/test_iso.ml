@@ -1,0 +1,112 @@
+open Helpers
+module D = Mineq_graph.Digraph
+module Iso = Mineq_graph.Iso
+module Perm = Mineq_perm.Perm
+
+let cycle n = D.create ~vertices:n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let test_trivial () =
+  let g = cycle 5 in
+  check_true "graph isomorphic to itself" (Iso.are_isomorphic g g);
+  (match Iso.find_isomorphism g g with
+  | None -> Alcotest.fail "self isomorphism must exist"
+  | Some m -> check_true "certificate verifies" (Iso.is_isomorphism g g m))
+
+let test_relabelled () =
+  let g = D.create ~vertices:5 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ] in
+  let p = Perm.of_array [| 4; 2; 0; 1; 3 |] in
+  let h = D.map_vertices g (Perm.apply p) in
+  match Iso.find_isomorphism g h with
+  | None -> Alcotest.fail "relabelled graph must be isomorphic"
+  | Some m -> check_true "certificate verifies" (Iso.is_isomorphism g h m)
+
+let test_non_isomorphic () =
+  check_false "cycle vs path"
+    (Iso.are_isomorphic (cycle 4) (D.create ~vertices:4 [ (0, 1); (1, 2); (2, 3) ]));
+  check_false "different sizes" (Iso.are_isomorphic (cycle 3) (cycle 4));
+  (* Same degree sequences, different structure: two directed
+     triangles vs one directed hexagon. *)
+  let two_triangles =
+    D.create ~vertices:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+  in
+  check_false "2C3 vs C6" (Iso.are_isomorphic two_triangles (cycle 6))
+
+let test_orientation_matters () =
+  (* A path in each direction: isomorphic (map reverses), but a
+     "source-sink" pair is not isomorphic to "two sources". *)
+  let fork = D.create ~vertices:3 [ (0, 1); (0, 2) ] in
+  let merge = D.create ~vertices:3 [ (1, 0); (2, 0) ] in
+  check_false "fork vs merge" (Iso.are_isomorphic fork merge)
+
+let test_parallel_arc_multiplicity () =
+  let double = D.create ~vertices:2 [ (0, 1); (0, 1) ] in
+  let plus_loopless = D.create ~vertices:2 [ (0, 1) ] in
+  check_false "multiplicity distinguishes" (Iso.are_isomorphic double plus_loopless);
+  let double2 = D.create ~vertices:2 [ (0, 1); (0, 1) ] in
+  check_true "equal multigraphs isomorphic" (Iso.are_isomorphic double double2)
+
+let test_refinement_invariant () =
+  let g = cycle 6 in
+  let hist = Iso.colour_histogram g in
+  (* A directed cycle is vertex-transitive: single colour class. *)
+  check_int "one colour class" 1 (List.length hist);
+  let fork = D.create ~vertices:3 [ (0, 1); (0, 2) ] in
+  check_int "fork has two classes" 2 (List.length (Iso.colour_histogram fork))
+
+let test_automorphisms () =
+  check_int "directed cycle has n rotations" 5 (Iso.count_automorphisms (cycle 5));
+  let fork = D.create ~vertices:3 [ (0, 1); (0, 2) ] in
+  check_int "fork has leaf swap" 2 (Iso.count_automorphisms fork);
+  let rigid = D.create ~vertices:3 [ (0, 1); (1, 2) ] in
+  check_int "directed path is rigid" 1 (Iso.count_automorphisms rigid)
+
+let test_limit () =
+  (* With a tiny node limit the search must bail out with Failure. *)
+  let g = cycle 12 in
+  let h = D.map_vertices g (fun v -> (v + 5) mod 12) in
+  match Iso.find_isomorphism ~limit:2 g h with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected node-limit failure"
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+      QCheck.Gen.(pair (int_range 2 12) (int_bound 100000))
+  in
+  let random_graph (n, seed) =
+    let rng = rng_of seed in
+    let m = Random.State.int rng (2 * n) in
+    D.create ~vertices:n
+      (List.init m (fun _ -> (Random.State.int rng n, Random.State.int rng n)))
+  in
+  [ qcheck "relabelling preserves isomorphism" gen (fun (n, seed) ->
+        let g = random_graph (n, seed) in
+        let p = Perm.random (rng_of (seed + 1)) n in
+        let h = D.map_vertices g (Perm.apply p) in
+        match Iso.find_isomorphism g h with
+        | None -> false
+        | Some m -> Iso.is_isomorphism g h m);
+    qcheck "adding an arc breaks isomorphism" gen (fun (n, seed) ->
+        let g = random_graph (n, seed) in
+        let rng = rng_of (seed + 2) in
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        let h = D.union g (D.create ~vertices:n [ (u, v) ]) in
+        not (Iso.are_isomorphic g h));
+    qcheck "isomorphism is symmetric" gen (fun (n, seed) ->
+        let g = random_graph (n, seed) in
+        let h = random_graph (n, seed + 3) in
+        Iso.are_isomorphic g h = Iso.are_isomorphic h g)
+  ]
+
+let suite =
+  [ quick "self isomorphism" test_trivial;
+    quick "relabelled graphs" test_relabelled;
+    quick "non-isomorphic graphs" test_non_isomorphic;
+    quick "orientation matters" test_orientation_matters;
+    quick "parallel arc multiplicity" test_parallel_arc_multiplicity;
+    quick "colour refinement" test_refinement_invariant;
+    quick "automorphism counting" test_automorphisms;
+    quick "node limit" test_limit
+  ]
+  @ props

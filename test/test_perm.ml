@@ -1,0 +1,132 @@
+open Helpers
+module Perm = Mineq_perm.Perm
+
+let test_identity () =
+  let id = Perm.identity 5 in
+  check_true "is identity" (Perm.is_identity id);
+  check_int "size" 5 (Perm.size id);
+  for i = 0 to 4 do
+    check_int "fixes all" i (Perm.apply id i)
+  done
+
+let test_of_array_validation () =
+  check_int "valid perm applies" 2 (Perm.apply (Perm.of_array [| 1; 2; 0 |]) 1);
+  Alcotest.check_raises "repeated image" (Invalid_argument "Perm.of_array: image repeated")
+    (fun () -> ignore (Perm.of_array [| 0; 0; 1 |]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Perm.of_array: image out of range")
+    (fun () -> ignore (Perm.of_array [| 0; 3; 1 |]))
+
+let test_compose_inverse () =
+  let p = Perm.of_array [| 1; 2; 0 |] in
+  let q = Perm.of_array [| 2; 1; 0 |] in
+  (* compose p q applies q first. *)
+  check_int "compose order" (Perm.apply p (Perm.apply q 0)) (Perm.apply (Perm.compose p q) 0);
+  check_true "inverse cancels" (Perm.is_identity (Perm.compose p (Perm.inverse p)));
+  check_true "inverse cancels other side" (Perm.is_identity (Perm.compose (Perm.inverse p) p))
+
+let test_power_order () =
+  let p = Perm.of_array [| 1; 2; 0; 4; 3 |] in
+  (* 3-cycle and a transposition: order lcm(3,2) = 6. *)
+  check_int "order" 6 (Perm.order p);
+  check_true "power order = id" (Perm.is_identity (Perm.power p 6));
+  check_false "power below order" (Perm.is_identity (Perm.power p 3));
+  check_true "negative power" (Perm.equal (Perm.power p (-1)) (Perm.inverse p));
+  check_true "power 0" (Perm.is_identity (Perm.power p 0))
+
+let test_cycles () =
+  let p = Perm.of_array [| 1; 2; 0; 4; 3; 5 |] in
+  Alcotest.(check (list (list int)))
+    "cycle decomposition"
+    [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Perm.cycles p);
+  check_true "odd permutation (one transposition)" (Perm.parity_odd (Perm.transposition ~size:4 1 3));
+  check_false "3-cycle is even" (Perm.parity_odd (Perm.of_array [| 1; 2; 0 |]))
+
+let test_fixed_points () =
+  let p = Perm.of_array [| 0; 2; 1; 3 |] in
+  Alcotest.(check (list int)) "fixed points" [ 0; 3 ] (Perm.fixed_points p)
+
+let test_transposition_rotation () =
+  let t = Perm.transposition ~size:5 1 3 in
+  check_int "swaps forward" 3 (Perm.apply t 1);
+  check_int "swaps backward" 1 (Perm.apply t 3);
+  check_int "fixes others" 2 (Perm.apply t 2);
+  let r = Perm.rotation ~size:5 2 in
+  check_int "rotation" 2 (Perm.apply r 0);
+  check_int "rotation wraps" 1 (Perm.apply r 4);
+  check_true "negative rotation" (Perm.equal (Perm.rotation ~size:5 (-2)) (Perm.rotation ~size:5 3))
+
+let test_orbit () =
+  let p = Perm.of_array [| 1; 2; 0; 3 |] in
+  Alcotest.(check (list int)) "orbit of 0" [ 0; 1; 2 ] (Perm.orbit p 0);
+  Alcotest.(check (list int)) "orbit of fixed point" [ 3 ] (Perm.orbit p 3)
+
+let test_generate () =
+  check_int "trivial group" 1 (Perm.group_order ~size:4 []);
+  check_int "one transposition generates C2" 2
+    (Perm.group_order ~size:4 [ Perm.transposition ~size:4 0 1 ]);
+  (* Rotation generates the cyclic group. *)
+  check_int "rotation generates C5" 5 (Perm.group_order ~size:5 [ Perm.rotation ~size:5 1 ]);
+  (* n-cycle + adjacent transposition generate the full symmetric
+     group: the PIPID generators sigma and beta_1 do exactly this on
+     digit indices. *)
+  let sigma = Mineq_perm.Pipid_family.perfect_shuffle ~width:4 in
+  let beta1 = Mineq_perm.Pipid_family.butterfly ~width:4 1 in
+  check_int "shuffle + butterfly generate S4" 24 (Perm.group_order ~size:4 [ sigma; beta1 ]);
+  let sigma5 = Mineq_perm.Pipid_family.perfect_shuffle ~width:5 in
+  let beta1_5 = Mineq_perm.Pipid_family.butterfly ~width:5 1 in
+  check_int "shuffle + butterfly generate S5" 120
+    (Perm.group_order ~size:5 [ sigma5; beta1_5 ]);
+  (* Closure is a group: closed under composition. *)
+  let group = Perm.generate ~size:4 [ sigma; beta1 ] in
+  check_true "closed under composition"
+    (List.for_all
+       (fun p -> List.for_all (fun q -> List.mem (Perm.compose p q) group) group)
+       group);
+  (* The limit guard. *)
+  match Perm.generate ~limit:3 ~size:5 [ sigma5; beta1_5 ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected limit failure"
+
+let props =
+  let perm_gen =
+    QCheck.make
+      ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+      QCheck.Gen.(pair (int_range 1 40) (int_bound 100000))
+  in
+  [ qcheck "random is a permutation" perm_gen (fun (n, seed) ->
+        let p = Perm.random (rng_of seed) n in
+        let img = Perm.to_array p in
+        List.sort compare (Array.to_list img) = List.init n (fun i -> i));
+    qcheck "inverse involutive" perm_gen (fun (n, seed) ->
+        let p = Perm.random (rng_of seed) n in
+        Perm.equal p (Perm.inverse (Perm.inverse p)));
+    qcheck "compose associative" perm_gen (fun (n, seed) ->
+        let rng = rng_of seed in
+        let p = Perm.random rng n and q = Perm.random rng n and r = Perm.random rng n in
+        Perm.equal (Perm.compose (Perm.compose p q) r) (Perm.compose p (Perm.compose q r)));
+    qcheck "order divides factorial-ish: power order is id" perm_gen (fun (n, seed) ->
+        let p = Perm.random (rng_of seed) n in
+        Perm.is_identity (Perm.power p (Perm.order p)));
+    qcheck "cycles partition the domain" perm_gen (fun (n, seed) ->
+        let p = Perm.random (rng_of seed) n in
+        let all = List.concat (Perm.cycles p) in
+        List.sort compare all = List.init n (fun i -> i));
+    qcheck "parity is a homomorphism" perm_gen (fun (n, seed) ->
+        let rng = rng_of seed in
+        let p = Perm.random rng n and q = Perm.random rng n in
+        Perm.parity_odd (Perm.compose p q) = (Perm.parity_odd p <> Perm.parity_odd q))
+  ]
+
+let suite =
+  [ quick "identity" test_identity;
+    quick "of_array validation" test_of_array_validation;
+    quick "compose and inverse" test_compose_inverse;
+    quick "power and order" test_power_order;
+    quick "cycles and parity" test_cycles;
+    quick "fixed points" test_fixed_points;
+    quick "transposition and rotation" test_transposition_rotation;
+    quick "orbit" test_orbit;
+    quick "subgroup generation" test_generate
+  ]
+  @ props

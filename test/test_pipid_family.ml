@@ -1,0 +1,107 @@
+open Helpers
+module Perm = Mineq_perm.Perm
+module Ip = Mineq_perm.Index_perm
+module Family = Mineq_perm.Pipid_family
+
+let induce = Ip.induce
+
+let test_shuffle_is_rotation () =
+  (* sigma^width is the identity (full cycle). *)
+  let s = Family.perfect_shuffle ~width:5 in
+  check_int "shuffle order" 5 (Perm.order s);
+  check_true "inverse shuffle is the inverse"
+    (Perm.equal (Family.inverse_shuffle ~width:5) (Perm.inverse s))
+
+let test_sub_shuffle_limits () =
+  check_true "sub-shuffle at full width is the shuffle"
+    (Perm.equal (Family.sub_shuffle ~width:5 5) (Family.perfect_shuffle ~width:5));
+  check_true "1-sub-shuffle is identity" (Perm.is_identity (Family.sub_shuffle ~width:5 1));
+  Alcotest.check_raises "k = 0 rejected"
+    (Invalid_argument "Pipid_family.sub_shuffle: need 1 <= k <= width") (fun () ->
+      ignore (Family.sub_shuffle ~width:5 0))
+
+let test_sub_shuffle_fixes_high_bits () =
+  let s = induce ~width:5 (Family.sub_shuffle ~width:5 3) in
+  for x = 0 to 31 do
+    check_int "high bits fixed" (x lsr 3) (Perm.apply s x lsr 3)
+  done
+
+let test_butterfly () =
+  let b = Family.butterfly ~width:4 2 in
+  check_true "butterfly is an involution" (Perm.is_identity (Perm.compose b b));
+  let a = induce ~width:4 b in
+  (* Swap bits 0 and 2: 0b0001 <-> 0b0100. *)
+  check_int "butterfly swaps" 0b0100 (Perm.apply a 0b0001);
+  check_int "butterfly swaps back" 0b0001 (Perm.apply a 0b0100);
+  check_int "butterfly fixes bit 1" 0b0010 (Perm.apply a 0b0010);
+  Alcotest.check_raises "k = width rejected"
+    (Invalid_argument "Pipid_family.butterfly: need 1 <= k <= width - 1") (fun () ->
+      ignore (Family.butterfly ~width:4 4))
+
+let test_bit_reversal () =
+  let r = Family.bit_reversal ~width:4 in
+  check_true "reversal is an involution" (Perm.is_identity (Perm.compose r r));
+  let a = induce ~width:4 r in
+  check_int "reverse 0001" 0b1000 (Perm.apply a 0b0001);
+  check_int "reverse 0011" 0b1100 (Perm.apply a 0b0011);
+  check_int "reverse palindrome" 0b1001 (Perm.apply a 0b1001)
+
+let test_shuffle_via_doubling () =
+  (* The perfect shuffle on card decks: position i of 2^w goes to
+     2i mod (2^w - 1) (except the last).  Check the induced map
+     matches the doubling formula. *)
+  let w = 4 in
+  let n = 1 lsl w in
+  let a = induce ~width:w (Family.perfect_shuffle ~width:w) in
+  for x = 0 to n - 2 do
+    check_int "doubling formula" (2 * x mod (n - 1)) (Perm.apply a x)
+  done;
+  check_int "top element fixed" (n - 1) (Perm.apply a (n - 1))
+
+let test_all_named () =
+  let named = Family.all_named ~width:4 in
+  check_true "contains sigma" (List.mem_assoc "sigma" named);
+  check_true "contains rho" (List.mem_assoc "rho" named);
+  check_true "contains beta_2" (List.mem_assoc "beta_2" named);
+  check_true "contains sigma_3^-1" (List.mem_assoc "sigma_3^-1" named);
+  List.iter
+    (fun (name, p) ->
+      check_int ("size of " ^ name) 4 (Perm.size p))
+    named
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (w, k) -> Printf.sprintf "w=%d k=%d" w k)
+      QCheck.Gen.(int_range 2 8 >>= fun w -> map (fun k -> (w, k)) (int_range 1 (w - 1)))
+  in
+  [ qcheck "sub-shuffle order is k" gen (fun (w, k) ->
+        Perm.order (Family.sub_shuffle ~width:w k) = max k 1);
+    qcheck "butterfly self-inverse" gen (fun (w, k) ->
+        let b = Family.butterfly ~width:w k in
+        Perm.equal b (Perm.inverse b));
+    qcheck "induced maps agree with tuple semantics" gen (fun (w, k) ->
+        (* bit j of induced image = bit theta(j) of argument. *)
+        let theta = Family.sub_shuffle ~width:w k in
+        let a = induce ~width:w theta in
+        let ok = ref true in
+        for x = 0 to (1 lsl w) - 1 do
+          let y = Perm.apply a x in
+          for j = 0 to w - 1 do
+            if Mineq_bitvec.Bv.bit y j <> Mineq_bitvec.Bv.bit x (Perm.apply theta j) then
+              ok := false
+          done
+        done;
+        !ok)
+  ]
+
+let suite =
+  [ quick "shuffle rotation structure" test_shuffle_is_rotation;
+    quick "sub-shuffle limit cases" test_sub_shuffle_limits;
+    quick "sub-shuffle fixes high bits" test_sub_shuffle_fixes_high_bits;
+    quick "butterfly" test_butterfly;
+    quick "bit reversal" test_bit_reversal;
+    quick "shuffle doubling formula" test_shuffle_via_doubling;
+    quick "all_named inventory" test_all_named
+  ]
+  @ props

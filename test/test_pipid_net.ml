@@ -1,0 +1,164 @@
+open Helpers
+module Pn = Mineq.Pipid_net
+module C = Mineq.Connection
+module Perm = Mineq_perm.Perm
+module Ip = Mineq_perm.Index_perm
+module Family = Mineq_perm.Pipid_family
+
+let test_degenerate_detection () =
+  let n = 4 in
+  check_true "identity theta degenerate" (Pn.is_degenerate ~n (Perm.identity n));
+  check_false "shuffle not degenerate" (Pn.is_degenerate ~n (Family.perfect_shuffle ~width:n));
+  check_true "no slot when degenerate"
+    (Option.is_none (Pn.routing_bit_slot ~n (Perm.identity n)));
+  (* theta fixing 0 but moving others is still degenerate. *)
+  let t = Perm.transposition ~size:n 1 3 in
+  check_true "0-fixing theta degenerate" (Pn.is_degenerate ~n t)
+
+let test_closed_form_equals_link_perm () =
+  let rng = rng_of 50 in
+  for n = 2 to 6 do
+    for _ = 1 to 15 do
+      let theta = Perm.random rng n in
+      let closed = Pn.connection ~n theta in
+      let via_links =
+        Mineq.Link_spec.connection_of_link_perm ~n (Ip.induce ~width:n theta)
+      in
+      check_true
+        (Printf.sprintf "closed form matches (n=%d)" n)
+        (C.equal_graph closed via_links)
+    done
+  done
+
+let test_degenerate_double_links () =
+  (* Figure 5: theta^-1 0 = 0 makes f = g. *)
+  let n = 4 in
+  let theta = Perm.transposition ~size:n 1 2 in
+  check_true "degenerate" (Pn.is_degenerate ~n theta);
+  let c = Pn.connection ~n theta in
+  Mineq_bitvec.Bv.iter_universe ~width:(n - 1) ~f:(fun x ->
+      check_int "double link" (C.f c x) (C.g c x))
+
+let test_nondegenerate_children_differ () =
+  let n = 4 in
+  let theta = Family.perfect_shuffle ~width:n in
+  let c = Pn.connection ~n theta in
+  Mineq_bitvec.Bv.iter_universe ~width:(n - 1) ~f:(fun x ->
+      check_true "distinct children" (C.f c x <> C.g c x))
+
+let test_children_differ_exactly_at_slot () =
+  let rng = rng_of 51 in
+  let n = 5 in
+  for _ = 1 to 20 do
+    let theta = Perm.random rng n in
+    match Pn.routing_bit_slot ~n theta with
+    | None -> ()
+    | Some slot ->
+        let c = Pn.connection ~n theta in
+        Mineq_bitvec.Bv.iter_universe ~width:(n - 1) ~f:(fun x ->
+            check_int "f and g differ exactly at the routing slot"
+              (1 lsl slot)
+              (C.f c x lxor C.g c x))
+  done
+
+let test_beta_is_the_witness () =
+  let rng = rng_of 52 in
+  let n = 5 in
+  for _ = 1 to 20 do
+    let theta = Perm.random rng n in
+    let c = Pn.connection ~n theta in
+    for alpha = 1 to (1 lsl (n - 1)) - 1 do
+      match C.witness c alpha with
+      | None -> Alcotest.fail "PIPID connections are independent"
+      | Some beta -> check_int "paper's beta formula" beta (Pn.beta ~n theta alpha)
+    done
+  done
+
+let test_connection_always_independent () =
+  (* Independence holds even for degenerate stages (f = g). *)
+  let rng = rng_of 53 in
+  for n = 2 to 6 do
+    for _ = 1 to 10 do
+      let theta = Perm.random rng n in
+      check_true "PIPID connection independent" (C.is_independent (Pn.connection ~n theta))
+    done
+  done
+
+let test_affine_connection () =
+  let rng = rng_of 54 in
+  let n = 4 in
+  for _ = 1 to 20 do
+    let theta = Perm.random rng n in
+    let offset = Random.State.int rng (1 lsl n) in
+    let c = Pn.affine_connection ~n theta ~offset in
+    check_true "affine stage valid" (C.is_mi_stage c);
+    check_true "affine stage independent (extension)" (C.is_independent c)
+  done;
+  (* Zero offset reduces to the plain PIPID connection. *)
+  let theta = Family.perfect_shuffle ~width:n in
+  check_true "offset 0 = plain PIPID"
+    (C.equal_graph (Pn.affine_connection ~n theta ~offset:0) (Pn.connection ~n theta))
+
+let test_affine_network_equivalent () =
+  (* An "exchange-omega": shuffle xor constant at every gap is still
+     Baseline-equivalent when Banyan. *)
+  let n = 4 in
+  let theta = Family.perfect_shuffle ~width:n in
+  let conns =
+    List.init (n - 1) (fun i -> Pn.affine_connection ~n theta ~offset:((2 * i) + 3))
+  in
+  let g = Mineq.Mi_digraph.create conns in
+  check_true "exchange-omega banyan" (Mineq.Banyan.is_banyan g);
+  check_true "Theorem 3 applies" (Mineq.Equivalence.by_independence g).equivalent;
+  check_true "characterization agrees" (Mineq.Equivalence.by_characterization g).equivalent
+
+let test_theta_size_checked () =
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Pipid_net: theta must be a permutation of size n") (fun () ->
+      ignore (Pn.connection ~n:4 (Perm.identity 3)))
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+      QCheck.Gen.(pair (int_range 2 7) (int_bound 100000))
+  in
+  [ qcheck "PIPID stage is a valid MI stage" gen (fun (n, seed) ->
+        C.is_mi_stage (Pn.connection ~n (Perm.random (rng_of seed) n)));
+    qcheck "linear part of a PIPID stage has corank <= 1" gen (fun (n, seed) ->
+        let c = Pn.connection ~n (Perm.random (rng_of seed) n) in
+        match C.linear_form c with
+        | None -> false
+        | Some (b, _, _) -> Mineq_bitvec.Gf2_matrix.rank b >= n - 2);
+    qcheck "degenerate iff theta fixes digit 0" gen (fun (n, seed) ->
+        let theta = Perm.random (rng_of seed) n in
+        Pn.is_degenerate ~n theta = (Perm.apply theta 0 = 0));
+    qcheck "recognize_gap inverts the construction" gen (fun (n, seed) ->
+        let theta = Perm.random (rng_of seed) n in
+        if Pn.is_degenerate ~n theta then true
+        else begin
+          (* Build a network carrying this connection at every gap and
+             ask Render.recognize_gap for the theta back. *)
+          let g =
+            Mineq.Link_spec.network_of_thetas ~n
+              (List.init (n - 1) (fun _ -> theta))
+          in
+          match Mineq.Render.recognize_gap g 1 with
+          | None -> false
+          | Some t -> C.equal_graph (Pn.connection ~n t) (Pn.connection ~n theta)
+        end)
+  ]
+
+let suite =
+  [ quick "degenerate detection" test_degenerate_detection;
+    quick "closed form = link permutation" test_closed_form_equals_link_perm;
+    quick "Figure 5 double links" test_degenerate_double_links;
+    quick "non-degenerate children differ" test_nondegenerate_children_differ;
+    quick "difference localized at routing slot" test_children_differ_exactly_at_slot;
+    quick "paper's beta is the witness" test_beta_is_the_witness;
+    quick "always independent" test_connection_always_independent;
+    quick "affine link permutations (extension)" test_affine_connection;
+    quick "affine network equivalent" test_affine_network_equivalent;
+    quick "theta size checked" test_theta_size_checked
+  ]
+  @ props

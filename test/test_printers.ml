@@ -1,0 +1,104 @@
+(* Smoke coverage for the pretty-printers: they must produce
+   non-empty, well-formed text (exact layouts are not contractual). *)
+open Helpers
+
+let render fmt_fn = Format.asprintf "%a" fmt_fn
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_bv () =
+  Alcotest.(check string) "bv pp" "0101" (render (fun ppf -> Mineq_bitvec.Bv.pp ~width:4 ppf) 5)
+
+let test_gf2 () =
+  let m = Mineq_bitvec.Gf2_matrix.identity 3 in
+  let s = render Mineq_bitvec.Gf2_matrix.pp m in
+  check_true "rows rendered" (contains ~needle:"100" s && contains ~needle:"001" s)
+
+let test_subspace () =
+  let s = Mineq_bitvec.Subspace.of_generators ~width:3 [ 0b110 ] in
+  let text = render Mineq_bitvec.Subspace.pp s in
+  check_true "span shown" (contains ~needle:"span" text && contains ~needle:"110" text)
+
+let test_perm () =
+  let p = Mineq_perm.Perm.of_array [| 1; 2; 0 |] in
+  check_true "image list" (contains ~needle:"[1 2 0]" (render Mineq_perm.Perm.pp p));
+  check_true "cycle notation" (contains ~needle:"(0 1 2)" (render Mineq_perm.Perm.pp_cycles p))
+
+let test_digraph () =
+  let g = Mineq_graph.Digraph.create ~vertices:2 [ (0, 1) ] in
+  let s = render Mineq_graph.Digraph.pp g in
+  check_true "vertex count shown" (contains ~needle:"2 vertices" s);
+  check_true "arc shown" (contains ~needle:"0 -> [1]" s)
+
+let test_connection () =
+  let c = Mineq.Connection.make ~width:2 ~f:(fun x -> x) ~g:(fun x -> x lxor 1) in
+  let s = render Mineq.Connection.pp c in
+  check_true "width shown" (contains ~needle:"width 2" s);
+  check_true "arcs shown" (contains ~needle:"00 -> 00, 01" s)
+
+let test_mi_digraph () =
+  let s = render Mineq.Mi_digraph.pp (Mineq.Baseline.network 3) in
+  check_true "stage count shown" (contains ~needle:"3 stages" s);
+  check_true "gaps listed" (contains ~needle:"gap 2 -> 3" s)
+
+let test_banyan_violation () =
+  let g =
+    Mineq.Link_spec.network_of_thetas ~n:3
+      [ Mineq_perm.Perm.identity 3; Mineq_perm.Pipid_family.perfect_shuffle ~width:3 ]
+  in
+  match Mineq.Banyan.check g with
+  | Ok () -> Alcotest.fail "expected a violation"
+  | Error v ->
+      let s = render Mineq.Banyan.pp_violation v in
+      check_true "explains the count" (contains ~needle:"paths (expected 1)" s)
+
+let test_fault_pp () =
+  check_true "link fault"
+    (contains ~needle:"link(gap 1"
+       (render Mineq.Faults.pp_fault (Mineq.Faults.Link { gap = 1; cell = 2; port = 0 })));
+  check_true "cell fault"
+    (contains ~needle:"cell(stage 2"
+       (render Mineq.Faults.pp_fault (Mineq.Faults.Cell { stage = 2; cell = 1 })))
+
+let test_summary_pp () =
+  let t = Mineq_sim.Summary.of_samples [ 1.0; 3.0 ] in
+  check_true "mean and n shown"
+    (contains ~needle:"n=2" (render Mineq_sim.Summary.pp t))
+
+let test_histogram_pp () =
+  let h = Mineq_sim.Summary.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  Mineq_sim.Summary.Histogram.add h 1.0;
+  Mineq_sim.Summary.Histogram.add h 1.5;
+  let s = render Mineq_sim.Summary.Histogram.pp h in
+  check_true "bars drawn" (contains ~needle:"#" s)
+
+let test_dot_render () =
+  let s = Mineq.Render.to_dot ~name:"g" (Mineq.Baseline.network 3) in
+  check_true "digraph header" (contains ~needle:"digraph g" s);
+  check_true "ranked stages" (contains ~needle:"rank=same" s);
+  (* 2 gaps x 4 cells x 2 arcs = 16 edges. *)
+  let count_edges =
+    List.length
+      (List.filter
+         (fun line -> contains ~needle:" -> " line)
+         (String.split_on_char '\n' s))
+  in
+  check_int "all arcs emitted" 16 count_edges
+
+let suite =
+  [ quick "Bv.pp" test_bv;
+    quick "Gf2_matrix.pp" test_gf2;
+    quick "Subspace.pp" test_subspace;
+    quick "Perm printers" test_perm;
+    quick "Digraph.pp" test_digraph;
+    quick "Connection.pp" test_connection;
+    quick "Mi_digraph.pp" test_mi_digraph;
+    quick "Banyan violation printer" test_banyan_violation;
+    quick "Faults printer" test_fault_pp;
+    quick "Summary printer" test_summary_pp;
+    quick "Histogram printer" test_histogram_pp;
+    quick "DOT rendering" test_dot_render
+  ]

@@ -1,0 +1,133 @@
+open Helpers
+module P = Mineq.Properties
+module M = Mineq.Mi_digraph
+
+let baseline = Mineq.Baseline.network
+
+let test_expected_counts () =
+  let g = baseline 4 in
+  check_int "whole graph: 1 component expected" 1 (P.expected_components g ~lo:1 ~hi:4);
+  check_int "single stage: 2^(n-1) components" 8 (P.expected_components g ~lo:2 ~hi:2);
+  check_int "two stages: 2^(n-2)" 4 (P.expected_components g ~lo:2 ~hi:3)
+
+let test_baseline_all_p () =
+  for n = 2 to 6 do
+    let g = baseline n in
+    check_true (Printf.sprintf "baseline %d satisfies P(1,j) for all j" n) (P.p_one_star g);
+    check_true (Printf.sprintf "baseline %d satisfies P(i,n) for all i" n) (P.p_star_n g);
+    check_true (Printf.sprintf "baseline %d satisfies every P(i,j)" n) (P.satisfies_all g)
+  done
+
+let test_single_stage_components () =
+  let g = baseline 4 in
+  (* A single stage has no arcs: components = isolated nodes. *)
+  for s = 1 to 4 do
+    check_int "isolated nodes" 8 (P.component_count g ~lo:s ~hi:s)
+  done
+
+let test_full_matrix_shape () =
+  let g = baseline 3 in
+  let m = P.full_matrix g in
+  check_int "n(n+1)/2 windows" 6 (List.length m);
+  List.iter
+    (fun (lo, hi, found, expected) ->
+      check_true "window bounds ordered" (lo <= hi);
+      check_int (Printf.sprintf "baseline window %d..%d" lo hi) expected found)
+    m
+
+let test_classical_p_properties () =
+  List.iter
+    (fun (name, g) ->
+      check_true (name ^ " P(1,j) for all j") (P.p_one_star g);
+      check_true (name ^ " P(i,n) for all i") (P.p_star_n g))
+    (all_classical ~n:5)
+
+let test_buddy_properties () =
+  List.iter
+    (fun (name, g) -> check_true (name ^ " buddy") (P.has_buddy_property g))
+    (all_classical ~n:4);
+  (* A network with a non-buddy stage: crossbar-ish irregular wiring.
+     width 2: f = id, g = +1 mod 4 — children sets {x, x+1} overlap
+     without being equal. *)
+  let c =
+    Mineq.Connection.make ~width:2 ~f:(fun x -> x) ~g:(fun x -> (x + 1) land 3)
+  in
+  let c2 = Mineq.Connection.make ~width:2 ~f:(fun x -> x) ~g:(fun x -> x lxor 2) in
+  let g = M.create [ c; c2 ] in
+  check_false "ring stage breaks output buddy" (P.output_buddy_stage g 1);
+  check_false "ring stage breaks input buddy" (P.input_buddy_stage g 1);
+  check_false "network buddy fails" (P.has_buddy_property g)
+
+let test_buddy_by_construction () =
+  let rng = rng_of 21 in
+  for _ = 1 to 10 do
+    let g = Mineq.Counterexample.random_buddy_network rng ~n:4 in
+    check_true "generator output has buddy property" (P.has_buddy_property g)
+  done
+
+let test_component_profile () =
+  let g = baseline 4 in
+  let profile = P.component_profile g ~lo:2 ~hi:4 in
+  check_int "two components for stages 2..4" 2 (Array.length profile.components);
+  Array.iter
+    (fun slices ->
+      check_int "three stage slices" 3 (Array.length slices);
+      Array.iter (fun slice -> check_int "slice size 2^(n-j)" 4 (List.length slice)) slices)
+    profile.components
+
+let test_lemma2_structure_on_classical () =
+  List.iter
+    (fun (name, g) ->
+      check_true (name ^ " satisfies Lemma 2's invariant") (P.lemma2_translate_structure g))
+    (all_classical ~n:5)
+
+let test_bad_range_rejected () =
+  Alcotest.check_raises "bad range" (Invalid_argument "Properties: bad stage range") (fun () ->
+      ignore (P.expected_components (baseline 3) ~lo:0 ~hi:2))
+
+let props =
+  [ qcheck "Lemma 2: Banyan + independent implies P(i,n) for all i" ~count:60 n_and_seed
+      (fun (n, seed) ->
+        P.p_star_n (random_banyan_pipid (rng_of seed) ~n));
+    qcheck "dual of Lemma 2: P(1,j) for all j holds too (via Prop 1)" ~count:60 n_and_seed
+      (fun (n, seed) ->
+        P.p_one_star (random_banyan_pipid (rng_of seed) ~n));
+    qcheck "Lemma 2 translate structure on random PIPID Banyans" ~count:40 n_and_seed
+      (fun (n, seed) ->
+        P.lemma2_translate_structure (random_banyan_pipid (rng_of seed) ~n));
+    qcheck "P properties invariant under relabelling" ~count:40 n_and_seed (fun (n, seed) ->
+        let rng = rng_of seed in
+        let g = random_banyan_pipid rng ~n in
+        let h = Mineq.Counterexample.relabelled_equivalent rng g in
+        P.p_one_star h && P.p_star_n h);
+    qcheck "P(i,j) symmetric under reversal" ~count:40 n_and_seed (fun (n, seed) ->
+        let g = random_banyan_pipid (rng_of seed) ~n in
+        let r = M.reverse g in
+        P.p_one_star r && P.p_star_n r);
+    qcheck "widening a window can only merge components" ~count:40 n_and_seed
+      (fun (n, seed) ->
+        (* Every node of the added stage has two parents inside the
+           window, so extending (G)_{1..j} to (G)_{1..j+1} never
+           increases the component count. *)
+        let g = Mineq.Link_spec.random_network (rng_of seed) ~n in
+        let counts = List.init n (fun j -> P.component_count g ~lo:1 ~hi:(j + 1)) in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> a >= b && monotone rest
+          | _ -> true
+        in
+        monotone counts)
+  ]
+
+let suite =
+  [ quick "expected component counts" test_expected_counts;
+    quick "baseline satisfies all P" test_baseline_all_p;
+    quick "single-stage windows" test_single_stage_components;
+    quick "full matrix" test_full_matrix_shape;
+    quick "classical networks satisfy P" test_classical_p_properties;
+    quick "buddy properties" test_buddy_properties;
+    quick "buddy generator" test_buddy_by_construction;
+    quick "component profile" test_component_profile;
+    quick "Lemma 2 structure on classical networks" test_lemma2_structure_on_classical;
+    quick "bad range rejected" test_bad_range_rejected
+  ]
+  @ props

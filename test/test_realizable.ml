@@ -1,0 +1,125 @@
+open Helpers
+module R = Mineq.Realizable
+module Perm = Mineq_perm.Perm
+
+let omega n = Mineq.Classical.network Omega ~n
+
+let test_setting_gives_permutation () =
+  let g = omega 3 in
+  let rng = rng_of 400 in
+  for _ = 1 to 50 do
+    let setting = Array.init 3 (fun _ -> Array.init 4 (fun _ -> Random.State.bool rng)) in
+    (* of_fun validates bijectivity internally; no exception = pass. *)
+    ignore (R.permutation_of_setting g setting)
+  done
+
+let test_all_bar_setting () =
+  (* All-bar on the Baseline: terminal t exits at the port word equal
+     to... simply check it is some fixed permutation and that flipping
+     one switch changes exactly the terminals crossing it. *)
+  let g = Mineq.Baseline.network 3 in
+  let bar = Array.make_matrix 3 4 false in
+  let p = R.permutation_of_setting g bar in
+  let one_cross = Array.map Array.copy bar in
+  one_cross.(2).(0) <- true;
+  let q = R.permutation_of_setting g one_cross in
+  let diffs = List.filter (fun t -> Perm.apply p t <> Perm.apply q t) (List.init 8 (fun t -> t)) in
+  check_int "a last-stage switch affects exactly its two terminals" 2 (List.length diffs)
+
+let test_count_exact_n2 () =
+  (* n=2: 4 switches, 16 settings; the crossbar-ish 2-stage network
+     realizes exactly... the count must be at most 16 and at least
+     4. *)
+  let g = omega 2 in
+  let count = R.count_exact g in
+  check_true "bounded" (count >= 4 && count <= 16);
+  check_int "exact equals set size" count (List.length (R.realizable_exact g))
+
+let test_counts_equal_across_equivalent () =
+  (* X8: the realizable count is an isomorphism invariant. *)
+  let counts =
+    List.map (fun (_, g) -> R.count_exact g) (Mineq.Classical.all_networks ~n:3)
+  in
+  match counts with
+  | c0 :: rest -> List.iter (fun c -> check_int "same count across the class" c0 c) rest
+  | [] -> Alcotest.fail "no networks"
+
+let test_count_invariant_under_relabelling () =
+  let rng = rng_of 401 in
+  let g = omega 3 in
+  let h = Mineq.Counterexample.relabelled_equivalent rng g in
+  check_int "relabelling preserves the count" (R.count_exact g) (R.count_exact h)
+
+let test_realizes_matches_enumeration () =
+  let g = omega 3 in
+  let set = R.realizable_exact g in
+  let member p = List.exists (Perm.equal p) set in
+  let rng = rng_of 402 in
+  for _ = 1 to 30 do
+    let p = Perm.random rng 8 in
+    check_bool "realizes = enumerated membership" (member p) (R.realizes g p)
+  done;
+  (* Every enumerated permutation must be admissible. *)
+  List.iter (fun p -> check_true "enumerated is admissible" (R.realizes g p)) set
+
+let test_estimate_converges () =
+  let g = omega 3 in
+  let exact = R.count_exact g in
+  let est = R.estimate (rng_of 403) g ~samples:20_000 in
+  check_true "estimate within the exact count" (est <= exact);
+  check_true "estimate close (settings cover quickly)" (est > exact * 9 / 10)
+
+let test_identity_never_realizable () =
+  (* Same structural fact as in the circuit scheduler: co-located
+     inputs to co-located outputs conflict. *)
+  List.iter
+    (fun (name, g) ->
+      check_false (name ^ " cannot realize the identity")
+        (R.realizes g (Perm.identity (Mineq.Mi_digraph.inputs g))))
+    (Mineq.Classical.all_networks ~n:3)
+
+let test_injectivity_is_a_banyan_signature () =
+  (* Banyan => every setting realizes a distinct permutation (each
+     switch carries exactly two unique paths); non-Banyan collapses. *)
+  let g = omega 3 in
+  check_int "banyan realizes all settings distinctly" 4096 (R.count_exact g);
+  let degenerate =
+    Mineq.Link_spec.network_of_thetas ~n:3
+      [ Perm.identity 3; Mineq_perm.Pipid_family.perfect_shuffle ~width:3 ]
+  in
+  check_true "non-banyan collapses settings" (R.count_exact degenerate < 4096)
+
+let test_switch_count_guard () =
+  Alcotest.check_raises "n=4 too large for exact enumeration"
+    (Invalid_argument "Realizable: too many switches for exact enumeration") (fun () ->
+      ignore (R.count_exact (omega 4)))
+
+let props =
+  [ qcheck "realizable count bounded by settings and factorial" ~count:10
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let g = random_banyan_pipid (rng_of seed) ~n:3 in
+        let count = R.count_exact g in
+        count >= 1 && count <= 4096);
+    qcheck "settings always yield valid permutations" ~count:20
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let g = random_banyan_pipid rng ~n:4 in
+        let setting = Array.init 4 (fun _ -> Array.init 8 (fun _ -> Random.State.bool rng)) in
+        Perm.size (R.permutation_of_setting g setting) = 16)
+  ]
+
+let suite =
+  [ quick "settings give permutations" test_setting_gives_permutation;
+    quick "switch locality" test_all_bar_setting;
+    quick "exact count n=2" test_count_exact_n2;
+    quick "count invariant across the class (X8)" test_counts_equal_across_equivalent;
+    quick "count invariant under relabelling" test_count_invariant_under_relabelling;
+    quick "realizes = enumeration" test_realizes_matches_enumeration;
+    quick "estimate converges" test_estimate_converges;
+    quick "identity never realizable" test_identity_never_realizable;
+    quick "injectivity = Banyan signature (X8)" test_injectivity_is_a_banyan_signature;
+    quick "switch count guard" test_switch_count_guard
+  ]
+  @ props

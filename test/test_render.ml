@@ -1,0 +1,92 @@
+open Helpers
+module R = Mineq.Render
+module Perm = Mineq_perm.Perm
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_stage_table () =
+  let s = R.stage_table (Mineq.Baseline.network 3) in
+  check_true "headers" (contains ~needle:"stage 1" s && contains ~needle:"stage 3" s);
+  check_true "first-stage arcs" (contains ~needle:"00->00,10" s);
+  check_int "one line per node plus header" 5 (List.length (String.split_on_char '\n' (String.trim s)))
+
+let test_gap_matrix () =
+  let g = Mineq.Baseline.network 3 in
+  let m = R.gap_matrix g 1 in
+  check_true "header" (contains ~needle:"gap 1 -> 2" m);
+  check_true "arcs marked" (contains ~needle:"#" m);
+  (* A degenerate stage renders double links as '2'. *)
+  let dbl =
+    Mineq.Link_spec.network_of_thetas ~n:3
+      [ Perm.identity 3; Mineq_perm.Pipid_family.perfect_shuffle ~width:3 ]
+  in
+  check_true "double links marked" (contains ~needle:"2" (R.gap_matrix dbl 1))
+
+let test_wiring_diagram () =
+  let d = R.wiring_diagram (Mineq.Baseline.network 3) in
+  check_true "stages listed" (contains ~needle:"stage 3" d);
+  check_true "cells boxed" (contains ~needle:"[00]" d);
+  check_true "links listed" (contains ~needle:"00:0 -> 00" d)
+
+let test_network_summary () =
+  let s = R.network_summary (Mineq.Classical.network Omega ~n:4) in
+  check_true "banyan shown" (contains ~needle:"Banyan: true" s);
+  check_true "independence shown" (contains ~needle:"independent=true" s);
+  check_true "PIPID recognized" (contains ~needle:"PIPID theta" s);
+  let rng = rng_of 90 in
+  let g = Mineq.Counterexample.relabelled_equivalent rng (Mineq.Classical.network Omega ~n:4) in
+  let s = R.network_summary g in
+  check_true "non-PIPID flagged after relabelling" (contains ~needle:"not PIPID" s)
+
+let test_recognize_gap_on_classical () =
+  let n = 5 in
+  List.iter
+    (fun kind ->
+      let g = Mineq.Classical.network kind ~n in
+      let thetas = Mineq.Classical.thetas kind ~n in
+      List.iteri
+        (fun i expected ->
+          match R.recognize_gap g (i + 1) with
+          | None -> Alcotest.fail (Mineq.Classical.name kind ^ ": gap not recognized")
+          | Some t ->
+              check_true
+                (Printf.sprintf "%s gap %d theta recovered" (Mineq.Classical.name kind) (i + 1))
+                (Mineq.Connection.equal_graph
+                   (Mineq.Pipid_net.connection ~n t)
+                   (Mineq.Pipid_net.connection ~n expected)))
+        thetas)
+    Mineq.Classical.all_kinds
+
+let test_recognize_gap_rejects_non_pipid () =
+  let rng = rng_of 91 in
+  let g = Mineq.Counterexample.random_buddy_network rng ~n:4 in
+  (* Buddy stages are almost never PIPID; accept either but require no
+     false positive: when recognized, it must reproduce the gap. *)
+  for i = 1 to 3 do
+    match R.recognize_gap g i with
+    | None -> ()
+    | Some t ->
+        check_true "recognition is sound"
+          (Mineq.Connection.equal_graph
+             (Mineq.Pipid_net.connection ~n:4 t)
+             (Mineq.Mi_digraph.connection g i))
+  done
+
+let test_labels_figure () =
+  let s = R.labels_figure ~width:3 in
+  check_true "first label" (contains ~needle:"(0,0,0)" s);
+  check_true "last label" (contains ~needle:"(1,1,1)" s);
+  check_int "eight labels" 8 (List.length (String.split_on_char '\n' (String.trim s)))
+
+let suite =
+  [ quick "stage table" test_stage_table;
+    quick "gap matrix" test_gap_matrix;
+    quick "wiring diagram" test_wiring_diagram;
+    quick "network summary" test_network_summary;
+    quick "recognize classical gaps" test_recognize_gap_on_classical;
+    quick "recognition soundness" test_recognize_gap_rejects_non_pipid;
+    quick "labels figure (Figure 2)" test_labels_figure
+  ]

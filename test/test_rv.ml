@@ -1,0 +1,95 @@
+open Helpers
+module Rv = Mineq_radix.Rv
+
+let c3 = Rv.context ~radix:3 ~width:4
+
+let test_context_validation () =
+  Alcotest.check_raises "radix 1" (Invalid_argument "Rv.context: radix must be >= 2") (fun () ->
+      ignore (Rv.context ~radix:1 ~width:2));
+  Alcotest.check_raises "negative width" (Invalid_argument "Rv.context: width must be >= 0")
+    (fun () -> ignore (Rv.context ~radix:3 ~width:(-1)));
+  Alcotest.check_raises "overflow" (Invalid_argument "Rv.context: radix^width overflows")
+    (fun () -> ignore (Rv.context ~radix:10 ~width:30))
+
+let test_basics () =
+  check_int "radix" 3 (Rv.radix c3);
+  check_int "width" 4 (Rv.width c3);
+  check_int "universe" 81 (Rv.universe_size c3);
+  check_true "valid" (Rv.is_valid c3 80);
+  check_false "invalid" (Rv.is_valid c3 81)
+
+let test_digits () =
+  (* 50 in base 3 is 1212. *)
+  check_int "digit 0" 2 (Rv.digit c3 50 0);
+  check_int "digit 1" 1 (Rv.digit c3 50 1);
+  check_int "digit 2" 2 (Rv.digit c3 50 2);
+  check_int "digit 3" 1 (Rv.digit c3 50 3);
+  Alcotest.(check (list int)) "to_digits" [ 1; 2; 1; 2 ] (Rv.to_digits c3 50);
+  check_int "of_digits round trip" 50 (Rv.of_digits c3 [ 1; 2; 1; 2 ]);
+  check_int "set digit" 50 (Rv.set_digit c3 (50 - 2) 0 2);
+  Alcotest.(check string) "to_string" "1212" (Rv.to_string c3 50)
+
+let test_group_ops () =
+  (* (1212) + (0121) digit-wise mod 3 = (1000+...): 1+0,2+1,1+2,2+1 =
+     1,0,0,0 -> 1000_3 = 27. *)
+  let y = Rv.of_digits c3 [ 0; 1; 2; 1 ] in
+  check_int "add" 27 (Rv.add c3 50 y);
+  check_int "zero is identity" 50 (Rv.add c3 50 0);
+  check_int "neg cancels" 0 (Rv.add c3 50 (Rv.neg c3 50));
+  check_int "sub" 50 (Rv.sub c3 (Rv.add c3 50 y) y)
+
+let test_units () =
+  check_int "unit 0" 1 (Rv.unit c3 0);
+  check_int "unit 2" 9 (Rv.unit c3 2);
+  check_int "scale unit" 18 (Rv.scale_unit c3 2 2);
+  check_int "generator count" 4 (List.length (Rv.generators c3))
+
+let test_binary_case_matches_bv () =
+  let c2 = Rv.context ~radix:2 ~width:5 in
+  for x = 0 to 31 do
+    for y = 0 to 31 do
+      check_int "add = xor at radix 2" (x lxor y) (Rv.add c2 x y)
+    done;
+    check_int "neg is identity at radix 2" x (Rv.neg c2 x)
+  done
+
+let test_iter_fold () =
+  check_int "fold counts" 81 (Rv.fold_universe c3 ~init:0 ~f:(fun a _ -> a + 1));
+  let seen = ref 0 in
+  Rv.iter_universe c3 (fun _ -> incr seen);
+  check_int "iter covers" 81 !seen
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (r, s) -> Printf.sprintf "r=%d seed=%d" r s)
+      QCheck.Gen.(pair (int_range 2 6) (int_bound 100000))
+  in
+  [ qcheck "add is commutative and associative" gen (fun (r, seed) ->
+        let c = Rv.context ~radix:r ~width:3 in
+        let rng = rng_of seed in
+        let u = Rv.universe_size c in
+        let x = Random.State.int rng u and y = Random.State.int rng u
+        and z = Random.State.int rng u in
+        Rv.add c x y = Rv.add c y x && Rv.add c (Rv.add c x y) z = Rv.add c x (Rv.add c y z));
+    qcheck "digits round trip" gen (fun (r, seed) ->
+        let c = Rv.context ~radix:r ~width:4 in
+        let x = Random.State.int (rng_of seed) (Rv.universe_size c) in
+        Rv.of_digits c (Rv.to_digits c x) = x);
+    qcheck "every element has order dividing r" gen (fun (r, seed) ->
+        let c = Rv.context ~radix:r ~width:3 in
+        let x = Random.State.int (rng_of seed) (Rv.universe_size c) in
+        let rec times k acc = if k = 0 then acc else times (k - 1) (Rv.add c acc x) in
+        times r 0 = 0)
+  ]
+
+let suite =
+  [ quick "context validation" test_context_validation;
+    quick "basics" test_basics;
+    quick "digits" test_digits;
+    quick "group operations" test_group_ops;
+    quick "units" test_units;
+    quick "radix 2 = Bv" test_binary_case_matches_bv;
+    quick "iter and fold" test_iter_fold
+  ]
+  @ props

@@ -1,0 +1,133 @@
+open Helpers
+module Sim = Mineq_sim.Network_sim
+module Traffic = Mineq_sim.Traffic
+
+let omega n = Mineq.Classical.network Omega ~n
+
+let run ?config seed g = Sim.run ?config (rng_of seed) g
+
+let test_conservation () =
+  (* Over warmup + measurement no packet is created or destroyed:
+     delivered + dropped <= injected (+ in-flight remainder). *)
+  let stats = run 120 (omega 4) in
+  check_true "accounting sane"
+    (stats.delivered + stats.dropped <= stats.injected + (stats.terminals * Sim.default_config.warmup));
+  check_true "offered >= injected" (stats.offered >= stats.injected);
+  check_int "offered split" stats.offered (stats.injected + stats.refused)
+
+let test_low_load_delivers_everything () =
+  let config = { Sim.default_config with injection_rate = 0.05; cycles = 2000 } in
+  let stats = run 121 ~config (omega 4) in
+  let thr = Sim.throughput stats in
+  check_true "throughput tracks offered load" (thr > 0.03 && thr < 0.07);
+  check_int "nothing refused at low load" 0 stats.refused;
+  check_int "nothing dropped" 0 stats.dropped
+
+let test_latency_at_least_stages () =
+  (* A packet needs at least one cycle per stage. *)
+  let config = { Sim.default_config with injection_rate = 0.05 } in
+  let stats = run 122 ~config (omega 4) in
+  check_true "mean latency >= n" (Sim.mean_latency stats >= 4.0)
+
+let test_saturation_below_one () =
+  (* Uniform traffic saturates a 2x2 MIN well below full load. *)
+  let config = { Sim.default_config with injection_rate = 1.0; cycles = 2000 } in
+  let stats = run 123 ~config (omega 4) in
+  let thr = Sim.throughput stats in
+  check_true "saturation throughput below 0.9" (thr < 0.9);
+  check_true "still delivering" (thr > 0.3)
+
+let test_throughput_monotone_until_saturation () =
+  let sweep =
+    Sim.saturation_sweep (rng_of 124) (omega 4) ~rates:[ 0.1; 0.3; 0.5 ]
+  in
+  match sweep with
+  | [ (_, t1, l1); (_, t2, l2); (_, t3, l3) ] ->
+      check_true "throughput increases" (t1 < t2 && t2 < t3);
+      check_true "latency increases" (l1 <= l2 && l2 <= l3)
+  | _ -> Alcotest.fail "sweep shape"
+
+let test_permutation_traffic_deterministic_paths () =
+  (* A fixed permutation with rate 1 and deep buffers delivers
+     steadily; destinations never vary so per-packet words are fixed. *)
+  let n = 4 in
+  let p = Mineq_perm.Perm.random (rng_of 125) 16 in
+  let config =
+    { Sim.default_config with
+      injection_rate = 1.0;
+      pattern = Traffic.permutation p;
+      buffer_capacity = 8;
+      cycles = 1000
+    }
+  in
+  let stats = run 126 ~config (omega n) in
+  check_true "positive throughput" (Sim.throughput stats > 0.2)
+
+let test_drop_mode () =
+  let config =
+    { Sim.default_config with injection_rate = 1.0; drop_on_full = true; buffer_capacity = 1 }
+  in
+  let stats = run 127 ~config (omega 4) in
+  check_true "drops occur under overload" (stats.dropped > 0)
+
+let test_backpressure_mode_never_drops () =
+  let config = { Sim.default_config with injection_rate = 1.0; drop_on_full = false } in
+  let stats = run 128 ~config (omega 4) in
+  check_int "no drops with backpressure" 0 stats.dropped
+
+let test_capacity_validation () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Network_sim.run: capacity must be >= 1")
+    (fun () ->
+      ignore (run 129 ~config:{ Sim.default_config with buffer_capacity = 0 } (omega 3)))
+
+let test_non_banyan_rejected () =
+  let g =
+    Mineq.Link_spec.network_of_thetas ~n:3
+      [ Mineq_perm.Perm.identity 3; Mineq_perm.Pipid_family.perfect_shuffle ~width:3 ]
+  in
+  match run 130 g with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "non-Banyan network must be rejected"
+
+let test_equivalent_networks_same_saturation () =
+  (* X3: topologically equivalent networks show the same saturation
+     throughput under uniform traffic (within noise). *)
+  let c = { Sim.default_config with injection_rate = 1.0; cycles = 3000 } in
+  let t_omega = Sim.throughput (run 131 ~config:c (omega 5)) in
+  let t_base = Sim.throughput (run 131 ~config:c (Mineq.Baseline.network 5)) in
+  let t_cube =
+    Sim.throughput (run 131 ~config:c (Mineq.Classical.network Indirect_binary_cube ~n:5))
+  in
+  check_true "omega ~ baseline saturation" (Float.abs (t_omega -. t_base) < 0.05);
+  check_true "omega ~ cube saturation" (Float.abs (t_omega -. t_cube) < 0.05)
+
+let props =
+  [ qcheck "same seed, same stats (determinism)" ~count:10
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let config = { Sim.default_config with cycles = 300; warmup = 50 } in
+        let a = run seed ~config (omega 3) in
+        let b = run seed ~config (omega 3) in
+        a = b);
+    qcheck "throughput never exceeds offered load" ~count:10
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let config = { Sim.default_config with injection_rate = 0.4; cycles = 500 } in
+        let stats = run seed ~config (omega 4) in
+        Sim.throughput stats <= 0.4 +. 0.1)
+  ]
+
+let suite =
+  [ quick "packet accounting" test_conservation;
+    quick "low load" test_low_load_delivers_everything;
+    quick "latency floor" test_latency_at_least_stages;
+    quick "saturation below 1" test_saturation_below_one;
+    quick "load sweep monotone" test_throughput_monotone_until_saturation;
+    quick "permutation traffic" test_permutation_traffic_deterministic_paths;
+    quick "drop mode" test_drop_mode;
+    quick "backpressure mode" test_backpressure_mode_never_drops;
+    quick "capacity validation" test_capacity_validation;
+    quick "non-Banyan rejected" test_non_banyan_rejected;
+    slow "equivalent networks saturate alike (X3)" test_equivalent_networks_same_saturation
+  ]
+  @ props

@@ -1,0 +1,83 @@
+open Helpers
+module S = Mineq.Spec_io
+module M = Mineq.Mi_digraph
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_round_trip_classical () =
+  List.iter
+    (fun (name, g) ->
+      let text = S.to_string g in
+      check_true (name ^ " serialized as PIPID") (contains ~needle:"gap theta" text);
+      match S.of_string text with
+      | Ok h -> check_true (name ^ " round trips") (M.equal g h)
+      | Error e -> Alcotest.fail (name ^ ": " ^ e))
+    (all_classical ~n:4)
+
+let test_round_trip_raw () =
+  (* A relabelled network is not PIPID: falls back to raw lines. *)
+  let rng = rng_of 500 in
+  let g = Mineq.Counterexample.relabelled_equivalent rng (Mineq.Baseline.network 3) in
+  let text = S.to_string g in
+  check_true "raw fallback used" (contains ~needle:"gap raw" text);
+  match S.of_string text with
+  | Ok h -> check_true "raw round trips" (M.equal g h)
+  | Error e -> Alcotest.fail e
+
+let test_comments_and_blanks () =
+  let text =
+    "# a comment\nmineq-spec 1\n\nstages 3   # three stages\ngap theta 2 0 1\ngap theta 1 2 0\n"
+  in
+  match S.of_string text with
+  | Ok g -> check_int "parsed" 3 (M.stages g)
+  | Error e -> Alcotest.fail e
+
+let expect_error text fragment =
+  match S.of_string text with
+  | Ok _ -> Alcotest.fail ("expected parse error mentioning " ^ fragment)
+  | Error e -> check_true ("error mentions " ^ fragment) (contains ~needle:fragment e)
+
+let test_parse_errors () =
+  expect_error "nonsense\n" "header";
+  expect_error "mineq-spec 1\nstages x\n" "integer";
+  expect_error "mineq-spec 1\nstages 3\ngap theta 0 1\n" "theta needs n images";
+  expect_error "mineq-spec 1\nstages 3\ngap theta 0 0 1\ngap theta 0 1 2\n" "repeated";
+  expect_error "mineq-spec 1\nstages 3\ngap raw 0 1 2 3\n" "separator";
+  expect_error "mineq-spec 1\nstages 3\ngap theta 2 0 1\n" "expected 2 gap lines";
+  (* Degree violation caught at build time: constant raw gap. *)
+  expect_error "mineq-spec 1\nstages 2\ngap raw 0 0 | 0 0\n" "in-degree"
+
+let test_save_load () =
+  let g = Mineq.Classical.network Flip ~n:4 in
+  let path = Filename.temp_file "mineq" ".spec" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.save path g;
+      match S.load path with
+      | Ok h -> check_true "file round trip" (M.equal g h)
+      | Error e -> Alcotest.fail e);
+  match S.load "/nonexistent/mineq.spec" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must error"
+
+let props =
+  [ qcheck "round trip on random PIPID networks" ~count:30 n_and_seed (fun (n, seed) ->
+        let g = random_banyan_pipid (rng_of seed) ~n in
+        match S.of_string (S.to_string g) with Ok h -> M.equal g h | Error _ -> false);
+    qcheck "round trip on random raw networks" ~count:20 n_and_seed (fun (n, seed) ->
+        let g = Mineq.Link_spec.random_network (rng_of seed) ~n in
+        match S.of_string (S.to_string g) with Ok h -> M.equal g h | Error _ -> false)
+  ]
+
+let suite =
+  [ quick "classical round trip" test_round_trip_classical;
+    quick "raw round trip" test_round_trip_raw;
+    quick "comments and blanks" test_comments_and_blanks;
+    quick "parse errors" test_parse_errors;
+    quick "save and load" test_save_load
+  ]
+  @ props

@@ -1,0 +1,134 @@
+open Helpers
+module Bv = Mineq_bitvec.Bv
+module S = Mineq_bitvec.Subspace
+
+let test_zero_full () =
+  let z = S.zero ~width:4 in
+  check_int "zero dim" 0 (S.dim z);
+  check_int "zero cardinal" 1 (S.cardinal z);
+  check_true "zero contains 0" (S.mem z 0);
+  check_false "zero excludes 1" (S.mem z 1);
+  let f = S.full ~width:4 in
+  check_int "full dim" 4 (S.dim f);
+  check_int "full cardinal" 16 (S.cardinal f);
+  check_true "full contains all" (List.for_all (S.mem f) (List.init 16 (fun i -> i)))
+
+let test_span () =
+  let s = S.of_generators ~width:4 [ 0b0011; 0b0110; 0b0101 ] in
+  (* Third generator is the sum of the first two. *)
+  check_int "dependent generators collapse" 2 (S.dim s);
+  check_true "member" (S.mem s 0b0101);
+  check_false "non-member" (S.mem s 0b1000);
+  check_int "elements count" 4 (List.length (S.elements s));
+  Alcotest.(check (list int)) "elements sorted" [ 0; 0b0011; 0b0101; 0b0110 ] (S.elements s)
+
+let test_equal_canonical () =
+  let a = S.of_generators ~width:3 [ 0b011; 0b101 ] in
+  let b = S.of_generators ~width:3 [ 0b110; 0b011 ] in
+  check_true "same span, same representation" (S.equal a b);
+  check_false "different spans differ" (S.equal a (S.of_generators ~width:3 [ 0b001 ]))
+
+let test_subset_sum_intersection () =
+  let a = S.of_generators ~width:4 [ 0b0001 ] in
+  let b = S.of_generators ~width:4 [ 0b0001; 0b0010 ] in
+  check_true "subset" (S.subset a b);
+  check_false "not subset" (S.subset b a);
+  check_true "sum" (S.equal (S.sum a b) b);
+  check_true "intersection" (S.equal (S.intersection a b) a);
+  let c = S.of_generators ~width:4 [ 0b0010; 0b0100 ] in
+  check_int "intersection dim" 1 (S.dim (S.intersection b c));
+  check_true "intersection member" (S.mem (S.intersection b c) 0b0010)
+
+let test_complement () =
+  let s = S.of_generators ~width:4 [ 0b0011; 0b0110 ] in
+  let comp = S.complement_basis s in
+  check_int "complement size" 2 (List.length comp);
+  let full = S.sum s (S.of_generators ~width:4 comp) in
+  check_int "together they span" 4 (S.dim full)
+
+let test_cosets () =
+  let s = S.of_generators ~width:3 [ 0b011 ] in
+  check_true "same coset" (S.same_coset s 0b100 0b111);
+  check_false "different coset" (S.same_coset s 0b100 0b101);
+  check_int "coset representative is canonical"
+    (S.coset_of s 0b100) (S.coset_of s 0b111)
+
+let test_is_translate () =
+  let s = S.of_generators ~width:3 [ 0b011 ] in
+  check_true "coset is translate" (S.is_translate s [ 0b100; 0b111 ]);
+  check_true "subspace itself is translate" (S.is_translate s [ 0b000; 0b011 ]);
+  check_false "wrong size" (S.is_translate s [ 0b100 ]);
+  check_false "not a coset" (S.is_translate s [ 0b100; 0b101 ]);
+  check_false "empty set" (S.is_translate s [])
+
+let test_translate_of_set () =
+  let a = [ 0b000; 0b011 ] and b = [ 0b100; 0b111 ] in
+  (match S.translate_of_set ~width:3 a b with
+  | Some v ->
+      check_true "offset translates a onto b"
+        (List.sort compare (List.map (fun x -> x lxor v) a) = List.sort compare b)
+  | None -> Alcotest.fail "expected a translate");
+  check_true "non-translate detected"
+    (Option.is_none (S.translate_of_set ~width:3 [ 0b000; 0b011 ] [ 0b100; 0b101 ]));
+  check_true "size mismatch detected"
+    (Option.is_none (S.translate_of_set ~width:3 [ 0b000 ] [ 0b100; 0b101 ]));
+  (match S.translate_of_set ~width:3 [] [] with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "empty sets translate by 0")
+
+let test_add_vector () =
+  let s = S.zero ~width:4 in
+  let s1 = S.add_vector s 0b0101 in
+  check_int "grown" 1 (S.dim s1);
+  check_true "vector added" (S.mem s1 0b0101);
+  check_int "adding member is no-op" 1 (S.dim (S.add_vector s1 0b0101))
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (w, s) -> Printf.sprintf "w=%d seed=%d" w s)
+      QCheck.Gen.(pair (int_range 1 6) (int_bound 100000))
+  in
+  [ qcheck "span contains generators" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let gens = List.init 3 (fun _ -> Random.State.int rng (1 lsl w)) in
+        let s = S.of_generators ~width:w gens in
+        List.for_all (S.mem s) gens);
+    qcheck "membership closed under xor" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let gens = List.init 3 (fun _ -> Random.State.int rng (1 lsl w)) in
+        let s = S.of_generators ~width:w gens in
+        let els = S.elements s in
+        List.for_all (fun a -> List.for_all (fun b -> S.mem s (a lxor b)) els) els);
+    qcheck "cardinal = elements length" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let gens = List.init 2 (fun _ -> Random.State.int rng (1 lsl w)) in
+        let s = S.of_generators ~width:w gens in
+        S.cardinal s = List.length (S.elements s));
+    qcheck "complement is complement" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let gens = List.init 2 (fun _ -> Random.State.int rng (1 lsl w)) in
+        let s = S.of_generators ~width:w gens in
+        let comp = S.complement_basis s in
+        S.dim s + List.length comp = w
+        && S.dim (S.sum s (S.of_generators ~width:w comp)) = w);
+    qcheck "every coset is a translate" gen (fun (w, seed) ->
+        let rng = rng_of seed in
+        let gens = List.init 2 (fun _ -> Random.State.int rng (1 lsl w)) in
+        let s = S.of_generators ~width:w gens in
+        let v = Random.State.int rng (1 lsl w) in
+        S.is_translate s (List.map (fun x -> x lxor v) (S.elements s)))
+  ]
+
+let suite =
+  [ quick "zero and full" test_zero_full;
+    quick "span and elements" test_span;
+    quick "canonical equality" test_equal_canonical;
+    quick "subset/sum/intersection" test_subset_sum_intersection;
+    quick "complement basis" test_complement;
+    quick "cosets" test_cosets;
+    quick "is_translate" test_is_translate;
+    quick "translate_of_set" test_translate_of_set;
+    quick "add_vector" test_add_vector
+  ]
+  @ props

@@ -1,0 +1,112 @@
+open Helpers
+module S = Mineq_sim.Summary
+
+let feq ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let test_empty () =
+  let t = S.create () in
+  check_int "count" 0 (S.count t);
+  check_true "mean nan" (Float.is_nan (S.mean t));
+  check_true "variance nan" (Float.is_nan (S.variance t));
+  check_true "half width nan" (Float.is_nan (S.half_width_95 t))
+
+let test_single () =
+  let t = S.of_samples [ 2.5 ] in
+  feq "mean" 2.5 (S.mean t);
+  check_true "variance nan with one sample" (Float.is_nan (S.variance t))
+
+let test_known_values () =
+  let t = S.of_samples [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  feq "mean" 5.0 (S.mean t);
+  feq "variance (unbiased)" (32.0 /. 7.0) (S.variance t);
+  feq "min" 2.0 (S.min_value t);
+  feq "max" 9.0 (S.max_value t);
+  check_int "count" 8 (S.count t)
+
+let test_welford_matches_naive () =
+  let rng = rng_of 600 in
+  let xs = List.init 500 (fun _ -> Random.State.float rng 100.0) in
+  let t = S.of_samples xs in
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+  in
+  feq ~eps:1e-6 "mean matches" mean (S.mean t);
+  feq ~eps:1e-6 "variance matches" var (S.variance t)
+
+let test_pp () =
+  let t = S.of_samples [ 1.0; 2.0; 3.0 ] in
+  let s = Format.asprintf "%a" S.pp t in
+  check_true "pp mentions n" (String.length s > 0 && String.contains s 'n')
+
+let test_histogram () =
+  let h = S.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (S.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; 100.0; -5.0 ];
+  let counts = S.Histogram.counts h in
+  check_int "bucket 0 gets 0.5 and the clamped -5" 2 counts.(0);
+  check_int "bucket 1" 2 counts.(1);
+  check_int "last bucket gets 9.9 and the clamped 100" 2 counts.(9);
+  check_int "total" 6 (S.Histogram.total h)
+
+let test_quantile () =
+  let h = S.Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:100 in
+  for i = 1 to 100 do
+    S.Histogram.add h (float_of_int i -. 0.5)
+  done;
+  let median = S.Histogram.quantile h 0.5 in
+  check_true "median near 50" (median > 45.0 && median < 55.0);
+  let p99 = S.Histogram.quantile h 0.99 in
+  check_true "p99 near 99" (p99 > 95.0);
+  check_true "empty quantile nan"
+    (Float.is_nan (S.Histogram.quantile (S.Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:2) 0.5))
+
+let test_histogram_validation () =
+  Alcotest.check_raises "bad shape" (Invalid_argument "Histogram.create: bad shape") (fun () ->
+      ignore (S.Histogram.create ~lo:1.0 ~hi:0.0 ~buckets:4))
+
+let test_replicate () =
+  let t = S.replicate ~seeds:[ 1; 2; 3; 4; 5 ] (fun rng -> Random.State.float rng 1.0) in
+  check_int "five runs" 5 (S.count t);
+  check_true "values in range" (S.min_value t >= 0.0 && S.max_value t <= 1.0);
+  (* Same seeds, same summary: determinism. *)
+  let t' = S.replicate ~seeds:[ 1; 2; 3; 4; 5 ] (fun rng -> Random.State.float rng 1.0) in
+  feq "deterministic" (S.mean t) (S.mean t')
+
+let props =
+  [ qcheck "mean within min/max" (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let xs = List.init (2 + Random.State.int rng 50) (fun _ -> Random.State.float rng 10.0) in
+        let t = S.of_samples xs in
+        S.mean t >= S.min_value t -. 1e-9 && S.mean t <= S.max_value t +. 1e-9);
+    qcheck "variance non-negative" (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let xs = List.init (2 + Random.State.int rng 50) (fun _ -> Random.State.float rng 10.0) in
+        S.variance (S.of_samples xs) >= -1e-9);
+    qcheck "histogram conserves samples"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let h = S.Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:8 in
+        let k = 1 + Random.State.int rng 100 in
+        for _ = 1 to k do
+          S.Histogram.add h (Random.State.float rng 2.0 -. 0.5)
+        done;
+        Array.fold_left ( + ) 0 (S.Histogram.counts h) = k)
+  ]
+
+let suite =
+  [ quick "empty" test_empty;
+    quick "single sample" test_single;
+    quick "known values" test_known_values;
+    quick "welford matches naive" test_welford_matches_naive;
+    quick "pretty printing" test_pp;
+    quick "histogram buckets" test_histogram;
+    quick "quantiles" test_quantile;
+    quick "histogram validation" test_histogram_validation;
+    quick "replicate" test_replicate
+  ]
+  @ props

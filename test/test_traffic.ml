@@ -1,0 +1,75 @@
+open Helpers
+module T = Mineq_sim.Traffic
+module Perm = Mineq_perm.Perm
+
+let test_uniform_in_range () =
+  let rng = rng_of 110 in
+  for _ = 1 to 200 do
+    let d = T.draw T.uniform rng ~terminals:16 ~src:3 in
+    check_true "in range" (d >= 0 && d < 16)
+  done
+
+let test_permutation_fixed () =
+  let rng = rng_of 111 in
+  let p = Perm.of_array [| 2; 0; 3; 1 |] in
+  let t = T.permutation p in
+  for src = 0 to 3 do
+    check_int "permutation destination" (Perm.apply p src) (T.draw t rng ~terminals:4 ~src)
+  done
+
+let test_hotspot_bias () =
+  let rng = rng_of 112 in
+  let t = T.hotspot ~fraction:0.9 ~target:5 in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if T.draw t rng ~terminals:16 ~src:0 = 5 then incr hits
+  done;
+  (* 90% direct plus 1/16 of the uniform remainder: expect ~906. *)
+  check_true "strong bias" (!hits > 800);
+  Alcotest.check_raises "bad fraction" (Invalid_argument "Traffic.hotspot: bad fraction")
+    (fun () -> ignore (T.hotspot ~fraction:1.5 ~target:0))
+
+let test_bit_reversal () =
+  let rng = rng_of 113 in
+  let t = T.bit_reversal ~n:4 in
+  check_int "0001 -> 1000" 0b1000 (T.draw t rng ~terminals:16 ~src:0b0001);
+  check_int "1011 -> 1101" 0b1101 (T.draw t rng ~terminals:16 ~src:0b1011);
+  check_int "palindrome fixed" 0b1001 (T.draw t rng ~terminals:16 ~src:0b1001)
+
+let test_transpose () =
+  let rng = rng_of 114 in
+  let t = T.transpose ~n:4 in
+  check_int "rotate by n/2" 0b0100 (T.draw t rng ~terminals:16 ~src:0b0001);
+  check_int "high bits wrap" 0b0001 (T.draw t rng ~terminals:16 ~src:0b0100)
+
+let test_names () =
+  check_true "uniform name" (T.name T.uniform = "uniform");
+  check_true "bit-reversal name" (T.name (T.bit_reversal ~n:3) = "bit-reversal")
+
+let props =
+  [ qcheck "bit reversal is an involution" (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let t = T.bit_reversal ~n:5 in
+        let src = Random.State.int rng 32 in
+        let once = T.draw t rng ~terminals:32 ~src in
+        T.draw t rng ~terminals:32 ~src:once = src);
+    qcheck "transpose twice is the identity for even n"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let rng = rng_of seed in
+        let t = T.transpose ~n:4 in
+        let src = Random.State.int rng 16 in
+        let once = T.draw t rng ~terminals:16 ~src in
+        T.draw t rng ~terminals:16 ~src:once = src)
+  ]
+
+let suite =
+  [ quick "uniform in range" test_uniform_in_range;
+    quick "permutation" test_permutation_fixed;
+    quick "hotspot bias" test_hotspot_bias;
+    quick "bit reversal" test_bit_reversal;
+    quick "transpose" test_transpose;
+    quick "names" test_names
+  ]
+  @ props

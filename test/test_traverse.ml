@@ -1,0 +1,127 @@
+open Helpers
+module D = Mineq_graph.Digraph
+module T = Mineq_graph.Traverse
+
+let path_graph n = D.create ~vertices:n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let test_bfs_directed () =
+  let g = path_graph 4 in
+  Alcotest.(check (array int)) "distances from 0" [| 0; 1; 2; 3 |] (T.bfs_distances g 0);
+  Alcotest.(check (array int)) "unreachable marked" [| -1; -1; 0; 1 |] (T.bfs_distances g 2)
+
+let test_bfs_undirected () =
+  let g = path_graph 4 in
+  Alcotest.(check (array int)) "undirected from middle" [| 2; 1; 0; 1 |]
+    (T.bfs_undirected_distances g 2)
+
+let test_components () =
+  let g = D.create ~vertices:6 [ (0, 1); (1, 2); (4, 3) ] in
+  let comp, count = T.connected_components g in
+  check_int "three components" 3 count;
+  check_int "0 and 2 together" comp.(0) comp.(2);
+  check_int "3 and 4 together" comp.(3) comp.(4);
+  check_true "5 isolated" (comp.(5) <> comp.(0) && comp.(5) <> comp.(3));
+  check_int "component_count agrees" 3 (T.component_count g)
+
+let test_component_members () =
+  let g = D.create ~vertices:5 [ (0, 2); (3, 4) ] in
+  let members = T.component_members g in
+  check_int "component count" 3 (Array.length members);
+  Alcotest.(check (list int)) "first component" [ 0; 2 ] members.(0);
+  check_true "partition covers all"
+    (List.sort compare (List.concat (Array.to_list members)) = [ 0; 1; 2; 3; 4 ])
+
+let test_reachability () =
+  let g = D.create ~vertices:4 [ (0, 1); (1, 2) ] in
+  Alcotest.(check (array bool)) "reachable" [| true; true; true; false |] (T.reachable_from g 0);
+  Alcotest.(check (array bool)) "only self" [| false; false; false; true |]
+    (T.reachable_from g 3)
+
+let test_topological () =
+  let g = D.create ~vertices:4 [ (3, 1); (1, 0); (3, 0); (0, 2) ] in
+  (match T.topological_order g with
+  | None -> Alcotest.fail "acyclic graph has an order"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      List.iter
+        (fun (u, v) -> check_true "order respects arcs" (pos.(u) < pos.(v)))
+        (D.arcs g));
+  let cyclic = D.create ~vertices:3 [ (0, 1); (1, 2); (2, 0) ] in
+  check_true "cycle detected" (Option.is_none (T.topological_order cyclic));
+  check_false "is_acyclic on cycle" (T.is_acyclic cyclic);
+  check_true "self loop is a cycle" (Option.is_none (T.topological_order (D.create ~vertices:1 [ (0, 0) ])))
+
+let test_count_paths () =
+  (* Two diamonds chained: 4 paths 0 -> 5. *)
+  let g =
+    D.create ~vertices:6 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 5) ]
+  in
+  check_int "path count through chained branches" 4 (T.count_paths g 0 5);
+  check_int "single path" 1 (T.count_paths g 1 3);
+  check_int "no path" 0 (T.count_paths g 5 0);
+  check_int "trivial path to self" 1 (T.count_paths g 0 0)
+
+let test_count_paths_parallel_arcs () =
+  let g = D.create ~vertices:2 [ (0, 1); (0, 1) ] in
+  check_int "parallel arcs are distinct paths" 2 (T.count_paths g 0 1)
+
+let test_count_paths_matrix () =
+  let g = D.create ~vertices:4 [ (0, 2); (1, 2); (2, 3) ] in
+  let m = T.count_paths_matrix g ~sources:[ 0; 1 ] ~sinks:[ 2; 3 ] in
+  Alcotest.(check (array (array int))) "matrix" [| [| 1; 1 |]; [| 1; 1 |] |] m;
+  Alcotest.check_raises "cyclic rejected"
+    (Invalid_argument "Traverse.count_paths_matrix: digraph has a cycle") (fun () ->
+      ignore
+        (T.count_paths_matrix
+           (D.create ~vertices:2 [ (0, 1); (1, 0) ])
+           ~sources:[ 0 ] ~sinks:[ 1 ]))
+
+let props =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+      QCheck.Gen.(pair (int_range 2 25) (int_bound 100000))
+  in
+  let random_dag (n, seed) =
+    (* Arcs only from lower to higher ids: always acyclic. *)
+    let rng = rng_of seed in
+    let m = Random.State.int rng (2 * n) in
+    D.create ~vertices:n
+      (List.init m (fun _ ->
+           let u = Random.State.int rng (n - 1) in
+           let v = u + 1 + Random.State.int rng (n - u - 1) in
+           (u, v)))
+  in
+  [ qcheck "random dag is acyclic" gen (fun p -> T.is_acyclic (random_dag p));
+    qcheck "components cover all vertices" gen (fun p ->
+        let g = random_dag p in
+        let comp, count = T.connected_components g in
+        Array.for_all (fun c -> c >= 0 && c < count) comp);
+    qcheck "undirected bfs symmetric reachability" gen (fun (n, seed) ->
+        let g = random_dag (n, seed) in
+        let rng = rng_of (seed + 7) in
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        let du = T.bfs_undirected_distances g u in
+        let dv = T.bfs_undirected_distances g v in
+        du.(v) = dv.(u));
+    qcheck "path counts match explicit DFS enumeration" gen (fun (n, seed) ->
+        let g = random_dag (n, seed) in
+        let rng = rng_of (seed + 13) in
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        let rec dfs x = if x = v then 1 else List.fold_left (fun a y -> a + dfs y) 0 (D.succ g x) in
+        T.count_paths g u v = dfs u)
+  ]
+
+let suite =
+  [ quick "directed bfs" test_bfs_directed;
+    quick "undirected bfs" test_bfs_undirected;
+    quick "connected components" test_components;
+    quick "component members" test_component_members;
+    quick "reachability" test_reachability;
+    quick "topological order" test_topological;
+    quick "count paths" test_count_paths;
+    quick "parallel arcs count" test_count_paths_parallel_arcs;
+    quick "path count matrix" test_count_paths_matrix
+  ]
+  @ props
