@@ -1,0 +1,125 @@
+(* Engine bench artifact: measures the four parallel batch drivers
+   serial vs jobs = 2 and 4 (warm pools, so the one-time domain-spawn
+   cost is excluded), checks the bit-identical guarantee on each, and
+   writes the machine-readable BENCH_engine.json next to the repo
+   root.  [cores] is recorded because the wall-time ratios only mean
+   anything relative to it — on a single-core host the parallel rows
+   can only show coordination overhead. *)
+
+module Pool = Mineq_engine.Pool
+module Seeds = Mineq_engine.Seeds
+module Memo = Mineq_engine.Memo
+module Batch = Mineq_engine.Batch
+
+let time f =
+  (* Best of three, to damp scheduler noise on shared runners. *)
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    (r, (t1 -. t0) *. 1e3)
+  in
+  let r1, m1 = once () in
+  let _, m2 = once () in
+  let _, m3 = once () in
+  (r1, List.fold_left min m1 [ m2; m3 ])
+
+type row = {
+  name : string;
+  serial_ms : float;
+  jobs2_ms : float;
+  jobs4_ms : float;
+  identical : bool;
+}
+
+let measure name serial parallel equal =
+  let serial_res, serial_ms = time serial in
+  let in_pool jobs =
+    let pool = Pool.create ~jobs in
+    ignore (parallel pool);
+    (* warm the domains *)
+    let res, ms = time (fun () -> parallel pool) in
+    Pool.shutdown pool;
+    (res, ms)
+  in
+  let res2, jobs2_ms = in_pool 2 in
+  let res4, jobs4_ms = in_pool 4 in
+  let identical = equal serial_res res2 && equal serial_res res4 in
+  Printf.printf "%-24s serial %8.1f ms   jobs=2 %8.1f ms   jobs=4 %8.1f ms   identical=%b\n%!"
+    name serial_ms jobs2_ms jobs4_ms identical;
+  { name; serial_ms; jobs2_ms; jobs4_ms; identical }
+
+let census_row () =
+  measure "census_classify_n3"
+    (fun () -> Batch.sample_census ~jobs:1 ~root:25 ~n:3 ~samples:150 ~attempts:400)
+    (fun pool -> Batch.sample_census_in pool ~root:25 ~n:3 ~samples:150 ~attempts:400)
+    ( = )
+
+let faults_row () =
+  let cascade = Mineq.Cascade.of_mi_digraph (Mineq.Baseline.network 5) in
+  measure "fault_sweep_n5"
+    (fun () ->
+      Batch.fault_survival ~jobs:1 ~root:7 cascade ~faults:[ 1; 2; 4; 8 ] ~samples:800)
+    (fun pool ->
+      Batch.fault_survival_in pool ~root:7 cascade ~faults:[ 1; 2; 4; 8 ] ~samples:800)
+    ( = )
+
+let sim_row () =
+  let g = Mineq.Classical.network Omega ~n:5 in
+  let config = { Mineq_sim.Network_sim.default_config with warmup = 100; cycles = 500 } in
+  measure "sim_replications_n5"
+    (fun () -> Batch.simulate_runs ~jobs:1 ~root:8 ~config ~replications:8 g)
+    (fun pool -> Batch.simulate_runs_in pool ~root:8 ~config ~replications:8 g)
+    ( = )
+
+let memo_stats () =
+  (* Pairwise table over the six classical networks at n = 5: 36
+     cells probe two verdicts each; the memo collapses them to six
+     computations. *)
+  let nets = Mineq.Classical.all_networks ~n:5 in
+  let _, cold_ms = time (fun () -> Batch.pairwise ~jobs:1 nets) in
+  let memo = Memo.create () in
+  let _, memo_ms = time (fun () -> Batch.pairwise ~jobs:1 ~memo nets) in
+  (* [time] runs three passes over the same memo: 6 misses from the
+     first, hits for everything else. *)
+  Printf.printf "%-24s nomemo %8.1f ms   memo %8.1f ms   hit_rate %.3f\n%!"
+    "pairwise_memo_n5" cold_ms memo_ms (Memo.hit_rate memo);
+  (cold_ms, memo_ms, Memo.hit_rate memo)
+
+let () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "engine bench (recommended domains: %d)\n%!" cores;
+  let census = census_row () in
+  let faults = faults_row () in
+  let sim = sim_row () in
+  let rows = [ census; faults; sim ] in
+  let nomemo_ms, memo_ms, hit_rate = memo_stats () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ocaml\": %S,\n" Sys.ocaml_version);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"serial_ms\": %.2f, \"jobs2_ms\": %.2f, \"jobs4_ms\": \
+            %.2f, \"speedup_jobs4\": %.2f, \"identical\": %b}%s\n"
+           r.name r.serial_ms r.jobs2_ms r.jobs4_ms
+           (r.serial_ms /. r.jobs4_ms)
+           r.identical
+           (if i = 2 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"memo\": {\"workload\": \"pairwise_classical_n5\", \"nomemo_ms\": %.2f, \
+        \"memo_ms\": %.2f, \"hit_rate\": %.3f}\n"
+       nomemo_ms memo_ms hit_rate);
+  Buffer.add_string buf "}\n";
+  let path = match Sys.argv with [| _; p |] -> p | _ -> "BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

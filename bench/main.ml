@@ -67,6 +67,59 @@ let extension_tests =
       (stage (fun () -> Mineq.Faults.critical_fault_count baseline_cascade6))
   ]
 
+(* Engine (mineq_engine): the same X15/X16/X3 workloads through the
+   serial oracle and the batch drivers on a warm 4-domain pool (pool
+   spawn is excluded — a long-lived service pays it once).  On a
+   single-core host the parallel rows only show the coordination
+   overhead; the speedup appears with the cores. *)
+
+let pool4 =
+  let pool = Mineq_engine.Pool.create ~jobs:4 in
+  at_exit (fun () -> Mineq_engine.Pool.shutdown pool);
+  pool
+
+let census_inputs =
+  List.filter_map
+    (fun i ->
+      Option.map
+        (fun g -> (g, i))
+        (Mineq.Counterexample.random_banyan (Mineq_engine.Seeds.derive ~root:99 i) ~n:3
+           ~attempts:300))
+    (List.init 120 Fun.id)
+
+let baseline_cascade5 = Mineq.Cascade.of_mi_digraph (Mineq.Baseline.network 5)
+
+let memo_nets = Mineq.Classical.all_networks ~n:5
+
+let engine_tests =
+  [ Test.make ~name:"engine_census_classify_serial_n3"
+      (stage (fun () -> Mineq.Census.classify census_inputs));
+    Test.make ~name:"engine_census_classify_jobs4_n3"
+      (stage (fun () -> Mineq_engine.Batch.classify_in pool4 census_inputs));
+    Test.make ~name:"engine_fault_survival_serial_n5"
+      (stage (fun () ->
+           Mineq_engine.Batch.fault_survival ~jobs:1 ~root:7 baseline_cascade5
+             ~faults:[ 1; 2; 4 ] ~samples:300));
+    Test.make ~name:"engine_fault_survival_jobs4_n5"
+      (stage (fun () ->
+           Mineq_engine.Batch.fault_survival_in pool4 ~root:7 baseline_cascade5
+             ~faults:[ 1; 2; 4 ] ~samples:300));
+    Test.make ~name:"engine_sim_replicate_serial_n5"
+      (stage (fun () ->
+           Mineq_engine.Batch.simulate_runs ~jobs:1 ~root:8 ~config:sim_config
+             ~replications:6 omega5));
+    Test.make ~name:"engine_sim_replicate_jobs4_n5"
+      (stage (fun () ->
+           Mineq_engine.Batch.simulate_runs_in pool4 ~root:8 ~config:sim_config
+             ~replications:6 omega5));
+    Test.make ~name:"engine_pairwise_memo_n5"
+      (stage (fun () ->
+           let memo = Mineq_engine.Memo.create () in
+           Mineq_engine.Batch.pairwise ~jobs:1 ~memo memo_nets));
+    Test.make ~name:"engine_pairwise_nomemo_n5"
+      (stage (fun () -> Mineq_engine.Batch.pairwise ~jobs:1 memo_nets))
+  ]
+
 let tests =
   [ (* F1: Figure 1 -- building the Baseline network. *)
     Test.make ~name:"f1_build_baseline_n10" (stage (fun () -> Mineq.Baseline.network 10));
@@ -149,7 +202,7 @@ let tests =
     Test.make ~name:"x4_greedy_schedule_n6"
       (stage (fun () -> Mineq_sim.Circuit.greedy_schedule omega6 pairs6))
   ]
-  @ extension_tests
+  @ extension_tests @ engine_tests
 
 let benchmark () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

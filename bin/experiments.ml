@@ -1,14 +1,19 @@
 (* Regenerates every experiment in DESIGN.md's index and prints the
    paper-shaped result.  `experiments.exe` runs everything;
-   `experiments.exe F1 T3 ...` runs a subset.  EXPERIMENTS.md records
+   `experiments.exe F1 T3 ...` runs a subset; `-j N` runs the
+   sweep-shaped experiments (X9, X11, X15, X16) on N worker domains
+   (results are bit-identical for every N).  EXPERIMENTS.md records
    this program's output. *)
 
 module Perm = Mineq_perm.Perm
 module Family = Mineq_perm.Pipid_family
 module Ip = Mineq_perm.Index_perm
+module Engine = Mineq_engine
 open Mineq
 
 let rng seed = Random.State.make [| seed; 0xe9; 0x88 |]
+
+let jobs = ref 1
 
 let header id title =
   Printf.printf "\n================================================================\n";
@@ -448,36 +453,52 @@ let x8 () =
   result "  non-Banyan (degenerate stage): %d < 4096 -- settings collapse\n"
     (Realizable.count_exact degenerate)
 
-(* X9: fault tolerance -- the price of the unique path. *)
+(* X9: fault tolerance -- the price of the unique path.  The two
+   critical-fault sweeps and the per-gap impacts are independent
+   closures, so they run on the engine pool. *)
 let x9 () =
   header "X9" "Fault analysis: Banyan networks have zero tolerance; the Benes does not";
   let n = 4 in
   let c = Cascade.of_mi_digraph (Baseline.network n) in
-  result "baseline n=%d: %d/%d single-link faults disconnect at least one pair\n" n
-    (Faults.critical_fault_count c)
-    ((Cascade.stages c - 1) * Cascade.cells_per_stage c * 2);
-  List.iter
-    (fun gap ->
-      let i = Faults.impact c [ Faults.Link { gap; cell = 0; port = 0 } ] in
-      result "  one gap-%d link: %d source/sink cell pairs disconnected (cone %d x %d)\n" gap
-        i.disconnected_pairs (1 lsl (gap - 1))
-        (1 lsl (n - gap - 1)))
-    [ 1; 2; 3 ];
   let benes = Benes.network n in
-  result "benes B(%d): %d/%d single-link faults disconnect any pair; " n
-    (Faults.critical_fault_count benes)
-    ((Cascade.stages benes - 1) * Cascade.cells_per_stage benes * 2);
-  let i = Faults.impact benes [ Faults.Link { gap = 1; cell = 0; port = 0 } ] in
-  result "a gap-1 fault merely degrades %d pairs\n" i.degraded_pairs
+  let results =
+    Engine.Pool.run ~jobs:!jobs (fun pool ->
+        Engine.Pool.map_list pool
+          (fun f -> f ())
+          [ (fun () -> `Critical (Faults.critical_fault_count c));
+            (fun () -> `Critical (Faults.critical_fault_count benes));
+            (fun () ->
+              `Impacts
+                (List.map
+                   (fun gap ->
+                     (gap, Faults.impact c [ Faults.Link { gap; cell = 0; port = 0 } ]))
+                   [ 1; 2; 3 ]));
+            (fun () -> `Impact (Faults.impact benes [ Faults.Link { gap = 1; cell = 0; port = 0 } ]))
+          ])
+  in
+  match results with
+  | [ `Critical crit_c; `Critical crit_benes; `Impacts impacts; `Impact benes_impact ] ->
+      result "baseline n=%d: %d/%d single-link faults disconnect at least one pair\n" n crit_c
+        ((Cascade.stages c - 1) * Cascade.cells_per_stage c * 2);
+      List.iter
+        (fun (gap, i) ->
+          result "  one gap-%d link: %d source/sink cell pairs disconnected (cone %d x %d)\n"
+            gap i.Faults.disconnected_pairs (1 lsl (gap - 1))
+            (1 lsl (n - gap - 1)))
+        impacts;
+      result "benes B(%d): %d/%d single-link faults disconnect any pair; " n crit_benes
+        ((Cascade.stages benes - 1) * Cascade.cells_per_stage benes * 2);
+      result "a gap-1 fault merely degrades %d pairs\n" benes_impact.Faults.degraded_pairs
+  | _ -> assert false
 
 (* X11: tree saturation under hot-spot traffic. *)
 let x11 () =
   header "X11" "Tree saturation: a small hot-spot collapses global throughput";
   let n = 5 in
   let g = Classical.network Omega ~n in
-  let seeds = [ 101; 102; 103; 104; 105 ] in
+  let replications = 5 in
   result "Omega n=%d, rate 0.9, 2000 cycles, hotspot = terminal 0; mean ± 95%% CI over %d seeds:\n"
-    n (List.length seeds);
+    n replications;
   List.iter
     (fun fraction ->
       let metric rng =
@@ -494,7 +515,11 @@ let x11 () =
         in
         Mineq_sim.Network_sim.throughput (Mineq_sim.Network_sim.run ~config rng g)
       in
-      let summary = Mineq_sim.Summary.replicate ~seeds metric in
+      let summary =
+        Engine.Batch.replicate ~jobs:!jobs
+          ~root:(Engine.Seeds.fold 101 (int_of_float (fraction *. 100.0)))
+          ~replications metric
+      in
       result "  hotspot fraction %.2f: throughput %s\n" fraction
         (Format.asprintf "%a" Mineq_sim.Summary.pp summary))
     [ 0.0; 0.05; 0.1; 0.2; 0.4 ];
@@ -597,7 +622,7 @@ let x14 () =
 let x15 () =
   header "X15" "Census: isomorphism classes of random Banyan networks at n = 3";
   let r = rng 25 in
-  let classes = Census.sample_banyan_census r ~n:3 ~samples:150 ~attempts:400 in
+  let classes = Engine.Batch.sample_census ~jobs:!jobs ~root:25 ~n:3 ~samples:150 ~attempts:400 in
   let total = List.fold_left (fun acc c -> acc + List.length c.Census.members) 0 classes in
   result "%d random Banyans fall into %d isomorphism classes:\n" total (List.length classes);
   List.iteri
@@ -620,7 +645,7 @@ let x15 () =
       | None -> acc
       | Some g -> draw (k - 1) ((g, k) :: acc)
   in
-  let buddy_classes = Census.classify (draw 60 []) in
+  let buddy_classes = Engine.Batch.classify ~jobs:!jobs (draw 60 []) in
   result "60 buddy Banyans at n=4 fall into %d classes:\n" (List.length buddy_classes);
   List.iteri
     (fun i cls ->
@@ -632,7 +657,6 @@ let x15 () =
 (* X16: reliability curves under multiple random faults. *)
 let x16 () =
   header "X16" "Reliability: survival probability under k random link faults (n = 4)";
-  let r = rng 26 in
   let n = 4 in
   let baseline_c = Cascade.of_mi_digraph (Baseline.network n) in
   let extra =
@@ -643,15 +667,18 @@ let x16 () =
          ])
   in
   let benes = Benes.network n in
+  let ks = [ 0; 1; 2; 3; 4; 6; 8 ] in
   result "%22s" "k faults:";
-  List.iter (fun k -> result " %6d" k) [ 0; 1; 2; 3; 4; 6; 8 ];
+  List.iter (fun k -> result " %6d" k) ks;
   result "\n";
-  List.iter
-    (fun (name, c) ->
+  List.iteri
+    (fun row (name, c) ->
+      let sweep =
+        Engine.Batch.fault_survival ~jobs:!jobs ~root:(Engine.Seeds.fold 26 row) c ~faults:ks
+          ~samples:400
+      in
       result "%22s" name;
-      List.iter
-        (fun k -> result " %6.3f" (Faults.survival_probability r c ~faults:k ~samples:400))
-        [ 0; 1; 2; 3; 4; 6; 8 ];
+      List.iter (fun (_, p) -> result " %6.3f" p) sweep;
       result "\n")
     [ ("baseline", baseline_c); ("baseline + 1 stage", extra); ("benes", benes) ]
 
@@ -663,11 +690,23 @@ let all_experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: [] -> List.map fst all_experiments
-    | _ :: ids -> List.map String.uppercase_ascii ids
+  (* Strip a `-j N` pair (worker domains) before treating the rest as
+     experiment ids. *)
+  let rec split_jobs = function
+    | "-j" :: count :: rest -> (
+        match int_of_string_opt count with
+        | Some j ->
+            jobs := max 1 j;
+            split_jobs rest
+        | None -> failwith "-j needs an integer")
+    | id :: rest -> id :: split_jobs rest
     | [] -> []
+  in
+  let args = split_jobs (List.tl (Array.to_list Sys.argv)) in
+  let requested =
+    match args with
+    | [] -> List.map fst all_experiments
+    | ids -> List.map String.uppercase_ascii ids
   in
   List.iter
     (fun id ->

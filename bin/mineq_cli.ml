@@ -9,6 +9,7 @@
 
 open Cmdliner
 open Mineq
+module Engine = Mineq_engine
 
 let parse_network spec ~n =
   match Classical.of_name spec with
@@ -17,15 +18,15 @@ let parse_network spec ~n =
       match String.split_on_char ':' spec with
       | [ "random"; seed ] -> (
           match int_of_string_opt seed with
-          | Some s -> Ok (Link_spec.random_network (Random.State.make [| s |]) ~n)
+          | Some s -> Ok (Link_spec.random_network (Engine.Seeds.state s) ~n)
           | None -> Error (`Msg "random:SEED needs an integer seed"))
       | [ "pipid"; seed ] -> (
           match int_of_string_opt seed with
-          | Some s -> Ok (Link_spec.random_pipid_network (Random.State.make [| s |]) ~n)
+          | Some s -> Ok (Link_spec.random_pipid_network (Engine.Seeds.state s) ~n)
           | None -> Error (`Msg "pipid:SEED needs an integer seed"))
       | [ "buddy"; seed ] -> (
           match int_of_string_opt seed with
-          | Some s -> Ok (Counterexample.random_buddy_network (Random.State.make [| s |]) ~n)
+          | Some s -> Ok (Counterexample.random_buddy_network (Engine.Seeds.state s) ~n)
           | None -> Error (`Msg "buddy:SEED needs an integer seed"))
       | _ ->
           Error
@@ -42,6 +43,14 @@ let network_arg =
 let n_arg =
   let doc = "Number of stages (log2 of the terminal count)." in
   Arg.(value & opt int 4 & info [ "n"; "stages" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc = "Worker domains for the parallel sections (1 = run sequentially inline)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let seed_arg =
+  let doc = "Root RNG seed; all task-level randomness is derived from it." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let with_network spec n f =
   match parse_network spec ~n with
@@ -199,7 +208,6 @@ let simulate_cmd =
   let cycles_arg =
     Arg.(value & opt int 1000 & info [ "cycles" ] ~docv:"CYCLES" ~doc:"Measured cycles.")
   in
-  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
   let pattern_arg =
     let doc = "Traffic pattern: uniform, bit-reversal or transpose." in
     Arg.(
@@ -208,7 +216,11 @@ let simulate_cmd =
           `Uniform
       & info [ "pattern" ] ~docv:"PATTERN" ~doc)
   in
-  let run spec n rate cycles seed pattern =
+  let reps_arg =
+    let doc = "Independent replications; more than one reports mean +/- 95% CI." in
+    Arg.(value & opt int 1 & info [ "reps" ] ~docv:"REPS" ~doc)
+  in
+  let run spec n rate cycles seed pattern reps jobs =
     with_network spec n (fun g ->
         let pattern =
           match pattern with
@@ -219,45 +231,97 @@ let simulate_cmd =
         let config =
           { Mineq_sim.Network_sim.default_config with injection_rate = rate; cycles; pattern }
         in
-        let s = Mineq_sim.Network_sim.run ~config (Random.State.make [| seed |]) g in
         Printf.printf "pattern:        %s\n" (Mineq_sim.Traffic.name pattern);
-        Printf.printf "offered:        %d\n" s.offered;
-        Printf.printf "injected:       %d\n" s.injected;
-        Printf.printf "delivered:      %d\n" s.delivered;
-        Printf.printf "refused:        %d\n" s.refused;
-        Printf.printf "dropped:        %d\n" s.dropped;
-        Printf.printf "throughput:     %.4f pkts/terminal/cycle\n"
-          (Mineq_sim.Network_sim.throughput s);
-        Printf.printf "mean latency:   %.2f cycles\n" (Mineq_sim.Network_sim.mean_latency s);
-        Printf.printf "max latency:    %d cycles\n" s.latency_max)
+        if reps <= 1 then begin
+          let s = Mineq_sim.Network_sim.run ~config (Engine.Seeds.state seed) g in
+          Printf.printf "offered:        %d\n" s.offered;
+          Printf.printf "injected:       %d\n" s.injected;
+          Printf.printf "delivered:      %d\n" s.delivered;
+          Printf.printf "refused:        %d\n" s.refused;
+          Printf.printf "dropped:        %d\n" s.dropped;
+          Printf.printf "throughput:     %.4f pkts/terminal/cycle\n"
+            (Mineq_sim.Network_sim.throughput s);
+          Printf.printf "mean latency:   %.2f cycles\n" (Mineq_sim.Network_sim.mean_latency s);
+          Printf.printf "max latency:    %d cycles\n" s.latency_max
+        end
+        else begin
+          let stats =
+            Engine.Batch.simulate_runs ~jobs ~root:seed ~config ~replications:reps g
+          in
+          let summary f = Mineq_sim.Summary.of_samples (List.map f stats) in
+          let pp = Format.asprintf "%a" Mineq_sim.Summary.pp in
+          Printf.printf "replications:   %d (jobs %d)\n" reps jobs;
+          Printf.printf "throughput:     %s pkts/terminal/cycle\n"
+            (pp (summary Mineq_sim.Network_sim.throughput));
+          Printf.printf "mean latency:   %s cycles\n"
+            (pp (summary Mineq_sim.Network_sim.mean_latency));
+          Printf.printf "max latency:    %d cycles\n"
+            (List.fold_left (fun acc s -> max acc s.Mineq_sim.Network_sim.latency_max) 0 stats)
+        end)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Packet-level simulation of a network")
-    Term.(const run $ network_arg $ n_arg $ rate_arg $ cycles_arg $ seed_arg $ pattern_arg)
+    Term.(
+      const run $ network_arg $ n_arg $ rate_arg $ cycles_arg $ seed_arg $ pattern_arg
+      $ reps_arg $ jobs_arg)
 
 (* survey -------------------------------------------------------------- *)
 
 let survey_cmd =
-  let run n =
-    let nets = Classical.all_networks ~n in
+  let run n jobs =
+    let rows = Engine.Batch.survey ~jobs ~n in
     Printf.printf "%-26s %-7s %-7s %-7s %-7s\n" "network" "banyan" "indep" "P-char" "delta";
     List.iter
-      (fun (name, g) ->
-        Printf.printf "%-26s %-7b %-7b %-7b %-7b\n" name (Banyan.is_banyan g)
-          (Equivalence.by_independence g).equivalent
-          (Equivalence.by_characterization g).equivalent
-          (Routing.is_delta g))
-      nets;
+      (fun r ->
+        Printf.printf "%-26s %-7b %-7b %-7b %-7b\n" r.Engine.Batch.name r.banyan r.independent
+          r.characterization r.delta)
+      rows;
     0
   in
   Cmd.v
     (Cmd.info "survey" ~doc:"Property survey of the six classical networks")
-    Term.(const run $ n_arg)
+    Term.(const run $ n_arg $ jobs_arg)
+
+(* census -------------------------------------------------------------- *)
+
+let census_cmd =
+  let samples_arg =
+    Arg.(value & opt int 150 & info [ "samples" ] ~docv:"K" ~doc:"Random Banyans to draw.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "attempts" ] ~docv:"A" ~doc:"Rejection attempts per Banyan draw.")
+  in
+  let run n samples attempts seed jobs =
+    let classes =
+      Engine.Batch.sample_census ~jobs ~root:seed ~n ~samples ~attempts
+    in
+    let total = List.fold_left (fun acc c -> acc + List.length c.Census.members) 0 classes in
+    Printf.printf "%d random Banyans at n=%d fall into %d isomorphism classes:\n" total n
+      (List.length classes);
+    List.iteri
+      (fun i cls ->
+        Printf.printf "  class %d: %3d members  buddy=%-5b delta=%-5b%s\n" (i + 1)
+          (List.length cls.Census.members)
+          (Properties.has_buddy_property cls.Census.representative)
+          (Routing.is_delta cls.Census.representative)
+          (if Census.contains_baseline cls then "  <- the Baseline class" else ""))
+      classes;
+    Printf.printf "baseline class present: %b\n"
+      (List.exists Census.contains_baseline classes);
+    0
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Sample random Banyan networks and count their isomorphism classes (the X15 \
+          experiment as a command)")
+    Term.(const run $ n_arg $ samples_arg $ attempts_arg $ seed_arg $ jobs_arg)
 
 (* benes --------------------------------------------------------------- *)
 
 let benes_cmd =
-  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
   let samples_arg =
     Arg.(value & opt int 50 & info [ "samples" ] ~docv:"K" ~doc:"Random permutations to route.")
   in
@@ -267,7 +331,7 @@ let benes_cmd =
       (Cascade.cells_per_stage net);
     Printf.printf "path diversity: %d\n" (Cascade.path_counts net).(0).(0);
     Printf.printf "%d random permutations routed link-disjoint: %b\n" samples
-      (Benes.rearrangeable_check (Random.State.make [| seed |]) ~n ~samples);
+      (Benes.rearrangeable_check (Engine.Seeds.state seed) ~n ~samples);
     Printf.printf "single-fault tolerant: %b\n" (Faults.is_single_fault_tolerant net);
     0
   in
@@ -278,7 +342,19 @@ let benes_cmd =
 (* faults -------------------------------------------------------------- *)
 
 let faults_cmd =
-  let run spec n =
+  let sweep_arg =
+    let doc =
+      "Comma-separated fault counts for a Monte-Carlo survival sweep (e.g. 1,2,4,8); \
+       empty skips the sweep."
+    in
+    Arg.(value & opt (list int) [] & info [ "sweep" ] ~docv:"K1,K2,.." ~doc)
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "samples" ] ~docv:"S" ~doc:"Monte-Carlo samples per fault count.")
+  in
+  let run spec n sweep samples seed jobs =
     with_network spec n (fun g ->
         let c = Cascade.of_mi_digraph g in
         let links = (Cascade.stages c - 1) * Cascade.cells_per_stage c * 2 in
@@ -290,11 +366,18 @@ let faults_cmd =
             if k < 8 then
               Format.printf "  %a: %d disconnected, %d degraded@." Faults.pp_fault f
                 i.Faults.disconnected_pairs i.Faults.degraded_pairs)
-          (Faults.single_link_impacts c))
+          (Faults.single_link_impacts c);
+        if sweep <> [] then begin
+          Printf.printf "survival under k random link faults (%d samples, seed %d):\n" samples
+            seed;
+          List.iter
+            (fun (k, p) -> Printf.printf "  k=%-3d survival=%.3f\n" k p)
+            (Engine.Batch.fault_survival ~jobs ~root:seed c ~faults:sweep ~samples)
+        end)
   in
   Cmd.v
     (Cmd.info "faults" ~doc:"Single-link fault sweep of a network")
-    Term.(const run $ network_arg $ n_arg)
+    Term.(const run $ network_arg $ n_arg $ sweep_arg $ samples_arg $ seed_arg $ jobs_arg)
 
 (* perms --------------------------------------------------------------- *)
 
@@ -305,11 +388,11 @@ let perms_cmd =
       & info [ "samples" ] ~docv:"K"
           ~doc:"Estimate with K random settings instead of exact enumeration.")
   in
-  let run spec n samples =
+  let run spec n samples seed =
     with_network spec n (fun g ->
         if samples > 0 then
           Printf.printf "distinct permutations over %d random settings: %d\n" samples
-            (Realizable.estimate (Random.State.make [| 1 |]) g ~samples)
+            (Realizable.estimate (Engine.Seeds.state seed) g ~samples)
         else begin
           let switches = Mi_digraph.stages g * Mi_digraph.nodes_per_stage g in
           Printf.printf "distinct permutations over all 2^%d settings: %d\n" switches
@@ -318,7 +401,7 @@ let perms_cmd =
   in
   Cmd.v
     (Cmd.info "perms" ~doc:"Count one-pass realizable permutations")
-    Term.(const run $ network_arg $ n_arg $ samples_arg)
+    Term.(const run $ network_arg $ n_arg $ samples_arg $ seed_arg)
 
 (* save / load / dot ---------------------------------------------------- *)
 
@@ -390,7 +473,8 @@ let main_cmd =
   let info = Cmd.info "mineq" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ build_cmd; render_cmd; check_cmd; equiv_cmd; iso_cmd; route_cmd; simulate_cmd;
-      survey_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd; save_cmd; load_cmd; dot_cmd
+      survey_cmd; census_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd; save_cmd;
+      load_cmd; dot_cmd
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -37,7 +37,7 @@ let () =
   | [] -> ());
 
   (* Rearrangeability over random permutations. *)
-  let rng = Random.State.make [| 77 |] in
+  let rng = Mineq_engine.Seeds.state 77 in
   let samples = 200 in
   Printf.printf "%d random permutations, all routed link-disjoint: %b\n\n" samples
     (Benes.rearrangeable_check rng ~n ~samples);

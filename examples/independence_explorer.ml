@@ -9,7 +9,7 @@
 
 open Mineq
 
-let rng = Random.State.make [| 0x1de; 0xa |]
+let rng = Mineq_engine.Seeds.state 0x1dea
 
 let () =
   (* 1. Independence is a thin (affine) slice of all valid stages:

@@ -25,7 +25,7 @@ let () =
   Printf.printf "Throughput (pkts/terminal/cycle) vs injection rate, n = %d, uniform traffic\n" n;
   Printf.printf "%-26s %5s %5s %5s %5s %5s\n" "network" "0.2" "0.4" "0.6" "0.8" "1.0";
   List.iter
-    (fun (name, g) -> sweep name g (Random.State.make [| 7 |]))
+    (fun (name, g) -> sweep name g (Mineq_engine.Seeds.state 7))
     [ ("omega", Classical.network Omega ~n);
       ("baseline", Baseline.network n);
       ("indirect-binary-cube", Classical.network Indirect_binary_cube ~n)
@@ -36,14 +36,14 @@ let () =
      curve, because saturation here is a property of the 2x2-switch
      fabric, not of the wiring.  Equivalence shows up in *which
      permutations* are admissible, not in average-case throughput. *)
-  (match Counterexample.find_non_equivalent (Random.State.make [| 8 |]) ~n:4 ~attempts:10_000
+  (match Counterexample.find_non_equivalent (Mineq_engine.Seeds.state 8) ~n:4 ~attempts:10_000
            ~require_buddy:true
    with
   | Some g ->
       Printf.printf "\nNon-equivalent Banyan (n=4) for contrast:\n";
       Printf.printf "%-26s %5s %5s %5s %5s %5s\n" "network" "0.2" "0.4" "0.6" "0.8" "1.0";
-      sweep "non-equivalent banyan" g (Random.State.make [| 7 |]);
-      sweep "omega n=4" (Classical.network Omega ~n:4) (Random.State.make [| 7 |])
+      sweep "non-equivalent banyan" g (Mineq_engine.Seeds.state 7);
+      sweep "omega n=4" (Classical.network Omega ~n:4) (Mineq_engine.Seeds.state 7)
   | None -> ());
 
   (* Adversarial traffic separates networks that uniform traffic does
@@ -58,7 +58,7 @@ let () =
           let config =
             { Sim.default_config with injection_rate = 0.9; cycles = 1500; pattern }
           in
-          let s = Sim.run ~config (Random.State.make [| 9 |]) g in
+          let s = Sim.run ~config (Mineq_engine.Seeds.state 9) g in
           Printf.printf " %12.3f" (Sim.throughput s))
         [ Mineq_sim.Traffic.uniform;
           Mineq_sim.Traffic.bit_reversal ~n;
@@ -76,5 +76,5 @@ let () =
   List.iter
     (fun (name, g) ->
       Printf.printf "  %-26s %.2f\n" name
-        (Mineq_sim.Circuit.average_rounds (Random.State.make [| 10 |]) g ~samples:200))
+        (Mineq_sim.Circuit.average_rounds (Mineq_engine.Seeds.state 10) g ~samples:200))
     (Classical.all_networks ~n:4)

@@ -55,7 +55,7 @@ let () =
   in
   describe "identity" (List.init terminals (fun i -> (i, i)));
   describe "reversal (i -> N-1-i)" (List.init terminals (fun i -> (i, terminals - 1 - i)));
-  let rng = Random.State.make [| 2024 |] in
+  let rng = Mineq_engine.Seeds.state 2024 in
   let p = Mineq_perm.Perm.random rng terminals in
   describe "random permutation" (List.init terminals (fun i -> (i, Mineq_perm.Perm.apply p i)));
 

@@ -1,0 +1,155 @@
+module Census = Mineq.Census
+
+type survey_row = {
+  name : string;
+  banyan : bool;
+  independent : bool;
+  characterization : bool;
+  delta : bool;
+}
+
+(* Aim for several chunks per worker so stragglers rebalance, while
+   keeping tasks coarse enough to amortize the queue handoff. *)
+let auto_chunk pool n = max 1 (n / (Pool.jobs pool * 8))
+
+let map_auto pool f xs = Pool.map_list ~chunk:(auto_chunk pool (List.length xs)) pool f xs
+
+let survey_in pool ~n =
+  map_auto pool
+    (fun (name, g) ->
+      { name;
+        banyan = Mineq.Banyan.is_banyan g;
+        independent = (Mineq.Equivalence.by_independence g).equivalent;
+        characterization = (Mineq.Equivalence.by_characterization g).equivalent;
+        delta = Mineq.Routing.is_delta g
+      })
+    (Mineq.Classical.all_networks ~n)
+
+let survey ~jobs ~n = Pool.run ~jobs (fun pool -> survey_in pool ~n)
+
+let pairwise_in pool ?memo nets =
+  let verdict =
+    match memo with
+    | Some m -> fun g -> Memo.find_or_compute m g Mineq.Equivalence.by_characterization
+    | None -> Mineq.Equivalence.by_characterization
+  in
+  let cells = List.concat_map (fun a -> List.map (fun b -> (a, b)) nets) nets in
+  map_auto pool
+    (fun ((name_a, ga), (name_b, gb)) ->
+      (name_a, name_b, (verdict ga).equivalent && (verdict gb).equivalent))
+    cells
+
+let pairwise ~jobs ?memo nets = Pool.run ~jobs (fun pool -> pairwise_in pool ?memo nets)
+
+(* classify: a parallel refinement with output bit-identical to
+   Census.classify.  Signatures prescreen (equal signatures are
+   necessary for isomorphism), so items are first grouped by
+   signature; each group is then peeled one class per round: the
+   group's first remaining item is the representative, every other
+   remaining item is iso-checked against it in parallel, matches
+   join the class in input order, the rest go to the next round.
+   Scanning representatives in rounds reproduces exactly the
+   sequential first-match placement. *)
+
+let classify_group pool group =
+  let rec rounds remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | ((i0, g0, t0) :: rest : (int * Mineq.Mi_digraph.t * 'a) list) ->
+        let flags =
+          map_auto pool (fun (_, g, _) -> Option.is_some (Mineq.Iso_min.find g g0)) rest
+        in
+        let members, others =
+          List.partition (fun (_, matched) -> matched) (List.combine rest flags)
+        in
+        let cls =
+          (i0, g0, (i0, t0) :: List.map (fun ((i, _, t), _) -> (i, t)) members)
+        in
+        rounds (List.map fst others) (cls :: acc)
+  in
+  rounds group []
+
+let classify_in pool tagged =
+  match tagged with
+  | [] -> []
+  | _ ->
+      let items = List.mapi (fun i (g, tag) -> (i, g, tag)) tagged in
+      let signatures = map_auto pool (fun (_, g, _) -> Census.signature g) items in
+      let groups = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter2
+        (fun item s ->
+          match Hashtbl.find_opt groups s with
+          | Some l -> l := item :: !l
+          | None ->
+              Hashtbl.add groups s (ref [ item ]);
+              order := s :: !order)
+        items signatures;
+      let group_list = List.rev_map (fun s -> List.rev !(Hashtbl.find groups s)) !order in
+      List.concat_map (fun group -> classify_group pool group) group_list
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      |> List.map (fun (_, rep, members) ->
+             { Census.representative = rep; members = List.map snd members })
+
+let classify ~jobs tagged = Pool.run ~jobs (fun pool -> classify_in pool tagged)
+
+let sample_census_in pool ~root ~n ~samples ~attempts =
+  let draw_root = Seeds.fold root 0x5a17 in
+  let draws =
+    map_auto pool
+      (fun i ->
+        let rng = Seeds.derive ~root:draw_root i in
+        (i, Mineq.Counterexample.random_banyan rng ~n ~attempts))
+      (List.init samples Fun.id)
+  in
+  let tagged = List.filter_map (fun (i, g) -> Option.map (fun g -> (g, i)) g) draws in
+  classify_in pool tagged
+
+let sample_census ~jobs ~root ~n ~samples ~attempts =
+  Pool.run ~jobs (fun pool -> sample_census_in pool ~root ~n ~samples ~attempts)
+
+(* Fixed chunking: sample counts per (fault count, chunk index) task
+   never depend on [jobs], and the weighted recombination runs in
+   chunk order, so the estimate is scheduling-independent. *)
+let mc_chunk = 100
+
+let fault_survival_in pool ~root cascade ~faults ~samples =
+  let chunks k =
+    let n_chunks = max 1 ((samples + mc_chunk - 1) / mc_chunk) in
+    List.init n_chunks (fun j -> (k, j, min mc_chunk (samples - (j * mc_chunk))))
+  in
+  let tasks = List.concat_map chunks faults in
+  let results =
+    Pool.map_list pool
+      (fun (k, j, m) ->
+        let rng = Seeds.derive ~root:(Seeds.fold root k) j in
+        (k, m, Mineq.Faults.survival_probability rng cascade ~faults:k ~samples:m))
+      tasks
+  in
+  List.map
+    (fun k ->
+      let parts = List.filter (fun (k', _, _) -> k' = k) results in
+      let total = List.fold_left (fun acc (_, m, _) -> acc + m) 0 parts in
+      let weighted =
+        List.fold_left (fun acc (_, m, p) -> acc +. (p *. float_of_int m)) 0.0 parts
+      in
+      (k, weighted /. float_of_int total))
+    faults
+
+let fault_survival ~jobs ~root cascade ~faults ~samples =
+  Pool.run ~jobs (fun pool -> fault_survival_in pool ~root cascade ~faults ~samples)
+
+let replicate_in pool ~root ~replications metric =
+  Pool.map_list pool (fun i -> metric (Seeds.derive ~root i)) (List.init replications Fun.id)
+  |> Mineq_sim.Summary.of_samples
+
+let replicate ~jobs ~root ~replications metric =
+  Pool.run ~jobs (fun pool -> replicate_in pool ~root ~replications metric)
+
+let simulate_runs_in pool ~root ?config ~replications g =
+  Pool.map_list pool
+    (fun i -> Mineq_sim.Network_sim.run ?config (Seeds.derive ~root i) g)
+    (List.init replications Fun.id)
+
+let simulate_runs ~jobs ~root ?config ~replications g =
+  Pool.run ~jobs (fun pool -> simulate_runs_in pool ~root ?config ~replications g)

@@ -1,0 +1,124 @@
+(** Parallel batch drivers for the repo's four hot workloads:
+    property/equivalence surveys, isomorphism-class censuses
+    (experiment X15), Monte-Carlo fault sweeps (X9/X16) and
+    simulator replications (X3/X11).
+
+    Every driver comes in two forms: a [~jobs] wrapper that brackets
+    a fresh {!Pool.t} (workers spawned and joined around the call —
+    convenient for one-shot CLI use), and a [_in] variant taking an
+    existing pool, for callers that amortize the ~ms domain-spawn
+    cost over many batches (the benches, long-lived processes).
+
+    All randomness is derived per task index through {!Seeds.derive}
+    and all reductions run in a fixed order, so
+
+    {e results are bit-identical across [jobs] values} —
+
+    the qcheck suite enforces this, and {!classify} is additionally
+    bit-identical to the sequential {!Mineq.Census.classify}. *)
+
+type survey_row = {
+  name : string;
+  banyan : bool;
+  independent : bool;  (** Theorem-3 decider verdict *)
+  characterization : bool;  (** [12] characterization verdict *)
+  delta : bool;
+}
+
+val survey : jobs:int -> n:int -> survey_row list
+(** The classical-network property survey (CLI [survey]), one task
+    per network. *)
+
+val survey_in : Pool.t -> n:int -> survey_row list
+
+val pairwise :
+  jobs:int ->
+  ?memo:Mineq.Equivalence.verdict Memo.t ->
+  (string * Mineq.Mi_digraph.t) list ->
+  (string * string * bool) list
+(** The C1-shaped pairwise equivalence table: every ordered pair,
+    equivalent iff both members pass the characterization.  With
+    [memo], the two verdict probes per cell hit the shared cache
+    after the first row — [2k^2] probes collapse to [k] computations
+    for [k] networks. *)
+
+val pairwise_in :
+  Pool.t ->
+  ?memo:Mineq.Equivalence.verdict Memo.t ->
+  (string * Mineq.Mi_digraph.t) list ->
+  (string * string * bool) list
+
+val classify :
+  jobs:int -> (Mineq.Mi_digraph.t * 'a) list -> 'a Mineq.Census.classified list
+(** Parallel {!Mineq.Census.classify}: signatures are computed in
+    parallel, signature groups are refined by rounds of parallel
+    isomorphism checks against the round's representative.  Output
+    (class order, representatives, member order) is bit-identical to
+    the sequential function. *)
+
+val classify_in :
+  Pool.t -> (Mineq.Mi_digraph.t * 'a) list -> 'a Mineq.Census.classified list
+
+val sample_census :
+  jobs:int ->
+  root:int ->
+  n:int ->
+  samples:int ->
+  attempts:int ->
+  int Mineq.Census.classified list
+(** Parallel analogue of {!Mineq.Census.sample_banyan_census}: draw
+    [samples] random Banyans (draw [i] from [Seeds.derive] at index
+    [i], each within [attempts] rejection attempts) and classify
+    them.  Member tags are draw indices, so a failed draw skips its
+    index.  Identical for every [jobs] at fixed [root]. *)
+
+val sample_census_in :
+  Pool.t ->
+  root:int ->
+  n:int ->
+  samples:int ->
+  attempts:int ->
+  int Mineq.Census.classified list
+
+val fault_survival :
+  jobs:int ->
+  root:int ->
+  Mineq.Cascade.t ->
+  faults:int list ->
+  samples:int ->
+  (int * float) list
+(** Monte-Carlo survival probability per fault count
+    ({!Mineq.Faults.survival_probability}).  Samples are split into
+    fixed-size chunks with per-[(fault count, chunk)] derived seeds
+    and recombined in chunk order, so the estimate is independent of
+    [jobs]. *)
+
+val fault_survival_in :
+  Pool.t -> root:int -> Mineq.Cascade.t -> faults:int list -> samples:int -> (int * float) list
+
+val replicate :
+  jobs:int -> root:int -> replications:int -> (Random.State.t -> float) -> Mineq_sim.Summary.t
+(** Run a seeded metric once per replication (replication [i] gets
+    [Seeds.derive ~root i]) and summarize in replication order. *)
+
+val replicate_in :
+  Pool.t -> root:int -> replications:int -> (Random.State.t -> float) -> Mineq_sim.Summary.t
+
+val simulate_runs :
+  jobs:int ->
+  root:int ->
+  ?config:Mineq_sim.Network_sim.config ->
+  replications:int ->
+  Mineq.Mi_digraph.t ->
+  Mineq_sim.Network_sim.stats list
+(** [replications] independent simulator runs of the network,
+    replication [i] seeded by [Seeds.derive ~root i]; stats in
+    replication order. *)
+
+val simulate_runs_in :
+  Pool.t ->
+  root:int ->
+  ?config:Mineq_sim.Network_sim.config ->
+  replications:int ->
+  Mineq.Mi_digraph.t ->
+  Mineq_sim.Network_sim.stats list

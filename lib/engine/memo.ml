@@ -1,0 +1,50 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  m : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 64) () =
+  { table = Hashtbl.create size; m = Mutex.create (); hits = 0; misses = 0 }
+
+let key g = Digest.string (Mineq.Spec_io.to_string g)
+
+let find_or_compute_key t k f =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.table k with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.m;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.m;
+      let v = f () in
+      Mutex.lock t.m;
+      if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k v;
+      Mutex.unlock t.m;
+      v
+
+let find_or_compute t g f = find_or_compute_key t (key g) (fun () -> f g)
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let size t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.m;
+  n
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then nan else float_of_int t.hits /. float_of_int total
+
+let reset t =
+  Mutex.lock t.m;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.m

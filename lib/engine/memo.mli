@@ -1,0 +1,43 @@
+(** Memo cache for per-network analysis results.
+
+    Networks are keyed by the digest of their canonical textual spec
+    ({!Mineq.Spec_io.to_string}), so two structurally equal
+    MI-digraphs share an entry regardless of how they were built.
+    (The key is exact identity, not isomorphism class — verdicts and
+    certificates are only reused for the very same network; use
+    {!Mineq.Census.signature} when an isomorphism-invariant prescreen
+    is wanted.)
+
+    The cache is domain-safe: batch workers share one cache under a
+    mutex.  The compute function runs outside the lock, so a value
+    may rarely be computed twice under contention — harmless because
+    computations are deterministic — and the first store wins.
+
+    Hit/miss counters are exposed for the benches. *)
+
+type 'a t
+
+val create : ?size:int -> unit -> 'a t
+
+val key : Mineq.Mi_digraph.t -> string
+(** Digest of the canonical spec text. *)
+
+val find_or_compute : 'a t -> Mineq.Mi_digraph.t -> (Mineq.Mi_digraph.t -> 'a) -> 'a
+(** Cached value for the network, computing (and storing) on miss. *)
+
+val find_or_compute_key : 'a t -> string -> (unit -> 'a) -> 'a
+(** Same, for callers that already hold a key (avoids re-serializing
+    the network on every probe). *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val size : 'a t -> int
+(** Stored entries. *)
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)]; [nan] before any probe. *)
+
+val reset : 'a t -> unit
+(** Drop all entries and zero the counters. *)

@@ -1,0 +1,133 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.c pool.m
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.m
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.m;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    { jobs;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      c = Condition.create ();
+      closed = false;
+      workers = []
+    }
+  in
+  if jobs > 1 then
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let fill fut v =
+  Mutex.lock fut.fm;
+  fut.state <- v;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let task () =
+    match f () with
+    | v -> fill fut (Done v)
+    | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  if pool.jobs = 1 then task ()
+  else begin
+    Mutex.lock pool.m;
+    if pool.closed then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push task pool.queue;
+    Condition.signal pool.c;
+    Mutex.unlock pool.m
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fc fut.fm;
+        wait ()
+    | Done v ->
+        Mutex.unlock fut.fm;
+        v
+    | Failed (e, bt) ->
+        Mutex.unlock fut.fm;
+        Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let chunks_of size xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec split acc = function
+    | [] -> List.rev acc
+    | xs ->
+        let c, rest = take size [] xs in
+        split (c :: acc) rest
+  in
+  split [] xs
+
+let map_list ?(chunk = 1) pool f xs =
+  if chunk <= 1 then begin
+    let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
+    List.map await futures
+  end
+  else begin
+    let futures =
+      List.map (fun c -> submit pool (fun () -> List.map f c)) (chunks_of chunk xs)
+    in
+    List.concat_map await futures
+  end
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.closed <- true;
+  Condition.broadcast pool.c;
+  Mutex.unlock pool.m;
+  let workers = pool.workers in
+  pool.workers <- [];
+  List.iter Domain.join workers
+
+let run ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,49 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    A pool owns [jobs] worker domains pulling thunks from a shared
+    mutex/condition queue.  [jobs = 1] is the sequential fallback:
+    no domains are spawned and every submitted task runs inline at
+    submission time, so a single code path serves both modes and
+    sequential runs stay oracle-exact for the determinism tests.
+
+    Exceptions raised inside a task are captured with their backtrace
+    and re-raised by {!await} in the submitter — so a parallel batch
+    fails with the same exception (and at the same list position,
+    since {!map_list} awaits in input order) as a sequential run.
+
+    Tasks must not {!await} futures or {!submit} work from inside a
+    task body: workers do not steal, so a worker blocked in [await]
+    can deadlock the pool.  Drive the pool from the submitting
+    thread only. *)
+
+type t
+
+type 'a future
+
+val create : jobs:int -> t
+(** [jobs] is clamped to at least 1; [jobs - 0] worker domains are
+    spawned when [jobs > 1]. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task ([jobs > 1]) or run it inline ([jobs = 1]).
+    Raises [Invalid_argument] on a shut-down pool. *)
+
+val await : 'a future -> 'a
+(** Block until the task finished; re-raise its exception (with the
+    original backtrace) if it failed. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Submit one task per run of [chunk] consecutive elements
+    (default 1) and await them in input order, so the result order —
+    and which exception surfaces first — never depends on
+    scheduling.  Chunking only changes task granularity, never
+    results: use it when per-element work is far below the ~10us
+    task handoff cost. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the workers.  Idempotent. *)
+
+val run : jobs:int -> (t -> 'a) -> 'a
+(** Bracket: create, apply, always shut down. *)

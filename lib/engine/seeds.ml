@@ -1,0 +1,27 @@
+(* Splitmix64 finalizer: full-avalanche mixing, so consecutive task
+   indices land in unrelated regions of the seed space. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let fold root label =
+  let z =
+    mix64 (Int64.add (Int64.of_int root) (Int64.mul golden (Int64.of_int label)))
+  in
+  (* Keep it positive and within a native int. *)
+  Int64.to_int (Int64.logand z 0x3fffffffffffffffL)
+
+let derive ~root index =
+  let z0 =
+    mix64 (Int64.add (Int64.of_int root) (Int64.mul golden (Int64.of_int (index + 1))))
+  in
+  let z1 = mix64 (Int64.add z0 golden) in
+  let lo z = Int64.to_int (Int64.logand z 0x3fffffffL) in
+  let hi z = Int64.to_int (Int64.logand (Int64.shift_right_logical z 30) 0x3fffffffL) in
+  Random.State.make [| lo z0; hi z0; lo z1; hi z1 |]
+
+let state seed = derive ~root:seed 0

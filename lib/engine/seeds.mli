@@ -1,0 +1,29 @@
+(** Deterministic seed splitting for parallel batches.
+
+    Every parallel task derives its [Random.State] from
+    [(root seed, task index)] through a splitmix64-style mixer, so a
+    batch's random draws depend only on the root seed and the task's
+    position — never on how the scheduler interleaved the workers.
+    Parallel results are therefore bit-identical to sequential runs
+    of the same batch shape.
+
+    Executables should take a single [--seed] and hand out
+    per-purpose roots with {!fold} and per-task states with
+    {!derive}, instead of scattering ad-hoc
+    [Random.State.make [| ... |]] calls. *)
+
+val fold : int -> int -> int
+(** [fold root label] mixes a purpose label (an arbitrary constant, a
+    fault count, a stage index ...) into a root seed, giving a new
+    root for an independent stream family.  Deterministic;
+    [fold root a <> fold root b] for [a <> b] except for
+    astronomically unlikely 62-bit collisions. *)
+
+val derive : root:int -> int -> Random.State.t
+(** [derive ~root index] is the RNG state of task [index] of the
+    stream family [root].  Distinct indices give decorrelated
+    states; the same [(root, index)] always gives the same state. *)
+
+val state : int -> Random.State.t
+(** [state seed] is a top-level state for an executable's [--seed]
+    ([derive ~root:seed 0]). *)

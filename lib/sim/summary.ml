@@ -95,5 +95,7 @@ module Histogram = struct
       h.buckets
 end
 
-let replicate ~seeds metric =
-  of_samples (List.map (fun seed -> metric (Random.State.make [| seed |])) seeds)
+let default_derive seed = Random.State.make [| seed |]
+
+let replicate ?(derive = default_derive) ~seeds metric =
+  of_samples (List.map (fun seed -> metric (derive seed)) seeds)

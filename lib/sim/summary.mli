@@ -57,5 +57,10 @@ end
 
 (** {1 Replicated simulation runs} *)
 
-val replicate : seeds:int list -> (Random.State.t -> float) -> t
-(** Run a seeded metric once per seed and summarize. *)
+val replicate :
+  ?derive:(int -> Random.State.t) -> seeds:int list -> (Random.State.t -> float) -> t
+(** Run a seeded metric once per seed and summarize.  [derive] maps
+    a seed to its state ([Random.State.make [| seed |]] by default);
+    batch callers plug in [Mineq_engine.Seeds.derive] so replication
+    streams match the parallel engine's ([Mineq_engine.Batch.replicate]
+    is the parallel, engine-seeded version of this function). *)

@@ -1,0 +1,203 @@
+(* The mineq_engine subsystem: worker pool semantics, deterministic
+   seed splitting, memo cache coherence, and the headline batch
+   guarantee — results bit-identical across jobs counts and (for
+   classify) to the sequential oracle. *)
+
+open Helpers
+module Pool = Mineq_engine.Pool
+module Seeds = Mineq_engine.Seeds
+module Memo = Mineq_engine.Memo
+module Batch = Mineq_engine.Batch
+
+(* pool ---------------------------------------------------------------- *)
+
+let test_map_order () =
+  List.iter
+    (fun jobs ->
+      let got = Pool.run ~jobs (fun p -> Pool.map_list p (fun x -> x * x) (List.init 50 Fun.id)) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in order at jobs=%d" jobs)
+        (List.init 50 (fun x -> x * x))
+        got)
+    [ 1; 2; 4 ]
+
+let test_map_chunked () =
+  List.iter
+    (fun chunk ->
+      let got =
+        Pool.run ~jobs:3 (fun p ->
+            Pool.map_list ~chunk p (fun x -> x + 1) (List.init 23 Fun.id))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunk=%d preserves order" chunk)
+        (List.init 23 (fun x -> x + 1))
+        got)
+    [ 1; 4; 7; 100 ]
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      match
+        Pool.run ~jobs (fun p ->
+            Pool.map_list p
+              (fun x -> if x = 3 then failwith "task-boom" else x)
+              [ 0; 1; 2; 3; 4 ])
+      with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "exception text survives at jobs=%d" jobs)
+            "task-boom" msg)
+    [ 1; 4 ]
+
+let test_sequential_inline () =
+  (* jobs = 1 runs at submission time on the calling domain. *)
+  Pool.run ~jobs:1 (fun p ->
+      let touched = ref false in
+      let fut = Pool.submit p (fun () -> touched := true) in
+      check_true "task already ran before await" !touched;
+      Pool.await fut)
+
+let test_submit_after_shutdown () =
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  match Pool.submit p (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let pool_suite =
+  [ quick "map_list preserves order" test_map_order;
+    quick "chunked map_list preserves order" test_map_chunked;
+    quick "exceptions re-raise in the submitter" test_exception_propagation;
+    quick "jobs=1 runs inline" test_sequential_inline;
+    quick "submit after shutdown rejected" test_submit_after_shutdown
+  ]
+
+(* seeds --------------------------------------------------------------- *)
+
+let draws rng = List.init 8 (fun _ -> Random.State.bits rng)
+
+let test_derive_deterministic () =
+  Alcotest.(check (list int))
+    "same (root, index) gives the same stream"
+    (draws (Seeds.derive ~root:42 7))
+    (draws (Seeds.derive ~root:42 7))
+
+let test_derive_distinct () =
+  let streams = List.init 20 (fun i -> draws (Seeds.derive ~root:42 i)) in
+  check_int "20 indices give 20 distinct streams" 20
+    (List.length (List.sort_uniq compare streams))
+
+let test_fold_mixes () =
+  let roots = List.init 20 (fun label -> Seeds.fold 42 label) in
+  check_int "20 labels give 20 distinct roots" 20
+    (List.length (List.sort_uniq compare roots));
+  List.iter (fun r -> check_true "folded roots stay non-negative" (r >= 0)) roots
+
+let seeds_suite =
+  [ quick "derivation is deterministic" test_derive_deterministic;
+    quick "indices decorrelate" test_derive_distinct;
+    quick "fold separates stream families" test_fold_mixes
+  ]
+
+(* memo ---------------------------------------------------------------- *)
+
+let test_memo_verdicts () =
+  let m = Memo.create () in
+  let g = Mineq.Classical.network Omega ~n:4 in
+  let fresh = Mineq.Equivalence.by_characterization g in
+  let v1 = Memo.find_or_compute m g Mineq.Equivalence.by_characterization in
+  let v2 = Memo.find_or_compute m g Mineq.Equivalence.by_characterization in
+  check_bool "cached verdict equals fresh" true (v1 = fresh && v2 = fresh);
+  check_int "one miss" 1 (Memo.misses m);
+  check_int "one hit" 1 (Memo.hits m);
+  check_int "one entry" 1 (Memo.size m);
+  (* A structurally different network gets its own entry. *)
+  let h = Mineq.Baseline.network 4 in
+  ignore (Memo.find_or_compute m h Mineq.Equivalence.by_characterization);
+  check_int "two entries" 2 (Memo.size m);
+  Memo.reset m;
+  check_int "reset clears entries" 0 (Memo.size m);
+  check_int "reset clears hits" 0 (Memo.hits m)
+
+let test_memo_key_structural () =
+  (* The key is the canonical spec, so two independently built copies
+     share an entry. *)
+  Alcotest.(check string)
+    "independent builds share the key"
+    (Memo.key (Mineq.Baseline.network 4))
+    (Memo.key (Mineq.Baseline.network 4))
+
+let test_memo_parallel () =
+  let m = Memo.create () in
+  let nets = all_classical ~n:4 in
+  let table = Batch.pairwise ~jobs:4 ~memo:m nets in
+  check_int "full table" 36 (List.length table);
+  check_true "every cell equivalent" (List.for_all (fun (_, _, e) -> e) table);
+  check_int "six distinct networks computed once each" 6 (Memo.misses m);
+  check_true "the other 66 probes hit" (Memo.hits m = 66)
+
+let memo_suite =
+  [ quick "verdict caching" test_memo_verdicts;
+    quick "structural keys" test_memo_key_structural;
+    quick "shared across parallel workers" test_memo_parallel
+  ]
+
+(* batch --------------------------------------------------------------- *)
+
+let classified_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         x.Mineq.Census.members = y.Mineq.Census.members
+         && Mineq.Mi_digraph.equal x.Mineq.Census.representative
+              y.Mineq.Census.representative)
+       a b
+
+let random_tagged_networks seed =
+  (* A mix of Banyans, classical networks and duplicates, tagged by
+     position — enough class structure to exercise the grouping. *)
+  let rng = rng_of seed in
+  let nets =
+    List.filter_map Fun.id
+      (List.init 14 (fun _ -> Mineq.Counterexample.random_banyan rng ~n:3 ~attempts:200))
+    @ [ Mineq.Classical.network Omega ~n:3; Mineq.Baseline.network 3 ]
+  in
+  List.mapi (fun i g -> (g, i)) nets
+
+let test_survey_matches_serial () =
+  Alcotest.(check bool)
+    "survey rows identical at jobs 1 vs 4" true
+    (Batch.survey ~jobs:1 ~n:4 = Batch.survey ~jobs:4 ~n:4)
+
+let batch_props =
+  [ qcheck "classify matches the sequential Census oracle" ~count:6 seed_gen (fun seed ->
+        let tagged = random_tagged_networks seed in
+        classified_equal (Mineq.Census.classify tagged) (Batch.classify ~jobs:4 tagged));
+    qcheck "sample_census is jobs-invariant" ~count:4 seed_gen (fun seed ->
+        let census jobs = Batch.sample_census ~jobs ~root:seed ~n:3 ~samples:25 ~attempts:200 in
+        classified_equal (census 1) (census 4)
+        && List.for_all2
+             (fun a b -> a.Mineq.Census.members = b.Mineq.Census.members)
+             (census 1) (census 2));
+    qcheck "fault survival is jobs-invariant" ~count:4 seed_gen (fun seed ->
+        let c = Mineq.Cascade.of_mi_digraph (Mineq.Baseline.network 4) in
+        let sweep jobs =
+          Batch.fault_survival ~jobs ~root:seed c ~faults:[ 0; 1; 2; 4 ] ~samples:150
+        in
+        sweep 1 = sweep 2 && sweep 1 = sweep 4);
+    qcheck "simulator replications are jobs-invariant" ~count:4 seed_gen (fun seed ->
+        let g = Mineq.Classical.network Omega ~n:4 in
+        let runs jobs = Batch.simulate_runs ~jobs ~root:seed ~replications:5 g in
+        runs 1 = runs 4);
+    qcheck "replicate summarizes identically across jobs" ~count:4 seed_gen (fun seed ->
+        let g = Mineq.Classical.network Omega ~n:4 in
+        let metric rng =
+          Mineq_sim.Network_sim.throughput (Mineq_sim.Network_sim.run rng g)
+        in
+        let summary jobs = Batch.replicate ~jobs ~root:seed ~replications:5 metric in
+        Mineq_sim.Summary.mean (summary 1) = Mineq_sim.Summary.mean (summary 4)
+        && Mineq_sim.Summary.stddev (summary 1) = Mineq_sim.Summary.stddev (summary 4))
+  ]
+
+let batch_suite = quick "survey parallel = survey serial" test_survey_matches_serial :: batch_props
