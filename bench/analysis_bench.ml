@@ -1,0 +1,128 @@
+(* Analysis bench artifact: the symbolic deciders of lib/analysis
+   against the enumeration engines they replace, across network sizes,
+   written to the machine-readable BENCH_analysis.json.
+
+   Three decider families per size n:
+   - per-gap independence: affine inference (O(2^w)) vs the basis
+     witness scan (O(w 2^w)) vs the definitional oracle (O(4^w));
+   - Banyan-ness: the D-matrix rank check (O(n^3)) vs the path-count
+     DP (O(n 4^(n-1)));
+   - full Baseline-equivalence: the analyzer's symbolic verdict vs an
+     enumeration-only characterization (BFS component counts).
+
+   The artifact records the crossover: the smallest measured n from
+   which the symbolic independence decider stays ahead. *)
+
+module A = Mineq_analysis
+module Symbolic = A.Symbolic
+module Connection = Mineq.Connection
+module Banyan = Mineq.Banyan
+module Properties = Mineq.Properties
+module Mi_digraph = Mineq.Mi_digraph
+
+let rng seed = Random.State.make [| seed; 0xa0a; 0x1145 |]
+
+let time_us ~reps f =
+  (* Best of three batches, to damp scheduler noise. *)
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let t1 = Unix.gettimeofday () in
+    (t1 -. t0) *. 1e6 /. float_of_int reps
+  in
+  let m1 = batch () in
+  let m2 = batch () in
+  let m3 = batch () in
+  List.fold_left min m1 [ m2; m3 ]
+
+type row = {
+  n : int;
+  indep_fast_us : float;
+  indep_basis_us : float;
+  indep_definitional_us : float;
+  banyan_symbolic_us : float;
+  banyan_enum_us : float;
+  equiv_symbolic_us : float;
+  equiv_enum_us : float;
+}
+
+(* Enumeration-only equivalence: the graph characterization with BFS
+   component counts, bypassing the affine fast paths the production
+   deciders now take. *)
+let equivalent_enum g =
+  let n = Mi_digraph.stages g in
+  Result.is_ok (Banyan.check g)
+  && List.for_all
+       (fun j ->
+         Properties.component_count g ~lo:1 ~hi:j = Properties.expected_components g ~lo:1 ~hi:j)
+       (List.init n (fun j -> j + 1))
+  && List.for_all
+       (fun i ->
+         Properties.component_count g ~lo:i ~hi:n = Properties.expected_components g ~lo:i ~hi:n)
+       (List.init n (fun i -> i + 1))
+
+let measure n =
+  let reps = if n >= 9 then 5 else 50 in
+  let g = Mineq.Classical.network Omega ~n in
+  let conn = Connection.random_independent (rng n) ~width:(n - 1) in
+  let row =
+    {
+      n;
+      indep_fast_us = time_us ~reps (fun () -> Connection.is_independent_fast conn);
+      indep_basis_us = time_us ~reps (fun () -> Connection.is_independent conn);
+      indep_definitional_us =
+        time_us ~reps:(max 3 (reps / 10)) (fun () -> Connection.is_independent_definitional conn);
+      banyan_symbolic_us = time_us ~reps (fun () -> Banyan.symbolic_check g);
+      banyan_enum_us = time_us ~reps (fun () -> Banyan.check g);
+      equiv_symbolic_us = time_us ~reps (fun () -> Symbolic.equivalent (Symbolic.analyze g));
+      equiv_enum_us = time_us ~reps (fun () -> equivalent_enum g);
+    }
+  in
+  Printf.printf
+    "n=%-2d indep fast/basis/def %8.1f /%8.1f /%10.1f us   banyan sym/enum %8.1f /%10.1f us   \
+     equiv sym/enum %8.1f /%10.1f us\n%!"
+    n row.indep_fast_us row.indep_basis_us row.indep_definitional_us row.banyan_symbolic_us
+    row.banyan_enum_us row.equiv_symbolic_us row.equiv_enum_us;
+  row
+
+let () =
+  let sizes = [ 4; 6; 8; 10 ] in
+  let rows = List.map measure sizes in
+  let crossover =
+    (* Smallest measured n from which the affine decider stays ahead
+       of the basis scan for every larger size too. *)
+    let rec scan = function
+      | [] -> None
+      | r :: rest ->
+          if List.for_all (fun r' -> r'.indep_fast_us < r'.indep_basis_us) (r :: rest) then
+            Some r.n
+          else scan rest
+    in
+    scan rows
+  in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"ocaml\": %S,\n" Sys.ocaml_version;
+  add "  \"network\": \"omega\",\n";
+  add "  \"independence_crossover_n\": %s,\n"
+    (match crossover with Some n -> string_of_int n | None -> "null");
+  add "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"n\": %d, \"indep_fast_us\": %.2f, \"indep_basis_us\": %.2f, \
+         \"indep_definitional_us\": %.2f, \"banyan_symbolic_us\": %.2f, \"banyan_enum_us\": \
+         %.2f, \"equiv_symbolic_us\": %.2f, \"equiv_enum_us\": %.2f}%s\n"
+        r.n r.indep_fast_us r.indep_basis_us r.indep_definitional_us r.banyan_symbolic_us
+        r.banyan_enum_us r.equiv_symbolic_us r.equiv_enum_us
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ]\n}\n";
+  let path = match Sys.argv with [| _; p |] -> p | _ -> "BENCH_analysis.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

@@ -7,7 +7,6 @@
    can only show coordination overhead. *)
 
 module Pool = Mineq_engine.Pool
-module Seeds = Mineq_engine.Seeds
 module Memo = Mineq_engine.Memo
 module Batch = Mineq_engine.Batch
 

@@ -120,6 +120,24 @@ let engine_tests =
       (stage (fun () -> Mineq_engine.Batch.pairwise ~jobs:1 memo_nets))
   ]
 
+(* A1: the symbolic analyzer (lib/analysis) against the enumeration
+   deciders it fast-paths. *)
+
+let analysis_tests =
+  [ Test.make ~name:"a1_affine_inference_w10"
+      (stage (fun () -> Mineq.Connection.is_independent_fast independent_conn_w10));
+    Test.make ~name:"a1_basis_independence_w10"
+      (stage (fun () -> Mineq.Connection.is_independent independent_conn_w10));
+    Test.make ~name:"a1_banyan_symbolic_n8"
+      (stage (fun () -> Mineq.Banyan.symbolic_check omega8));
+    Test.make ~name:"a1_banyan_enumerated_n8" (stage (fun () -> Mineq.Banyan.check omega8));
+    Test.make ~name:"a1_lint_omega_n8"
+      (stage (fun () -> Mineq_analysis.Lint.run omega8));
+    Test.make ~name:"a1_equiv_symbolic_n8"
+      (stage (fun () ->
+           Mineq_analysis.Symbolic.equivalent (Mineq_analysis.Symbolic.analyze omega8)))
+  ]
+
 let tests =
   [ (* F1: Figure 1 -- building the Baseline network. *)
     Test.make ~name:"f1_build_baseline_n10" (stage (fun () -> Mineq.Baseline.network 10));
@@ -202,7 +220,7 @@ let tests =
     Test.make ~name:"x4_greedy_schedule_n6"
       (stage (fun () -> Mineq_sim.Circuit.greedy_schedule omega6 pairs6))
   ]
-  @ extension_tests @ engine_tests
+  @ analysis_tests @ extension_tests @ engine_tests
 
 let benchmark () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

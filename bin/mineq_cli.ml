@@ -428,7 +428,7 @@ let load_cmd =
         print_string (Render.network_summary g);
         0
     | Error e ->
-        prerr_endline e;
+        prerr_endline (Spec_io.error_to_string e);
         1
   in
   Cmd.v
@@ -440,6 +440,47 @@ let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit a Graphviz drawing of a network")
     Term.(const run $ network_arg $ n_arg)
+
+(* lint --------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module A = Mineq_analysis in
+  let target_arg =
+    let doc =
+      "Spec file to lint, or (when no such file exists) a NETWORK specification as accepted \
+       by the other subcommands."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE-or-NETWORK" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the machine-readable JSON report instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run target n json =
+    let print_report r =
+      print_string (if json then A.Report.to_json r else A.Report.to_text r);
+      A.Lint.exit_code r
+    in
+    let parse_error e =
+      if json then print_string (A.Report.error_to_json e)
+      else prerr_endline (Spec_io.error_to_string e);
+      2
+    in
+    if Sys.file_exists target then
+      match A.Spec_lint.lint_file target with
+      | Ok r -> print_report r
+      | Error e -> parse_error e
+    else
+      match parse_network target ~n with
+      | Ok g -> print_report (A.Lint.run g)
+      | Error (`Msg m) -> parse_error { Spec_io.line = None; reason = m }
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Analyze a spec file or network and report structured diagnostics (exit 0 clean, 1 \
+          findings, 2 parse error)")
+    Term.(const run $ target_arg $ n_arg $ json_arg)
 
 (* rsurvey ------------------------------------------------------------- *)
 
@@ -474,7 +515,7 @@ let main_cmd =
   Cmd.group info
     [ build_cmd; render_cmd; check_cmd; equiv_cmd; iso_cmd; route_cmd; simulate_cmd;
       survey_cmd; census_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd; save_cmd;
-      load_cmd; dot_cmd
+      load_cmd; dot_cmd; lint_cmd
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,59 @@
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module Perm = Mineq_perm.Perm
+
+type t = { m : Gf2.t; c : Bv.t }
+
+let apply a x = Gf2.apply a.m x lxor a.c
+
+let compose a b = { m = Gf2.mul a.m b.m; c = Gf2.apply a.m b.c lxor a.c }
+
+let of_function ~width fn =
+  let c = fn 0 in
+  let m = Gf2.of_linear_map ~width (fun x -> fn x lxor c) in
+  let ok = ref true in
+  Bv.iter_universe ~width ~f:(fun x -> if fn x <> Gf2.apply m x lxor c then ok := false);
+  if !ok then Some { m; c } else None
+
+type form = { b : Gf2.t; cf : Bv.t; cg : Bv.t }
+
+let delta f = f.cf lxor f.cg
+
+let child_maps f = ({ m = f.b; c = f.cf }, { m = f.b; c = f.cg })
+
+let beta_map f = f.b
+
+type gap_class = Independent of form | Affine_split of t * t | Opaque
+
+let classify conn =
+  match Mineq.Connection.affine_pair conn with
+  | Some ((bf, cf), (bg, cg)) ->
+      if Gf2.equal bf bg then Independent { b = bf; cf; cg }
+      else Affine_split ({ m = bf; c = cf }, { m = bg; c = cg })
+  | None -> Opaque
+
+let of_theta ~n theta =
+  if Perm.size theta <> n then invalid_arg "Affine.of_theta: theta must have size n";
+  let w = n - 1 in
+  (* Child bit j is bit theta(j+1) of the link label (x << 1) lor
+     port: bit i+1 of the link label is bit i of x, bit 0 is the
+     port.  So row j of b has a single 1 at column theta(j+1) - 1,
+     except when theta(j+1) = 0 — then the bit is the port itself:
+     a zero row in b and bit j of cg. *)
+  let b = Gf2.create ~rows:w ~cols:w (fun j i -> Perm.apply theta (j + 1) = i + 1) in
+  let cg =
+    let rec scan j acc =
+      if j = w then acc
+      else scan (j + 1) (if Perm.apply theta (j + 1) = 0 then Bv.set_bit acc j true else acc)
+    in
+    scan 0 0
+  in
+  { b; cf = 0; cg }
+
+let is_degenerate f = delta f = 0
+
+let pp_form ppf f =
+  let w = Gf2.cols f.b in
+  Format.fprintf ppf "@[<v>B =@,%a@,cf = %s, cg = %s@]" Gf2.pp f.b
+    (Bv.to_bit_string ~width:w f.cf)
+    (Bv.to_bit_string ~width:w f.cg)

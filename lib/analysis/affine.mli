@@ -1,0 +1,68 @@
+(** Affine maps over GF(2) and their inference from connections —
+    the substrate of the symbolic analyzer.
+
+    An affine map is [x -> M x xor c].  A connection [(f, g)] whose
+    two child functions are affine {e with the same linear part} is
+    exactly an independent connection (the paper's normal form
+    [f x = B x xor f 0], [g x = B x xor g 0]); affine child functions
+    with different linear parts, or non-affine child functions, refute
+    independence.  {!classify} decides which case holds and carries
+    the evidence either way. *)
+
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+
+type t = { m : Gf2.t; c : Bv.t }
+(** The map [x -> m x xor c]. *)
+
+val apply : t -> Bv.t -> Bv.t
+
+val compose : t -> t -> t
+(** [compose a b] is [a] after [b]: [x -> a.m (b.m x xor b.c) xor a.c]. *)
+
+val of_function : width:int -> (Bv.t -> Bv.t) -> t option
+(** Infer the affine form of a tabulatable function, verifying it
+    pointwise over the whole universe (O(2^width)). *)
+
+(** The paper's independent-connection normal form: a shared linear
+    part [b] and the two offsets.  [delta] below is the port
+    difference [cf xor cg]; [delta = 0] means every link is doubled. *)
+type form = { b : Gf2.t; cf : Bv.t; cg : Bv.t }
+
+val delta : form -> Bv.t
+
+val child_maps : form -> t * t
+
+val beta_map : form -> Gf2.t
+(** The independence witness map [alpha -> beta]: it {e is} the
+    shared linear part. *)
+
+(** Outcome of analyzing one gap. *)
+type gap_class =
+  | Independent of form
+      (** Both children affine, shared linear part — the gap is
+          independent, with the full symbolic form recovered. *)
+  | Affine_split of t * t
+      (** Both children affine but with different linear parts — not
+          independent; any basis vector on which the parts differ is
+          a refuting [alpha]. *)
+  | Opaque
+      (** Some child function is not affine — not independent; the
+          symbolic engine must fall back to enumeration. *)
+
+val classify : Mineq.Connection.t -> gap_class
+(** O(2^width) inference + verification via
+    {!Mineq.Connection.affine_pair}. *)
+
+val of_theta : n:int -> Mineq_perm.Perm.t -> form
+(** Closed form for a declared PIPID stage (paper, Section 4): with
+    [k = theta^-1 0], entry [(j, i)] of [b] is [theta(j+1) = i+1],
+    [cf = 0] and [cg = e_{k-1}] (or [0] when [k = 0]: Figure 5's
+    degenerate stage, [f = g]).  O(n^2), no enumeration — the truly
+    symbolic route for [gap theta] spec lines.  Agreement with
+    [classify (Pipid_net.connection ~n theta)] is test-enforced. *)
+
+val is_degenerate : form -> bool
+(** [delta = 0]: every node's two out-links are doubled. *)
+
+val pp_form : Format.formatter -> form -> unit

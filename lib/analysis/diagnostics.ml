@@ -1,0 +1,128 @@
+module Bv = Mineq_bitvec.Bv
+module Perm = Mineq_perm.Perm
+
+type severity = Error | Warning | Info
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type finding = {
+  code : string;
+  severity : severity;
+  stage : int option;
+  message : string;
+  witness : string option;
+  hint : string option;
+}
+
+let compare_finding a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let stage_key = function None -> -1 | Some s -> s in
+    let c = compare (stage_key a.stage) (stage_key b.stage) in
+    if c <> 0 then c else compare a.code b.code
+
+let bits ~width v = Bv.to_bit_string ~width v
+
+let not_banyan ~width (v : Mineq.Banyan.violation) =
+  {
+    code = "MINEQ-E001";
+    severity = Error;
+    stage = None;
+    message = "not Banyan: some input/output pair is not joined by exactly one path";
+    witness =
+      Some
+        (Printf.sprintf "stage-1 node %s reaches stage-n node %s by %d path(s)"
+           (bits ~width v.source) (bits ~width v.sink) v.paths);
+    hint = Some "every gap of a Banyan network must realize a path-unique butterfly pattern";
+  }
+
+let p_violation code family ~lo ~hi ~found ~expected =
+  {
+    code;
+    severity = Error;
+    stage = None;
+    message =
+      Printf.sprintf "%s fails: (G)_{%d..%d} has %d connected component(s), expected %d" family
+        lo hi found expected;
+    witness = Some (Printf.sprintf "component count %d != 2^(n-1-(hi-lo)) = %d" found expected);
+    hint = Some "the component-count properties P(1,j) and P(i,n) are necessary for Baseline-equivalence";
+  }
+
+let p1j_violation ~lo ~hi ~found ~expected =
+  p_violation "MINEQ-E002" (Printf.sprintf "P(%d,%d)" lo hi) ~lo ~hi ~found ~expected
+
+let pin_violation ~lo ~hi ~found ~expected =
+  p_violation "MINEQ-E003" (Printf.sprintf "P(%d,%d)" lo hi) ~lo ~hi ~found ~expected
+
+let double_link ~gap ~width x =
+  {
+    code = "MINEQ-W001";
+    severity = Warning;
+    stage = Some gap;
+    message = Printf.sprintf "double link at gap %d: a node has both children equal" gap;
+    witness = Some (Printf.sprintf "node %s satisfies f x = g x" (bits ~width x));
+    hint = Some "a double link halves the reachable set; Banyan networks exclude them";
+  }
+
+let degenerate_pipid ~gap theta =
+  {
+    code = "MINEQ-W002";
+    severity = Warning;
+    stage = Some gap;
+    message =
+      Printf.sprintf "degenerate PIPID stage at gap %d: theta fixes digit 0, so f = g" gap;
+    witness = Some (Format.asprintf "theta = %a sends 0 to 0 (Figure 5)" Perm.pp theta);
+    hint = Some "use a permutation moving digit 0 so the port bit reaches the child label";
+  }
+
+let non_independent ~gap ~width ~alpha ~x =
+  {
+    code = "MINEQ-W003";
+    severity = Warning;
+    stage = Some gap;
+    message = Printf.sprintf "gap %d is not independent: no witness map alpha -> beta" gap;
+    witness =
+      Some
+        (Printf.sprintf "alpha = %s has no beta; candidate fails at x = %s" (bits ~width alpha)
+           (bits ~width x));
+    hint =
+      Some
+        "Theorem 3 needs every gap independent; rebuild the stage as B x xor c with a shared linear part";
+  }
+
+let non_affine ~gap =
+  {
+    code = "MINEQ-W004";
+    severity = Warning;
+    stage = Some gap;
+    message =
+      Printf.sprintf "gap %d has a non-affine child function; deciders fall back to enumeration"
+        gap;
+    witness = None;
+    hint = Some "affine gaps let the analyzer use O(n^3) rank/kernel deciders";
+  }
+
+let equivalent_symbolic ~stages =
+  {
+    code = "MINEQ-I001";
+    severity = Info;
+    stage = None;
+    message =
+      Printf.sprintf "Baseline-equivalent (%d stages), decided symbolically via Theorem 3" stages;
+    witness = None;
+    hint = None;
+  }
+
+let equivalent_enumerated ~stages =
+  {
+    code = "MINEQ-I002";
+    severity = Info;
+    stage = None;
+    message =
+      Printf.sprintf "Baseline-equivalent (%d stages), decided by enumeration" stages;
+    witness = None;
+    hint = None;
+  }

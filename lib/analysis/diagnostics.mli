@@ -1,0 +1,54 @@
+(** Structured lint findings with stable codes.
+
+    Every diagnostic the analyzer can emit has a stable code usable
+    in scripts and CI greps:
+
+    {v
+    MINEQ-E001  not-banyan              some input/output pair has != 1 path
+    MINEQ-E002  p1j-violation           P(1,j) component count wrong
+    MINEQ-E003  pin-violation           P(i,n) component count wrong
+    MINEQ-W001  double-link             a node has both children equal
+    MINEQ-W002  degenerate-pipid-stage  declared theta sends 0 to 0 (Figure 5)
+    MINEQ-W003  non-independent-stage   a gap has no shared witness map
+    MINEQ-W004  non-affine-stage        a child function is not affine; the
+                                        deciders fall back to enumeration
+    MINEQ-I001  equivalent-symbolic     Baseline-equivalent, decided symbolically
+    MINEQ-I002  equivalent-enumerated   Baseline-equivalent, decided by enumeration
+    v}
+
+    Errors refute Baseline-equivalence outright ([P(1,j)]/[P(i,n)]
+    are necessary, Banyan-ness too); warnings flag structure that
+    blocks the symbolic fast paths or the Theorem-3 sufficient
+    condition; infos are positive verdicts. *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+type finding = {
+  code : string;  (** stable, e.g. ["MINEQ-W003"] *)
+  severity : severity;
+  stage : int option;
+      (** 1-based gap index for per-gap findings, [None] for
+          network-level ones *)
+  message : string;
+  witness : string option;  (** concrete counterexample, rendered *)
+  hint : string option;  (** how to fix *)
+}
+
+val compare_finding : finding -> finding -> int
+(** Severity (errors first), then stage, then code. *)
+
+(** {1 Constructors} *)
+
+val not_banyan : width:int -> Mineq.Banyan.violation -> finding
+val p1j_violation : lo:int -> hi:int -> found:int -> expected:int -> finding
+val pin_violation : lo:int -> hi:int -> found:int -> expected:int -> finding
+val double_link : gap:int -> width:int -> Mineq_bitvec.Bv.t -> finding
+val degenerate_pipid : gap:int -> Mineq_perm.Perm.t -> finding
+
+val non_independent : gap:int -> width:int -> alpha:Mineq_bitvec.Bv.t -> x:Mineq_bitvec.Bv.t -> finding
+
+val non_affine : gap:int -> finding
+val equivalent_symbolic : stages:int -> finding
+val equivalent_enumerated : stages:int -> finding

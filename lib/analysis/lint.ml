@@ -1,0 +1,72 @@
+module D = Diagnostics
+
+type report = {
+  stages : int;
+  width : int;
+  symbolic_gaps : int;
+  enumerated_gaps : int;
+  banyan : bool;
+  equivalent : bool;
+  findings : D.finding list;
+}
+
+let run ?declared net =
+  let a = Symbolic.analyze ?declared net in
+  let stages = Symbolic.stages a in
+  let width = Symbolic.width a in
+  let gaps = Symbolic.gaps a in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  Array.iter
+    (fun (g : Symbolic.gap) ->
+      (match Symbolic.independence a g.index with
+      | Symbolic.Indep form ->
+          (* A declared theta fixing digit 0 is the paper's Figure-5
+             degeneracy: cg = 0, so f = g everywhere. *)
+          (match g.declared_theta with
+          | Some theta when Affine.is_degenerate form -> emit (D.degenerate_pipid ~gap:g.index theta)
+          | _ -> ())
+      | Symbolic.Not_indep { alpha; x; affine } ->
+          emit (D.non_independent ~gap:g.index ~width ~alpha ~x);
+          if not affine then emit (D.non_affine ~gap:g.index));
+      match Symbolic.double_link a g.index with
+      | Some x -> emit (D.double_link ~gap:g.index ~width x)
+      | None -> ())
+    gaps;
+  let _, banyan_result = Symbolic.banyan a in
+  (match banyan_result with
+  | Ok () -> ()
+  | Error v -> emit (D.not_banyan ~width v));
+  let _, failures = Symbolic.p_failures a in
+  List.iter
+    (fun (lo, hi, found, expected) ->
+      if lo = 1 then emit (D.p1j_violation ~lo ~hi ~found ~expected)
+      else emit (D.pin_violation ~lo ~hi ~found ~expected))
+    failures;
+  let engine, equivalent = Symbolic.equivalent a in
+  if equivalent then
+    emit
+      (match engine with
+      | Symbolic.Symbolic -> D.equivalent_symbolic ~stages
+      | Symbolic.Enumerated -> D.equivalent_enumerated ~stages);
+  let symbolic_gaps = Symbolic.symbolic_gap_count a in
+  {
+    stages;
+    width;
+    symbolic_gaps;
+    enumerated_gaps = Array.length gaps - symbolic_gaps;
+    banyan = Result.is_ok banyan_result;
+    equivalent;
+    findings = List.sort D.compare_finding !findings;
+  }
+
+let count sev r =
+  List.length (List.filter (fun (f : D.finding) -> f.D.severity = sev) r.findings)
+
+let errors r = count D.Error r
+let warnings r = count D.Warning r
+let infos r = count D.Info r
+
+let clean r = errors r = 0 && warnings r = 0
+
+let exit_code r = if clean r then 0 else 1

@@ -1,0 +1,28 @@
+(** The lint pass: run every decider over an analyzed network and
+    collect structured {!Diagnostics.finding}s. *)
+
+type report = {
+  stages : int;
+  width : int;
+  symbolic_gaps : int;  (** gaps with a recovered independent form *)
+  enumerated_gaps : int;  (** gaps the deciders must enumerate *)
+  banyan : bool;
+  equivalent : bool;  (** Baseline-equivalence by the characterization *)
+  findings : Diagnostics.finding list;  (** sorted, errors first *)
+}
+
+val run : ?declared:Mineq.Spec_io.gap list -> Mineq.Mi_digraph.t -> report
+(** Analyze and lint.  [declared] (from {!Mineq.Spec_io.gaps_of_string})
+    lets declared [theta] gaps take the closed-form affine fast path
+    and enables the degenerate-PIPID diagnostic (MINEQ-W002). *)
+
+val errors : report -> int
+val warnings : report -> int
+val infos : report -> int
+
+val clean : report -> bool
+(** No errors and no warnings (info findings are fine). *)
+
+val exit_code : report -> int
+(** [0] when {!clean}, [1] otherwise.  (Parse failures never reach a
+    report; {!Spec_lint} maps them to exit code [2].) *)

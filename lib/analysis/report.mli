@@ -1,0 +1,29 @@
+(** Rendering lint reports for humans and for machines. *)
+
+val to_text : Lint.report -> string
+(** Multi-line human report: summary header, then one block per
+    finding with code, severity, witness, and hint. *)
+
+val to_json : Lint.report -> string
+(** Stable JSON document (schema ["mineq-lint/1"]):
+
+    {v
+    {
+      "schema": "mineq-lint/1",
+      "stages": 4,
+      "width": 3,
+      "symbolic_gaps": 3,
+      "enumerated_gaps": 0,
+      "banyan": true,
+      "equivalent": true,
+      "summary": { "errors": 0, "warnings": 0, "infos": 1 },
+      "findings": [
+        { "code": "MINEQ-I001", "severity": "info", "stage": null,
+          "message": "...", "witness": null, "hint": null }
+      ]
+    }
+    v} *)
+
+val error_to_json : Mineq.Spec_io.error -> string
+(** JSON for a parse failure (exit code 2):
+    [{ "schema": "mineq-lint/1", "parse_error": { "line": ..., "reason": ... } }]. *)

@@ -1,0 +1,14 @@
+module Spec_io = Mineq.Spec_io
+
+let lint_string text =
+  match Spec_io.gaps_of_string text with
+  | Error _ as e -> e
+  | Ok (n, gaps) -> (
+      match Mineq.Mi_digraph.create (List.map (Spec_io.connection_of_gap ~n) gaps) with
+      | net -> Ok (Lint.run ~declared:gaps net)
+      | exception Invalid_argument m -> Error { Spec_io.line = None; reason = m })
+
+let lint_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> lint_string text
+  | exception Sys_error m -> Error { Spec_io.line = None; reason = m }

@@ -1,0 +1,14 @@
+(** Lint spec files ([.min]) end to end: parse, build, analyze.
+
+    Parse and build failures (malformed syntax, bad permutations,
+    in-degree violations) surface as {!Mineq.Spec_io.error} — the CLI
+    maps those to exit code 2, and {!Lint.exit_code} covers 0/1. *)
+
+val lint_string : string -> (Lint.report, Mineq.Spec_io.error) result
+(** Parse with {!Mineq.Spec_io.gaps_of_string} so declared [theta]
+    gaps keep their symbolic form ({!Affine.of_theta} — no
+    enumeration on the affine fast path), then lint. *)
+
+val lint_file : string -> (Lint.report, Mineq.Spec_io.error) result
+(** [lint_string] on the file contents; I/O errors become a
+    [line = None] error. *)

@@ -1,0 +1,183 @@
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module Connection = Mineq.Connection
+module Mi_digraph = Mineq.Mi_digraph
+module Banyan = Mineq.Banyan
+module Properties = Mineq.Properties
+
+type gap = {
+  index : int;
+  conn : Connection.t;
+  cls : Affine.gap_class;
+  declared_theta : Mineq_perm.Perm.t option;
+}
+
+type t = { network : Mi_digraph.t; gaps : gap array }
+
+let analyze ?declared net =
+  let n = Mi_digraph.stages net in
+  let conns = Array.of_list (Mi_digraph.connections net) in
+  let declared =
+    match declared with
+    | Some l when List.length l = Array.length conns -> Array.of_list (List.map Option.some l)
+    | _ -> Array.make (Array.length conns) None
+  in
+  let gaps =
+    Array.mapi
+      (fun i conn ->
+        let declared_theta, cls =
+          match declared.(i) with
+          | Some (Mineq.Spec_io.Theta theta) ->
+              (Some theta, Affine.Independent (Affine.of_theta ~n theta))
+          | _ -> (None, Affine.classify conn)
+        in
+        { index = i + 1; conn; cls; declared_theta })
+      conns
+  in
+  { network = net; gaps }
+
+let network a = a.network
+let stages a = Mi_digraph.stages a.network
+let width a = Mi_digraph.width a.network
+let gaps a = a.gaps
+
+let forms a =
+  let n = Array.length a.gaps in
+  let out = Array.make n None in
+  Array.iteri
+    (fun i g -> match g.cls with Affine.Independent f -> out.(i) <- Some f | _ -> ())
+    a.gaps;
+  if Array.for_all Option.is_some out then Some (Array.map Option.get out) else None
+
+let symbolic_gap_count a =
+  Array.fold_left
+    (fun acc g -> match g.cls with Affine.Independent _ -> acc + 1 | _ -> acc)
+    0 a.gaps
+
+type engine = Symbolic | Enumerated
+
+let engine_name = function Symbolic -> "symbolic" | Enumerated -> "enumerated"
+
+(* Per-gap independence ---------------------------------------------- *)
+
+type independence =
+  | Indep of Affine.form
+  | Not_indep of { alpha : Bv.t; x : Bv.t; affine : bool }
+
+(* The only candidate witness for [alpha] is pinned by [x = 0]:
+   [beta = f alpha xor f 0].  If the [g] pin disagrees, [x = 0]
+   already refutes any single [beta]; otherwise scan for a label
+   where the shared candidate fails. *)
+let refute_x conn alpha =
+  let beta_f = Connection.f conn alpha lxor Connection.f conn 0 in
+  let beta_g = Connection.g conn alpha lxor Connection.g conn 0 in
+  if beta_f <> beta_g then 0
+  else begin
+    let found = ref 0 in
+    (try
+       Bv.iter_universe ~width:(Connection.width conn) ~f:(fun x ->
+           if
+             Connection.f conn (x lxor alpha) <> beta_f lxor Connection.f conn x
+             || Connection.g conn (x lxor alpha) <> beta_g lxor Connection.g conn x
+           then begin
+             found := x;
+             raise Exit
+           end)
+     with Exit -> ());
+    !found
+  end
+
+let independence a i =
+  let g = a.gaps.(i - 1) in
+  match g.cls with
+  | Affine.Independent f -> Indep f
+  | Affine.Affine_split (af, ag) ->
+      (* The linear parts differ in some column: that basis vector has
+         two distinct constant difference maps, so no shared beta. *)
+      let w = Connection.width g.conn in
+      let rec find j =
+        if j = w then assert false
+        else if Gf2.column af.Affine.m j <> Gf2.column ag.Affine.m j then Bv.unit j
+        else find (j + 1)
+      in
+      let alpha = find 0 in
+      Not_indep { alpha; x = refute_x g.conn alpha; affine = true }
+  | Affine.Opaque ->
+      (* Basis sufficiency (the paper's easy characterization): a
+         non-independent connection fails on some canonical basis
+         vector. *)
+      let w = Connection.width g.conn in
+      let rec find j =
+        if j = w then assert false
+        else
+          let alpha = Bv.unit j in
+          if Option.is_none (Connection.witness g.conn alpha) then alpha else find (j + 1)
+      in
+      let alpha = find 0 in
+      Not_indep { alpha; x = refute_x g.conn alpha; affine = false }
+
+(* Double links ------------------------------------------------------ *)
+
+let double_link a i =
+  let g = a.gaps.(i - 1) in
+  match g.cls with
+  | Affine.Independent f -> if Affine.delta f = 0 then Some 0 else None
+  | Affine.Affine_split (af, ag) ->
+      Gf2.solve (Gf2.add af.Affine.m ag.Affine.m) (af.Affine.c lxor ag.Affine.c)
+  | Affine.Opaque ->
+      let found = ref None in
+      (try
+         Bv.iter_universe ~width:(Connection.width g.conn) ~f:(fun x ->
+             let cf, cg = Connection.children g.conn x in
+             if cf = cg then begin
+               found := Some x;
+               raise Exit
+             end)
+       with Exit -> ());
+      !found
+
+(* Network properties ------------------------------------------------ *)
+
+let all_independent a = Array.for_all (fun g -> match g.cls with Affine.Independent _ -> true | _ -> false) a.gaps
+
+let banyan a =
+  if all_independent a then
+    match Banyan.symbolic_check a.network with
+    | Some r -> (Symbolic, r)
+    | None -> (Enumerated, Banyan.check a.network)
+  else (Enumerated, Banyan.check a.network)
+
+let component_count a ~lo ~hi =
+  match Properties.component_count_affine a.network ~lo ~hi with
+  | Some c -> (Symbolic, c)
+  | None -> (Enumerated, Properties.component_count a.network ~lo ~hi)
+
+let p_ij a ~lo ~hi =
+  let engine, found = component_count a ~lo ~hi in
+  (engine, found = Properties.expected_components a.network ~lo ~hi)
+
+let p_failures a =
+  let n = stages a in
+  let windows =
+    List.sort_uniq compare
+      (List.init n (fun j -> (1, j + 1)) @ List.init n (fun i -> (i + 1, n)))
+  in
+  let engine = ref Symbolic in
+  let failures =
+    List.filter_map
+      (fun (lo, hi) ->
+        let e, found = component_count a ~lo ~hi in
+        if e = Enumerated then engine := Enumerated;
+        let expected = Properties.expected_components a.network ~lo ~hi in
+        if found = expected then None else Some (lo, hi, found, expected))
+      windows
+  in
+  (!engine, failures)
+
+let equivalent a =
+  let eb, b = banyan a in
+  if Result.is_error b then (eb, false)
+  else
+    let ep, fails = p_failures a in
+    let engine = if eb = Symbolic && ep = Symbolic then Symbolic else Enumerated in
+    (engine, fails = [])

@@ -1,0 +1,90 @@
+(** Network-level symbolic deciders over an analyzed MI-digraph.
+
+    {!analyze} classifies every gap once ({!Affine.classify}, or the
+    closed form {!Affine.of_theta} for gaps declared [theta] in a
+    spec file); the deciders then run entirely on the recovered
+    matrix forms when every gap is independent — O(n^3)-ish
+    rank/kernel computations — and fall back to the enumeration
+    engines of [Mineq.Banyan] / [Mineq.Properties] otherwise.  Each
+    verdict says which engine produced it. *)
+
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+
+type gap = {
+  index : int;  (** 1-based gap index (between stages [index] and [index + 1]) *)
+  conn : Mineq.Connection.t;
+  cls : Affine.gap_class;
+  declared_theta : Mineq_perm.Perm.t option;
+      (** The spec-file [theta], when the gap came from a [gap theta]
+          line (its form is then trusted from the closed form, not
+          re-inferred). *)
+}
+
+type t
+
+val analyze : ?declared:Mineq.Spec_io.gap list -> Mineq.Mi_digraph.t -> t
+(** Classify every gap.  [declared] (parallel to the gaps, from
+    {!Mineq.Spec_io.gaps_of_string}) routes [Theta] gaps through the
+    closed form. *)
+
+val network : t -> Mineq.Mi_digraph.t
+val stages : t -> int
+val width : t -> int
+val gaps : t -> gap array
+
+val forms : t -> Affine.form array option
+(** Per-gap independent forms, when {e every} gap is independent. *)
+
+val symbolic_gap_count : t -> int
+(** Gaps with a recovered independent form. *)
+
+(** How a verdict was reached: the symbolic engine on matrix forms,
+    or enumeration fallback. *)
+type engine = Symbolic | Enumerated
+
+val engine_name : engine -> string
+
+(** {1 Per-gap independence} *)
+
+type independence =
+  | Indep of Affine.form
+  | Not_indep of {
+      alpha : Bv.t;  (** a concrete refuting [alpha] (no witness [beta] exists) *)
+      x : Bv.t;  (** a label where [f (x xor alpha) <> beta xor f x] (or the [g] twin) *)
+      affine : bool;  (** whether both child maps were at least affine *)
+    }
+
+val independence : t -> int -> independence
+(** [independence a i] for the 1-based gap [i].  The refutation is
+    found symbolically for [Affine_split] gaps (a basis column where
+    the two linear parts differ) and by the basis witness scan for
+    [Opaque] gaps (some basis vector must fail — basis sufficiency). *)
+
+(** {1 Double links} *)
+
+val double_link : t -> int -> Bv.t option
+(** A node [x] with [f x = g x] at the given gap, if any.  Symbolic
+    where the forms allow: on an independent gap the [B x] terms
+    cancel, so double links exist iff [delta = 0] (and then at every
+    node); on an affine split the witness solves
+    [(Bf xor Bg) x = cf xor cg].  Opaque gaps are scanned. *)
+
+(** {1 Network properties} *)
+
+val banyan : t -> engine * (unit, Mineq.Banyan.violation) result
+
+val component_count : t -> lo:int -> hi:int -> engine * int
+
+val p_ij : t -> lo:int -> hi:int -> engine * bool
+
+val p_failures : t -> engine * (int * int * int * int) list
+(** The failing windows [(lo, hi, found, expected)] among the
+    characterization families [P(1,j)] and [P(i,n)] (deduplicated,
+    ascending); empty means both families hold. *)
+
+val equivalent : t -> engine * bool
+(** Baseline-equivalence: Banyan + both [P] families (the sound and
+    complete characterization; on all-independent networks the
+    symbolic engine decides it in polynomial time — Theorem 3 plus
+    the D-matrix Banyan check). *)

@@ -95,6 +95,20 @@ let is_translate s xs =
       List.length unique = cardinal s
       && List.for_all (fun x -> same_coset s x0 x) rest
 
+let preimage m s =
+  if Gf2_matrix.rows m <> s.width then invalid_arg "Subspace.preimage: width mismatch";
+  let width = Gf2_matrix.cols m in
+  (* {x | m x in s} = span(particular solutions of a basis of
+     (s meet Im m)  union  ker m). *)
+  let image = of_generators ~width:s.width (List.init width (Gf2_matrix.column m)) in
+  let hit = intersection s image in
+  let particulars =
+    List.map
+      (fun v -> match Gf2_matrix.solve m v with Some x -> x | None -> assert false)
+      hit.basis
+  in
+  of_generators ~width (particulars @ Gf2_matrix.kernel_basis m)
+
 let translate_of_set ~width a b =
   ignore width;
   match (a, b) with

@@ -46,6 +46,10 @@ val intersection : t -> t -> t
 val elements : t -> Bv.t list
 (** All [2^dim] elements, ascending.  Intended for small subspaces. *)
 
+val preimage : Gf2_matrix.t -> t -> t
+(** [preimage m s] is the subspace [{x | m x in s}] (the rows of [m]
+    must match [width s]; the result lives in [cols m] bits). *)
+
 val complement_basis : t -> Bv.t list
 (** Vectors extending [basis t] to a basis of the full space. *)
 

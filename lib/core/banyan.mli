@@ -17,9 +17,23 @@ val path_count_matrix : Mi_digraph.t -> int array array
     paths.  Parallel arcs (double links) count separately. *)
 
 val is_banyan : Mi_digraph.t -> bool
+(** Tries {!symbolic_check} first and falls back to the path-count
+    enumeration when some gap is not independent. *)
 
 val check : Mi_digraph.t -> (unit, violation) result
 (** Like {!is_banyan} but produces the first violation found (row
-    major). *)
+    major), always by path-count enumeration. *)
+
+val symbolic_check : Mi_digraph.t -> (unit, violation) result option
+(** O(n^3) decision for networks whose every gap is independent
+    (affine with a shared linear part [B_j]): the port word
+    [p in {0,1}^(n-1)] reaches stage-n node
+    [M u xor base xor D p], so the digraph is Banyan iff the GF(2)
+    matrix [D] — column [j] is [B_{n-1}..B_{j+1}(cf_j xor cg_j)] — is
+    invertible.  [None] when some gap is not independent (no symbolic
+    verdict; use {!check}).  A [Some (Error _)] violation carries a
+    concrete zero-path source/sink witness (not necessarily the
+    row-major first one {!check} reports).  Agreement with {!check}
+    is qcheck-enforced. *)
 
 val pp_violation : Format.formatter -> violation -> unit

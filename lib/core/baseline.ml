@@ -1,4 +1,3 @@
-module Bv = Mineq_bitvec.Bv
 
 let stage_connection ~n i =
   if n < 2 || i < 1 || i > n - 1 then invalid_arg "Baseline.stage_connection: bad stage";

@@ -1,4 +1,3 @@
-module Perm = Mineq_perm.Perm
 module Family = Mineq_perm.Pipid_family
 
 type kind =

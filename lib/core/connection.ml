@@ -158,6 +158,46 @@ let independent_split c =
     end
   end
 
+(* Affine inference (the static-analysis substrate) ---------------- *)
+
+let affine_map_of_array ~width arr =
+  (* [arr] is affine iff [arr x = M x xor arr 0] for the linear map
+     [M] probed on the canonical basis.  Verified in one pass using
+     the lowest set bit: writing [x = rest xor lsb] (with
+     [rest = x land (x - 1)]),
+     [M x xor c = (M rest xor c) xor (M lsb xor c) xor c], so it
+     suffices that [arr x = arr rest xor arr lsb xor arr 0] for every
+     [x] with at least two set bits — O(1) integer work per label,
+     O(2^width) overall (cheaper than the O(width 2^width) basis
+     witness scan). *)
+  let c = arr.(0) in
+  let n = Array.length arr in
+  let rec verify x =
+    x = n
+    ||
+    let rest = x land (x - 1) in
+    (rest = 0 || arr.(x) = arr.(rest) lxor arr.(x land -x) lxor c) && verify (x + 1)
+  in
+  if verify 1 then
+    Some (Gf2.create ~rows:width ~cols:width (fun r j -> Bv.bit (arr.(Bv.unit j) lxor c) r), c)
+  else None
+
+let affine_pair c =
+  match
+    (affine_map_of_array ~width:c.width c.f, affine_map_of_array ~width:c.width c.g)
+  with
+  | Some ff, Some gg -> Some (ff, gg)
+  | _ -> None
+
+let is_independent_fast c =
+  (* Independence <=> f and g affine with the same linear part: the
+     normal form [f x = B x xor f 0, g x = B x xor g 0] in one
+     direction, and [beta = B alpha] witnessing every alpha in the
+     other. *)
+  match affine_pair c with
+  | Some ((bf, _), (bg, _)) -> Gf2.equal bf bg
+  | None -> false
+
 let random_independent rng ~width =
   if width = 0 then of_arrays ~width [| 0 |] [| 0 |]
   else if Random.State.bool rng then begin

@@ -93,6 +93,26 @@ val of_linear : width:int -> Gf2.t -> cf:Bv.t -> cg:Bv.t -> t
     Always independent; {!is_mi_stage} iff [B] is invertible or has
     corank 1 with [cf xor cg] outside its image. *)
 
+(** {1 Affine inference (static-analysis substrate)} *)
+
+val affine_pair : t -> ((Gf2.t * Bv.t) * (Gf2.t * Bv.t)) option
+(** [affine_pair c] is [Some ((Bf, cf), (Bg, cg))] when both child
+    functions are affine over GF(2) — [f x = Bf x xor cf] and
+    [g x = Bg x xor cg] — and [None] otherwise.  Verified pointwise
+    in O(2^width) integer operations (constant work per label via the
+    lowest-set-bit recurrence), strictly cheaper than the
+    O(width * 2^width) basis witness scan of {!is_independent}.
+
+    The connection is independent iff [affine_pair] succeeds with
+    [Bf = Bg] (the shared linear part of {!linear_form}); an affine
+    pair with [Bf <> Bg], or a non-affine child function, refutes
+    independence. *)
+
+val is_independent_fast : t -> bool
+(** Affine-inference fast path for {!is_independent}: same verdict
+    (qcheck-enforced), one O(2^width) pass.  This is the decider the
+    analysis-backed fast paths in {!Equivalence} use. *)
+
 val independent_split : t -> t option
 (** Independence depends on the chosen [(f, g)] decomposition: the
     same arc multiset can carry both independent and non-independent

@@ -17,14 +17,19 @@ let not_banyan v =
     detail = Format.asprintf "not Banyan: %a" Banyan.pp_violation v
   }
 
+(* Symbolic-first Banyan: the O(n^3) D-matrix check when every gap is
+   independent, the path-count enumeration otherwise. *)
+let banyan_result g =
+  match Banyan.symbolic_check g with Some r -> r | None -> Banyan.check g
+
 let by_independence g =
-  match Banyan.check g with
+  match banyan_result g with
   | Error v -> not_banyan v
   | Ok () ->
       let bad = ref None in
       List.iteri
         (fun i c ->
-          if !bad = None && not (Connection.is_independent c) then bad := Some (i + 1))
+          if !bad = None && not (Connection.is_independent_fast c) then bad := Some (i + 1))
         (Mi_digraph.connections g);
       (match !bad with
       | Some gap ->
@@ -43,7 +48,7 @@ let by_independence g =
           })
 
 let by_independence_any_split g =
-  match Banyan.check g with
+  match banyan_result g with
   | Error v -> not_banyan v
   | Ok () ->
       let bad = ref None in
@@ -71,7 +76,7 @@ let by_independence_any_split g =
           })
 
 let by_characterization g =
-  match Banyan.check g with
+  match banyan_result g with
   | Error v -> not_banyan v
   | Ok () ->
       let n = Mi_digraph.stages g in

@@ -29,6 +29,11 @@ type verdict = {
 }
 
 val by_independence : Mi_digraph.t -> verdict
+(** Uses the analysis-backed fast paths: affine inference for the
+    per-gap independence test ({!Connection.is_independent_fast}) and
+    the symbolic D-matrix Banyan check when it applies
+    ({!Banyan.symbolic_check} via {!Banyan.is_banyan}); falls back to
+    enumeration on non-independent gaps. *)
 
 val by_independence_any_split : Mi_digraph.t -> verdict
 (** Like {!by_independence} but insensitive to the stored [(f, g)]

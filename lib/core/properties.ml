@@ -1,4 +1,5 @@
 module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
 module Subspace = Mineq_bitvec.Subspace
 module Traverse = Mineq_graph.Traverse
 
@@ -25,7 +26,55 @@ let component_count_dsu g ~lo ~hi =
   done;
   Mineq_graph.Dsu.set_count dsu
 
-let p_ij g ~lo ~hi = component_count g ~lo ~hi = expected_components g ~lo ~hi
+(* Symbolic fast path.  On independent gaps — children
+   [B x xor cf, B x xor cg] — the stage-lo slice of any component of
+   [(G)_{lo..hi}] is a coset of a subspace [S_lo] obtained by the
+   downward recursion
+
+     S_hi = {0},   S_j = B_j^{-1}( span(S_{j+1} + {delta_j}) )
+
+   ([delta_j = cf_j xor cg_j]): two stage-j nodes land in one
+   component iff their difference maps under [B_j] into the merged
+   space one gap later (sharing a child exactly, sharing it modulo
+   [S_{j+1}], or through the other port, [delta_j] away) — and chains
+   of such steps span.  Every component meets stage lo (in-degree 2
+   everywhere inside the window), so the component count is
+   [2^(width - dim S_lo)], computed in O((hi-lo) poly(width)) instead
+   of traversing the [2^width]-node window. *)
+
+let shared_form c =
+  match Connection.affine_pair c with
+  | Some ((bf, cf), (bg, cg)) when Gf2.equal bf bg -> Some (bf, cf lxor cg)
+  | _ -> None
+
+let component_count_affine g ~lo ~hi =
+  let n = Mi_digraph.stages g in
+  if lo < 1 || hi > n || lo > hi then invalid_arg "Properties: bad stage range";
+  let width = Mi_digraph.width g in
+  let rec forms acc j =
+    if j < lo then Some acc
+    else
+      match shared_form (Mi_digraph.connection g j) with
+      | None -> None
+      | Some f -> forms (f :: acc) (j - 1)
+  in
+  (* [forms] collects gaps lo..hi-1 in ascending order; the reversed
+     fold walks hi-1 down to lo, the recursion order. *)
+  match forms [] (hi - 1) with
+  | None -> None
+  | Some forms ->
+      let s =
+        List.fold_left
+          (fun s (b, delta) -> Subspace.preimage b (Subspace.add_vector s delta))
+          (Subspace.zero ~width)
+          (List.rev forms)
+      in
+      Some (1 lsl (width - Subspace.dim s))
+
+let p_ij g ~lo ~hi =
+  match component_count_affine g ~lo ~hi with
+  | Some found -> found = expected_components g ~lo ~hi
+  | None -> component_count g ~lo ~hi = expected_components g ~lo ~hi
 
 let p_one_star g =
   let n = Mi_digraph.stages g in

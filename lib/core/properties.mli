@@ -20,8 +20,19 @@ val component_count_dsu : Mi_digraph.t -> lo:int -> hi:int -> int
     [x1_p_properties_*] benches); always agrees with
     {!component_count} (qcheck-enforced). *)
 
+val component_count_affine : Mi_digraph.t -> lo:int -> hi:int -> int option
+(** Symbolic count for windows whose every gap is independent
+    (children [B x xor cf, B x xor cg]): the stage-[lo] slice of each
+    component is a coset of the subspace reached by the downward
+    recursion [S_hi = 0], [S_j = B_j^-1(span(S_{j+1} + {delta_j}))],
+    so the count is [2^(width - dim S_lo)] — O((hi-lo) poly(width))
+    rank/kernel computations, no traversal.  [None] when some gap in
+    the window is not independent; always agrees with
+    {!component_count} when defined (qcheck-enforced). *)
+
 val p_ij : Mi_digraph.t -> lo:int -> hi:int -> bool
-(** The [P(lo, hi)] property. *)
+(** The [P(lo, hi)] property.  Decided by {!component_count_affine}
+    when the window supports it, by {!component_count} otherwise. *)
 
 val p_one_star : Mi_digraph.t -> bool
 (** [P(1, j)] for every [j in 1..n]. *)

@@ -1,5 +1,20 @@
 module Perm = Mineq_perm.Perm
 
+type error = { line : int option; reason : string }
+
+let error_to_string e =
+  match e.line with
+  | Some l -> Printf.sprintf "line %d: %s" l e.reason
+  | None -> e.reason
+
+let errorf ?line fmt = Printf.ksprintf (fun reason -> { line; reason }) fmt
+
+type gap = Theta of Perm.t | Raw of Connection.t
+
+let connection_of_gap ~n = function
+  | Theta theta -> Pipid_net.connection ~n theta
+  | Raw c -> c
+
 let to_string g =
   let n = Mi_digraph.stages g in
   let buf = Buffer.create 256 in
@@ -27,9 +42,9 @@ let to_string g =
   done;
   Buffer.contents buf
 
-let of_string text =
+let gaps_of_string text =
   let lines = String.split_on_char '\n' text in
-  let err line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let err line reason = Error { line = Some line; reason } in
   let strip l = match String.index_opt l '#' with Some i -> String.sub l 0 i | None -> l in
   let tokens l = String.split_on_char ' ' (strip l) |> List.filter (fun t -> t <> "") in
   let parse_ints line ts =
@@ -50,10 +65,10 @@ let of_string text =
             let gaps = List.rev gaps in
             if List.length gaps <> n - 1 then
               Error
-                (Printf.sprintf "expected %d gap lines for %d stages, found %d" (n - 1) n
+                (errorf "expected %d gap lines for %d stages, found %d" (n - 1) n
                    (List.length gaps))
-            else ( try Ok (Mi_digraph.create gaps) with Invalid_argument m -> Error m)
-        | _ -> Error "truncated spec")
+            else Ok (n, gaps)
+        | _ -> Error { line = None; reason = "truncated spec" })
     | line :: rest -> (
         match (tokens line, state) with
         | [], state -> scan (lineno + 1) rest state
@@ -72,9 +87,7 @@ let of_string text =
                 else
                   match Perm.of_array (Array.of_list img) with
                   | exception Invalid_argument m -> err lineno m
-                  | theta ->
-                      scan (lineno + 1) rest
-                        (`Gaps (n, Pipid_net.connection ~n theta :: gaps))))
+                  | theta -> scan (lineno + 1) rest (`Gaps (n, Theta theta :: gaps))))
         | "gap" :: "raw" :: ts, `Gaps (n, gaps) -> (
             let half = 1 lsl (n - 1) in
             let rec split_bar acc = function
@@ -95,11 +108,19 @@ let of_string text =
                           (Array.of_list gs)
                       with
                       | exception Invalid_argument m -> err lineno m
-                      | c -> scan (lineno + 1) rest (`Gaps (n, c :: gaps)))
+                      | c -> scan (lineno + 1) rest (`Gaps (n, Raw c :: gaps)))
                 | (Error _ as e), _ | _, (Error _ as e) -> e))
         | _, `Gaps _ -> err lineno "expected a gap line")
   in
   scan 1 lines `Start
+
+let of_string text =
+  match gaps_of_string text with
+  | Error _ as e -> e
+  | Ok (n, gaps) -> (
+      match Mi_digraph.create (List.map (connection_of_gap ~n) gaps) with
+      | g -> Ok g
+      | exception Invalid_argument m -> Error { line = None; reason = m })
 
 let save path g =
   let oc = open_out path in
@@ -108,4 +129,4 @@ let save path g =
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> of_string text
-  | exception Sys_error m -> Error m
+  | exception Sys_error m -> Error { line = None; reason = m }

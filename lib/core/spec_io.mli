@@ -16,12 +16,42 @@
     of every node label.  {!to_string} emits [theta] lines whenever
     the gap is a recognizable PIPID stage. *)
 
+type error = {
+  line : int option;
+      (** 1-based line number of the offending line; [None] for
+          whole-file problems (truncation, missing gap lines, I/O). *)
+  reason : string;
+}
+(** Typed parse error.  {!error_to_string} renders the conventional
+    ["line N: reason"] form. *)
+
+val error_to_string : error -> string
+
+val errorf : ?line:int -> ('a, unit, string, error) format4 -> 'a
+(** Build an {!error} with a formatted reason. *)
+
+(** A gap as written in the spec file, before tabulation: [Theta]
+    stages are symbolic (an index-digit permutation) and can be
+    analyzed without enumerating node labels. *)
+type gap = Theta of Mineq_perm.Perm.t | Raw of Connection.t
+
+val connection_of_gap : n:int -> gap -> Connection.t
+(** Tabulate a gap ([Theta] via {!Pipid_net.connection}). *)
+
 val to_string : Mi_digraph.t -> string
 
-val of_string : string -> (Mi_digraph.t, string) result
-(** Parse; the error carries a line number and reason. *)
+val gaps_of_string : string -> (int * gap list, error) result
+(** Parse down to the declared gaps: [(stages, gaps)] with one gap
+    per inter-stage connection.  Validates syntax, permutation and
+    image-range well-formedness, and the gap count — but {e not} the
+    MI in-degree requirement (see {!of_string}). *)
+
+val of_string : string -> (Mi_digraph.t, error) result
+(** {!gaps_of_string} followed by {!Mi_digraph.create}; a connection
+    violating the in-degree-2 requirement surfaces as an [error] with
+    [line = None]. *)
 
 val save : string -> Mi_digraph.t -> unit
 (** Write to a file path. *)
 
-val load : string -> (Mi_digraph.t, string) result
+val load : string -> (Mi_digraph.t, error) result

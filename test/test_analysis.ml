@@ -1,0 +1,318 @@
+(* The symbolic analyzer and lint pass (lib/analysis).
+
+   The load-bearing agreements: symbolic verdicts (independence,
+   Banyan, P-properties, equivalence) must match the brute-force
+   enumeration deciders on random networks of every flavour, and
+   every diagnostic code must fire on a hand-built bad spec. *)
+
+open Helpers
+module A = Mineq_analysis
+module Affine = A.Affine
+module Symbolic = A.Symbolic
+module D = A.Diagnostics
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module Perm = Mineq_perm.Perm
+open Mineq
+
+(* Affine inference --------------------------------------------------- *)
+
+let test_classify_independent () =
+  let rng = rng_of 11 in
+  for _ = 1 to 20 do
+    let c = Connection.random_independent rng ~width:3 in
+    match Affine.classify c with
+    | Affine.Independent form ->
+        let af, ag = Affine.child_maps form in
+        Bv.iter_universe ~width:3 ~f:(fun x ->
+            check_int "f agrees" (Connection.f c x) (Affine.apply af x);
+            check_int "g agrees" (Connection.g c x) (Affine.apply ag x))
+    | _ -> Alcotest.fail "random_independent must classify as Independent"
+  done
+
+let test_classify_split () =
+  (* f linear with B = I, g linear with a different matrix: affine but
+     not independent. *)
+  let c = Connection.make ~width:2 ~f:(fun x -> x) ~g:(fun x -> ((x lsl 1) lor (x lsr 1)) land 3) in
+  match Affine.classify c with
+  | Affine.Affine_split (af, ag) -> check_false "linear parts differ" (Gf2.equal af.Affine.m ag.Affine.m)
+  | _ -> Alcotest.fail "expected Affine_split"
+
+let test_classify_opaque () =
+  let c = Connection.make ~width:2 ~f:(fun x -> if x = 3 then 2 else x) ~g:(fun x -> x lxor 1) in
+  check_true "non-affine f is Opaque" (Affine.classify c = Affine.Opaque)
+
+let test_of_theta_agrees () =
+  let rng = rng_of 7 in
+  for n = 2 to 5 do
+    for _ = 1 to 10 do
+      let theta = Perm.random rng n in
+      let closed = Affine.of_theta ~n theta in
+      match Affine.classify (Pipid_net.connection ~n theta) with
+      | Affine.Independent inferred ->
+          check_true "B agrees" (Gf2.equal closed.Affine.b inferred.Affine.b);
+          check_int "cf agrees" inferred.Affine.cf closed.Affine.cf;
+          check_int "cg agrees" inferred.Affine.cg closed.Affine.cg
+      | _ -> Alcotest.fail "PIPID stages are independent"
+    done
+  done
+
+let test_of_theta_degenerate () =
+  (* theta = identity fixes digit 0: Figure 5's f = g stage. *)
+  let form = Affine.of_theta ~n:3 (Perm.identity 3) in
+  check_true "identity theta is degenerate" (Affine.is_degenerate form);
+  check_true "non-degenerate witness"
+    (not (Affine.is_degenerate (Affine.of_theta ~n:3 (Perm.rotation ~size:3 1))))
+
+(* Symbolic deciders vs brute force ----------------------------------- *)
+
+let analyze_of g = Symbolic.analyze g
+
+let check_verdicts name g =
+  let a = analyze_of g in
+  let n = Mi_digraph.stages g in
+  let _, b = Symbolic.banyan a in
+  check_bool (name ^ ": banyan agrees") (Result.is_ok (Banyan.check g)) (Result.is_ok b);
+  for lo = 1 to n do
+    for hi = lo to n do
+      let _, c = Symbolic.component_count a ~lo ~hi in
+      check_int
+        (Printf.sprintf "%s: components (%d,%d)" name lo hi)
+        (Properties.component_count g ~lo ~hi)
+        c
+    done
+  done;
+  let _, eq = Symbolic.equivalent a in
+  check_bool (name ^ ": equivalence agrees") (Equivalence.by_characterization g).equivalent eq;
+  Array.iter
+    (fun (gap : Symbolic.gap) ->
+      let indep = Connection.is_independent gap.conn in
+      match Symbolic.independence a gap.index with
+      | Symbolic.Indep _ -> check_true (name ^ ": symbolic indep") indep
+      | Symbolic.Not_indep { alpha; _ } ->
+          check_false (name ^ ": symbolic non-indep") indep;
+          check_true (name ^ ": refuting alpha") (Option.is_none (Connection.witness gap.conn alpha)))
+    (Symbolic.gaps a)
+
+let prop_pipid_agrees (n, seed) =
+  check_verdicts "pipid" (random_banyan_pipid (rng_of seed) ~n);
+  true
+
+let prop_random_agrees (n, seed) =
+  check_verdicts "random" (Link_spec.random_network (rng_of seed) ~n);
+  true
+
+let prop_affine_agrees (n, seed) =
+  let rng = rng_of seed in
+  let g =
+    Mi_digraph.create (List.init (n - 1) (fun _ -> Connection.random_independent rng ~width:(n - 1)))
+  in
+  let a = analyze_of g in
+  check_int "all gaps symbolic" (n - 1) (Symbolic.symbolic_gap_count a);
+  check_verdicts "affine" g;
+  true
+
+let prop_refutation_concrete (n, seed) =
+  (* On non-independent gaps the (alpha, x) witness must concretely
+     break the only candidate beta. *)
+  let g = Link_spec.random_network (rng_of seed) ~n in
+  let a = analyze_of g in
+  Array.iter
+    (fun (gap : Symbolic.gap) ->
+      match Symbolic.independence a gap.index with
+      | Symbolic.Indep _ -> ()
+      | Symbolic.Not_indep { alpha; x; _ } ->
+          let c = gap.conn in
+          let beta_f = Connection.f c alpha lxor Connection.f c 0 in
+          let beta_g = Connection.g c alpha lxor Connection.g c 0 in
+          check_true "x breaks the pinned candidate"
+            (beta_f <> beta_g
+            || Connection.f c (x lxor alpha) <> beta_f lxor Connection.f c x
+            || Connection.g c (x lxor alpha) <> beta_g lxor Connection.g c x))
+    (Symbolic.gaps a);
+  true
+
+let test_double_link_symbolic () =
+  let rng = rng_of 23 in
+  for n = 2 to 5 do
+    for _ = 1 to 10 do
+      let g = Link_spec.random_network rng ~n in
+      let a = analyze_of g in
+      Array.iter
+        (fun (gap : Symbolic.gap) ->
+          let brute =
+            let found = ref None in
+            for x = Connection.half gap.conn - 1 downto 0 do
+              let cf, cg = Connection.children gap.conn x in
+              if cf = cg then found := Some x
+            done;
+            !found
+          in
+          match (Symbolic.double_link a gap.index, brute) with
+          | None, None -> ()
+          | Some x, Some _ ->
+              let cf, cg = Connection.children gap.conn x in
+              check_int "witness is a double link" cf cg
+          | Some _, None -> Alcotest.fail "double link where none exists"
+          | None, Some _ -> Alcotest.fail "missed a double link")
+        (Symbolic.gaps a)
+    done
+  done
+
+(* Diagnostics on hand-built specs ------------------------------------ *)
+
+let codes report = List.map (fun (f : D.finding) -> f.D.code) report.A.Lint.findings
+
+let lint_ok text =
+  match A.Spec_lint.lint_string text with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Spec_io.error_to_string e)
+
+let has code report = List.mem code (codes report)
+
+let test_clean_classical () =
+  List.iter
+    (fun (name, g) ->
+      let r = A.Lint.run g in
+      check_true (name ^ " lints clean") (A.Lint.clean r);
+      check_int (name ^ " exit code") 0 (A.Lint.exit_code r);
+      check_int (name ^ " fully symbolic") 0 r.A.Lint.enumerated_gaps;
+      check_true (name ^ " I001") (has "MINEQ-I001" r))
+    (all_classical ~n:4)
+
+let test_clean_classical_spec_path () =
+  (* Through the spec parser the gaps arrive declared as theta lines,
+     so the closed form is used and the verdict stays symbolic. *)
+  List.iter
+    (fun (name, g) ->
+      let r = lint_ok (Spec_io.to_string g) in
+      check_true (name ^ " spec lints clean") (A.Lint.clean r);
+      check_int (name ^ " spec fully symbolic") 0 r.A.Lint.enumerated_gaps;
+      let a = Symbolic.analyze g in
+      ignore a;
+      check_true (name ^ " spec I001") (has "MINEQ-I001" r))
+    (all_classical ~n:4)
+
+let degenerate_spec = "mineq-spec 1\nstages 3\ngap theta 0 1 2\ngap theta 2 0 1\n"
+
+let test_degenerate_spec () =
+  (* Figure 5: theta^-1(0) = 0 makes f = g — the double-link finding
+     must fire, alongside the degeneracy warning and not-Banyan. *)
+  let r = lint_ok degenerate_spec in
+  check_true "W001 double link" (has "MINEQ-W001" r);
+  check_true "W002 degenerate stage" (has "MINEQ-W002" r);
+  check_true "E001 not banyan" (has "MINEQ-E001" r);
+  check_true "E002 P(1,j)" (has "MINEQ-E002" r);
+  check_int "exit 1" 1 (A.Lint.exit_code r);
+  check_false "not clean" (A.Lint.clean r)
+
+let test_non_independent_spec () =
+  (* A raw gap that swaps children on one node only: still a valid MI
+     stage, no longer affine. *)
+  let c =
+    Connection.make ~width:2
+      ~f:(fun x -> if x = 0 then 1 else x)
+      ~g:(fun x -> if x = 0 then 0 else x lxor 1)
+  in
+  check_true "fixture is an MI stage" (Connection.is_mi_stage c);
+  check_false "fixture is non-independent" (Connection.is_independent c);
+  let g =
+    Mi_digraph.create [ c; Pipid_net.connection ~n:3 (Perm.rotation ~size:3 1) ]
+  in
+  let r = A.Lint.run g in
+  check_true "W003 non-independent" (has "MINEQ-W003" r);
+  check_true "W004 non-affine" (has "MINEQ-W004" r);
+  check_int "one enumerated gap" 1 r.A.Lint.enumerated_gaps
+
+let test_affine_split_diagnostic () =
+  (* Both children affine with different linear parts: W003 without
+     W004. *)
+  let c = Connection.make ~width:2 ~f:(fun x -> x) ~g:(fun x -> ((x lsl 1) lor (x lsr 1)) land 3) in
+  check_true "fixture is an MI stage" (Connection.is_mi_stage c);
+  let g = Mi_digraph.create [ c; Pipid_net.connection ~n:3 (Perm.rotation ~size:3 1) ] in
+  let r = A.Lint.run g in
+  check_true "W003 fires" (has "MINEQ-W003" r);
+  check_false "W004 does not fire" (has "MINEQ-W004" r)
+
+let test_e003_fires () =
+  (* A network failing P(i,n) for some i > 1: search small seeds. *)
+  let rec find seed =
+    if seed > 500 then Alcotest.fail "no P(i,n)-violating sample found"
+    else
+      let g = Link_spec.random_network (rng_of seed) ~n:4 in
+      let n = Mi_digraph.stages g in
+      let bad_pin =
+        List.exists
+          (fun i -> Properties.component_count g ~lo:i ~hi:n <> Properties.expected_components g ~lo:i ~hi:n)
+          (List.init (n - 1) (fun i -> i + 2))
+      in
+      if bad_pin then g else find (seed + 1)
+  in
+  let r = A.Lint.run (find 0) in
+  check_true "E003 fires" (has "MINEQ-E003" r)
+
+let test_equivalent_enumerated_info () =
+  (* Relabelling an equivalent network usually destroys independence
+     but never equivalence: the verdict must then come from
+     enumeration (I002).  A random relabelling can happen to stay
+     affine, so search for a seed that actually breaks it. *)
+  let rec find seed =
+    if seed > 50 then Alcotest.fail "no independence-destroying relabelling found"
+    else
+      let g =
+        Counterexample.relabelled_equivalent (rng_of seed) (Classical.network Classical.Omega ~n:4)
+      in
+      let r = A.Lint.run g in
+      check_true "relabelled network stays equivalent" r.A.Lint.equivalent;
+      if r.A.Lint.enumerated_gaps > 0 || has "MINEQ-W003" r then r else find (seed + 1)
+  in
+  let r = find 0 in
+  check_true "I002 fires" (has "MINEQ-I002" r);
+  check_false "not I001" (has "MINEQ-I001" r)
+
+let test_parse_error_reports () =
+  (match A.Spec_lint.lint_string "mineq-spec 1\nstages 3\ngap theta 9 9 9\n" with
+  | Error e -> check_bool "line is 3" true (e.Spec_io.line = Some 3)
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match A.Spec_lint.lint_file "/nonexistent/spec.min" with
+  | Error e -> check_bool "io error has no line" true (e.Spec_io.line = None)
+  | Ok _ -> Alcotest.fail "expected io error"
+
+(* Report rendering ---------------------------------------------------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_shape () =
+  let r = lint_ok degenerate_spec in
+  let json = A.Report.to_json r in
+  List.iter
+    (fun needle ->
+      check_true (Printf.sprintf "json contains %s" needle) (contains json needle))
+    [ "\"schema\": \"mineq-lint/1\""; "\"findings\""; "MINEQ-W002"; "\"severity\": \"warning\"" ]
+
+let suite =
+  [
+    quick "classify recovers independent forms" test_classify_independent;
+    quick "classify detects affine splits" test_classify_split;
+    quick "classify detects non-affine children" test_classify_opaque;
+    quick "of_theta matches enumerated inference" test_of_theta_agrees;
+    quick "of_theta degeneracy" test_of_theta_degenerate;
+    qcheck ~count:40 "symbolic verdicts agree on random PIPID" n_and_seed prop_pipid_agrees;
+    qcheck ~count:40 "symbolic verdicts agree on random networks" n_and_seed prop_random_agrees;
+    qcheck ~count:40 "symbolic verdicts agree on random affine networks" n_and_seed
+      prop_affine_agrees;
+    qcheck ~count:40 "refutations are concrete" n_and_seed prop_refutation_concrete;
+    quick "double links found symbolically" test_double_link_symbolic;
+    quick "classical networks lint clean" test_clean_classical;
+    quick "classical specs stay on the affine fast path" test_clean_classical_spec_path;
+    quick "Figure-5 degenerate stage fires W001/W002/E001/E002" test_degenerate_spec;
+    quick "non-affine stage fires W003/W004" test_non_independent_spec;
+    quick "affine split fires W003 only" test_affine_split_diagnostic;
+    quick "P(i,n) violation fires E003" test_e003_fires;
+    quick "relabelled equivalent network reports I002" test_equivalent_enumerated_info;
+    quick "parse errors carry line numbers" test_parse_error_reports;
+    quick "json report shape" test_json_shape;
+  ]

@@ -14,7 +14,7 @@ let test_round_trip_classical () =
       check_true (name ^ " serialized as PIPID") (contains ~needle:"gap theta" text);
       match S.of_string text with
       | Ok h -> check_true (name ^ " round trips") (M.equal g h)
-      | Error e -> Alcotest.fail (name ^ ": " ^ e))
+      | Error e -> Alcotest.fail (name ^ ": " ^ S.error_to_string e))
     (all_classical ~n:4)
 
 let test_round_trip_raw () =
@@ -25,7 +25,7 @@ let test_round_trip_raw () =
   check_true "raw fallback used" (contains ~needle:"gap raw" text);
   match S.of_string text with
   | Ok h -> check_true "raw round trips" (M.equal g h)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (S.error_to_string e)
 
 let test_comments_and_blanks () =
   let text =
@@ -33,12 +33,14 @@ let test_comments_and_blanks () =
   in
   match S.of_string text with
   | Ok g -> check_int "parsed" 3 (M.stages g)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (S.error_to_string e)
 
 let expect_error text fragment =
   match S.of_string text with
   | Ok _ -> Alcotest.fail ("expected parse error mentioning " ^ fragment)
-  | Error e -> check_true ("error mentions " ^ fragment) (contains ~needle:fragment e)
+  | Error e ->
+      check_true ("error mentions " ^ fragment)
+        (contains ~needle:fragment (S.error_to_string e))
 
 let test_parse_errors () =
   expect_error "nonsense\n" "header";
@@ -50,6 +52,29 @@ let test_parse_errors () =
   (* Degree violation caught at build time: constant raw gap. *)
   expect_error "mineq-spec 1\nstages 2\ngap raw 0 0 | 0 0\n" "in-degree"
 
+let test_typed_error_lines () =
+  (* The typed error carries the 1-based line of the offending input
+     line; whole-file problems (gap-count mismatch, in-degree
+     violations caught at build time) carry no line. *)
+  let line_of text =
+    match S.of_string text with
+    | Ok _ -> Alcotest.fail "expected a parse error"
+    | Error e -> e.S.line
+  in
+  Alcotest.(check (option int)) "header error on line 1" (Some 1) (line_of "nonsense\n");
+  Alcotest.(check (option int))
+    "stages error on line 3" (Some 3)
+    (line_of "# comment\nmineq-spec 1\nstages x\n");
+  Alcotest.(check (option int))
+    "theta error on line 4" (Some 4)
+    (line_of "mineq-spec 1\nstages 3\ngap theta 2 0 1\ngap theta 0 1\n");
+  Alcotest.(check (option int))
+    "gap-count mismatch has no line" None
+    (line_of "mineq-spec 1\nstages 3\ngap theta 2 0 1\n");
+  Alcotest.(check (option int))
+    "in-degree violation has no line" None
+    (line_of "mineq-spec 1\nstages 2\ngap raw 0 0 | 0 0\n")
+
 let test_save_load () =
   let g = Mineq.Classical.network Flip ~n:4 in
   let path = Filename.temp_file "mineq" ".spec" in
@@ -59,7 +84,7 @@ let test_save_load () =
       S.save path g;
       match S.load path with
       | Ok h -> check_true "file round trip" (M.equal g h)
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (S.error_to_string e));
   match S.load "/nonexistent/mineq.spec" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing file must error"
@@ -78,6 +103,7 @@ let suite =
     quick "raw round trip" test_round_trip_raw;
     quick "comments and blanks" test_comments_and_blanks;
     quick "parse errors" test_parse_errors;
+    quick "typed error line numbers" test_typed_error_lines;
     quick "save and load" test_save_load
   ]
   @ props
