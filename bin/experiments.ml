@@ -13,7 +13,7 @@ open Mineq
 
 let rng seed = Random.State.make [| seed; 0xe9; 0x88 |]
 
-let jobs = ref 1
+let jobs = ref (Mineq_engine.Pool.default_jobs ())
 
 let header id title =
   Printf.printf "\n================================================================\n";
@@ -695,10 +695,10 @@ let () =
   let rec split_jobs = function
     | "-j" :: count :: rest -> (
         match int_of_string_opt count with
-        | Some j ->
-            jobs := max 1 j;
+        | Some j when j >= 1 ->
+            jobs := j;
             split_jobs rest
-        | None -> failwith "-j needs an integer")
+        | Some _ | None -> failwith "-j needs an integer >= 1")
     | id :: rest -> id :: split_jobs rest
     | [] -> []
   in

@@ -45,8 +45,25 @@ let n_arg =
   Arg.(value & opt int 4 & info [ "n"; "stages" ] ~docv:"N" ~doc)
 
 let jobs_arg =
-  let doc = "Worker domains for the parallel sections (1 = run sequentially inline)." in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  (* Defaults to every available core and rejects non-positive values
+     here, so Pool.create's jobs >= 1 contract holds for any parse. *)
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | Some _ -> Error (`Msg "JOBS must be >= 1")
+      | None -> Error (`Msg "JOBS must be an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let doc =
+    "Parallel width of the batch sections (1 = run sequentially inline).  Defaults to \
+     the recommended domain count of the machine; larger values are clamped to it."
+  in
+  Arg.(
+    value
+    & opt jobs_conv (Engine.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
 let seed_arg =
   let doc = "Root RNG seed; all task-level randomness is derived from it." in

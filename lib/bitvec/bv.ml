@@ -22,9 +22,24 @@ let units ~width = List.init width (fun i -> unit i)
 
 let xor x y = x lxor y
 
+(* Branchless SWAR popcount.  The masks are the usual 64-bit
+   constants; written through [Int64.to_int] because the literals
+   exceed OCaml's 63-bit int range (the truncation only drops bit 63,
+   which a native int does not have).  [parity]/[dot] sit under every
+   GF(2) matrix-vector product, so this is a hot serial kernel. *)
+let m1 = Int64.to_int 0x5555555555555555L
+
+let m2 = Int64.to_int 0x3333333333333333L
+
+let m4 = Int64.to_int 0x0F0F0F0F0F0F0F0FL
+
+let h01 = Int64.to_int 0x0101010101010101L
+
 let popcount x =
-  let rec count acc x = if x = 0 then acc else count (acc + (x land 1)) (x lsr 1) in
-  count 0 x
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
 
 let parity x = popcount x land 1 = 1
 

@@ -44,7 +44,8 @@ val dot : t -> t -> bool
 (** [dot x y] is the GF(2) inner product [xor_i (x_i * y_i)]. *)
 
 val popcount : t -> int
-(** Number of set bits. *)
+(** Number of set bits (branchless SWAR — constant time in the word
+    width). *)
 
 val parity : t -> bool
 (** [parity x] is [popcount x] modulo 2. *)

@@ -8,14 +8,11 @@ type survey_row = {
   delta : bool;
 }
 
-(* Aim for several chunks per worker so stragglers rebalance, while
-   keeping tasks coarse enough to amortize the queue handoff. *)
-let auto_chunk pool n = max 1 (n / (Pool.jobs pool * 8))
-
-let map_auto pool f xs = Pool.map_list ~chunk:(auto_chunk pool (List.length xs)) pool f xs
+(* Chunk granularity is Pool.map_list's adaptive default: several
+   chunks per participant, rebalanced by stealing. *)
 
 let survey_in pool ~n =
-  map_auto pool
+  Pool.map_list pool
     (fun (name, g) ->
       { name;
         banyan = Mineq.Banyan.is_banyan g;
@@ -34,7 +31,7 @@ let pairwise_in pool ?memo nets =
     | None -> Mineq.Equivalence.by_characterization
   in
   let cells = List.concat_map (fun a -> List.map (fun b -> (a, b)) nets) nets in
-  map_auto pool
+  Pool.map_list pool
     (fun ((name_a, ga), (name_b, gb)) ->
       (name_a, name_b, (verdict ga).equivalent && (verdict gb).equivalent))
     cells
@@ -57,7 +54,7 @@ let classify_group pool group =
     | [] -> List.rev acc
     | ((i0, g0, t0) :: rest : (int * Mineq.Mi_digraph.t * 'a) list) ->
         let flags =
-          map_auto pool (fun (_, g, _) -> Option.is_some (Mineq.Iso_min.find g g0)) rest
+          Pool.map_list pool (fun (_, g, _) -> Option.is_some (Mineq.Iso_min.find g g0)) rest
         in
         let members, others =
           List.partition (fun (_, matched) -> matched) (List.combine rest flags)
@@ -74,7 +71,7 @@ let classify_in pool tagged =
   | [] -> []
   | _ ->
       let items = List.mapi (fun i (g, tag) -> (i, g, tag)) tagged in
-      let signatures = map_auto pool (fun (_, g, _) -> Census.signature g) items in
+      let signatures = Pool.map_list pool (fun (_, g, _) -> Census.signature g) items in
       let groups = Hashtbl.create 16 in
       let order = ref [] in
       List.iter2
@@ -96,7 +93,7 @@ let classify ~jobs tagged = Pool.run ~jobs (fun pool -> classify_in pool tagged)
 let sample_census_in pool ~root ~n ~samples ~attempts =
   let draw_root = Seeds.fold root 0x5a17 in
   let draws =
-    map_auto pool
+    Pool.map_list pool
       (fun i ->
         let rng = Seeds.derive ~root:draw_root i in
         (i, Mineq.Counterexample.random_banyan rng ~n ~attempts))
@@ -108,12 +105,18 @@ let sample_census_in pool ~root ~n ~samples ~attempts =
 let sample_census ~jobs ~root ~n ~samples ~attempts =
   Pool.run ~jobs (fun pool -> sample_census_in pool ~root ~n ~samples ~attempts)
 
-(* Fixed chunking: sample counts per (fault count, chunk index) task
-   never depend on [jobs], and the weighted recombination runs in
-   chunk order, so the estimate is scheduling-independent. *)
-let mc_chunk = 100
+(* Monte-Carlo chunking must be a function of the workload alone:
+   sample counts per (fault count, chunk index) task feed the derived
+   RNG streams, so if they depended on [jobs] the estimates would
+   change with the worker count.  The chunk size therefore adapts to
+   [samples] only — small sweeps split into enough chunks to keep
+   every participant fed, large sweeps cap the per-task cost — and
+   the weighted recombination runs in chunk order, so the estimate is
+   scheduling-independent. *)
+let mc_chunk ~samples = max 25 (min 200 (samples / 32))
 
 let fault_survival_in pool ~root cascade ~faults ~samples =
+  let mc_chunk = mc_chunk ~samples in
   let chunks k =
     let n_chunks = max 1 ((samples + mc_chunk - 1) / mc_chunk) in
     List.init n_chunks (fun j -> (k, j, min mc_chunk (samples - (j * mc_chunk))))

@@ -89,9 +89,10 @@ val fault_survival :
   (int * float) list
 (** Monte-Carlo survival probability per fault count
     ({!Mineq.Faults.survival_probability}).  Samples are split into
-    fixed-size chunks with per-[(fault count, chunk)] derived seeds
-    and recombined in chunk order, so the estimate is independent of
-    [jobs]. *)
+    chunks whose size adapts to [samples] alone (never to [jobs] —
+    chunk shape feeds the derived RNG streams) with
+    per-[(fault count, chunk)] seeds, recombined in chunk order, so
+    the estimate is independent of [jobs]. *)
 
 val fault_survival_in :
   Pool.t -> root:int -> Mineq.Cascade.t -> faults:int list -> samples:int -> (int * float) list

@@ -1,50 +1,141 @@
-type 'a t = {
-  table : (string, 'a) Hashtbl.t;
-  m : Mutex.t;
-  mutable hits : int;
-  mutable misses : int;
-}
+(* Structural keys ---------------------------------------------------
+
+   The pre-sharding memo keyed on [Digest.string (Spec_io.to_string g)]
+   — an MD5 of the rendered spec text, serializing the whole network
+   on every probe.  The replacement key is the network itself under a
+   cheap structural hash: per gap, per source label, the unordered
+   child pair [(min (f x) (g x), max (f x) (g x))] folded through a
+   multiply-xor mixer.  Using the unordered pair makes both hash and
+   equality insensitive to the non-canonical [(f, g)] decomposition
+   (swapping [f] and [g] is the same digraph), which is exactly the
+   arc-multiset equality [Mi_digraph.equal] implements — but computed
+   pointwise with no allocation.  Collisions are harmless: the
+   hashtable falls back on [structural_equal]. *)
+
+let structural_equal a b =
+  let module M = Mineq.Mi_digraph in
+  let module C = Mineq.Connection in
+  M.width a = M.width b
+  && M.stages a = M.stages b
+  &&
+  let per = M.nodes_per_stage a in
+  let rec gaps i =
+    i >= M.stages a
+    ||
+    let ca = M.connection a i and cb = M.connection b i in
+    let rec labels x =
+      x = per
+      ||
+      let afx = C.f ca x and agx = C.g ca x in
+      let bfx = C.f cb x and bgx = C.g cb x in
+      min afx agx = min bfx bgx
+      && max afx agx = max bfx bgx
+      && labels (x + 1)
+    in
+    labels 0 && gaps (i + 1)
+  in
+  gaps 1
+
+(* Fits a 63-bit int literal; odd, so multiplication permutes. *)
+let mult = 0x2545f4914f6cdd1d
+
+let mix h k =
+  let h = (h + k) * mult in
+  h lxor (h lsr 29)
+
+let structural_hash g =
+  let module M = Mineq.Mi_digraph in
+  let module C = Mineq.Connection in
+  let per = M.nodes_per_stage g in
+  let h = ref (mix (M.width g) (M.stages g)) in
+  for i = 1 to M.stages g - 1 do
+    let c = M.connection g i in
+    for x = 0 to per - 1 do
+      let fx = C.f c x and gx = C.g c x in
+      let lo = if fx <= gx then fx else gx and hi = if fx <= gx then gx else fx in
+      h := mix !h (lo lor (hi lsl 20))
+    done
+  done;
+  (* Land in Hashtbl's expected non-negative range. *)
+  !h land max_int
+
+let digest_key g = Digest.string (Mineq.Spec_io.to_string g)
+
+module H = Hashtbl.Make (struct
+  type t = Mineq.Mi_digraph.t
+
+  let equal = structural_equal
+
+  let hash = structural_hash
+end)
+
+(* Lock striping: a probe touches one shard mutex chosen by the key
+   hash, so concurrent workers probing different networks never
+   contend.  Counters are per shard, mutated under the shard lock and
+   summed on read. *)
+
+type 'a shard = { table : 'a H.t; m : Mutex.t; mutable hits : int; mutable misses : int }
+
+let shard_count = 16 (* power of two: shard index is a mask of the hash *)
+
+type 'a t = { shards : 'a shard array }
 
 let create ?(size = 64) () =
-  { table = Hashtbl.create size; m = Mutex.create (); hits = 0; misses = 0 }
+  { shards =
+      Array.init shard_count (fun _ ->
+          { table = H.create (max 1 (size / shard_count));
+            m = Mutex.create ();
+            hits = 0;
+            misses = 0
+          })
+  }
 
-let key g = Digest.string (Mineq.Spec_io.to_string g)
+let shard t g = t.shards.(structural_hash g land (shard_count - 1))
 
-let find_or_compute_key t k f =
-  Mutex.lock t.m;
-  match Hashtbl.find_opt t.table k with
+let find_or_compute t g f =
+  let s = shard t g in
+  Mutex.lock s.m;
+  match H.find_opt s.table g with
   | Some v ->
-      t.hits <- t.hits + 1;
-      Mutex.unlock t.m;
+      s.hits <- s.hits + 1;
+      Mutex.unlock s.m;
       v
   | None ->
-      t.misses <- t.misses + 1;
-      Mutex.unlock t.m;
-      let v = f () in
-      Mutex.lock t.m;
-      if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k v;
-      Mutex.unlock t.m;
+      s.misses <- s.misses + 1;
+      Mutex.unlock s.m;
+      (* Compute outside the lock: a value may rarely be computed
+         twice under contention — harmless, computations are
+         deterministic — and the first store wins. *)
+      let v = f g in
+      Mutex.lock s.m;
+      if not (H.mem s.table g) then H.add s.table g v;
+      Mutex.unlock s.m;
       v
 
-let find_or_compute t g f = find_or_compute_key t (key g) (fun () -> f g)
+let sum_shards t f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 
-let hits t = t.hits
+let hits t = sum_shards t (fun s -> s.hits)
 
-let misses t = t.misses
+let misses t = sum_shards t (fun s -> s.misses)
 
 let size t =
-  Mutex.lock t.m;
-  let n = Hashtbl.length t.table in
-  Mutex.unlock t.m;
-  n
+  sum_shards t (fun s ->
+      Mutex.lock s.m;
+      let n = H.length s.table in
+      Mutex.unlock s.m;
+      n)
 
 let hit_rate t =
-  let total = t.hits + t.misses in
-  if total = 0 then nan else float_of_int t.hits /. float_of_int total
+  let h = hits t and m = misses t in
+  let total = h + m in
+  if total = 0 then nan else float_of_int h /. float_of_int total
 
 let reset t =
-  Mutex.lock t.m;
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0;
-  Mutex.unlock t.m
+  Array.iter
+    (fun s ->
+      Mutex.lock s.m;
+      H.reset s.table;
+      s.hits <- 0;
+      s.misses <- 0;
+      Mutex.unlock s.m)
+    t.shards

@@ -1,33 +1,46 @@
-(** Memo cache for per-network analysis results.
+(** Memo cache for per-network analysis results, sharded for parallel
+    probes.
 
-    Networks are keyed by the digest of their canonical textual spec
-    ({!Mineq.Spec_io.to_string}), so two structurally equal
-    MI-digraphs share an entry regardless of how they were built.
-    (The key is exact identity, not isomorphism class — verdicts and
-    certificates are only reused for the very same network; use
-    {!Mineq.Census.signature} when an isomorphism-invariant prescreen
-    is wanted.)
+    Networks are keyed structurally: a cheap multiply-xor hash over
+    the unordered child pair of every node (no serialization, no MD5)
+    with full structural equality on bucket collisions, so two
+    networks share an entry exactly when they are the same labelled
+    digraph ({!Mineq.Mi_digraph.equal} — insensitive to the
+    non-canonical [(f, g)] decomposition, but not to isomorphism; use
+    {!Mineq.Census.signature} for an isomorphism-invariant prescreen).
 
-    The cache is domain-safe: batch workers share one cache under a
-    mutex.  The compute function runs outside the lock, so a value
-    may rarely be computed twice under contention — harmless because
-    computations are deterministic — and the first store wins.
+    The cache is domain-safe and lock-striped across {!shard_count}
+    shards selected by the key hash: workers probing different
+    networks take different locks and never contend.  The compute
+    function runs outside the lock, so a value may rarely be computed
+    twice under contention — harmless because computations are
+    deterministic — and the first store wins.
 
-    Hit/miss counters are exposed for the benches. *)
+    Hit/miss counters are exposed for the benches (summed over
+    shards). *)
 
 type 'a t
 
+val shard_count : int
+(** Number of lock stripes (a power of two). *)
+
 val create : ?size:int -> unit -> 'a t
 
-val key : Mineq.Mi_digraph.t -> string
-(** Digest of the canonical spec text. *)
+val structural_hash : Mineq.Mi_digraph.t -> int
+(** The shard/bucket hash: folds [width], [stages] and every gap's
+    unordered child pairs.  Equal networks (in the sense of
+    {!structural_equal}) hash equally. *)
+
+val structural_equal : Mineq.Mi_digraph.t -> Mineq.Mi_digraph.t -> bool
+(** Pointwise arc-multiset equality — the same relation as
+    {!Mineq.Mi_digraph.equal}, computed without allocation. *)
+
+val digest_key : Mineq.Mi_digraph.t -> string
+(** The previous key: MD5 of the canonical spec text.  Kept for the
+    agreement tests and external tooling; not used by the cache. *)
 
 val find_or_compute : 'a t -> Mineq.Mi_digraph.t -> (Mineq.Mi_digraph.t -> 'a) -> 'a
 (** Cached value for the network, computing (and storing) on miss. *)
-
-val find_or_compute_key : 'a t -> string -> (unit -> 'a) -> 'a
-(** Same, for callers that already hold a key (avoids re-serializing
-    the network on every probe). *)
 
 val hits : 'a t -> int
 

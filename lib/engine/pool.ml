@@ -1,123 +1,126 @@
-type 'a state =
-  | Pending
-  | Done of 'a
-  | Failed of exn * Printexc.raw_backtrace
+(* Work-stealing batch pool.
 
-type 'a future = {
-  fm : Mutex.t;
-  fc : Condition.t;
-  mutable state : 'a state;
+   A batch is an index range [0 .. nchunks-1] of chunk tasks over a
+   preallocated result array.  Chunk ownership is split into one
+   contiguous block per participant (the submitting domain is
+   participant 0, the spawned workers are 1 .. jobs-1); every chunk
+   carries an [Atomic] claim flag, so the owner walking its block
+   front-to-back (fetch-and-add cursor) and thieves scanning victim
+   blocks back-to-front can race freely — the CAS on the claim decides
+   who runs the chunk, and results land at fixed indices either way.
+   Completion is a single count-down latch per batch (an [Atomic]
+   counter plus one mutex/condition pair), not a future per item.
+
+   Between batches the workers sleep on the pool condition; publishing
+   a batch bumps [epoch] and broadcasts.  Per-item cost is therefore a
+   couple of atomic operations amortized over a chunk, with no
+   allocation beyond the batch descriptor itself. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+type batch = {
+  run_chunk : int -> unit;  (* must not raise: exceptions are captured inside *)
+  claims : int Atomic.t array;  (* 0 = free, 1 = claimed *)
+  cursors : int Atomic.t array;  (* per participant: next index in its own block *)
+  blocks : (int * int) array;  (* per participant: owned range [lo, hi) *)
+  remaining : int Atomic.t;  (* count-down latch over chunks *)
+  bm : Mutex.t;
+  bc : Condition.t;
 }
 
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
   m : Mutex.t;
   c : Condition.t;
+  mutable current : batch option;
+  mutable epoch : int;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
 
 let jobs t = t.jobs
 
-let worker pool =
+let try_claim b i = Atomic.get b.claims.(i) = 0 && Atomic.compare_and_set b.claims.(i) 0 1
+
+let finish_chunk b =
+  if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+    (* Last chunk: wake the submitter blocked on the latch.  Taking the
+       lock orders this domain's result writes before the submitter's
+       reads and closes the lost-wakeup window. *)
+    Mutex.lock b.bm;
+    Condition.broadcast b.bc;
+    Mutex.unlock b.bm
+  end
+
+(* Run batch chunks as participant [me]: drain the own block, then
+   steal.  On return every chunk of the batch is claimed (the owner
+   cursor sweep attempts each index of its block, and each steal sweep
+   attempts every unclaimed index of a victim block), though chunks
+   claimed by other participants may still be running. *)
+let work b ~me =
+  let parts = Array.length b.blocks in
+  let _, own_hi = b.blocks.(me) in
+  let rec own () =
+    let i = Atomic.fetch_and_add b.cursors.(me) 1 in
+    if i < own_hi then begin
+      if try_claim b i then begin
+        b.run_chunk i;
+        finish_chunk b
+      end;
+      own ()
+    end
+  in
+  own ();
+  for d = 1 to parts - 1 do
+    let v = (me + d) mod parts in
+    let v_lo, v_hi = b.blocks.(v) in
+    let i = ref (v_hi - 1) in
+    (* Back-to-front keeps thieves off the cache lines the owner is
+       working toward; the cursor read only prunes the scan. *)
+    while !i >= v_lo && !i >= Atomic.get b.cursors.(v) do
+      if try_claim b !i then begin
+        b.run_chunk !i;
+        finish_chunk b
+      end;
+      decr i
+    done
+  done
+
+let worker pool ~me =
+  let seen = ref 0 in
   let rec loop () =
     Mutex.lock pool.m;
-    while Queue.is_empty pool.queue && not pool.closed do
+    while pool.epoch = !seen && not pool.closed do
       Condition.wait pool.c pool.m
     done;
-    if Queue.is_empty pool.queue then Mutex.unlock pool.m
+    if pool.closed then Mutex.unlock pool.m
     else begin
-      let task = Queue.pop pool.queue in
+      seen := pool.epoch;
+      let b = pool.current in
       Mutex.unlock pool.m;
-      task ();
+      (match b with Some b -> work b ~me | None -> ());
       loop ()
     end
   in
   loop ()
 
-let create ~jobs =
-  let jobs = max 1 jobs in
+let create ?(clamp = true) ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let jobs = if clamp then min jobs (default_jobs ()) else jobs in
   let pool =
     { jobs;
-      queue = Queue.create ();
       m = Mutex.create ();
       c = Condition.create ();
+      current = None;
+      epoch = 0;
       closed = false;
       workers = []
     }
   in
   if jobs > 1 then
-    pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool.workers <-
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker pool ~me:(i + 1)));
   pool
-
-let fill fut v =
-  Mutex.lock fut.fm;
-  fut.state <- v;
-  Condition.broadcast fut.fc;
-  Mutex.unlock fut.fm
-
-let submit pool f =
-  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
-  let task () =
-    match f () with
-    | v -> fill fut (Done v)
-    | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
-  in
-  if pool.jobs = 1 then task ()
-  else begin
-    Mutex.lock pool.m;
-    if pool.closed then begin
-      Mutex.unlock pool.m;
-      invalid_arg "Pool.submit: pool is shut down"
-    end;
-    Queue.push task pool.queue;
-    Condition.signal pool.c;
-    Mutex.unlock pool.m
-  end;
-  fut
-
-let await fut =
-  Mutex.lock fut.fm;
-  let rec wait () =
-    match fut.state with
-    | Pending ->
-        Condition.wait fut.fc fut.fm;
-        wait ()
-    | Done v ->
-        Mutex.unlock fut.fm;
-        v
-    | Failed (e, bt) ->
-        Mutex.unlock fut.fm;
-        Printexc.raise_with_backtrace e bt
-  in
-  wait ()
-
-let chunks_of size xs =
-  let rec take k acc = function
-    | rest when k = 0 -> (List.rev acc, rest)
-    | [] -> (List.rev acc, [])
-    | x :: rest -> take (k - 1) (x :: acc) rest
-  in
-  let rec split acc = function
-    | [] -> List.rev acc
-    | xs ->
-        let c, rest = take size [] xs in
-        split (c :: acc) rest
-  in
-  split [] xs
-
-let map_list ?(chunk = 1) pool f xs =
-  if chunk <= 1 then begin
-    let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
-    List.map await futures
-  end
-  else begin
-    let futures =
-      List.map (fun c -> submit pool (fun () -> List.map f c)) (chunks_of chunk xs)
-    in
-    List.concat_map await futures
-  end
 
 let shutdown pool =
   Mutex.lock pool.m;
@@ -128,6 +131,92 @@ let shutdown pool =
   pool.workers <- [];
   List.iter Domain.join workers
 
-let run ~jobs f =
-  let pool = create ~jobs in
+let run ?clamp ~jobs f =
+  let pool = create ?clamp ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Aim for several chunks per participant so stragglers rebalance
+   through stealing, while keeping chunks coarse enough to amortize
+   the claim CAS and the latch decrement. *)
+let adaptive_chunk ~jobs n = max 1 (n / (jobs * 8))
+
+let map_array ?chunk pool f xs =
+  (* Only the submitting thread mutates [closed], so the unlocked read
+     is race-free; it makes the sequential and parallel paths reject a
+     shut-down pool identically. *)
+  if pool.closed then invalid_arg "Pool.map_array: pool is shut down";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* Element 0 runs inline on the submitting domain: it seeds the
+       result array without boxing every slot in an option, and a
+       failure on the first element raises exactly as a sequential
+       run would. *)
+    let r0 = f xs.(0) in
+    let results = Array.make n r0 in
+    if pool.jobs = 1 || n = 1 then begin
+      for i = 1 to n - 1 do
+        results.(i) <- f xs.(i)
+      done;
+      results
+    end
+    else begin
+      let m = n - 1 in
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some _ -> invalid_arg "Pool.map_array: chunk must be >= 1"
+        | None -> adaptive_chunk ~jobs:pool.jobs m
+      in
+      let nchunks = (m + chunk - 1) / chunk in
+      (* Exceptions are recorded per chunk and re-raised after the
+         latch in chunk order: within a chunk elements run in order
+         and stop at the first failure, so the surfaced exception is
+         the lowest-index failure a sequential run would hit first —
+         independent of scheduling. *)
+      let exns = Array.make nchunks None in
+      let run_chunk ci =
+        let lo = 1 + (ci * chunk) and hi = min n (1 + ((ci + 1) * chunk)) in
+        try
+          for i = lo to hi - 1 do
+            results.(i) <- f xs.(i)
+          done
+        with e -> exns.(ci) <- Some (e, Printexc.get_raw_backtrace ())
+      in
+      let parts = pool.jobs in
+      let b =
+        { run_chunk;
+          claims = Array.init nchunks (fun _ -> Atomic.make 0);
+          cursors = Array.init parts (fun p -> Atomic.make (p * nchunks / parts));
+          blocks = Array.init parts (fun p -> (p * nchunks / parts, (p + 1) * nchunks / parts));
+          remaining = Atomic.make nchunks;
+          bm = Mutex.create ();
+          bc = Condition.create ()
+        }
+      in
+      Mutex.lock pool.m;
+      if pool.closed then begin
+        Mutex.unlock pool.m;
+        invalid_arg "Pool.map_array: pool is shut down"
+      end;
+      pool.current <- Some b;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.c;
+      Mutex.unlock pool.m;
+      work b ~me:0;
+      Mutex.lock b.bm;
+      while Atomic.get b.remaining > 0 do
+        Condition.wait b.bc b.bm
+      done;
+      Mutex.unlock b.bm;
+      Mutex.lock pool.m;
+      pool.current <- None;
+      Mutex.unlock pool.m;
+      Array.iter
+        (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+        exns;
+      results
+    end
+  end
+
+let map_list ?chunk pool f xs = Array.to_list (map_array ?chunk pool f (Array.of_list xs))

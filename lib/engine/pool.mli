@@ -1,49 +1,63 @@
-(** Fixed-size worker pool over OCaml 5 domains.
+(** Work-stealing worker pool over OCaml 5 domains.
 
-    A pool owns [jobs] worker domains pulling thunks from a shared
-    mutex/condition queue.  [jobs = 1] is the sequential fallback:
-    no domains are spawned and every submitted task runs inline at
-    submission time, so a single code path serves both modes and
-    sequential runs stay oracle-exact for the determinism tests.
+    A pool owns [jobs - 1] worker domains; the submitting domain is
+    the remaining participant, so [jobs] is the true parallel width.
+    [jobs = 1] spawns nothing and runs every batch inline, so a
+    single code path serves both modes and sequential runs stay
+    oracle-exact for the determinism tests.
 
-    Exceptions raised inside a task are captured with their backtrace
-    and re-raised by {!await} in the submitter — so a parallel batch
-    fails with the same exception (and at the same list position,
-    since {!map_list} awaits in input order) as a sequential run.
+    Work is batch-shaped: {!map_array} is the primitive.  A batch
+    splits its index range into chunks owned contiguously by the
+    participants; each participant drains its own block through an
+    atomic cursor and then steals from the back of other blocks, with
+    a compare-and-set claim per chunk making the race benign.  Results
+    are written into a preallocated array at fixed indices and
+    completion is one count-down latch per batch — no per-item
+    futures, no shared queue lock.
 
-    Tasks must not {!await} futures or {!submit} work from inside a
-    task body: workers do not steal, so a worker blocked in [await]
-    can deadlock the pool.  Drive the pool from the submitting
-    thread only. *)
+    {e Determinism contract}: [map_array pool f xs] writes [f xs.(i)]
+    to slot [i] regardless of which domain ran it, so results are
+    bit-identical across [jobs] values and across stealing schedules.
+    Exceptions are recorded per chunk and re-raised in chunk order
+    (elements within a chunk run in order and stop at the first
+    failure), so the surfaced exception is the same lowest-index
+    failure a sequential run hits — also scheduling-independent.
+
+    Tasks must not invoke the pool from inside a task body; drive the
+    pool from the submitting thread only. *)
 
 type t
 
-type 'a future
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] (at least 1) — the default
+    and the clamping bound for [jobs]. *)
 
-val create : jobs:int -> t
-(** [jobs] is clamped to at least 1; [jobs - 0] worker domains are
-    spawned when [jobs > 1]. *)
+val create : ?clamp:bool -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  Raises
+    [Invalid_argument] when [jobs < 1].  With [clamp] (the default),
+    [jobs] is capped at {!default_jobs} — oversubscribing domains
+    only adds scheduler thrash (the pre-stealing engine lost 3-6x to
+    it on a single core).  Pass [~clamp:false] to force the requested
+    width (tests exercising real parallelism on small machines,
+    oversubscription benches). *)
 
 val jobs : t -> int
+(** The effective parallel width (after clamping). *)
 
-val submit : t -> (unit -> 'a) -> 'a future
-(** Enqueue a task ([jobs > 1]) or run it inline ([jobs = 1]).
-    Raises [Invalid_argument] on a shut-down pool. *)
-
-val await : 'a future -> 'a
-(** Block until the task finished; re-raise its exception (with the
-    original backtrace) if it failed. *)
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** The batch primitive: [f] over every element, results at fixed
+    indices.  [chunk] is the number of consecutive elements per task;
+    it defaults adaptively to [max 1 (n / (jobs * 8))] — several
+    chunks per participant so stragglers rebalance by stealing, while
+    amortizing the per-chunk atomics.  Chunking never changes
+    results, only granularity.  Raises [Invalid_argument] on
+    [chunk < 1] or on a shut-down pool. *)
 
 val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
-(** Submit one task per run of [chunk] consecutive elements
-    (default 1) and await them in input order, so the result order —
-    and which exception surfaces first — never depends on
-    scheduling.  Chunking only changes task granularity, never
-    results: use it when per-element work is far below the ~10us
-    task handoff cost. *)
+(** List shim over {!map_array}; same guarantees, same order. *)
 
 val shutdown : t -> unit
-(** Drain the queue, stop and join the workers.  Idempotent. *)
+(** Stop and join the workers.  Idempotent. *)
 
-val run : jobs:int -> (t -> 'a) -> 'a
+val run : ?clamp:bool -> jobs:int -> (t -> 'a) -> 'a
 (** Bracket: create, apply, always shut down. *)

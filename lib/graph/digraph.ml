@@ -51,6 +51,12 @@ let succ g u = Array.to_list g.succ.(u)
 
 let pred g u = Array.to_list g.pred.(u)
 
+let iter_succ g u f = Array.iter f g.succ.(u)
+
+let iter_pred g u f = Array.iter f g.pred.(u)
+
+let iter_arcs g f = Array.iteri (fun u outs -> Array.iter (fun v -> f u v) outs) g.succ
+
 let out_degree g u = Array.length g.succ.(u)
 
 let in_degree g u = Array.length g.pred.(u)

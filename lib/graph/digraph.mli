@@ -23,6 +23,17 @@ val succ : t -> int -> int list
 
 val pred : t -> int -> int list
 
+val iter_succ : t -> int -> (int -> unit) -> unit
+(** [iter_succ g u f] applies [f] to every arc head out of [u], in
+    insertion order, without materializing a list — the hot-path
+    variant of {!succ} for traversal kernels. *)
+
+val iter_pred : t -> int -> (int -> unit) -> unit
+
+val iter_arcs : t -> (int -> int -> unit) -> unit
+(** [iter_arcs g f] applies [f u v] to every arc, grouped by tail —
+    the allocation-free variant of {!arcs}. *)
+
 val out_degree : t -> int -> int
 
 val in_degree : t -> int -> int

@@ -31,6 +31,9 @@ let set_count t = t.sets
 let set_size t x = t.size.(find t x)
 
 let components_of_digraph g =
+  (* Consume the adjacency arrays directly ([Digraph.iter_arcs]): the
+     arc-list variant allocated a cons cell and a tuple per arc, which
+     dominated the union-find work on the worker hot path. *)
   let t = create (Digraph.vertices g) in
-  List.iter (fun (u, v) -> ignore (union t u v)) (Digraph.arcs g);
+  Digraph.iter_arcs g (fun u v -> ignore (union t u v));
   t

@@ -1,46 +1,63 @@
-let bfs ~neighbours n source =
+(* Traversal kernels.  These run inside the parallel engine's worker
+   loops (the P(i,j) component counts especially), so they avoid the
+   per-visit allocations of a naive BFS: frontiers are flat int-array
+   queues (every vertex enters at most once, so length n suffices)
+   and neighbours are consumed through [Digraph.iter_succ]/[iter_pred]
+   instead of materialized lists. *)
+
+let bfs ~directed g source =
+  let n = Digraph.vertices g in
   let dist = Array.make n (-1) in
-  let q = Queue.create () in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  let push_from d v =
+    if dist.(v) < 0 then begin
+      dist.(v) <- d + 1;
+      queue.(!tail) <- v;
+      incr tail
+    end
+  in
   dist.(source) <- 0;
-  Queue.add source q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    List.iter
-      (fun v ->
-        if dist.(v) < 0 then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v q
-        end)
-      (neighbours u)
+  queue.(!tail) <- source;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let d = dist.(u) in
+    Digraph.iter_succ g u (push_from d);
+    if not directed then Digraph.iter_pred g u (push_from d)
   done;
   dist
 
-let bfs_distances g source = bfs ~neighbours:(Digraph.succ g) (Digraph.vertices g) source
+let bfs_distances g source = bfs ~directed:true g source
 
-let bfs_undirected_distances g source =
-  let neighbours u = Digraph.succ g u @ Digraph.pred g u in
-  bfs ~neighbours (Digraph.vertices g) source
+let bfs_undirected_distances g source = bfs ~directed:false g source
 
 let connected_components g =
   let n = Digraph.vertices g in
   let comp = Array.make n (-1) in
   let count = ref 0 in
-  let q = Queue.create () in
+  let queue = Array.make (max n 1) 0 in
   for v = 0 to n - 1 do
     if comp.(v) < 0 then begin
       let id = !count in
       incr count;
       comp.(v) <- id;
-      Queue.add v q;
-      while not (Queue.is_empty q) do
-        let u = Queue.pop q in
-        List.iter
-          (fun w ->
-            if comp.(w) < 0 then begin
-              comp.(w) <- id;
-              Queue.add w q
-            end)
-          (Digraph.succ g u @ Digraph.pred g u)
+      let head = ref 0 and tail = ref 0 in
+      queue.(!tail) <- v;
+      incr tail;
+      let visit w =
+        if comp.(w) < 0 then begin
+          comp.(w) <- id;
+          queue.(!tail) <- w;
+          incr tail
+        end
+      in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        Digraph.iter_succ g u visit;
+        Digraph.iter_pred g u visit
       done
     end
   done;
@@ -63,19 +80,27 @@ let reachable_from g source =
 let topological_order g =
   let n = Digraph.vertices g in
   let indeg = Array.init n (fun v -> Digraph.in_degree g v) in
-  let q = Queue.create () in
-  Array.iteri (fun v d -> if d = 0 then Queue.add v q) indeg;
   let order = Array.make n 0 in
   let filled = ref 0 in
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    order.(!filled) <- u;
-    incr filled;
-    List.iter
-      (fun v ->
+  Array.iteri
+    (fun v d ->
+      if d = 0 then begin
+        order.(!filled) <- v;
+        incr filled
+      end)
+    indeg;
+  (* [order] doubles as the queue: vertices between the scan cursor
+     and [filled] are the ready frontier. *)
+  let head = ref 0 in
+  while !head < !filled do
+    let u = order.(!head) in
+    incr head;
+    Digraph.iter_succ g u (fun v ->
         indeg.(v) <- indeg.(v) - 1;
-        if indeg.(v) = 0 then Queue.add v q)
-      (Digraph.succ g u)
+        if indeg.(v) = 0 then begin
+          order.(!filled) <- v;
+          incr filled
+        end)
   done;
   if !filled = n then Some order else None
 
@@ -92,14 +117,15 @@ let count_paths_matrix g ~sources ~sinks =
       (* One backward DP per sink column would be |sinks| passes; do a
          forward DP per source instead (same cost) so parallel arcs
          accumulate naturally. *)
+      let ways = Array.make n 0 in
       Array.iteri
         (fun i s ->
-          let ways = Array.make n 0 in
+          Array.fill ways 0 n 0;
           ways.(s) <- 1;
           Array.iter
             (fun u ->
-              if ways.(u) > 0 then
-                List.iter (fun v -> ways.(v) <- ways.(v) + ways.(u)) (Digraph.succ g u))
+              let wu = ways.(u) in
+              if wu > 0 then Digraph.iter_succ g u (fun v -> ways.(v) <- ways.(v) + wu))
             order;
           Array.iteri (fun j t -> result.(i).(j) <- ways.(t)) sinks)
         sources;

@@ -31,10 +31,17 @@ let test_bits () =
   check_int "clear bit" 4 (Bv.set_bit 5 0 false);
   check_int "set already-set bit" 5 (Bv.set_bit 5 0 true)
 
+let popcount_naive x =
+  let rec count acc x = if x = 0 then acc else count (acc + (x land 1)) (x lsr 1) in
+  count 0 x
+
 let test_popcount_parity () =
   check_int "popcount 0" 0 (Bv.popcount 0);
   check_int "popcount 255" 8 (Bv.popcount 255);
   check_int "popcount 5" 2 (Bv.popcount 5);
+  check_int "popcount max_int" (Sys.int_size - 1) (Bv.popcount max_int);
+  check_int "popcount -1 (full word)" Sys.int_size (Bv.popcount (-1));
+  check_int "popcount min_int (sign bit)" 1 (Bv.popcount min_int);
   check_false "parity 5" (Bv.parity 5);
   check_true "parity 7" (Bv.parity 7)
 
@@ -78,7 +85,12 @@ let props =
     qcheck "popcount after set_bit" QCheck.(pair (int_bound 255) (int_bound 7)) (fun (x, i) ->
         let set = Bv.popcount (Bv.set_bit x i true) in
         let cleared = Bv.popcount (Bv.set_bit x i false) in
-        set - cleared = 1)
+        set - cleared = 1);
+    (* Full-range agreement of the branchless SWAR popcount with the
+       naive bit loop, negatives included (lsr exposes the whole
+       63-bit pattern in both). *)
+    qcheck "SWAR popcount = naive bit loop" QCheck.int (fun x ->
+        Bv.popcount x = popcount_naive x)
   ]
 
 let suite =

@@ -78,6 +78,31 @@ let test_arcs_listing () =
   check_int "arcs list length" 4 (List.length (D.arcs g));
   List.iter (fun (u, v) -> check_true "listed arcs exist" (D.has_arc g u v)) (D.arcs g)
 
+let test_iterators () =
+  (* The allocation-free iterators must see exactly the list views,
+     multiplicity and order included. *)
+  let g = D.create ~vertices:3 [ (0, 1); (0, 1); (1, 2); (2, 0) ] in
+  for u = 0 to 2 do
+    let collect iter = List.rev (iter (fun acc v -> v :: acc) []) in
+    let via_succ =
+      collect (fun f init ->
+          let acc = ref init in
+          D.iter_succ g u (fun v -> acc := f !acc v);
+          !acc)
+    in
+    Alcotest.(check (list int)) (Printf.sprintf "iter_succ %d" u) (D.succ g u) via_succ;
+    let via_pred =
+      collect (fun f init ->
+          let acc = ref init in
+          D.iter_pred g u (fun v -> acc := f !acc v);
+          !acc)
+    in
+    Alcotest.(check (list int)) (Printf.sprintf "iter_pred %d" u) (D.pred g u) via_pred
+  done;
+  let arcs = ref [] in
+  D.iter_arcs g (fun u v -> arcs := (u, v) :: !arcs);
+  Alcotest.(check (list (pair int int))) "iter_arcs = arcs" (D.arcs g) (List.rev !arcs)
+
 let props =
   let gen =
     QCheck.make
@@ -121,6 +146,7 @@ let suite =
     quick "equal" test_equal;
     quick "union" test_union;
     quick "induced subgraph" test_induced;
-    quick "arcs listing" test_arcs_listing
+    quick "arcs listing" test_arcs_listing;
+    quick "allocation-free iterators" test_iterators
   ]
   @ props

@@ -9,12 +9,19 @@ module Seeds = Mineq_engine.Seeds
 module Memo = Mineq_engine.Memo
 module Batch = Mineq_engine.Batch
 
-(* pool ---------------------------------------------------------------- *)
+(* pool ----------------------------------------------------------------
+
+   Parallel pool tests pass ~clamp:false so real worker domains spawn
+   even on a single-core host (the default clamp would silently turn
+   them into sequential runs there). *)
 
 let test_map_order () =
   List.iter
     (fun jobs ->
-      let got = Pool.run ~jobs (fun p -> Pool.map_list p (fun x -> x * x) (List.init 50 Fun.id)) in
+      let got =
+        Pool.run ~clamp:false ~jobs (fun p ->
+            Pool.map_list p (fun x -> x * x) (List.init 50 Fun.id))
+      in
       Alcotest.(check (list int))
         (Printf.sprintf "squares in order at jobs=%d" jobs)
         (List.init 50 (fun x -> x * x))
@@ -25,7 +32,7 @@ let test_map_chunked () =
   List.iter
     (fun chunk ->
       let got =
-        Pool.run ~jobs:3 (fun p ->
+        Pool.run ~clamp:false ~jobs:3 (fun p ->
             Pool.map_list ~chunk p (fun x -> x + 1) (List.init 23 Fun.id))
       in
       Alcotest.(check (list int))
@@ -34,43 +41,85 @@ let test_map_chunked () =
         got)
     [ 1; 4; 7; 100 ]
 
+let test_map_array () =
+  Pool.run ~clamp:false ~jobs:4 (fun p ->
+      Alcotest.(check (array int))
+        "map_array preserves slots"
+        (Array.init 100 (fun i -> 2 * i))
+        (Pool.map_array p (fun x -> 2 * x) (Array.init 100 Fun.id));
+      Alcotest.(check (array int)) "empty array" [||] (Pool.map_array p (fun x -> x) [||]);
+      Alcotest.(check (array int))
+        "singleton array" [| 9 |]
+        (Pool.map_array p (fun x -> x * x) [| 3 |]))
+
 let test_exception_propagation () =
+  (* The surfaced exception must be the lowest-index failure — the one
+     a sequential run hits first — at every jobs value and chunking. *)
   List.iter
     (fun jobs ->
       match
-        Pool.run ~jobs (fun p ->
-            Pool.map_list p
-              (fun x -> if x = 3 then failwith "task-boom" else x)
-              [ 0; 1; 2; 3; 4 ])
+        Pool.run ~clamp:false ~jobs (fun p ->
+            Pool.map_list ~chunk:2 p
+              (fun x -> if x >= 3 then failwith (Printf.sprintf "task-boom-%d" x) else x)
+              (List.init 24 Fun.id))
       with
       | _ -> Alcotest.fail "expected the task exception to re-raise"
       | exception Failure msg ->
           Alcotest.(check string)
-            (Printf.sprintf "exception text survives at jobs=%d" jobs)
-            "task-boom" msg)
+            (Printf.sprintf "earliest exception surfaces at jobs=%d" jobs)
+            "task-boom-3" msg)
     [ 1; 4 ]
 
-let test_sequential_inline () =
-  (* jobs = 1 runs at submission time on the calling domain. *)
-  Pool.run ~jobs:1 (fun p ->
-      let touched = ref false in
-      let fut = Pool.submit p (fun () -> touched := true) in
-      check_true "task already ran before await" !touched;
-      Pool.await fut)
+let test_uneven_load_stealing () =
+  (* Work concentrated in a few heavy items: stealing must rebalance
+     without perturbing slot order. *)
+  let spin x =
+    let rounds = if x mod 16 = 0 then 20_000 else 10 in
+    let acc = ref x in
+    for i = 1 to rounds do
+      acc := (!acc * 31) + i
+    done;
+    !acc
+  in
+  let xs = Array.init 256 Fun.id in
+  let expected = Array.map spin xs in
+  Pool.run ~clamp:false ~jobs:4 (fun p ->
+      Alcotest.(check (array int))
+        "uneven load keeps slots" expected
+        (Pool.map_array p spin xs))
 
-let test_submit_after_shutdown () =
-  let p = Pool.create ~jobs:2 in
+let test_jobs_validation () =
+  (match Pool.create ~jobs:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument for jobs=0"
+  | exception Invalid_argument _ -> ());
+  (match Pool.create ~jobs:(-3) () with
+  | _ -> Alcotest.fail "expected Invalid_argument for negative jobs"
+  | exception Invalid_argument _ -> ());
+  let p = Pool.create ~jobs:64 () in
+  check_true "default clamps to recommended width" (Pool.jobs p <= Pool.default_jobs ());
   Pool.shutdown p;
-  match Pool.submit p (fun () -> ()) with
-  | _ -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
+  let q = Pool.create ~clamp:false ~jobs:3 () in
+  check_int "clamp:false keeps the requested width" 3 (Pool.jobs q);
+  Pool.shutdown q
+
+let test_map_after_shutdown () =
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~clamp:false ~jobs () in
+      Pool.shutdown p;
+      match Pool.map_list p (fun x -> x) [ 1; 2 ] with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [ 1; 2 ]
 
 let pool_suite =
   [ quick "map_list preserves order" test_map_order;
     quick "chunked map_list preserves order" test_map_chunked;
-    quick "exceptions re-raise in the submitter" test_exception_propagation;
-    quick "jobs=1 runs inline" test_sequential_inline;
-    quick "submit after shutdown rejected" test_submit_after_shutdown
+    quick "map_array primitive" test_map_array;
+    quick "earliest exception re-raises in the submitter" test_exception_propagation;
+    quick "stealing rebalances uneven loads" test_uneven_load_stealing;
+    quick "jobs rejected below 1, clamped above cores" test_jobs_validation;
+    quick "map after shutdown rejected" test_map_after_shutdown
   ]
 
 (* seeds --------------------------------------------------------------- *)
@@ -121,12 +170,53 @@ let test_memo_verdicts () =
   check_int "reset clears hits" 0 (Memo.hits m)
 
 let test_memo_key_structural () =
-  (* The key is the canonical spec, so two independently built copies
-     share an entry. *)
-  Alcotest.(check string)
-    "independent builds share the key"
-    (Memo.key (Mineq.Baseline.network 4))
-    (Memo.key (Mineq.Baseline.network 4))
+  (* Two independently built copies share hash and equality, so they
+     share a cache entry. *)
+  let a = Mineq.Baseline.network 4 and b = Mineq.Baseline.network 4 in
+  check_true "independent builds are structurally equal" (Memo.structural_equal a b);
+  check_int "and hash alike" (Memo.structural_hash a) (Memo.structural_hash b);
+  (* The (f, g) decomposition is not canonical: swapping it changes
+     the spec text (and possibly the digest) but never the digraph,
+     so the structural key must not see it. *)
+  let swapped =
+    Mineq.Mi_digraph.map_gaps a (fun i c -> if i = 1 then Mineq.Connection.swap c else c)
+  in
+  check_true "decomposition swap keeps structural equality"
+    (Memo.structural_equal a swapped);
+  check_int "and the hash" (Memo.structural_hash a) (Memo.structural_hash swapped)
+
+let memo_key_props =
+  (* Agreement with the retired Digest-of-spec key: equal specs key
+     equally under both schemes, distinct ones under neither. *)
+  let net seed ~n = Mineq.Link_spec.random_network (Seeds.derive ~root:seed 0) ~n in
+  [ qcheck "structural key agrees with the digest key" ~count:40 seed_gen (fun seed ->
+        let a = net seed ~n:3 in
+        let again = net seed ~n:3 in
+        let other = net seed ~n:4 in
+        (* equal pair: same build, both keys agree *)
+        Memo.structural_equal a again
+        && Memo.structural_hash a = Memo.structural_hash again
+        && Memo.digest_key a = Memo.digest_key again
+        (* unequal pair (different stage counts): both keys separate *)
+        && (not (Memo.structural_equal a other))
+        && Memo.digest_key a <> Memo.digest_key other);
+    qcheck "classical networks key distinctly" ~count:8
+      QCheck.(make ~print:string_of_int Gen.(int_range 3 5))
+      (fun n ->
+        let nets = List.map snd (all_classical ~n) in
+        let rec pairs = function
+          | [] -> true
+          | g :: rest ->
+              List.for_all
+                (fun h ->
+                  Mineq.Mi_digraph.equal g h = Memo.structural_equal g h
+                  && ((not (Memo.structural_equal g h))
+                     || Memo.structural_hash g = Memo.structural_hash h))
+                rest
+              && pairs rest
+        in
+        pairs nets)
+  ]
 
 let test_memo_parallel () =
   let m = Memo.create () in
@@ -142,6 +232,7 @@ let memo_suite =
     quick "structural keys" test_memo_key_structural;
     quick "shared across parallel workers" test_memo_parallel
   ]
+  @ memo_key_props
 
 (* batch --------------------------------------------------------------- *)
 
@@ -180,6 +271,20 @@ let batch_props =
         && List.for_all2
              (fun a b -> a.Mineq.Census.members = b.Mineq.Census.members)
              (census 1) (census 2));
+    qcheck "census and sweep are stealing-invariant on real domains" ~count:3 seed_gen
+      (fun seed ->
+        (* The ~jobs wrappers clamp to the recommended width, which on
+           a single-core host means no domains at all — so drive the
+           _in variants through an unclamped 4-domain pool to pin the
+           bit-identical guarantee under actual stealing anywhere. *)
+        let census_seq = Batch.sample_census ~jobs:1 ~root:seed ~n:3 ~samples:25 ~attempts:200 in
+        let c = Mineq.Cascade.of_mi_digraph (Mineq.Baseline.network 4) in
+        let sweep_seq = Batch.fault_survival ~jobs:1 ~root:seed c ~faults:[ 1; 2 ] ~samples:120 in
+        Pool.run ~clamp:false ~jobs:4 (fun pool ->
+            classified_equal census_seq
+              (Batch.sample_census_in pool ~root:seed ~n:3 ~samples:25 ~attempts:200)
+            && sweep_seq
+               = Batch.fault_survival_in pool ~root:seed c ~faults:[ 1; 2 ] ~samples:120));
     qcheck "fault survival is jobs-invariant" ~count:4 seed_gen (fun seed ->
         let c = Mineq.Cascade.of_mi_digraph (Mineq.Baseline.network 4) in
         let sweep jobs =
