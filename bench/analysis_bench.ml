@@ -1,41 +1,42 @@
 (* Analysis bench artifact: the symbolic deciders of lib/analysis
-   against the enumeration engines they replace, across network sizes,
-   written to the machine-readable BENCH_analysis.json.
+   against the enumeration engines they replace, and the packed
+   enumeration kernels against the list-era pipeline they replace,
+   across network sizes — written to the machine-readable
+   BENCH_analysis.json.
 
-   Three decider families per size n:
+   Four decider families per size n:
    - per-gap independence: affine inference (O(2^w)) vs the basis
      witness scan (O(w 2^w)) vs the definitional oracle (O(4^w));
-   - Banyan-ness: the D-matrix rank check (O(n^3)) vs the path-count
-     DP (O(n 4^(n-1)));
-   - full Baseline-equivalence: the analyzer's symbolic verdict vs an
-     enumeration-only characterization (BFS component counts).
+   - Banyan-ness: the D-matrix rank check (O(n^3)) vs the packed
+     path-count DP vs the historical boxed-row DP;
+   - full Baseline-equivalence: the analyzer's symbolic verdict vs the
+     packed enumeration characterization (flat-DSU census) vs the
+     list-era pipeline (subgraph materialization + BFS);
+   - single-window component census: packed flat DSU vs subgraph BFS.
 
-   The artifact records the crossover: the smallest measured n from
-   which the symbolic independence decider stays ahead. *)
+   Enumeration rows also record minor-heap words allocated per call —
+   the packed kernels' figure is the cost of the verdict wrappers
+   only; the census and DP themselves run allocation-free against a
+   scratch.
+
+   The artifact records two summary facts: the smallest measured n
+   from which the symbolic independence decider stays ahead, and the
+   worst packed-vs-list enumeration speedup over n >= 8 (expected and
+   asserted >= 3x by the perf gate in CI docs).
+
+   Run with --smoke for a tiny-budget crash/format check. *)
 
 module A = Mineq_analysis
 module Symbolic = A.Symbolic
 module Connection = Mineq.Connection
 module Banyan = Mineq.Banyan
 module Properties = Mineq.Properties
+module Equivalence = Mineq.Equivalence
 module Mi_digraph = Mineq.Mi_digraph
 
 let rng seed = Random.State.make [| seed; 0xa0a; 0x1145 |]
-
-let time_us ~reps f =
-  (* Best of three batches, to damp scheduler noise. *)
-  let batch () =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      ignore (Sys.opaque_identity (f ()))
-    done;
-    let t1 = Unix.gettimeofday () in
-    (t1 -. t0) *. 1e6 /. float_of_int reps
-  in
-  let m1 = batch () in
-  let m2 = batch () in
-  let m3 = batch () in
-  List.fold_left min m1 [ m2; m3 ]
+let time_us = Bench_util.time_us
+let minor_words = Bench_util.minor_words_per_op
 
 type row = {
   n : int;
@@ -44,52 +45,76 @@ type row = {
   indep_definitional_us : float;
   banyan_symbolic_us : float;
   banyan_enum_us : float;
+  banyan_list_us : float;
+  banyan_enum_minor_w : float;
+  banyan_list_minor_w : float;
   equiv_symbolic_us : float;
   equiv_enum_us : float;
+  equiv_list_us : float;
+  equiv_enum_minor_w : float;
+  equiv_list_minor_w : float;
+  comp_packed_us : float;
+  comp_subgraph_us : float;
 }
 
-(* Enumeration-only equivalence: the graph characterization with BFS
-   component counts, bypassing the affine fast paths the production
-   deciders now take. *)
-let equivalent_enum g =
+(* List-era equivalence: the graph characterization with the boxed-row
+   Banyan DP and subgraph-materializing BFS component counts — the
+   pipeline the packed kernels replaced. *)
+let equivalent_list g =
   let n = Mi_digraph.stages g in
-  Result.is_ok (Banyan.check g)
+  Result.is_ok (Banyan.check_list g)
   && List.for_all
        (fun j ->
-         Properties.component_count g ~lo:1 ~hi:j = Properties.expected_components g ~lo:1 ~hi:j)
+         Properties.component_count_subgraph g ~lo:1 ~hi:j
+         = Properties.expected_components g ~lo:1 ~hi:j)
        (List.init n (fun j -> j + 1))
   && List.for_all
        (fun i ->
-         Properties.component_count g ~lo:i ~hi:n = Properties.expected_components g ~lo:i ~hi:n)
+         Properties.component_count_subgraph g ~lo:i ~hi:n
+         = Properties.expected_components g ~lo:i ~hi:n)
        (List.init n (fun i -> i + 1))
 
-let measure n =
-  let reps = if n >= 9 then 5 else 50 in
+let measure ~smoke n =
+  let reps = if smoke then 2 else if n >= 9 then 5 else 50 in
   let g = Mineq.Classical.network Omega ~n in
   let conn = Connection.random_independent (rng n) ~width:(n - 1) in
+  let half = max 1 (n / 2) in
   let row =
     {
       n;
       indep_fast_us = time_us ~reps (fun () -> Connection.is_independent_fast conn);
       indep_basis_us = time_us ~reps (fun () -> Connection.is_independent conn);
       indep_definitional_us =
-        time_us ~reps:(max 3 (reps / 10)) (fun () -> Connection.is_independent_definitional conn);
+        time_us ~reps:(max 2 (reps / 10)) (fun () -> Connection.is_independent_definitional conn);
       banyan_symbolic_us = time_us ~reps (fun () -> Banyan.symbolic_check g);
       banyan_enum_us = time_us ~reps (fun () -> Banyan.check g);
+      banyan_list_us = time_us ~reps (fun () -> Banyan.check_list g);
+      banyan_enum_minor_w = minor_words ~reps (fun () -> Banyan.check g);
+      banyan_list_minor_w = minor_words ~reps (fun () -> Banyan.check_list g);
       equiv_symbolic_us = time_us ~reps (fun () -> Symbolic.equivalent (Symbolic.analyze g));
-      equiv_enum_us = time_us ~reps (fun () -> equivalent_enum g);
+      equiv_enum_us = time_us ~reps (fun () -> Equivalence.equivalent_enum g);
+      equiv_list_us = time_us ~reps (fun () -> equivalent_list g);
+      equiv_enum_minor_w = minor_words ~reps (fun () -> Equivalence.equivalent_enum g);
+      equiv_list_minor_w = minor_words ~reps (fun () -> equivalent_list g);
+      comp_packed_us =
+        time_us ~reps (fun () -> Properties.component_count g ~lo:1 ~hi:half);
+      comp_subgraph_us =
+        time_us ~reps (fun () -> Properties.component_count_subgraph g ~lo:1 ~hi:half);
     }
   in
   Printf.printf
-    "n=%-2d indep fast/basis/def %8.1f /%8.1f /%10.1f us   banyan sym/enum %8.1f /%10.1f us   \
-     equiv sym/enum %8.1f /%10.1f us\n%!"
+    "n=%-2d indep fast/basis/def %8.1f /%8.1f /%10.1f us   banyan sym/packed/list %8.1f \
+     /%9.1f /%9.1f us   equiv sym/packed/list %8.1f /%9.1f /%9.1f us   minor_w \
+     packed/list %9.0f /%9.0f\n%!"
     n row.indep_fast_us row.indep_basis_us row.indep_definitional_us row.banyan_symbolic_us
-    row.banyan_enum_us row.equiv_symbolic_us row.equiv_enum_us;
+    row.banyan_enum_us row.banyan_list_us row.equiv_symbolic_us row.equiv_enum_us
+    row.equiv_list_us row.equiv_enum_minor_w row.equiv_list_minor_w;
   row
 
 let () =
-  let sizes = [ 4; 6; 8; 10 ] in
-  let rows = List.map measure sizes in
+  let smoke = Bench_util.smoke_requested () in
+  let sizes = if smoke then [ 4; 5 ] else [ 4; 6; 8; 10 ] in
+  let rows = List.map (measure ~smoke) sizes in
   let crossover =
     (* Smallest measured n from which the affine decider stays ahead
        of the basis scan for every larger size too. *)
@@ -102,26 +127,48 @@ let () =
     in
     scan rows
   in
-  let buf = Buffer.create 2048 in
+  let packed_speedup =
+    (* Worst list/packed enumeration ratio over the large sizes: the
+       perf-gate figure (expected >= 3x at n >= 8). *)
+    let large = List.filter (fun r -> r.n >= 8) rows in
+    List.fold_left
+      (fun acc r ->
+        let s = min (r.banyan_list_us /. r.banyan_enum_us) (r.equiv_list_us /. r.equiv_enum_us) in
+        match acc with None -> Some s | Some a -> Some (min a s))
+      None large
+  in
+  (match packed_speedup with
+  | Some s -> Printf.printf "packed vs list enumeration speedup (worst, n>=8): %.2fx\n%!" s
+  | None -> ());
+  let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"ocaml\": %S,\n" Sys.ocaml_version;
   add "  \"network\": \"omega\",\n";
+  add "  \"smoke\": %b,\n" smoke;
   add "  \"independence_crossover_n\": %s,\n"
     (match crossover with Some n -> string_of_int n | None -> "null");
+  add "  \"packed_vs_list_min_speedup_n8plus\": %s,\n"
+    (match packed_speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null");
   add "  \"rows\": [\n";
   List.iteri
     (fun i r ->
       add
         "    {\"n\": %d, \"indep_fast_us\": %.2f, \"indep_basis_us\": %.2f, \
          \"indep_definitional_us\": %.2f, \"banyan_symbolic_us\": %.2f, \"banyan_enum_us\": \
-         %.2f, \"equiv_symbolic_us\": %.2f, \"equiv_enum_us\": %.2f}%s\n"
+         %.2f, \"banyan_list_us\": %.2f, \"banyan_enum_minor_w\": %.1f, \
+         \"banyan_list_minor_w\": %.1f, \"equiv_symbolic_us\": %.2f, \"equiv_enum_us\": \
+         %.2f, \"equiv_list_us\": %.2f, \"equiv_enum_minor_w\": %.1f, \
+         \"equiv_list_minor_w\": %.1f, \"comp_packed_us\": %.2f, \"comp_subgraph_us\": \
+         %.2f}%s\n"
         r.n r.indep_fast_us r.indep_basis_us r.indep_definitional_us r.banyan_symbolic_us
-        r.banyan_enum_us r.equiv_symbolic_us r.equiv_enum_us
+        r.banyan_enum_us r.banyan_list_us r.banyan_enum_minor_w r.banyan_list_minor_w
+        r.equiv_symbolic_us r.equiv_enum_us r.equiv_list_us r.equiv_enum_minor_w
+        r.equiv_list_minor_w r.comp_packed_us r.comp_subgraph_us
         (if i = List.length rows - 1 then "" else ","))
     rows;
   add "  ]\n}\n";
-  let path = match Sys.argv with [| _; p |] -> p | _ -> "BENCH_analysis.json" in
+  let path = Bench_util.output_path ~default:"BENCH_analysis.json" in
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -10,26 +10,22 @@
    regression.  Pools are created with the default clamping; a one
    line note reports any row whose requested width was clamped.
 
+   Each workload also records the minor-heap words a serial run
+   allocates (serial_minor_mw, in megawords): the per-PR trend line
+   for the allocation budget of the batch drivers.
+
    The "baseline_pr1" block preserves the speedups of the pre-stealing
    engine (single-lock queue, per-item futures, measured on a 1-core
-   container) as the before-row of the before/after comparison. *)
+   container) as the before-row of the before/after comparison.
+
+   Run with --smoke for a tiny-budget crash/format check. *)
 
 module Pool = Mineq_engine.Pool
 module Memo = Mineq_engine.Memo
 module Batch = Mineq_engine.Batch
 
-let time f =
-  (* Best of three, to damp scheduler noise on shared runners. *)
-  let once () =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    let t1 = Unix.gettimeofday () in
-    (r, (t1 -. t0) *. 1e3)
-  in
-  let r1, m1 = once () in
-  let _, m2 = once () in
-  let _, m3 = once () in
-  (r1, List.fold_left min m1 [ m2; m3 ])
+let time = Bench_util.time_ms
+let smoke = Bench_util.smoke_requested ()
 
 type row = {
   name : string;
@@ -38,6 +34,7 @@ type row = {
   jobs4_ms : float;
   jobs2_actual : int;
   jobs4_actual : int;
+  serial_minor_mw : float;
   identical : bool;
 }
 
@@ -48,6 +45,7 @@ let note_clamp ~requested ~actual =
 
 let measure name serial parallel equal =
   let serial_res, serial_ms = time serial in
+  let serial_minor_mw = Bench_util.minor_words_per_op ~reps:1 serial /. 1e6 in
   let in_pool jobs =
     let pool = Pool.create ~jobs () in
     note_clamp ~requested:jobs ~actual:(Pool.jobs pool);
@@ -61,28 +59,35 @@ let measure name serial parallel equal =
   let res2, jobs2_ms, jobs2_actual = in_pool 2 in
   let res4, jobs4_ms, jobs4_actual = in_pool 4 in
   let identical = equal serial_res res2 && equal serial_res res4 in
-  Printf.printf "%-24s serial %8.1f ms   jobs=2 %8.1f ms   jobs=4 %8.1f ms   identical=%b\n%!"
-    name serial_ms jobs2_ms jobs4_ms identical;
-  { name; serial_ms; jobs2_ms; jobs4_ms; jobs2_actual; jobs4_actual; identical }
+  Printf.printf
+    "%-24s serial %8.1f ms   jobs=2 %8.1f ms   jobs=4 %8.1f ms   minor %6.2f Mw   \
+     identical=%b\n%!"
+    name serial_ms jobs2_ms jobs4_ms serial_minor_mw identical;
+  { name; serial_ms; jobs2_ms; jobs4_ms; jobs2_actual; jobs4_actual; serial_minor_mw;
+    identical }
 
 let census_row () =
+  let samples = if smoke then 10 else 150 in
+  let attempts = if smoke then 40 else 400 in
   measure "census_classify_n3"
-    (fun () -> Batch.sample_census ~jobs:1 ~root:25 ~n:3 ~samples:150 ~attempts:400)
-    (fun pool -> Batch.sample_census_in pool ~root:25 ~n:3 ~samples:150 ~attempts:400)
+    (fun () -> Batch.sample_census ~jobs:1 ~root:25 ~n:3 ~samples ~attempts)
+    (fun pool -> Batch.sample_census_in pool ~root:25 ~n:3 ~samples ~attempts)
     ( = )
 
 let faults_row () =
+  let samples = if smoke then 40 else 800 in
   let cascade = Mineq.Cascade.of_mi_digraph (Mineq.Baseline.network 5) in
   measure "fault_sweep_n5"
-    (fun () ->
-      Batch.fault_survival ~jobs:1 ~root:7 cascade ~faults:[ 1; 2; 4; 8 ] ~samples:800)
-    (fun pool ->
-      Batch.fault_survival_in pool ~root:7 cascade ~faults:[ 1; 2; 4; 8 ] ~samples:800)
+    (fun () -> Batch.fault_survival ~jobs:1 ~root:7 cascade ~faults:[ 1; 2; 4; 8 ] ~samples)
+    (fun pool -> Batch.fault_survival_in pool ~root:7 cascade ~faults:[ 1; 2; 4; 8 ] ~samples)
     ( = )
 
 let sim_row () =
   let g = Mineq.Classical.network Omega ~n:5 in
-  let config = { Mineq_sim.Network_sim.default_config with warmup = 100; cycles = 500 } in
+  let cycles = if smoke then 50 else 500 in
+  let config =
+    { Mineq_sim.Network_sim.default_config with warmup = (if smoke then 10 else 100); cycles }
+  in
   measure "sim_replications_n5"
     (fun () -> Batch.simulate_runs ~jobs:1 ~root:8 ~config ~replications:8 g)
     (fun pool -> Batch.simulate_runs_in pool ~root:8 ~config ~replications:8 g)
@@ -128,6 +133,7 @@ let () =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" cores);
   Buffer.add_string buf (Printf.sprintf "  \"degraded\": %b,\n" degraded);
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
   Buffer.add_string buf (Printf.sprintf "  \"ocaml\": %S,\n" Sys.ocaml_version);
   Buffer.add_string buf "  \"workloads\": [\n";
   List.iteri
@@ -136,10 +142,10 @@ let () =
         (Printf.sprintf
            "    {\"name\": %S, \"serial_ms\": %.2f, \"jobs2_ms\": %.2f, \"jobs4_ms\": \
             %.2f, \"jobs2_actual\": %d, \"jobs4_actual\": %d, \"speedup_jobs4\": %.2f, \
-            \"identical\": %b}%s\n"
+            \"serial_minor_mw\": %.3f, \"identical\": %b}%s\n"
            r.name r.serial_ms r.jobs2_ms r.jobs4_ms r.jobs2_actual r.jobs4_actual
            (r.serial_ms /. r.jobs4_ms)
-           r.identical
+           r.serial_minor_mw r.identical
            (if i = 2 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
@@ -159,7 +165,7 @@ let () =
         \"memo_ms\": %.2f, \"hit_rate\": %.3f}\n"
        nomemo_ms memo_ms hit_rate);
   Buffer.add_string buf "}\n";
-  let path = match Sys.argv with [| _; p |] -> p | _ -> "BENCH_engine.json" in
+  let path = Bench_util.output_path ~default:"BENCH_engine.json" in
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -4,7 +4,21 @@ module Subspace = Mineq_bitvec.Subspace
 
 type violation = { source : Bv.t; sink : Bv.t; paths : int }
 
-let path_count_matrix g =
+(* Enumeration path counting runs on the packed child tables
+   (Packed.first_violation / Packed.path_count_matrix): a per-source
+   forward DP over two reusable rows, against the historical
+   implementation that allocated a fresh row per source per gap plus
+   a tuple per visited node.  The old DP survives as
+   [path_count_matrix_list]/[check_list], the benchmarking baseline. *)
+
+let path_count_matrix g = Packed.path_count_matrix (Mi_digraph.packed g)
+
+let check g =
+  match Packed.first_violation (Mi_digraph.packed g) with
+  | None -> Ok ()
+  | Some (source, sink, paths) -> Error { source; sink; paths }
+
+let path_count_matrix_list g =
   let per = Mi_digraph.nodes_per_stage g in
   let n = Mi_digraph.stages g in
   (* Forward DP over stages: start with the identity on stage 1 and
@@ -28,8 +42,8 @@ let path_count_matrix g =
   done;
   counts
 
-let check g =
-  let m = path_count_matrix g in
+let check_list g =
+  let m = path_count_matrix_list g in
   let per = Mi_digraph.nodes_per_stage g in
   let rec scan u v =
     if u = per then Ok ()

@@ -14,7 +14,8 @@ type violation = {
 
 val path_count_matrix : Mi_digraph.t -> int array array
 (** [m.(u).(v)] = number of stage-1-node-[u] to stage-n-node-[v]
-    paths.  Parallel arcs (double links) count separately. *)
+    paths.  Parallel arcs (double links) count separately.  Computed
+    over the packed child tables ({!Packed.path_count_matrix}). *)
 
 val is_banyan : Mi_digraph.t -> bool
 (** Tries {!symbolic_check} first and falls back to the path-count
@@ -22,7 +23,17 @@ val is_banyan : Mi_digraph.t -> bool
 
 val check : Mi_digraph.t -> (unit, violation) result
 (** Like {!is_banyan} but produces the first violation found (row
-    major), always by path-count enumeration. *)
+    major), always by path-count enumeration — the packed DP of
+    {!Packed.first_violation}. *)
+
+val path_count_matrix_list : Mi_digraph.t -> int array array
+(** The historical DP (fresh row per source per gap, boxed child
+    tuples), kept as the benchmarking baseline; always agrees with
+    {!path_count_matrix} (qcheck-enforced). *)
+
+val check_list : Mi_digraph.t -> (unit, violation) result
+(** {!check} over {!path_count_matrix_list}: the list-era baseline
+    for the packed-vs-list bench rows. *)
 
 val symbolic_check : Mi_digraph.t -> (unit, violation) result option
 (** O(n^3) decision for networks whose every gap is independent

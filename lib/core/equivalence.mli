@@ -49,6 +49,14 @@ val by_independence_any_split : Mi_digraph.t -> verdict
 val by_characterization : Mi_digraph.t -> verdict
 val by_isomorphism : ?limit:int -> Mi_digraph.t -> verdict
 
+val equivalent_enum : Mi_digraph.t -> bool
+(** Enumeration-only characterization verdict (Banyan by the packed
+    path-count DP, both [P] families by the packed flat-DSU census),
+    bypassing every affine/symbolic fast path.  Always agrees with
+    {!by_characterization}'s [equivalent] field (qcheck-enforced);
+    exists as the isolated enumeration engine for benchmarking and
+    agreement gates. *)
+
 val decide : ?limit:int -> method_ -> Mi_digraph.t -> verdict
 
 val equivalent_networks : ?limit:int -> method_ -> Mi_digraph.t -> Mi_digraph.t -> bool

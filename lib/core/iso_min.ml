@@ -1,48 +1,41 @@
 type mapping = int array array
 
-(* Undirected neighbour lists with stage structure: for node (s, x)
-   (stages 0-based here) the list of (s', x') over both gap
-   directions, with multiplicity. *)
-let neighbour_table g =
-  let n = Mi_digraph.stages g in
-  let per = Mi_digraph.nodes_per_stage g in
-  let tbl = Array.init n (fun _ -> Array.make per []) in
-  List.iteri
-    (fun gap0 c ->
-      for x = 0 to per - 1 do
-        let cf, cg = Connection.children c x in
-        tbl.(gap0).(x) <- (gap0 + 1, cf) :: (gap0 + 1, cg) :: tbl.(gap0).(x);
-        tbl.(gap0 + 1).(cf) <- (gap0, x) :: tbl.(gap0 + 1).(cf);
-        tbl.(gap0 + 1).(cg) <- (gap0, x) :: tbl.(gap0 + 1).(cg)
-      done)
-    (Mi_digraph.connections g);
-  tbl
-
-(* BFS order over the undirected MI-digraph so that (except for
-   component roots) every node appears after one of its neighbours. *)
-let bfs_order tbl n per =
-  let order = Array.make (n * per) (0, 0) in
-  let seen = Array.init n (fun _ -> Array.make per false) in
+(* BFS order over the undirected MI-digraph (packed dense ids, flat
+   int-array queue) so that — except for component roots — every node
+   appears after one of its neighbours, which lets the backtracking
+   search below prune on already-mapped neighbours immediately. *)
+let bfs_order (p : Mi_digraph.packed) =
+  let per = p.p_per in
+  let n = p.p_stages in
+  let total = n * per in
+  let order = Array.make total 0 in
+  let seen = Array.make total false in
   let filled = ref 0 in
-  let q = Queue.create () in
-  let push (s, x) =
-    if not seen.(s).(x) then begin
-      seen.(s).(x) <- true;
-      Queue.add (s, x) q
+  let head = ref 0 in
+  let push id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      order.(!filled) <- id;
+      incr filled
     end
   in
-  for s = 0 to n - 1 do
-    for x = 0 to per - 1 do
-      if not seen.(s).(x) then begin
-        push (s, x);
-        while not (Queue.is_empty q) do
-          let cs, cx = Queue.pop q in
-          order.(!filled) <- (cs, cx);
-          incr filled;
-          List.iter push tbl.(cs).(cx)
-        done
-      end
-    done
+  for root = 0 to total - 1 do
+    if not seen.(root) then begin
+      push root;
+      while !head < !filled do
+        let id = order.(!head) in
+        incr head;
+        let s = id / per in
+        if s < n - 1 then begin
+          push p.p_succ.(2 * id);
+          push p.p_succ.((2 * id) + 1)
+        end;
+        if s > 0 then begin
+          push p.p_pred.(2 * (id - per));
+          push p.p_pred.((2 * (id - per)) + 1)
+        end
+      done
+    end
   done;
   order
 
@@ -52,60 +45,50 @@ let arc_mult_children c x y =
 
 (* Backtracking search for stage-respecting isomorphisms from [a]
    onto [b]; calls [on_solution] with each complete mapping (the
-   callback may raise to stop early). *)
+   callback may raise to stop early).
+
+   Runs entirely over the packed child tables and predecessor slots:
+   the per-node candidate narrowing of the old implementation (lists
+   of (stage, label) tuples, intersected and sorted per search node)
+   is subsumed by [compatible] — any label passing the arc-
+   multiplicity checks against a mapped neighbour's image is
+   necessarily adjacent to that image — so the explored tree is
+   unchanged while the hot path allocates nothing. *)
 let search ~limit ~on_solution a b =
-  let n = Mi_digraph.stages a in
-  let per = Mi_digraph.nodes_per_stage a in
-  if n <> Mi_digraph.stages b || per <> Mi_digraph.nodes_per_stage b then ()
+  let pa = Mi_digraph.packed a in
+  let pb = Mi_digraph.packed b in
+  let n = pa.p_stages in
+  let per = pa.p_per in
+  if n <> pb.p_stages || per <> pb.p_per then ()
   else begin
-    let tbl_a = neighbour_table a in
-    let tbl_b = neighbour_table b in
-    let order = bfs_order tbl_a n per in
+    let order = bfs_order pa in
     let map = Array.init n (fun _ -> Array.make per (-1)) in
     let used = Array.init n (fun _ -> Array.make per false) in
+    let mult f g x y = (if f.(x) = y then 1 else 0) + if g.(x) = y then 1 else 0 in
     (* Consistency of x -> y at 0-based stage s against already-mapped
        neighbours: arc multiplicities must match in both gaps. *)
     let compatible s x y =
       let check_outgoing () =
-        let c_a = Mi_digraph.connection a (s + 1) in
-        let c_b = Mi_digraph.connection b (s + 1) in
-        let cf, cg = Connection.children c_a x in
-        List.for_all
-          (fun t ->
-            let mt = map.(s + 1).(t) in
-            mt < 0 || arc_mult_children c_a x t = arc_mult_children c_b y mt)
-          [ cf; cg ]
+        let fa = pa.p_f.(s) and ga = pa.p_g.(s) in
+        let fb = pb.p_f.(s) and gb = pb.p_g.(s) in
+        let check t =
+          let mt = map.(s + 1).(t) in
+          mt < 0 || mult fa ga x t = mult fb gb y mt
+        in
+        check fa.(x) && check ga.(x)
       in
       let check_incoming () =
-        let c_a = Mi_digraph.connection a s in
-        let c_b = Mi_digraph.connection b s in
-        List.for_all
-          (fun p ->
-            let mp = map.(s - 1).(p) in
-            mp < 0 || arc_mult_children c_a p x = arc_mult_children c_b mp y)
-          (Connection.parents c_a x)
+        let fa = pa.p_f.(s - 1) and ga = pa.p_g.(s - 1) in
+        let fb = pb.p_f.(s - 1) and gb = pb.p_g.(s - 1) in
+        let base = 2 * (((s - 1) * per) + x) in
+        let check dense_parent =
+          let pl = dense_parent mod per in
+          let mp = map.(s - 1).(pl) in
+          mp < 0 || mult fa ga pl x = mult fb gb mp y
+        in
+        check pa.p_pred.(base) && check pa.p_pred.(base + 1)
       in
       (s >= n - 1 || check_outgoing ()) && (s = 0 || check_incoming ())
-    in
-    let candidates s x =
-      (* Images proposed by mapped neighbours; if none, all labels. *)
-      let from_neighbours =
-        List.filter_map
-          (fun (s', x') ->
-            let m = map.(s').(x') in
-            if m < 0 then None
-            else
-              Some
-                (List.filter_map
-                   (fun (t, y) -> if t = s then Some y else None)
-                   tbl_b.(s').(m)))
-          tbl_a.(s).(x)
-      in
-      match from_neighbours with
-      | [] -> List.init per (fun y -> y)
-      | first :: rest ->
-          List.sort_uniq compare
-            (List.filter (fun y -> List.for_all (List.mem y) rest) first)
     in
     let nodes_explored = ref 0 in
     let total = n * per in
@@ -114,17 +97,17 @@ let search ~limit ~on_solution a b =
       if limit > 0 && !nodes_explored > limit then failwith "iso_min: node limit exceeded";
       if i = total then on_solution map
       else begin
-        let s, x = order.(i) in
-        List.iter
-          (fun y ->
-            if (not used.(s).(y)) && compatible s x y then begin
-              map.(s).(x) <- y;
-              used.(s).(y) <- true;
-              go (i + 1);
-              map.(s).(x) <- -1;
-              used.(s).(y) <- false
-            end)
-          (candidates s x)
+        let id = order.(i) in
+        let s = id / per and x = id mod per in
+        for y = 0 to per - 1 do
+          if (not used.(s).(y)) && compatible s x y then begin
+            map.(s).(x) <- y;
+            used.(s).(y) <- true;
+            go (i + 1);
+            map.(s).(x) <- -1;
+            used.(s).(y) <- false
+          end
+        done
       end
     in
     go 0

@@ -1,7 +1,37 @@
 module Bv = Mineq_bitvec.Bv
 module Digraph = Mineq_graph.Digraph
 
-type t = { width : int; conns : Connection.t array }
+(* Packed representation: the whole network compiled once into flat
+   int arrays so the enumeration deciders (component census, Banyan
+   path counting, isomorphism refinement, per-packet routing) run with
+   no per-arc allocation.  Node ids are dense and stage-major:
+   [id = (stage - 1) * 2^(n-1) + label].
+
+   The successor/predecessor adjacency is CSR with {e implicit}
+   offsets: every non-boundary node has out-degree and in-degree
+   exactly 2 (enforced by {!create}), so the offset array of a general
+   CSR degenerates to the constant stride 2 and only the target arrays
+   are stored.  [p_succ] holds, for each node of stages [1 .. n-1],
+   its two children as dense ids (the [f]-child first); [p_pred]
+   holds, for each node of stages [2 .. n], its two parents as dense
+   ids, in deterministic fill order (ascending source label, [f]
+   before [g]) — the same order the simulator uses to number a cell's
+   input ports.  [p_f]/[p_g] are the per-gap child tables on stage
+   labels ([p_f.(k).(x)] is the [f]-child of label [x] across gap
+   [k+1]), for kernels that work stage-relative. *)
+type packed = {
+  p_stages : int;
+  p_width : int;
+  p_per : int;
+  p_f : int array array;
+  p_g : int array array;
+  p_succ : int array;
+  p_pred : int array;
+}
+
+type t = { width : int; conns : Connection.t array; mutable packed_cache : packed option }
+
+let make ~width conns = { width; conns; packed_cache = None }
 
 let stages g = Array.length g.conns + 1
 
@@ -15,7 +45,7 @@ let inputs g = 2 * nodes_per_stage g
 
 let single_stage ~width =
   if width < 0 then invalid_arg "Mi_digraph.single_stage: negative width";
-  { width; conns = [||] }
+  make ~width [||]
 
 let create conns =
   match conns with
@@ -42,7 +72,7 @@ let create conns =
           if not (Connection.is_mi_stage c) then
             invalid_arg "Mi_digraph.create: a connection violates the in-degree-2 requirement")
         conns;
-      { width = w; conns = Array.of_list conns }
+      make ~width:w (Array.of_list conns)
 
 let connection g i =
   if i < 1 || i > Array.length g.conns then invalid_arg "Mi_digraph.connection: bad gap index";
@@ -63,7 +93,7 @@ let reverse g =
   else begin
     let rev = Array.map Connection.reverse_any g.conns in
     let m = Array.length rev in
-    { g with conns = Array.init m (fun i -> rev.(m - 1 - i)) }
+    make ~width:g.width (Array.init m (fun i -> rev.(m - 1 - i)))
   end
 
 let node_id g ~stage x = ((stage - 1) * nodes_per_stage g) + x
@@ -72,24 +102,67 @@ let node_of_id g id =
   let per = nodes_per_stage g in
   ((id / per) + 1, id mod per)
 
-let gap_arcs g ~gap ~lo =
-  (* Arcs of the connection at [gap] (1-based), with flat ids relative
-     to a window starting at stage [lo]. *)
+(* Packing ---------------------------------------------------------- *)
+
+let build_packed g =
   let per = nodes_per_stage g in
-  let base_src = (gap - lo) * per in
-  let base_dst = (gap + 1 - lo) * per in
-  List.map
-    (fun (x, y) -> (base_src + x, base_dst + y))
-    (Connection.to_arcs g.conns.(gap - 1))
+  let n = stages g in
+  let gaps = n - 1 in
+  let p_f = Array.init gaps (fun k -> Array.init per (Connection.f g.conns.(k))) in
+  let p_g = Array.init gaps (fun k -> Array.init per (Connection.g g.conns.(k))) in
+  let p_succ = Array.make (2 * gaps * per) 0 in
+  let p_pred = Array.make (2 * gaps * per) 0 in
+  let fill = Array.make per 0 in
+  for k = 0 to gaps - 1 do
+    let fk = p_f.(k) and gk = p_g.(k) in
+    let base_src = k * per in
+    let base_dst = (k + 1) * per in
+    Array.fill fill 0 per 0;
+    for x = 0 to per - 1 do
+      let cf = fk.(x) and cg = gk.(x) in
+      p_succ.(2 * (base_src + x)) <- base_dst + cf;
+      p_succ.((2 * (base_src + x)) + 1) <- base_dst + cg;
+      (* Predecessor slots of the stage-(k+2) node [cf]/[cg] live at
+         [2 * (k * per + label)]: in-degree is exactly 2, so the two
+         slots are always filled, f-arc before g-arc per source. *)
+      p_pred.(2 * ((k * per) + cf) + fill.(cf)) <- base_src + x;
+      fill.(cf) <- fill.(cf) + 1;
+      p_pred.(2 * ((k * per) + cg) + fill.(cg)) <- base_src + x;
+      fill.(cg) <- fill.(cg) + 1
+    done
+  done;
+  { p_stages = n; p_width = g.width; p_per = per; p_f; p_g; p_succ; p_pred }
+
+let packed g =
+  match g.packed_cache with
+  | Some p -> p
+  | None ->
+      let p = build_packed g in
+      (* Benign race under Domains: packing is deterministic, so
+         concurrent builders store equal values and either wins. *)
+      g.packed_cache <- Some p;
+      p
 
 let subgraph g ~lo ~hi =
   let n = stages g in
   if lo < 1 || hi > n || lo > hi then invalid_arg "Mi_digraph.subgraph: bad stage range";
-  let per = nodes_per_stage g in
-  let arcs =
-    List.concat (List.init (hi - lo) (fun k -> gap_arcs g ~gap:(lo + k) ~lo))
+  let p = packed g in
+  let per = p.p_per in
+  let window = hi - lo + 1 in
+  (* Build the successor arrays directly from the packed child tables
+     (no intermediate arc list). *)
+  let succ =
+    Array.init (window * per) (fun v ->
+        let s = v / per in
+        if s = window - 1 then [||]
+        else begin
+          let x = v mod per in
+          let k = lo + s - 1 in
+          let base = (s + 1) * per in
+          [| base + p.p_f.(k).(x); base + p.p_g.(k).(x) |]
+        end)
   in
-  Digraph.create ~vertices:((hi - lo + 1) * per) arcs
+  Digraph.of_succ succ
 
 let to_digraph g = subgraph g ~lo:1 ~hi:(stages g)
 
@@ -132,7 +205,7 @@ let relabel g rename =
           ~g:(fun y -> maps.(k + 1).(Connection.g c inv.(k).(y))))
       g.conns
   in
-  { g with conns }
+  make ~width:g.width conns
 
 let map_gaps g f = create (List.mapi (fun i c -> f (i + 1) c) (Array.to_list g.conns))
 

@@ -15,6 +15,39 @@
 
 type t
 
+type packed = private {
+  p_stages : int;  (** [n] *)
+  p_width : int;  (** [n - 1] label bits *)
+  p_per : int;  (** [2^(n-1)] nodes per stage *)
+  p_f : int array array;
+      (** [p_f.(k).(x)]: the [f]-child label of label [x] across gap
+          [k+1] (0-based gap arrays, 1-based paper gaps). *)
+  p_g : int array array;  (** Likewise for [g]. *)
+  p_succ : int array;
+      (** Children in dense node ids, CSR with implicit stride-2
+          offsets (out-degree is uniformly 2): node [id] of stages
+          [1 .. n-1] has children [p_succ.(2 * id)] ([f]-child first)
+          and [p_succ.(2 * id + 1)].  Length [2 (n-1) 2^(n-1)]. *)
+  p_pred : int array;
+      (** Parents in dense node ids: node [id] of stages [2 .. n] has
+          parents [p_pred.(2 * (id - per))] and
+          [p_pred.(2 * (id - per) + 1)], filled in deterministic order
+          (ascending source label, [f]-arc before [g]-arc) — the
+          order that numbers a cell's input ports in the simulator. *)
+}
+(** One-shot flat-array compilation of the whole network: dense
+    stage-major node ids [(stage - 1) * 2^(n-1) + label], per-gap
+    child tables, and stride-2 CSR successor/predecessor adjacency.
+    The enumeration kernels in {!Packed} run on this with no per-arc
+    allocation.  Read-only (enforced by [private]); obtain one via
+    {!packed}. *)
+
+val packed : t -> packed
+(** The packed compilation of the network, built on first use and
+    cached on the record (so reverse/relabel/map_gaps results, being
+    new records, repack independently).  Safe to call from parallel
+    engine workers: packing is deterministic and idempotent. *)
+
 val stages : t -> int
 (** The number of stages, [n >= 1]. *)
 
@@ -32,13 +65,18 @@ val inputs : t -> int
 val create : Connection.t list -> t
 (** [create conns] builds the [n]-stage MI-digraph whose gap
     [i -> i+1] is [List.nth conns (i-1)].  Raises [Invalid_argument]
-    if the list is empty... use {!single_stage} for [n = 1] — or if
-    widths disagree or any connection violates the in-degree-2
-    requirement. *)
+    when the list is empty (the degenerate 1-stage network has no
+    connections — build it with {!single_stage} instead), when widths
+    disagree, when the width does not match the stage count, or when
+    any connection violates the in-degree-2 requirement.  The
+    [Invalid_argument] message of the empty case names
+    [single_stage] explicitly. *)
 
 val single_stage : width:int -> t
 (** The degenerate 1-stage MI-digraph with [2^width] isolated nodes
-    (only meaningful for recursion base cases when [width = 0]). *)
+    (only meaningful for recursion base cases when [width = 0]).
+    Raises [Invalid_argument] on a negative width; [~width:0] is the
+    smallest valid instance (one node, no arcs). *)
 
 val connection : t -> int -> Connection.t
 (** [connection g i] is the connection between stages [i] and [i+1],

@@ -1,0 +1,260 @@
+(* Zero-allocation enumeration kernels over the packed network
+   representation (Mi_digraph.packed).  These are the hot loops behind
+   the P(i,j) component census, the Banyan path-count fallback and the
+   simulator's routing tables: everything runs on flat int arrays —
+   no Bv.t lists, no per-query hashtables, no per-arc tuples — and the
+   per-query working memory can be supplied as a reusable scratch so a
+   census over many stage windows allocates nothing after the first
+   query. *)
+
+type t = Mi_digraph.packed
+
+let of_network = Mi_digraph.packed
+
+let stages (p : t) = p.p_stages
+
+let width (p : t) = p.p_width
+
+let nodes_per_stage (p : t) = p.p_per
+
+let total_nodes (p : t) = p.p_stages * p.p_per
+
+let node_id (p : t) ~stage x = ((stage - 1) * p.p_per) + x
+
+let node_of_id (p : t) id = ((id / p.p_per) + 1, id mod p.p_per)
+
+let child_f (p : t) ~gap x = p.p_f.(gap - 1).(x)
+
+let child_g (p : t) ~gap x = p.p_g.(gap - 1).(x)
+
+(* The two parents (as stage labels) of label [y] across [gap], in
+   port-fill order.  In-degree is exactly 2, so both always exist. *)
+let parent_a (p : t) ~gap y = p.p_pred.(2 * (((gap - 1) * p.p_per) + y)) mod p.p_per
+
+let parent_b (p : t) ~gap y = p.p_pred.((2 * (((gap - 1) * p.p_per) + y)) + 1) mod p.p_per
+
+(* Scratch ---------------------------------------------------------- *)
+
+(* All working arrays any kernel needs, sized once for the network:
+   a flat DSU (parent + size) over dense node ids and two stage-wide
+   int rows for the path-count DP.  One scratch serves any number of
+   sequential queries; parallel workers each make their own. *)
+type scratch = {
+  parent : int array;
+  size : int array;
+  row_a : int array;
+  row_b : int array;
+}
+
+let scratch (p : t) =
+  let total = total_nodes p in
+  { parent = Array.make (max 1 total) 0;
+    size = Array.make (max 1 total) 0;
+    row_a = Array.make p.p_per 0;
+    row_b = Array.make p.p_per 0
+  }
+
+let check_window (p : t) ~lo ~hi =
+  if lo < 1 || hi > p.p_stages || lo > hi then invalid_arg "Packed: bad stage range"
+
+(* Component census ------------------------------------------------- *)
+
+(* Flat union-find restricted to the dense-id range of stages
+   [lo .. hi]: path-halving find, union by size, component count
+   maintained by decrement.  Replaces the materialize-subgraph +
+   BFS pipeline (List.concat over boxed arcs, a fresh Digraph, a
+   fresh queue) with a single pass over the child tables. *)
+let component_count ?scratch:s (p : t) ~lo ~hi =
+  check_window p ~lo ~hi;
+  let s = match s with Some s -> s | None -> scratch p in
+  let per = p.p_per in
+  let base = (lo - 1) * per in
+  let stop = hi * per in
+  let parent = s.parent and size = s.size in
+  for id = base to stop - 1 do
+    parent.(id) <- id;
+    size.(id) <- 1
+  done;
+  let rec find x =
+    let px = parent.(x) in
+    if px = x then x
+    else begin
+      parent.(x) <- parent.(px);
+      find parent.(x)
+    end
+  in
+  let count = ref (stop - base) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then begin
+      let big, small = if size.(ra) >= size.(rb) then (ra, rb) else (rb, ra) in
+      parent.(small) <- big;
+      size.(big) <- size.(big) + size.(small);
+      decr count
+    end
+  in
+  for gap = lo to hi - 1 do
+    let fk = p.p_f.(gap - 1) and gk = p.p_g.(gap - 1) in
+    let src = (gap - 1) * per in
+    let dst = gap * per in
+    for x = 0 to per - 1 do
+      union (src + x) (dst + fk.(x));
+      union (src + x) (dst + gk.(x))
+    done
+  done;
+  !count
+
+(* Component labels over a window, BFS-free: run the same DSU, then
+   densify roots to [0 .. count-1] in first-touch order (ascending
+   dense id — the same numbering the old subgraph BFS produced,
+   because both scan vertices in ascending order).  [comp] is indexed
+   window-relative: [comp.((stage - lo) * per + label)]. *)
+let component_labels ?scratch:s (p : t) ~lo ~hi =
+  check_window p ~lo ~hi;
+  let s = match s with Some s -> s | None -> scratch p in
+  let per = p.p_per in
+  let base = (lo - 1) * per in
+  let stop = hi * per in
+  let parent = s.parent and size = s.size in
+  for id = base to stop - 1 do
+    parent.(id) <- id;
+    size.(id) <- 1
+  done;
+  let rec find x =
+    let px = parent.(x) in
+    if px = x then x
+    else begin
+      parent.(x) <- parent.(px);
+      find parent.(x)
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then begin
+      let big, small = if size.(ra) >= size.(rb) then (ra, rb) else (rb, ra) in
+      parent.(small) <- big;
+      size.(big) <- size.(big) + size.(small)
+    end
+  in
+  for gap = lo to hi - 1 do
+    let fk = p.p_f.(gap - 1) and gk = p.p_g.(gap - 1) in
+    let src = (gap - 1) * per in
+    let dst = gap * per in
+    for x = 0 to per - 1 do
+      union (src + x) (dst + fk.(x));
+      union (src + x) (dst + gk.(x))
+    done
+  done;
+  (* Densify: number components by their minimal member (ascending-id
+     first touch), the same numbering the old ascending-vertex BFS
+     produced. *)
+  let window = stop - base in
+  let comp = Array.make window (-1) in
+  let count = ref 0 in
+  for id = base to stop - 1 do
+    let root = find id in
+    if comp.(root - base) < 0 then begin
+      comp.(root - base) <- !count;
+      incr count
+    end
+  done;
+  for id = base to stop - 1 do
+    comp.(id - base) <- comp.(find id - base)
+  done;
+  (comp, !count)
+
+(* Banyan path counting --------------------------------------------- *)
+
+(* Per-source forward DP through the child tables with two reusable
+   stage rows: [first_violation] scans sources (then sinks) in
+   ascending order and reports the first (u, v, paths <> 1), matching
+   the enumeration order of the historical matrix scan.  The old DP
+   allocated a fresh row per source per gap (O(n 2^n) arrays per
+   check); this allocates nothing beyond the scratch. *)
+
+let first_violation ?scratch:s (p : t) =
+  let per = p.p_per in
+  let n = p.p_stages in
+  let s = match s with Some s -> s | None -> scratch p in
+  let rec scan_sources u =
+    if u = per then None
+    else begin
+      let cur = ref s.row_a and next = ref s.row_b in
+      Array.fill !cur 0 per 0;
+      !cur.(u) <- 1;
+      for k = 0 to n - 2 do
+        let fk = p.p_f.(k) and gk = p.p_g.(k) in
+        let c = !cur and nx = !next in
+        Array.fill nx 0 per 0;
+        for x = 0 to per - 1 do
+          let w = c.(x) in
+          if w > 0 then begin
+            nx.(fk.(x)) <- nx.(fk.(x)) + w;
+            nx.(gk.(x)) <- nx.(gk.(x)) + w
+          end
+        done;
+        let t = !cur in
+        cur := !next;
+        next := t
+      done;
+      let final = !cur in
+      let rec scan_sinks v =
+        if v = per then scan_sources (u + 1)
+        else if final.(v) <> 1 then Some (u, v, final.(v))
+        else scan_sinks (v + 1)
+      in
+      scan_sinks 0
+    end
+  in
+  scan_sources 0
+
+let path_count_matrix (p : t) =
+  let per = p.p_per in
+  let n = p.p_stages in
+  let s = scratch p in
+  Array.init per (fun u ->
+      let cur = ref s.row_a and next = ref s.row_b in
+      Array.fill !cur 0 per 0;
+      !cur.(u) <- 1;
+      for k = 0 to n - 2 do
+        let fk = p.p_f.(k) and gk = p.p_g.(k) in
+        let c = !cur and nx = !next in
+        Array.fill nx 0 per 0;
+        for x = 0 to per - 1 do
+          let w = c.(x) in
+          if w > 0 then begin
+            nx.(fk.(x)) <- nx.(fk.(x)) + w;
+            nx.(gk.(x)) <- nx.(gk.(x)) + w
+          end
+        done;
+        let t = !cur in
+        cur := !next;
+        next := t
+      done;
+      Array.copy !cur)
+
+(* Simulator routing tables ----------------------------------------- *)
+
+(* For gap [k+1], a flat table indexed by [2 * cell + out_port] whose
+   entry encodes the downstream cell and the input-port index it
+   enters on as [(cell lsl 1) lor in_port].  Port numbering follows
+   the deterministic p_pred fill order (ascending source, f before g),
+   so it agrees with {!Mi_digraph.packed}'s predecessor slots. *)
+let downstream (p : t) =
+  let per = p.p_per in
+  Array.init
+    (p.p_stages - 1)
+    (fun k ->
+      let fk = p.p_f.(k) and gk = p.p_g.(k) in
+      let fill = Array.make per 0 in
+      let table = Array.make (2 * per) 0 in
+      for x = 0 to per - 1 do
+        let cf = fk.(x) and cg = gk.(x) in
+        let pf = fill.(cf) in
+        fill.(cf) <- pf + 1;
+        let pg = fill.(cg) in
+        fill.(cg) <- pg + 1;
+        table.(2 * x) <- (cf lsl 1) lor pf;
+        table.((2 * x) + 1) <- (cg lsl 1) lor pg
+      done;
+      table)

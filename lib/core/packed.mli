@@ -1,0 +1,87 @@
+(** Zero-allocation enumeration kernels over the packed network
+    representation.
+
+    {!Mi_digraph.packed} compiles a network once into flat int arrays
+    (dense stage-major node ids, per-gap child tables, stride-2 CSR
+    adjacency); this module provides the enumeration deciders that run
+    on them: the flat-DSU component census behind [P(i,j)], the
+    Banyan path-count DP, and the simulator's downstream routing
+    tables.  None of the kernels allocates per arc; with an explicit
+    {!scratch} they allocate nothing at all per query, which is what
+    lets a census over every stage window — or a parallel worker
+    sweeping many networks — run allocation-free after setup.
+
+    The symbolic deciders of [lib/analysis] remain the fast path when
+    every gap is affine; these kernels replace the {e enumeration
+    fallbacks} (and the old list-materializing pipeline:
+    [Mi_digraph.subgraph] via boxed arc lists + BFS). *)
+
+type t = Mi_digraph.packed
+
+val of_network : Mi_digraph.t -> t
+(** Same as {!Mi_digraph.packed}: built on first use, cached on the
+    network record. *)
+
+val stages : t -> int
+
+val width : t -> int
+
+val nodes_per_stage : t -> int
+
+val total_nodes : t -> int
+
+val node_id : t -> stage:int -> int -> int
+(** Dense id of [(stage, label)] (stage 1-based, as in the paper). *)
+
+val node_of_id : t -> int -> int * int
+(** Inverse of {!node_id}: [(stage, label)]. *)
+
+val child_f : t -> gap:int -> int -> int
+(** [child_f p ~gap x]: the [f]-child label of label [x] across the
+    1-based [gap]. *)
+
+val child_g : t -> gap:int -> int -> int
+
+val parent_a : t -> gap:int -> int -> int
+(** [parent_a p ~gap y]/[parent_b p ~gap y]: the two parent labels of
+    label [y] across [gap], in deterministic port-fill order
+    (in-degree is exactly 2, so both always exist; they coincide only
+    on a double link). *)
+
+val parent_b : t -> gap:int -> int -> int
+
+type scratch
+(** Reusable working memory for the kernels, sized for one network:
+    a flat DSU over dense node ids plus two stage-wide DP rows.
+    Sequential queries may share one scratch; parallel workers must
+    each hold their own. *)
+
+val scratch : t -> scratch
+
+val component_count : ?scratch:scratch -> t -> lo:int -> hi:int -> int
+(** Connected components of the sub-digraph on stages [lo .. hi]
+    (underlying undirected graph), by flat union-find over the child
+    tables.  With [?scratch], allocation-free. *)
+
+val component_labels : ?scratch:scratch -> t -> lo:int -> hi:int -> int array * int
+(** [(comp, count)]: window-relative component labels
+    ([comp.((stage - lo) * per + label)]), components numbered by
+    their minimal member in dense-id order (the numbering the
+    ascending-vertex BFS used). *)
+
+val first_violation : ?scratch:scratch -> t -> (int * int * int) option
+(** Banyan check by forward path-count DP: [Some (source, sink,
+    paths)] for the first stage-1/stage-n pair (ascending source,
+    then sink) whose path count differs from 1, [None] when the
+    network is Banyan.  With [?scratch], allocation-free. *)
+
+val path_count_matrix : t -> int array array
+(** [m.(u).(v)]: number of stage-1-[u] to stage-n-[v] paths.  Fresh
+    matrix; the DP itself reuses two rows. *)
+
+val downstream : t -> int array array
+(** Per-gap flat routing tables for the packet simulator: entry
+    [2 * cell + out_port] of table [gap - 1] encodes the downstream
+    cell and its input-port index as [(cell lsl 1) lor in_port].
+    Port numbering follows the predecessor fill order of
+    {!Mi_digraph.packed}. *)

@@ -8,7 +8,16 @@ let expected_components g ~lo ~hi =
   if lo < 1 || hi > n || lo > hi then invalid_arg "Properties: bad stage range";
   1 lsl (n - 1 - (hi - lo))
 
-let component_count g ~lo ~hi = Traverse.component_count (Mi_digraph.subgraph g ~lo ~hi)
+(* Enumeration census: flat union-find over the packed child tables
+   (Packed.component_count).  The old pipeline — materialize the
+   window as a Digraph (List.concat over boxed arcs) and BFS it —
+   survives only as [component_count_subgraph], kept as the
+   benchmarking baseline and cross-check oracle. *)
+
+let component_count g ~lo ~hi = Packed.component_count (Mi_digraph.packed g) ~lo ~hi
+
+let component_count_subgraph g ~lo ~hi =
+  Traverse.component_count (Mi_digraph.subgraph g ~lo ~hi)
 
 let component_count_dsu g ~lo ~hi =
   let n = Mi_digraph.stages g in
@@ -87,7 +96,11 @@ let p_star_n g =
   go 1
 
 let full_matrix g =
+  (* One packed compilation and one scratch serve all O(n^2) windows:
+     after the first row this allocates only the result list. *)
   let n = Mi_digraph.stages g in
+  let p = Mi_digraph.packed g in
+  let scratch = Packed.scratch p in
   List.concat
     (List.init n (fun l ->
          let lo = l + 1 in
@@ -95,38 +108,44 @@ let full_matrix g =
            (n - lo + 1)
            (fun k ->
              let hi = lo + k in
-             (lo, hi, component_count g ~lo ~hi, expected_components g ~lo ~hi))))
+             (lo, hi, Packed.component_count ~scratch p ~lo ~hi, expected_components g ~lo ~hi))))
 
 let satisfies_all g = List.for_all (fun (_, _, found, want) -> found = want) (full_matrix g)
 
 (* Buddy properties ------------------------------------------------- *)
 
-let sorted_pair (a, b) = if a <= b then (a, b) else (b, a)
+(* Over the packed tables: parents come from the predecessor slots
+   (always exactly two) and children from the per-gap child arrays, so
+   neither check allocates. *)
 
 let output_buddy_stage g i =
-  let c = Mi_digraph.connection g i in
-  let per = Mi_digraph.nodes_per_stage g in
+  let p = Mi_digraph.packed g in
+  let per = Packed.nodes_per_stage p in
   (* Nodes sharing a child must have identical children sets. *)
+  let unordered_children x =
+    let a = Packed.child_f p ~gap:i x and b = Packed.child_g p ~gap:i x in
+    if a <= b then (a, b) else (b, a)
+  in
   let rec go y =
     y = per
-    ||
-    match Connection.parents c y with
-    | [ x1; x2 ] ->
-        sorted_pair (Connection.children c x1) = sorted_pair (Connection.children c x2)
-        && go (y + 1)
-    | _ -> false
+    || (let x1 = Packed.parent_a p ~gap:i y and x2 = Packed.parent_b p ~gap:i y in
+        unordered_children x1 = unordered_children x2)
+       && go (y + 1)
   in
   go 0
 
 let input_buddy_stage g i =
-  let c = Mi_digraph.connection g i in
-  let per = Mi_digraph.nodes_per_stage g in
-  let parent_set y = List.sort compare (Connection.parents c y) in
+  let p = Mi_digraph.packed g in
+  let per = Packed.nodes_per_stage p in
+  let unordered_parents y =
+    let a = Packed.parent_a p ~gap:i y and b = Packed.parent_b p ~gap:i y in
+    if a <= b then (a, b) else (b, a)
+  in
   let rec go x =
     x = per
-    ||
-    let cf, cg = Connection.children c x in
-    parent_set cf = parent_set cg && go (x + 1)
+    || (let cf = Packed.child_f p ~gap:i x and cg = Packed.child_g p ~gap:i x in
+        unordered_parents cf = unordered_parents cg)
+       && go (x + 1)
   in
   go 0
 
@@ -144,12 +163,12 @@ type component_profile = {
 }
 
 let component_profile g ~lo ~hi =
-  let sub = Mi_digraph.subgraph g ~lo ~hi in
-  let comp, count = Traverse.connected_components sub in
+  let p = Mi_digraph.packed g in
+  let comp, count = Packed.component_labels p ~lo ~hi in
   let per = Mi_digraph.nodes_per_stage g in
   let stages = hi - lo + 1 in
   let components = Array.init count (fun _ -> Array.make stages []) in
-  for v = Mineq_graph.Digraph.vertices sub - 1 downto 0 do
+  for v = (stages * per) - 1 downto 0 do
     let s = v / per and x = v mod per in
     components.(comp.(v)).(s) <- x :: components.(comp.(v)).(s)
   done;

@@ -12,11 +12,19 @@ val expected_components : Mi_digraph.t -> lo:int -> hi:int -> int
 (** [2^(n-1-(hi-lo))]. *)
 
 val component_count : Mi_digraph.t -> lo:int -> hi:int -> int
-(** Number of connected components of [(G)_{lo..hi}], by BFS. *)
+(** Number of connected components of [(G)_{lo..hi}], by flat
+    union-find over the packed child tables
+    ({!Packed.component_count}) — no arc materialization. *)
+
+val component_count_subgraph : Mi_digraph.t -> lo:int -> hi:int -> int
+(** The historical pipeline — materialize the window as a
+    [Digraph] and BFS it — kept as the benchmarking baseline and
+    cross-check oracle; always agrees with {!component_count}
+    (qcheck-enforced). *)
 
 val component_count_dsu : Mi_digraph.t -> lo:int -> hi:int -> int
-(** The same count through union-find directly on the connections,
-    skipping digraph construction — the faster engine (see the
+(** Union-find directly on the boxed connections, skipping digraph
+    construction (the pre-packed engine, see the
     [x1_p_properties_*] benches); always agrees with
     {!component_count} (qcheck-enforced). *)
 

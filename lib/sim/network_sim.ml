@@ -1,5 +1,4 @@
 module Mi_digraph = Mineq.Mi_digraph
-module Connection = Mineq.Connection
 module Routing = Mineq.Routing
 
 type config = {
@@ -54,26 +53,11 @@ let routing_words g =
         paths)
 
 (* Input-port index at the downstream cell for each (stage, cell,
-   out-port): which of the child's two FIFOs this link feeds. *)
-let downstream_ports g =
-  let n = Mi_digraph.stages g in
-  let per = Mi_digraph.nodes_per_stage g in
-  Array.init (n - 1) (fun gap0 ->
-      let c = Mi_digraph.connection g (gap0 + 1) in
-      let filled = Array.make per 0 in
-      let table = Array.make per [||] in
-      for x = 0 to per - 1 do
-        let cf, cg = Connection.children c x in
-        let take y =
-          let slot = filled.(y) in
-          filled.(y) <- slot + 1;
-          slot
-        in
-        let pf = take cf in
-        let pg = take cg in
-        table.(x) <- [| (cf, pf); (cg, pg) |]
-      done;
-      table)
+   out-port): which of the child's two FIFOs this link feeds.  Flat
+   packed tables (Packed.downstream): entry [2 * cell + out_port]
+   encodes [(child lsl 1) lor in_port], so the per-packet hop in the
+   cycle loop is two int reads and a shift — no tuple boxing. *)
+let downstream_ports g = Mineq.Packed.downstream (Mi_digraph.packed g)
 
 let run ?(config = default_config) rng g =
   if config.buffer_capacity < 1 then invalid_arg "Network_sim.run: capacity must be >= 1";
@@ -148,7 +132,8 @@ let run ?(config = default_config) rng g =
                 deliver cycle pkt
               end
               else begin
-                let y, in_port = down.(s).(x).(port) in
+                let packed_hop = down.(s).((2 * x) + port) in
+                let y = packed_hop lsr 1 and in_port = packed_hop land 1 in
                 let target = queues.(s + 1).(y).(in_port) in
                 if Queue.length target < config.buffer_capacity then begin
                   ignore (Queue.pop q.(p));

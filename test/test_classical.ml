@@ -80,6 +80,34 @@ let test_cube_stage_structure () =
       | Some slot -> check_int (Printf.sprintf "cube gap %d slot" gap) (gap - 1) slot)
     (Cl.thetas Cl.Indirect_binary_cube ~n)
 
+let test_degree_invariants () =
+  (* all_networks delivers, at every size, six n-stage networks whose
+     every gap is a valid 2-in 2-out MI stage. *)
+  List.iter
+    (fun n ->
+      let nets = Cl.all_networks ~n in
+      check_int (Printf.sprintf "six networks at n=%d" n) 6 (List.length nets);
+      List.iter
+        (fun (name, g) ->
+          check_int (name ^ " stages") n (M.stages g);
+          check_int (name ^ " gap count") (n - 1) (List.length (M.connections g));
+          check_true (name ^ " valid") (M.is_valid g);
+          List.iter
+            (fun c -> check_true (name ^ " in-degree 2") (Mineq.Connection.is_mi_stage c))
+            (M.connections g))
+        nets)
+    [ 2; 3; 4; 6 ]
+
+let test_spec_io_round_trip () =
+  (* Every classical construction survives save/reload through the
+     textual spec format, label for label. *)
+  List.iter
+    (fun (name, g) ->
+      match Mineq.Spec_io.of_string (Mineq.Spec_io.to_string g) with
+      | Ok h -> check_true (name ^ " spec round trip") (M.equal g h)
+      | Error e -> Alcotest.fail (name ^ ": " ^ Mineq.Spec_io.error_to_string e))
+    (Cl.all_networks ~n:5)
+
 let test_n2_collapse () =
   (* At n = 2 all six networks coincide: one crossbar gap. *)
   let nets = Cl.all_networks ~n:2 in
@@ -117,6 +145,8 @@ let suite =
     quick "flip reverses omega" test_flip_is_reverse_omega;
     quick "mdm reverses cube" test_mdm_is_reverse_cube;
     quick "six distinct labelled graphs" test_all_distinct_as_labelled_graphs;
+    quick "degree invariants across sizes" test_degree_invariants;
+    quick "spec round trip" test_spec_io_round_trip;
     quick "all Banyan with independent stages" test_all_banyan_and_independent;
     quick "cube stage slots" test_cube_stage_structure;
     quick "n=2 collapse" test_n2_collapse;

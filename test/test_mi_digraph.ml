@@ -127,7 +127,13 @@ let test_single_stage () =
   let s = M.single_stage ~width:0 in
   check_int "one stage" 1 (M.stages s);
   check_int "one node" 1 (M.nodes_per_stage s);
-  check_true "valid" (M.is_valid s)
+  check_int "two terminals" 2 (M.inputs s);
+  check_true "valid" (M.is_valid s);
+  Alcotest.(check (list pass)) "no connections" [] (M.connections s);
+  check_int "wide single stage" 8 (M.nodes_per_stage (M.single_stage ~width:3));
+  Alcotest.check_raises "negative width rejected"
+    (Invalid_argument "Mi_digraph.single_stage: negative width") (fun () ->
+      ignore (M.single_stage ~width:(-1)))
 
 let props =
   [ qcheck "arc count is 2 (n-1) 2^(n-1)" n_and_seed (fun (n, seed) ->

@@ -126,6 +126,29 @@ let test_six_networks_at_radix_3 () =
       check_true (name ^ " isomorphic to baseline") (Rn.isomorphic g base))
     nets
 
+let test_all_networks_degree_invariants () =
+  (* all_networks at several (radix, n): six constructions, each with
+     n - 1 valid stages of uniform in/out-degree = radix. *)
+  List.iter
+    (fun (radix, n) ->
+      let nets = Rb.all_networks ~radix ~n in
+      check_int (Printf.sprintf "six networks r=%d n=%d" radix n) 6 (List.length nets);
+      List.iter
+        (fun (name, g) ->
+          check_int (name ^ " stages") n (Rn.stages g);
+          check_int (name ^ " radix") radix (Rn.radix g);
+          check_int (name ^ " gaps") (n - 1) (List.length (Rn.connections g));
+          List.iter
+            (fun c ->
+              check_true (name ^ " valid stage") (Rc.is_mi_stage c);
+              for x = 0 to Rc.half c - 1 do
+                check_int (name ^ " out-degree") radix (List.length (Rc.children c x));
+                check_int (name ^ " in-degree") radix (List.length (Rc.parents c x))
+              done)
+            (Rn.connections g))
+        nets)
+    [ (2, 4); (3, 3); (4, 2) ]
+
 let test_baseline_equals_subshuffle_stack () =
   List.iter
     (fun (radix, n) ->
@@ -219,6 +242,7 @@ let suite =
     quick "degenerate radix stage" test_degenerate_radix_stage;
     quick "pipid closed form" test_pipid_closed_form;
     quick "six networks at radix 3 (X6)" test_six_networks_at_radix_3;
+    quick "all_networks degree invariants" test_all_networks_degree_invariants;
     quick "baseline = sub-rotation stack" test_baseline_equals_subshuffle_stack;
     quick "flip reverses omega" test_flip_reverses_omega;
     quick "digit-directed routing" test_routing;
