@@ -19,10 +19,26 @@
    only; the census and DP themselves run allocation-free against a
    scratch.
 
-   The artifact records two summary facts: the smallest measured n
-   from which the symbolic independence decider stays ahead, and the
+   A fifth family covers the radix generalization: for r in {2, 4, 8}
+   the radix-r Omega's Banyan check, component census and
+   characterization run both on the stride-r packed kernels and on
+   the boxed closure pipeline they replaced (Rconnection child lists,
+   subgraph materialization + BFS), with the same *_minor_w
+   allocation columns.  The boxed path-count DP is O(n r^n * r^n), so
+   the Banyan/equivalence columns are measured only while the stage
+   width stays tractable (null beyond); the census columns cover
+   every listed size.
+
+   The artifact records three summary facts: the smallest measured n
+   from which the symbolic independence decider stays ahead, the
    worst packed-vs-list enumeration speedup over n >= 8 (expected and
-   asserted >= 3x by the perf gate in CI docs).
+   asserted >= 3x by the perf gate in CI docs), and the worst radix
+   packed-vs-boxed speedup over n >= 6 (gated >= 2x).
+
+   The bench is entirely serial, so a 1-core container degrades
+   nothing; "cores" is recorded for provenance and "degraded" is
+   always false — the field exists so the CI bench-multicore job can
+   apply one uniform gate to every artifact it publishes.
 
    Run with --smoke for a tiny-budget crash/format check. *)
 
@@ -111,10 +127,89 @@ let measure ~smoke n =
     row.equiv_list_us row.equiv_enum_minor_w row.equiv_list_minor_w;
   row
 
+(* Radix rows: stride-r packed kernels vs the boxed closure pipeline
+   on the radix-r Omega. *)
+
+module Rn = Mineq_radix.Rnetwork
+module Rb = Mineq_radix.Rbuild
+
+type radix_row = {
+  r_radix : int;
+  r_n : int;
+  r_cells : int;
+  r_banyan_packed_us : float option;
+  r_banyan_boxed_us : float option;
+  r_banyan_packed_minor_w : float option;
+  r_banyan_boxed_minor_w : float option;
+  r_census_packed_us : float;
+  r_census_boxed_us : float;
+  r_census_packed_minor_w : float;
+  r_census_boxed_minor_w : float;
+  r_equiv_packed_us : float option;
+  r_equiv_boxed_us : float option;
+}
+
+(* The per-source DP (packed or boxed) is O(n r^(n-1)) per source,
+   O(n r^2(n-1)) per check: past ~2k cells per stage the boxed row
+   would dominate the whole bench run, so Banyan/equivalence columns
+   stop there and the rows carry null.  The census is near-linear in
+   the window and is measured at every listed size. *)
+let dp_tractable per = per <= 2048
+
+let measure_radix ~smoke (radix, n) =
+  let g = Rb.omega ~radix n in
+  let per = Rn.cells_per_stage g in
+  let reps =
+    if smoke then 2
+    else if per >= 8192 then 2
+    else if per >= 512 then 5
+    else 50
+  in
+  let half = max 1 (n / 2) in
+  let dp = dp_tractable per in
+  let opt f = if dp then Some (f ()) else None in
+  let row =
+    {
+      r_radix = radix;
+      r_n = n;
+      r_cells = per;
+      r_banyan_packed_us = opt (fun () -> time_us ~reps (fun () -> Rn.is_banyan g));
+      r_banyan_boxed_us = opt (fun () -> time_us ~reps (fun () -> Rn.is_banyan_list g));
+      r_banyan_packed_minor_w =
+        opt (fun () -> minor_words ~reps (fun () -> Rn.is_banyan g));
+      r_banyan_boxed_minor_w =
+        opt (fun () -> minor_words ~reps (fun () -> Rn.is_banyan_list g));
+      r_census_packed_us =
+        time_us ~reps (fun () -> Rn.component_count g ~lo:1 ~hi:half);
+      r_census_boxed_us =
+        time_us ~reps (fun () -> Rn.component_count_subgraph g ~lo:1 ~hi:half);
+      r_census_packed_minor_w =
+        minor_words ~reps (fun () -> Rn.component_count g ~lo:1 ~hi:half);
+      r_census_boxed_minor_w =
+        minor_words ~reps (fun () -> Rn.component_count_subgraph g ~lo:1 ~hi:half);
+      r_equiv_packed_us = opt (fun () -> time_us ~reps (fun () -> Rn.by_characterization g));
+      r_equiv_boxed_us =
+        opt (fun () -> time_us ~reps (fun () -> Rn.by_characterization_list g));
+    }
+  in
+  let show = function Some v -> Printf.sprintf "%9.1f" v | None -> "        -" in
+  Printf.printf
+    "r=%d n=%-2d (%6d cells)  banyan packed/boxed %s /%s us   census packed/boxed %9.1f \
+     /%9.1f us   equiv packed/boxed %s /%s us\n%!"
+    radix n per (show row.r_banyan_packed_us) (show row.r_banyan_boxed_us)
+    row.r_census_packed_us row.r_census_boxed_us (show row.r_equiv_packed_us)
+    (show row.r_equiv_boxed_us);
+  row
+
 let () =
   let smoke = Bench_util.smoke_requested () in
   let sizes = if smoke then [ 4; 5 ] else [ 4; 6; 8; 10 ] in
+  let radix_sizes =
+    if smoke then [ (2, 3); (4, 2) ]
+    else [ (2, 4); (2, 6); (2, 8); (4, 3); (4, 4); (4, 6); (8, 3); (8, 4); (8, 6) ]
+  in
   let rows = List.map (measure ~smoke) sizes in
+  let radix_rows = List.map (measure_radix ~smoke) radix_sizes in
   let crossover =
     (* Smallest measured n from which the affine decider stays ahead
        of the basis scan for every larger size too. *)
@@ -140,16 +235,47 @@ let () =
   (match packed_speedup with
   | Some s -> Printf.printf "packed vs list enumeration speedup (worst, n>=8): %.2fx\n%!" s
   | None -> ());
+  let radix_speedup =
+    (* Worst boxed/packed ratio over the radix rows at n >= 6, across
+       every column measured on both sides (gated >= 2x). *)
+    let large = List.filter (fun r -> r.r_n >= 6) radix_rows in
+    List.fold_left
+      (fun acc r ->
+        let ratios =
+          (r.r_census_boxed_us /. r.r_census_packed_us)
+          ::
+          (match (r.r_banyan_packed_us, r.r_banyan_boxed_us) with
+          | Some p, Some b -> [ b /. p ]
+          | _ -> [])
+          @
+          match (r.r_equiv_packed_us, r.r_equiv_boxed_us) with
+          | Some p, Some b -> [ b /. p ]
+          | _ -> []
+        in
+        List.fold_left
+          (fun acc s -> match acc with None -> Some s | Some a -> Some (min a s))
+          acc ratios)
+      None large
+  in
+  (match radix_speedup with
+  | Some s -> Printf.printf "radix packed vs boxed speedup (worst, n>=6): %.2fx\n%!" s
+  | None -> ());
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"ocaml\": %S,\n" Sys.ocaml_version;
   add "  \"network\": \"omega\",\n";
   add "  \"smoke\": %b,\n" smoke;
+  (* The bench is entirely serial; cores is provenance and degraded is
+     the uniform gate field the CI artifact check reads. *)
+  add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  add "  \"degraded\": false,\n";
   add "  \"independence_crossover_n\": %s,\n"
     (match crossover with Some n -> string_of_int n | None -> "null");
   add "  \"packed_vs_list_min_speedup_n8plus\": %s,\n"
     (match packed_speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null");
+  add "  \"radix_packed_vs_boxed_min_speedup_n6plus\": %s,\n"
+    (match radix_speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null");
   add "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -167,6 +293,28 @@ let () =
         r.equiv_list_minor_w r.comp_packed_us r.comp_subgraph_us
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  add "  ],\n";
+  add "  \"radix_rows\": [\n";
+  let jopt fmt = function Some v -> Printf.sprintf fmt v | None -> "null" in
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"radix\": %d, \"n\": %d, \"cells_per_stage\": %d, \"banyan_packed_us\": %s, \
+         \"banyan_boxed_us\": %s, \"banyan_packed_minor_w\": %s, \"banyan_boxed_minor_w\": \
+         %s, \"census_packed_us\": %.2f, \"census_boxed_us\": %.2f, \
+         \"census_packed_minor_w\": %.1f, \"census_boxed_minor_w\": %.1f, \
+         \"equiv_packed_us\": %s, \"equiv_boxed_us\": %s}%s\n"
+        r.r_radix r.r_n r.r_cells
+        (jopt "%.2f" r.r_banyan_packed_us)
+        (jopt "%.2f" r.r_banyan_boxed_us)
+        (jopt "%.1f" r.r_banyan_packed_minor_w)
+        (jopt "%.1f" r.r_banyan_boxed_minor_w)
+        r.r_census_packed_us r.r_census_boxed_us r.r_census_packed_minor_w
+        r.r_census_boxed_minor_w
+        (jopt "%.2f" r.r_equiv_packed_us)
+        (jopt "%.2f" r.r_equiv_boxed_us)
+        (if i = List.length radix_rows - 1 then "" else ","))
+    radix_rows;
   add "  ]\n}\n";
   let path = Bench_util.output_path ~default:"BENCH_analysis.json" in
   let oc = open_out path in

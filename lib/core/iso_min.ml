@@ -64,27 +64,31 @@ let search ~limit ~on_solution a b =
     let order = bfs_order pa in
     let map = Array.init n (fun _ -> Array.make per (-1)) in
     let used = Array.init n (fun _ -> Array.make per false) in
-    let mult f g x y = (if f.(x) = y then 1 else 0) + if g.(x) = y then 1 else 0 in
+    (* Arc multiplicity x -> y in an interleaved binary child table
+       (p_radix = 2: the packing of any Mi_digraph). *)
+    let mult ch x y =
+      (if ch.(2 * x) = y then 1 else 0) + if ch.((2 * x) + 1) = y then 1 else 0
+    in
     (* Consistency of x -> y at 0-based stage s against already-mapped
        neighbours: arc multiplicities must match in both gaps. *)
     let compatible s x y =
       let check_outgoing () =
-        let fa = pa.p_f.(s) and ga = pa.p_g.(s) in
-        let fb = pb.p_f.(s) and gb = pb.p_g.(s) in
+        let cha = pa.p_child.(s) in
+        let chb = pb.p_child.(s) in
         let check t =
           let mt = map.(s + 1).(t) in
-          mt < 0 || mult fa ga x t = mult fb gb y mt
+          mt < 0 || mult cha x t = mult chb y mt
         in
-        check fa.(x) && check ga.(x)
+        check cha.(2 * x) && check cha.((2 * x) + 1)
       in
       let check_incoming () =
-        let fa = pa.p_f.(s - 1) and ga = pa.p_g.(s - 1) in
-        let fb = pb.p_f.(s - 1) and gb = pb.p_g.(s - 1) in
+        let cha = pa.p_child.(s - 1) in
+        let chb = pb.p_child.(s - 1) in
         let base = 2 * (((s - 1) * per) + x) in
         let check dense_parent =
           let pl = dense_parent mod per in
           let mp = map.(s - 1).(pl) in
-          mp < 0 || mult fa ga pl x = mult fb gb mp y
+          mp < 0 || mult cha pl x = mult chb mp y
         in
         check pa.p_pred.(base) && check pa.p_pred.(base + 1)
       in

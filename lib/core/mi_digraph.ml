@@ -4,27 +4,32 @@ module Digraph = Mineq_graph.Digraph
 (* Packed representation: the whole network compiled once into flat
    int arrays so the enumeration deciders (component census, Banyan
    path counting, isomorphism refinement, per-packet routing) run with
-   no per-arc allocation.  Node ids are dense and stage-major:
-   [id = (stage - 1) * 2^(n-1) + label].
+   no per-arc allocation.  The record is radix-generic: stages of
+   [r^(n-1)] cells whose labels are [(n-1)]-digit words in base [r]
+   ([r = 2] for this module's own networks, arbitrary [r >= 2] for
+   lib/radix).  Node ids are dense and stage-major:
+   [id = (stage - 1) * r^(n-1) + label].
 
    The successor/predecessor adjacency is CSR with {e implicit}
    offsets: every non-boundary node has out-degree and in-degree
-   exactly 2 (enforced by {!create}), so the offset array of a general
-   CSR degenerates to the constant stride 2 and only the target arrays
-   are stored.  [p_succ] holds, for each node of stages [1 .. n-1],
-   its two children as dense ids (the [f]-child first); [p_pred]
-   holds, for each node of stages [2 .. n], its two parents as dense
-   ids, in deterministic fill order (ascending source label, [f]
-   before [g]) — the same order the simulator uses to number a cell's
-   input ports.  [p_f]/[p_g] are the per-gap child tables on stage
-   labels ([p_f.(k).(x)] is the [f]-child of label [x] across gap
-   [k+1]), for kernels that work stage-relative. *)
+   exactly [r] (enforced by {!create} / {!pack_tables}), so the offset
+   array of a general CSR degenerates to the constant stride [r] and
+   only the target arrays are stored.  [p_succ] holds, for each node
+   of stages [1 .. n-1], its [r] children as dense ids in port order
+   (for [r = 2]: the [f]-child first); [p_pred] holds, for each node
+   of stages [2 .. n], its [r] parents as dense ids, in deterministic
+   fill order (ascending source label, ascending out-port — for
+   [r = 2]: [f] before [g]) — the same order the simulator uses to
+   number a cell's input ports.  [p_child] is the per-gap child table
+   on stage labels, interleaved by port: [p_child.(k).(r * x + j)] is
+   the [h_j]-child of label [x] across gap [k+1], for kernels that
+   work stage-relative. *)
 type packed = {
   p_stages : int;
   p_width : int;
+  p_radix : int;
   p_per : int;
-  p_f : int array array;
-  p_g : int array array;
+  p_child : int array array;
   p_succ : int array;
   p_pred : int array;
 }
@@ -104,34 +109,60 @@ let node_of_id g id =
 
 (* Packing ---------------------------------------------------------- *)
 
-let build_packed g =
-  let per = nodes_per_stage g in
-  let n = stages g in
+let pack_tables ~stages:n ~radix ~width ~child =
+  if radix < 2 then invalid_arg "Mi_digraph.pack_tables: radix must be >= 2";
+  if width < 0 then invalid_arg "Mi_digraph.pack_tables: negative width";
+  if n < 1 then invalid_arg "Mi_digraph.pack_tables: need stages >= 1";
+  if n > 1 && n <> width + 1 then
+    invalid_arg "Mi_digraph.pack_tables: need stages = width + 1";
+  let per = ref 1 in
+  for _ = 1 to width do
+    if !per > max_int / radix then invalid_arg "Mi_digraph.pack_tables: radix^width overflows";
+    per := !per * radix
+  done;
+  let per = !per in
   let gaps = n - 1 in
-  let p_f = Array.init gaps (fun k -> Array.init per (Connection.f g.conns.(k))) in
-  let p_g = Array.init gaps (fun k -> Array.init per (Connection.g g.conns.(k))) in
-  let p_succ = Array.make (2 * gaps * per) 0 in
-  let p_pred = Array.make (2 * gaps * per) 0 in
+  let p_child =
+    Array.init gaps (fun k ->
+        Array.init (radix * per) (fun i ->
+            let x = i / radix and j = i mod radix in
+            let y = child ~gap:(k + 1) ~port:j x in
+            if y < 0 || y >= per then
+              invalid_arg "Mi_digraph.pack_tables: child label out of range";
+            y))
+  in
+  let p_succ = Array.make (radix * gaps * per) 0 in
+  let p_pred = Array.make (radix * gaps * per) 0 in
   let fill = Array.make per 0 in
   for k = 0 to gaps - 1 do
-    let fk = p_f.(k) and gk = p_g.(k) in
+    let ch = p_child.(k) in
     let base_src = k * per in
     let base_dst = (k + 1) * per in
     Array.fill fill 0 per 0;
     for x = 0 to per - 1 do
-      let cf = fk.(x) and cg = gk.(x) in
-      p_succ.(2 * (base_src + x)) <- base_dst + cf;
-      p_succ.((2 * (base_src + x)) + 1) <- base_dst + cg;
-      (* Predecessor slots of the stage-(k+2) node [cf]/[cg] live at
-         [2 * (k * per + label)]: in-degree is exactly 2, so the two
-         slots are always filled, f-arc before g-arc per source. *)
-      p_pred.(2 * ((k * per) + cf) + fill.(cf)) <- base_src + x;
-      fill.(cf) <- fill.(cf) + 1;
-      p_pred.(2 * ((k * per) + cg) + fill.(cg)) <- base_src + x;
-      fill.(cg) <- fill.(cg) + 1
+      for j = 0 to radix - 1 do
+        let c = ch.((radix * x) + j) in
+        p_succ.((radix * (base_src + x)) + j) <- base_dst + c;
+        (* Predecessor slots of the stage-(k+2) node [c] live at
+           [radix * (k * per + label)]: each gap has exactly
+           [radix * per] arcs, so no cell exceeding in-degree [radix]
+           means every cell hits it exactly — the slots are always
+           filled, ascending source label and out-port per source. *)
+        let slot = fill.(c) in
+        if slot >= radix then
+          invalid_arg "Mi_digraph.pack_tables: a cell exceeds in-degree radix";
+        p_pred.((radix * ((k * per) + c)) + slot) <- base_src + x;
+        fill.(c) <- slot + 1
+      done
     done
   done;
-  { p_stages = n; p_width = g.width; p_per = per; p_f; p_g; p_succ; p_pred }
+  { p_stages = n; p_width = width; p_radix = radix; p_per = per; p_child; p_succ; p_pred }
+
+let build_packed g =
+  pack_tables ~stages:(stages g) ~radix:2 ~width:g.width
+    ~child:(fun ~gap ~port x ->
+      let c = g.conns.(gap - 1) in
+      if port = 0 then Connection.f c x else Connection.g c x)
 
 let packed g =
   match g.packed_cache with
@@ -157,9 +188,10 @@ let subgraph g ~lo ~hi =
         if s = window - 1 then [||]
         else begin
           let x = v mod per in
-          let k = lo + s - 1 in
+          let ch = p.p_child.(lo + s - 1) in
           let base = (s + 1) * per in
-          [| base + p.p_f.(k).(x); base + p.p_g.(k).(x) |]
+          let r = p.p_radix in
+          Array.init r (fun j -> base + ch.((r * x) + j))
         end)
   in
   Digraph.of_succ succ

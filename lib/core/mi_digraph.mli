@@ -17,36 +17,57 @@ type t
 
 type packed = private {
   p_stages : int;  (** [n] *)
-  p_width : int;  (** [n - 1] label bits *)
-  p_per : int;  (** [2^(n-1)] nodes per stage *)
-  p_f : int array array;
-      (** [p_f.(k).(x)]: the [f]-child label of label [x] across gap
-          [k+1] (0-based gap arrays, 1-based paper gaps). *)
-  p_g : int array array;  (** Likewise for [g]. *)
+  p_width : int;  (** [n - 1] label digits *)
+  p_radix : int;  (** digits run over [0 .. p_radix - 1]; [2] here *)
+  p_per : int;  (** [r^(n-1)] nodes per stage *)
+  p_child : int array array;
+      (** Per-gap child tables on stage labels, interleaved by port:
+          [p_child.(k).(r * x + j)] is the [h_j]-child label of label
+          [x] across gap [k+1] (0-based gap arrays, 1-based paper
+          gaps).  For [r = 2], port 0 is the [f]-child and port 1 the
+          [g]-child. *)
   p_succ : int array;
-      (** Children in dense node ids, CSR with implicit stride-2
-          offsets (out-degree is uniformly 2): node [id] of stages
-          [1 .. n-1] has children [p_succ.(2 * id)] ([f]-child first)
-          and [p_succ.(2 * id + 1)].  Length [2 (n-1) 2^(n-1)]. *)
+      (** Children in dense node ids, CSR with implicit stride-[r]
+          offsets (out-degree is uniformly [r]): node [id] of stages
+          [1 .. n-1] has children [p_succ.(r * id + j)] for
+          [j in 0 .. r-1] (port order).  Length [r (n-1) r^(n-1)]. *)
   p_pred : int array;
       (** Parents in dense node ids: node [id] of stages [2 .. n] has
-          parents [p_pred.(2 * (id - per))] and
-          [p_pred.(2 * (id - per) + 1)], filled in deterministic order
-          (ascending source label, [f]-arc before [g]-arc) — the
-          order that numbers a cell's input ports in the simulator. *)
+          parents [p_pred.(r * (id - per) + j)] for [j in 0 .. r-1],
+          filled in deterministic order (ascending source label,
+          ascending out-port — for [r = 2]: [f]-arc before [g]-arc) —
+          the order that numbers a cell's input ports in the
+          simulator. *)
 }
-(** One-shot flat-array compilation of the whole network: dense
-    stage-major node ids [(stage - 1) * 2^(n-1) + label], per-gap
-    child tables, and stride-2 CSR successor/predecessor adjacency.
-    The enumeration kernels in {!Packed} run on this with no per-arc
-    allocation.  Read-only (enforced by [private]); obtain one via
-    {!packed}. *)
+(** One-shot flat-array compilation of a whole network: dense
+    stage-major node ids [(stage - 1) * r^(n-1) + label], per-gap
+    digit-word child tables, and stride-[r] CSR
+    successor/predecessor adjacency.  The record is radix-generic so
+    the same kernels ({!Packed}) serve this module's binary networks
+    ([r = 2], obtained via {!packed}) and the [r x r] networks of
+    [lib/radix] (obtained via {!pack_tables}).  Read-only (enforced
+    by [private]). *)
 
 val packed : t -> packed
-(** The packed compilation of the network, built on first use and
-    cached on the record (so reverse/relabel/map_gaps results, being
-    new records, repack independently).  Safe to call from parallel
-    engine workers: packing is deterministic and idempotent. *)
+(** The packed compilation of the network (always [p_radix = 2]),
+    built on first use and cached on the record (so
+    reverse/relabel/map_gaps results, being new records, repack
+    independently).  Safe to call from parallel engine workers:
+    packing is deterministic and idempotent. *)
+
+val pack_tables :
+  stages:int -> radix:int -> width:int -> child:(gap:int -> port:int -> int -> int) -> packed
+(** General packed constructor for radix-[r] stage networks:
+    [child ~gap ~port x] is the label of the [port]-child of cell [x]
+    across the 1-based [gap].  Tabulates the child functions, builds
+    the stride-[r] CSR adjacency and validates the result.  Raises
+    [Invalid_argument] when [radix < 2], [width < 0],
+    [stages <> width + 1] (for [stages > 1]; a 1-stage network may
+    pair any width with its zero gaps), [radix^width] overflows, a
+    child label falls outside [0 .. r^width - 1], or some cell's
+    in-degree exceeds [radix] (each gap carries exactly
+    [r · r^width] arcs, so no excess means in-degree exactly [radix]
+    everywhere). *)
 
 val stages : t -> int
 (** The number of stages, [n >= 1]. *)

@@ -2,10 +2,15 @@
    representation (Mi_digraph.packed).  These are the hot loops behind
    the P(i,j) component census, the Banyan path-count fallback and the
    simulator's routing tables: everything runs on flat int arrays —
-   no Bv.t lists, no per-query hashtables, no per-arc tuples — and the
-   per-query working memory can be supplied as a reusable scratch so a
-   census over many stage windows allocates nothing after the first
-   query. *)
+   no boxed child lists, no per-query hashtables, no per-arc tuples —
+   and the per-query working memory can be supplied as a reusable
+   scratch so a census over many stage windows allocates nothing after
+   the first query.
+
+   The kernels are radix-generic (stride-r child tables, r parents per
+   cell); the binary case keeps a specialized fast path whose inner
+   loops are unrolled over the two ports, so the r = 2 deciders pay
+   nothing for the generalization. *)
 
 type t = Mi_digraph.packed
 
@@ -15,6 +20,8 @@ let stages (p : t) = p.p_stages
 
 let width (p : t) = p.p_width
 
+let radix (p : t) = p.p_radix
+
 let nodes_per_stage (p : t) = p.p_per
 
 let total_nodes (p : t) = p.p_stages * p.p_per
@@ -23,15 +30,22 @@ let node_id (p : t) ~stage x = ((stage - 1) * p.p_per) + x
 
 let node_of_id (p : t) id = ((id / p.p_per) + 1, id mod p.p_per)
 
-let child_f (p : t) ~gap x = p.p_f.(gap - 1).(x)
+let child (p : t) ~gap ~port x = p.p_child.(gap - 1).((p.p_radix * x) + port)
 
-let child_g (p : t) ~gap x = p.p_g.(gap - 1).(x)
+(* Binary port names: the [f]-child is port 0, the [g]-child port 1
+   (only meaningful for [p_radix = 2], the Mi_digraph case). *)
+let child_f (p : t) ~gap x = p.p_child.(gap - 1).(p.p_radix * x)
 
-(* The two parents (as stage labels) of label [y] across [gap], in
-   port-fill order.  In-degree is exactly 2, so both always exist. *)
-let parent_a (p : t) ~gap y = p.p_pred.(2 * (((gap - 1) * p.p_per) + y)) mod p.p_per
+let child_g (p : t) ~gap x = p.p_child.(gap - 1).((p.p_radix * x) + 1)
 
-let parent_b (p : t) ~gap y = p.p_pred.((2 * (((gap - 1) * p.p_per) + y)) + 1) mod p.p_per
+(* The parents (as stage labels) of label [y] across [gap], in
+   port-fill order.  In-degree is exactly [r], so all slots exist. *)
+let parent (p : t) ~gap ~port y =
+  p.p_pred.((p.p_radix * (((gap - 1) * p.p_per) + y)) + port) mod p.p_per
+
+let parent_a (p : t) ~gap y = parent p ~gap ~port:0 y
+
+let parent_b (p : t) ~gap y = parent p ~gap ~port:1 y
 
 (* Scratch ---------------------------------------------------------- *)
 
@@ -50,8 +64,8 @@ let scratch (p : t) =
   let total = total_nodes p in
   { parent = Array.make (max 1 total) 0;
     size = Array.make (max 1 total) 0;
-    row_a = Array.make p.p_per 0;
-    row_b = Array.make p.p_per 0
+    row_a = Array.make (max 1 p.p_per) 0;
+    row_b = Array.make (max 1 p.p_per) 0
   }
 
 let check_window (p : t) ~lo ~hi =
@@ -63,7 +77,30 @@ let check_window (p : t) ~lo ~hi =
    [lo .. hi]: path-halving find, union by size, component count
    maintained by decrement.  Replaces the materialize-subgraph +
    BFS pipeline (List.concat over boxed arcs, a fresh Digraph, a
-   fresh queue) with a single pass over the child tables. *)
+   fresh queue) with a single pass over the child tables.  [union_gaps]
+   is shared by the count and labelling kernels; the binary fast path
+   unrolls the two ports. *)
+let union_gaps (p : t) ~lo ~hi union =
+  let per = p.p_per in
+  let r = p.p_radix in
+  for gap = lo to hi - 1 do
+    let ch = p.p_child.(gap - 1) in
+    let src = (gap - 1) * per in
+    let dst = gap * per in
+    if r = 2 then
+      for x = 0 to per - 1 do
+        union (src + x) (dst + ch.(2 * x));
+        union (src + x) (dst + ch.((2 * x) + 1))
+      done
+    else
+      for x = 0 to per - 1 do
+        let base = r * x in
+        for j = 0 to r - 1 do
+          union (src + x) (dst + ch.(base + j))
+        done
+      done
+  done
+
 let component_count ?scratch:s (p : t) ~lo ~hi =
   check_window p ~lo ~hi;
   let s = match s with Some s -> s | None -> scratch p in
@@ -93,15 +130,7 @@ let component_count ?scratch:s (p : t) ~lo ~hi =
       decr count
     end
   in
-  for gap = lo to hi - 1 do
-    let fk = p.p_f.(gap - 1) and gk = p.p_g.(gap - 1) in
-    let src = (gap - 1) * per in
-    let dst = gap * per in
-    for x = 0 to per - 1 do
-      union (src + x) (dst + fk.(x));
-      union (src + x) (dst + gk.(x))
-    done
-  done;
+  union_gaps p ~lo ~hi union;
   !count
 
 (* Component labels over a window, BFS-free: run the same DSU, then
@@ -136,15 +165,7 @@ let component_labels ?scratch:s (p : t) ~lo ~hi =
       size.(big) <- size.(big) + size.(small)
     end
   in
-  for gap = lo to hi - 1 do
-    let fk = p.p_f.(gap - 1) and gk = p.p_g.(gap - 1) in
-    let src = (gap - 1) * per in
-    let dst = gap * per in
-    for x = 0 to per - 1 do
-      union (src + x) (dst + fk.(x));
-      union (src + x) (dst + gk.(x))
-    done
-  done;
+  union_gaps p ~lo ~hi union;
   (* Densify: number components by their minimal member (ascending-id
      first touch), the same numbering the old ascending-vertex BFS
      produced. *)
@@ -169,8 +190,34 @@ let component_labels ?scratch:s (p : t) ~lo ~hi =
    stage rows: [first_violation] scans sources (then sinks) in
    ascending order and reports the first (u, v, paths <> 1), matching
    the enumeration order of the historical matrix scan.  The old DP
-   allocated a fresh row per source per gap (O(n 2^n) arrays per
-   check); this allocates nothing beyond the scratch. *)
+   allocated a fresh row per source per gap (O(n r^n) arrays per
+   check); this allocates nothing beyond the scratch.  One gap's
+   advance, binary fast path unrolled: *)
+let dp_advance (p : t) k cur next =
+  let per = p.p_per in
+  let r = p.p_radix in
+  let ch = p.p_child.(k) in
+  Array.fill next 0 per 0;
+  if r = 2 then
+    for x = 0 to per - 1 do
+      let w = cur.(x) in
+      if w > 0 then begin
+        let a = ch.(2 * x) and b = ch.((2 * x) + 1) in
+        next.(a) <- next.(a) + w;
+        next.(b) <- next.(b) + w
+      end
+    done
+  else
+    for x = 0 to per - 1 do
+      let w = cur.(x) in
+      if w > 0 then begin
+        let base = r * x in
+        for j = 0 to r - 1 do
+          let y = ch.(base + j) in
+          next.(y) <- next.(y) + w
+        done
+      end
+    done
 
 let first_violation ?scratch:s (p : t) =
   let per = p.p_per in
@@ -183,16 +230,7 @@ let first_violation ?scratch:s (p : t) =
       Array.fill !cur 0 per 0;
       !cur.(u) <- 1;
       for k = 0 to n - 2 do
-        let fk = p.p_f.(k) and gk = p.p_g.(k) in
-        let c = !cur and nx = !next in
-        Array.fill nx 0 per 0;
-        for x = 0 to per - 1 do
-          let w = c.(x) in
-          if w > 0 then begin
-            nx.(fk.(x)) <- nx.(fk.(x)) + w;
-            nx.(gk.(x)) <- nx.(gk.(x)) + w
-          end
-        done;
+        dp_advance p k !cur !next;
         let t = !cur in
         cur := !next;
         next := t
@@ -217,16 +255,7 @@ let path_count_matrix (p : t) =
       Array.fill !cur 0 per 0;
       !cur.(u) <- 1;
       for k = 0 to n - 2 do
-        let fk = p.p_f.(k) and gk = p.p_g.(k) in
-        let c = !cur and nx = !next in
-        Array.fill nx 0 per 0;
-        for x = 0 to per - 1 do
-          let w = c.(x) in
-          if w > 0 then begin
-            nx.(fk.(x)) <- nx.(fk.(x)) + w;
-            nx.(gk.(x)) <- nx.(gk.(x)) + w
-          end
-        done;
+        dp_advance p k !cur !next;
         let t = !cur in
         cur := !next;
         next := t
@@ -235,26 +264,28 @@ let path_count_matrix (p : t) =
 
 (* Simulator routing tables ----------------------------------------- *)
 
-(* For gap [k+1], a flat table indexed by [2 * cell + out_port] whose
+(* For gap [k+1], a flat table indexed by [r * cell + out_port] whose
    entry encodes the downstream cell and the input-port index it
-   enters on as [(cell lsl 1) lor in_port].  Port numbering follows
-   the deterministic p_pred fill order (ascending source, f before g),
-   so it agrees with {!Mi_digraph.packed}'s predecessor slots. *)
+   enters on as [cell * r + in_port] (for [r = 2] this is the historic
+   [(cell lsl 1) lor in_port]).  Port numbering follows the
+   deterministic p_pred fill order (ascending source, ascending
+   out-port), so it agrees with {!Mi_digraph.packed}'s predecessor
+   slots. *)
 let downstream (p : t) =
   let per = p.p_per in
+  let r = p.p_radix in
   Array.init
     (p.p_stages - 1)
     (fun k ->
-      let fk = p.p_f.(k) and gk = p.p_g.(k) in
+      let ch = p.p_child.(k) in
       let fill = Array.make per 0 in
-      let table = Array.make (2 * per) 0 in
+      let table = Array.make (r * per) 0 in
       for x = 0 to per - 1 do
-        let cf = fk.(x) and cg = gk.(x) in
-        let pf = fill.(cf) in
-        fill.(cf) <- pf + 1;
-        let pg = fill.(cg) in
-        fill.(cg) <- pg + 1;
-        table.(2 * x) <- (cf lsl 1) lor pf;
-        table.((2 * x) + 1) <- (cg lsl 1) lor pg
+        for j = 0 to r - 1 do
+          let c = ch.((r * x) + j) in
+          let slot = fill.(c) in
+          fill.(c) <- slot + 1;
+          table.((r * x) + j) <- (c * r) + slot
+        done
       done;
       table)

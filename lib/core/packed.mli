@@ -2,14 +2,21 @@
     representation.
 
     {!Mi_digraph.packed} compiles a network once into flat int arrays
-    (dense stage-major node ids, per-gap child tables, stride-2 CSR
-    adjacency); this module provides the enumeration deciders that run
-    on them: the flat-DSU component census behind [P(i,j)], the
-    Banyan path-count DP, and the simulator's downstream routing
-    tables.  None of the kernels allocates per arc; with an explicit
-    {!scratch} they allocate nothing at all per query, which is what
-    lets a census over every stage window — or a parallel worker
-    sweeping many networks — run allocation-free after setup.
+    (dense stage-major node ids, per-gap digit-word child tables,
+    stride-[r] CSR adjacency); this module provides the enumeration
+    deciders that run on them: the flat-DSU component census behind
+    [P(i,j)], the Banyan path-count DP, and the simulator's downstream
+    routing tables.  None of the kernels allocates per arc; with an
+    explicit {!scratch} they allocate nothing at all per query, which
+    is what lets a census over every stage window — or a parallel
+    worker sweeping many networks — run allocation-free after setup.
+
+    Every kernel is radix-generic: the same code serves the binary
+    networks of {!Mi_digraph} ([p_radix = 2], via {!of_network}) and
+    the [r x r] networks of [lib/radix] (packed via
+    {!Mi_digraph.pack_tables}).  The binary case is a specialized
+    fast path — inner loops unrolled over the two ports — so [r = 2]
+    pays nothing for the generalization.
 
     The symbolic deciders of [lib/analysis] remain the fast path when
     every gap is affine; these kernels replace the {e enumeration
@@ -25,6 +32,10 @@ val of_network : Mi_digraph.t -> t
 val stages : t -> int
 
 val width : t -> int
+(** Label digits per node. *)
+
+val radix : t -> int
+(** [r]: ports per cell side; 2 for packings of {!Mi_digraph}. *)
 
 val nodes_per_stage : t -> int
 
@@ -36,17 +47,27 @@ val node_id : t -> stage:int -> int -> int
 val node_of_id : t -> int -> int * int
 (** Inverse of {!node_id}: [(stage, label)]. *)
 
+val child : t -> gap:int -> port:int -> int -> int
+(** [child p ~gap ~port x]: the [h_port]-child label of label [x]
+    across the 1-based [gap], [port in 0 .. r-1]. *)
+
 val child_f : t -> gap:int -> int -> int
-(** [child_f p ~gap x]: the [f]-child label of label [x] across the
-    1-based [gap]. *)
+(** [child_f p ~gap x]: the [f]-child ([port = 0]) of label [x]
+    across the 1-based [gap] — binary port naming, meaningful for
+    [radix p = 2]. *)
 
 val child_g : t -> gap:int -> int -> int
+(** Likewise for [g] ([port = 1]). *)
+
+val parent : t -> gap:int -> port:int -> int -> int
+(** [parent p ~gap ~port y]: the [port]-th parent label of label [y]
+    across [gap], in deterministic port-fill order (in-degree is
+    exactly [r], so all [r] slots exist; they coincide only on
+    multi-links). *)
 
 val parent_a : t -> gap:int -> int -> int
-(** [parent_a p ~gap y]/[parent_b p ~gap y]: the two parent labels of
-    label [y] across [gap], in deterministic port-fill order
-    (in-degree is exactly 2, so both always exist; they coincide only
-    on a double link). *)
+(** [parent_a p ~gap y]/[parent_b p ~gap y]: parent slots 0 and 1 —
+    the two parents of a binary packing. *)
 
 val parent_b : t -> gap:int -> int -> int
 
@@ -81,7 +102,8 @@ val path_count_matrix : t -> int array array
 
 val downstream : t -> int array array
 (** Per-gap flat routing tables for the packet simulator: entry
-    [2 * cell + out_port] of table [gap - 1] encodes the downstream
-    cell and its input-port index as [(cell lsl 1) lor in_port].
-    Port numbering follows the predecessor fill order of
+    [r * cell + out_port] of table [gap - 1] encodes the downstream
+    cell and its input-port index as [cell * r + in_port] (for
+    [r = 2], the historic [(cell lsl 1) lor in_port]).  Port
+    numbering follows the predecessor fill order of
     {!Mi_digraph.packed}. *)

@@ -1,6 +1,15 @@
 module Perm = Mineq_perm.Perm
 
+(* Every public entry point taking [~radix] validates it up front with
+   a function-named message, instead of letting an r < 2 surface as a
+   deep [Rv.context] failure (or, for r < 0, as silently nonsensical
+   arithmetic before the context is ever built).  Mirrors the binary
+   library's [single_stage] width validation. *)
+let check_radix name radix =
+  if radix < 2 then invalid_arg (Printf.sprintf "Rbuild.%s: radix must be >= 2" name)
+
 let rec baseline ~radix n =
+  check_radix "baseline" radix;
   if n < 2 then invalid_arg "Rbuild.baseline: need n >= 2";
   let ctx = Rv.context ~radix ~width:(n - 1) in
   let top_weight = Rv.universe_size ctx / radix in
@@ -17,6 +26,7 @@ let rec baseline ~radix n =
   end
 
 let connection_of_link_perm ~radix ~n p =
+  check_radix "connection_of_link_perm" radix;
   let link_count = int_of_float (float_of_int radix ** float_of_int n +. 0.5) in
   if Perm.size p <> link_count then
     invalid_arg "Rbuild.connection_of_link_perm: permutation size must be radix^n";
@@ -33,6 +43,7 @@ let is_degenerate ~n theta =
   Perm.apply theta 0 = 0
 
 let pipid_connection ~radix ~n theta =
+  check_radix "pipid_connection" radix;
   if Perm.size theta <> n then invalid_arg "Rbuild.pipid_connection: theta size";
   let link_ctx = Rv.context ~radix ~width:n in
   let cell_ctx = Rv.context ~radix ~width:(n - 1) in
@@ -47,6 +58,7 @@ let pipid_connection ~radix ~n theta =
 (* The index-digit permutations are radix-independent: the same theta
    acts on binary bits or base-r digits. *)
 let stack ~radix ~n gap_theta =
+  check_radix "stack" radix;
   if n < 2 then invalid_arg "Rbuild: need n >= 2";
   Rnetwork.create
     (List.init (n - 1) (fun k -> pipid_connection ~radix ~n (gap_theta (k + 1))))
@@ -84,5 +96,6 @@ let random_pipid_network rng ~radix ~n =
     (List.init (n - 1) (fun _ -> pipid_connection ~radix ~n (Perm.random rng n)))
 
 let random_network rng ~radix ~n =
+  check_radix "random_network" radix;
   let ctx = Rv.context ~radix ~width:(n - 1) in
   Rnetwork.create (List.init (n - 1) (fun _ -> Rconnection.random_any rng ctx))

@@ -1,5 +1,11 @@
 (** Constructions of radix-[r] networks: the recursive Baseline, link
-    permutations, and PIPID stages over base-[r] digits. *)
+    permutations, and PIPID stages over base-[r] digits.
+
+    Every entry point taking [~radix] raises [Invalid_argument] with
+    a function-named message when [radix < 2], before any other
+    computation — a radix below 2 cannot label an [r x r] cell and
+    would otherwise surface as a deep context failure or as silently
+    wrong arithmetic. *)
 
 val baseline : radix:int -> int -> Rnetwork.t
 (** [baseline ~radix n] is the [n]-stage radix-[r] Baseline by the

@@ -1,13 +1,22 @@
 module Digraph = Mineq_graph.Digraph
 module Traverse = Mineq_graph.Traverse
+module Mi_digraph = Mineq.Mi_digraph
+module Packed = Mineq.Packed
 
-type t = { ctx : Rv.ctx; conns : Rconnection.t array }
+type t = {
+  ctx : Rv.ctx;
+  conns : Rconnection.t array;
+  mutable packed_cache : Mi_digraph.packed option;
+}
+
+let make ctx conns = { ctx; conns; packed_cache = None }
 
 let create conns =
   match conns with
   | [] -> invalid_arg "Rnetwork.create: empty connection list"
   | c0 :: rest ->
       let ctx = Rconnection.ctx c0 in
+      if Rv.radix ctx < 2 then invalid_arg "Rnetwork.create: radix must be >= 2";
       List.iter
         (fun c ->
           if
@@ -22,7 +31,7 @@ let create conns =
           if not (Rconnection.is_mi_stage c) then
             invalid_arg "Rnetwork.create: a connection violates the in-degree requirement")
         conns;
-      { ctx; conns = Array.of_list conns }
+      make ctx (Array.of_list conns)
 
 let stages g = Array.length g.conns + 1
 
@@ -43,7 +52,28 @@ let connections g = Array.to_list g.conns
 let reverse g =
   let rev = Array.map Rconnection.reverse_any g.conns in
   let m = Array.length rev in
-  { g with conns = Array.init m (fun i -> rev.(m - 1 - i)) }
+  (* A fresh record, never [{ g with _ }]: the packed cache describes
+     the original wiring and must not be inherited. *)
+  make g.ctx (Array.init m (fun i -> rev.(m - 1 - i)))
+
+(* Packing ---------------------------------------------------------- *)
+
+(* The stride-r compilation shared with the binary library: the same
+   Mi_digraph.packed record (per-gap digit-word child tables, stride-r
+   CSR) so every Packed kernel — flat-DSU census, two-row path-count
+   DP, downstream tables — runs on radix networks unchanged.  Built on
+   first use, cached on the record; the benign write race under
+   Domains is safe because packing is deterministic. *)
+let packed g =
+  match g.packed_cache with
+  | Some p -> p
+  | None ->
+      let p =
+        Mi_digraph.pack_tables ~stages:(stages g) ~radix:(radix g) ~width:(Rv.width g.ctx)
+          ~child:(fun ~gap ~port x -> Rconnection.child g.conns.(gap - 1) port x)
+      in
+      g.packed_cache <- Some p;
+      p
 
 let subgraph g ~lo ~hi =
   let n = stages g in
@@ -67,7 +97,15 @@ let equal a b =
   && radix a = radix b
   && Array.for_all2 Rconnection.equal_graph a.conns b.conns
 
-let is_banyan g =
+(* Deciders --------------------------------------------------------- *)
+
+(* Banyan: the packed path-count DP (two reusable rows, no per-gap
+   array churn).  The boxed closure pipeline survives as
+   [is_banyan_list] — the bench baseline and the qcheck agreement
+   oracle. *)
+let is_banyan g = Option.is_none (Packed.first_violation (packed g))
+
+let is_banyan_list g =
   let per = cells_per_stage g in
   let n = stages g in
   let ok = ref true in
@@ -91,13 +129,20 @@ let is_banyan g =
   done;
   !ok
 
+let path_count_matrix g = Packed.path_count_matrix (packed g)
+
 let expected_components g ~lo ~hi =
   let n = stages g in
   if lo < 1 || hi > n || lo > hi then invalid_arg "Rnetwork: bad stage range";
   let rec pow acc k = if k = 0 then acc else pow (acc * radix g) (k - 1) in
   pow 1 (n - 1 - (hi - lo))
 
-let component_count g ~lo ~hi = Traverse.component_count (subgraph g ~lo ~hi)
+(* Census: flat union-find over the packed child tables; the old
+   materialize-subgraph + BFS pipeline survives as
+   [component_count_subgraph]. *)
+let component_count g ~lo ~hi = Packed.component_count (packed g) ~lo ~hi
+
+let component_count_subgraph g ~lo ~hi = Traverse.component_count (subgraph g ~lo ~hi)
 
 let p_ij g ~lo ~hi = component_count g ~lo ~hi = expected_components g ~lo ~hi
 
@@ -111,7 +156,35 @@ let p_star_n g =
   let rec go i = i > n || (p_ij g ~lo:i ~hi:n && go (i + 1)) in
   go 1
 
-let by_characterization g = is_banyan g && p_one_star g && p_star_n g
+let by_characterization g =
+  (* Banyan by the packed DP, then both P families by the flat-DSU
+     census with one shared scratch — one packed compilation serves
+     every window. *)
+  is_banyan g
+  &&
+  let p = packed g in
+  let n = stages g in
+  let scratch = Packed.scratch p in
+  let window_ok ~lo ~hi =
+    Packed.component_count ~scratch p ~lo ~hi = expected_components g ~lo ~hi
+  in
+  let rec prefixes j = j > n || (window_ok ~lo:1 ~hi:j && prefixes (j + 1)) in
+  let rec suffixes i = i > n || (window_ok ~lo:i ~hi:n && suffixes (i + 1)) in
+  prefixes 1 && suffixes 1
+
+let by_characterization_list g =
+  (* The pre-packed pipeline end to end: boxed-row Banyan DP and
+     subgraph-BFS censuses.  Bench baseline and agreement oracle. *)
+  let n = stages g in
+  is_banyan_list g
+  && List.for_all
+       (fun j ->
+         component_count_subgraph g ~lo:1 ~hi:j = expected_components g ~lo:1 ~hi:j)
+       (List.init n (fun j -> j + 1))
+  && List.for_all
+       (fun i ->
+         component_count_subgraph g ~lo:i ~hi:n = expected_components g ~lo:i ~hi:n)
+       (List.init n (fun i -> i + 1))
 
 let by_independence g =
   is_banyan g && List.for_all Rconnection.is_independent (connections g)

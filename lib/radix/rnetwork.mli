@@ -6,13 +6,27 @@
     The paper proves Theorem 3 only for [r = 2] and notes the graph
     characterization generalizes; whether {e independence} still
     implies Baseline-equivalence at higher radix is exactly what
-    experiment X6 tests (spoiler: every sampled instance agrees). *)
+    experiment X6 tests (spoiler: every sampled instance agrees).
+
+    The deciders run on the same packed CSR compilation as the binary
+    library ({!Mi_digraph.packed} at stride [r], kernels in
+    {!Mineq.Packed}): Banyan by the two-row path-count DP, the
+    censuses by the flat union-find — no boxed child lists, no
+    subgraph materialization.  The pre-packed boxed pipeline survives
+    as [is_banyan_list] / [component_count_subgraph] /
+    [by_characterization_list]: the benchmark baselines and the
+    qcheck agreement oracles. *)
+
+module Mi_digraph := Mineq.Mi_digraph
 
 type t
 
 val create : Rconnection.t list -> t
 (** [n-1] connections over the same context, each a valid MI stage;
-    the digit width must be [n - 1]. *)
+    the digit width must be [n - 1].  Raises [Invalid_argument] on an
+    empty list, a context mismatch, a radix below 2, a width not
+    matching the stage count, or a connection violating the in-degree
+    requirement. *)
 
 val stages : t -> int
 
@@ -32,6 +46,13 @@ val connections : t -> Rconnection.t list
 
 val reverse : t -> t
 
+val packed : t -> Mi_digraph.packed
+(** The stride-[r] packed compilation ({!Mi_digraph.pack_tables}):
+    dense stage-major ids, per-gap digit-word child tables, CSR
+    adjacency.  Built on first use and cached on the record; safe
+    under parallel domains (packing is deterministic and
+    idempotent).  Every {!Mineq.Packed} kernel accepts the result. *)
+
 val to_digraph : t -> Mineq_graph.Digraph.t
 
 val subgraph : t -> lo:int -> hi:int -> Mineq_graph.Digraph.t
@@ -41,10 +62,26 @@ val equal : t -> t -> bool
 (** {1 Properties} *)
 
 val is_banyan : t -> bool
+(** Packed path-count DP ({!Mineq.Packed.first_violation}). *)
+
+val is_banyan_list : t -> bool
+(** The boxed-closure DP the packed kernel replaced (fresh row per
+    gap, child lists per cell) — bench baseline and agreement
+    oracle. *)
+
+val path_count_matrix : t -> int array array
+(** [m.(u).(v)]: number of stage-1-[u] to stage-n-[v] cell paths, by
+    the packed DP. *)
 
 val expected_components : t -> lo:int -> hi:int -> int
 
 val component_count : t -> lo:int -> hi:int -> int
+(** Flat union-find over the packed child tables
+    ({!Mineq.Packed.component_count}). *)
+
+val component_count_subgraph : t -> lo:int -> hi:int -> int
+(** The materialize-subgraph + BFS census the packed kernel replaced
+    — bench baseline and agreement oracle. *)
 
 val p_ij : t -> lo:int -> hi:int -> bool
 
@@ -55,7 +92,12 @@ val p_star_n : t -> bool
 (** {1 Equivalence with the radix-r Baseline} *)
 
 val by_characterization : t -> bool
-(** Banyan + both [P] families (the generalized [12] theorem). *)
+(** Banyan + both [P] families (the generalized [12] theorem), on the
+    packed kernels with one shared scratch. *)
+
+val by_characterization_list : t -> bool
+(** The same characterization over the boxed pipeline — bench
+    baseline and agreement oracle. *)
 
 val by_independence : t -> bool
 (** Banyan + every connection independent — the radix-r {e analogue}

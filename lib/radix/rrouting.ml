@@ -1,43 +1,55 @@
+module Packed = Mineq.Packed
+
 type path = { input : int; output : int; cells : int array; ports : int array }
 
 let check_terminal g t name =
   if t < 0 || t >= Rnetwork.terminals g then invalid_arg ("Rrouting: bad " ^ name)
 
+(* Backward reachability + forward walk over the packed child tables:
+   the reach table is one flat byte row per network (no per-stage bool
+   arrays, no boxed child lists), and each forward step scans the [r]
+   ports of the current cell straight off the stride-r table. *)
 let route g ~input ~output =
   check_terminal g input "input";
   check_terminal g output "output";
   let r = Rnetwork.radix g in
   let n = Rnetwork.stages g in
   let per = Rnetwork.cells_per_stage g in
+  let p = Rnetwork.packed g in
   let src = input / r and dst = output / r in
-  let reach = Array.init n (fun _ -> Array.make per false) in
-  reach.(n - 1).(dst) <- true;
+  (* reach.(s * per + x): cell x of 0-based stage s reaches dst. *)
+  let reach = Bytes.make (n * per) '\000' in
+  Bytes.unsafe_set reach (((n - 1) * per) + dst) '\001';
   for s = n - 2 downto 0 do
-    let c = Rnetwork.connection g (s + 1) in
+    let base = (s + 1) * per in
     for x = 0 to per - 1 do
-      reach.(s).(x) <- List.exists (fun y -> reach.(s + 1).(y)) (Rconnection.children c x)
+      let rec any j =
+        j < r
+        && (Bytes.unsafe_get reach (base + Packed.child p ~gap:(s + 1) ~port:j x) <> '\000'
+           || any (j + 1))
+      in
+      if any 0 then Bytes.unsafe_set reach ((s * per) + x) '\001'
     done
   done;
-  if not reach.(0).(src) then None
+  if Bytes.get reach src = '\000' then None
   else begin
     let cells = Array.make n src in
     let ports = Array.make n 0 in
     let cur = ref src in
     for s = 0 to n - 2 do
-      let c = Rnetwork.connection g (s + 1) in
-      let onward =
-        List.filteri (fun _ y -> reach.(s + 1).(y)) (Rconnection.children c !cur)
-      in
-      (match onward with
-      | [ _ ] ->
-          let rec find_port j =
-            if reach.(s + 1).(Rconnection.child c j !cur) then j else find_port (j + 1)
-          in
-          let port = find_port 0 in
-          ports.(s) <- port;
-          cur := Rconnection.child c port !cur
-      | [] -> assert false
-      | _ -> failwith "Rrouting.route: multiple paths (network is not Banyan)");
+      let base = (s + 1) * per in
+      let onward = ref 0 and port = ref (-1) in
+      for j = 0 to r - 1 do
+        if Bytes.get reach (base + Packed.child p ~gap:(s + 1) ~port:j !cur) <> '\000'
+        then begin
+          incr onward;
+          if !port < 0 then port := j
+        end
+      done;
+      if !onward > 1 then failwith "Rrouting.route: multiple paths (network is not Banyan)";
+      assert (!port >= 0);
+      ports.(s) <- !port;
+      cur := Packed.child p ~gap:(s + 1) ~port:!port !cur;
       cells.(s + 1) <- !cur
     done;
     ports.(n - 1) <- output mod r;

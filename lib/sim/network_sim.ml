@@ -54,9 +54,11 @@ let routing_words g =
 
 (* Input-port index at the downstream cell for each (stage, cell,
    out-port): which of the child's two FIFOs this link feeds.  Flat
-   packed tables (Packed.downstream): entry [2 * cell + out_port]
-   encodes [(child lsl 1) lor in_port], so the per-packet hop in the
-   cycle loop is two int reads and a shift — no tuple boxing. *)
+   packed tables (Packed.downstream): entry [r * cell + out_port]
+   encodes [child * r + in_port], which for this simulator's binary
+   networks (r = 2) is [(child lsl 1) lor in_port] — so the
+   per-packet hop in the cycle loop is two int reads and a shift, no
+   tuple boxing. *)
 let downstream_ports g = Mineq.Packed.downstream (Mi_digraph.packed g)
 
 let run ?(config = default_config) rng g =
