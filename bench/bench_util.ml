@@ -6,13 +6,35 @@
 let smoke_requested () = Array.exists (String.equal "--smoke") Sys.argv
 
 let output_path ~default =
-  (* First non-flag argument after the executable name, if any. *)
+  (* First [.json]-suffixed positional argument after the executable
+     name, if any.  The old "first non-flag token" scan let the value
+     of an option like [--trials 200] hijack the artifact path; only a
+     token that names a JSON file can be the destination. *)
+  let is_json s =
+    String.length s > 5
+    && s.[0] <> '-'
+    && String.equal (String.sub s (String.length s - 5) 5) ".json"
+  in
   let rec scan i =
     if i >= Array.length Sys.argv then default
-    else if String.length Sys.argv.(i) > 0 && Sys.argv.(i).[0] <> '-' then Sys.argv.(i)
+    else if is_json Sys.argv.(i) then Sys.argv.(i)
     else scan (i + 1)
   in
   scan 1
+
+let quota ~default =
+  (* Same env knob as the bechamel grid: MINEQ_BENCH_QUOTA=<seconds>
+     scales the handwritten benches' budgets too. *)
+  match Option.bind (Sys.getenv_opt "MINEQ_BENCH_QUOTA") float_of_string_opt with
+  | Some q when q > 0.0 -> q
+  | _ -> default
+
+let scaled_reps ~reps =
+  if smoke_requested () then 1
+  else
+    let q = quota ~default:0.5 in
+    if q >= 0.5 then reps
+    else max 1 (int_of_float (float_of_int reps *. q /. 0.5))
 
 let time_us ~reps f =
   (* Best of three batches, to damp scheduler noise. *)

@@ -6,8 +6,20 @@ val smoke_requested : unit -> bool
     measurement). *)
 
 val output_path : default:string -> string
-(** First non-flag command-line argument, or [default]: where the
-    JSON artifact goes. *)
+(** First [.json]-suffixed positional argument, or [default]: where
+    the JSON artifact goes.  Restricting to [.json] names keeps
+    option values (e.g. the [200] of [--trials 200]) from being
+    mistaken for the destination. *)
+
+val quota : default:float -> float
+(** [MINEQ_BENCH_QUOTA] in seconds when set and positive, else
+    [default] — the same budget knob the bechamel grid honours. *)
+
+val scaled_reps : reps:int -> int
+(** The repetition budget after scaling: [1] under [--smoke],
+    [reps] under the full default quota, proportionally fewer (at
+    least 1) when [MINEQ_BENCH_QUOTA] shrinks the budget below the
+    0.5 s default. *)
 
 val time_us : reps:int -> (unit -> 'a) -> float
 (** Mean microseconds per call over [reps] calls, best of three

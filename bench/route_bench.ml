@@ -1,0 +1,245 @@
+(* Routing bench artifact: permutations per second for the Benes
+   looping compiler, destination-tag path setup throughput, and plane
+   ensembles, written to BENCH_route.json.
+
+   Every measured hot path is required to allocate nothing: each row
+   carries a [*_minor_w] column (minor-heap words per operation) and
+   the process exits 1 if any of them is above zero — the regression
+   gate for the preallocated-scratch design of lib/route.  A second
+   gate routes 1000 random permutations on the n = 12 Benes (4096
+   terminals, 23 stages) and verifies each against Plan.realizes;
+   looping must never fail on a Benes, so any failure is a bug, not a
+   statistic.
+
+   Run with --smoke for a tiny-budget crash/format check (the n = 12
+   gate then runs 10 trials); MINEQ_BENCH_QUOTA=<seconds> scales the
+   repetition budgets like the bechamel grid. *)
+
+module Loop = Mineq_route.Loop
+module Plan = Mineq_route.Plan
+module Bit_follow = Mineq_route.Bit_follow
+module Planes = Mineq_route.Planes
+module Seeds = Mineq_engine.Seeds
+
+let smoke = Bench_util.smoke_requested ()
+
+let shuffle st img =
+  let n = Array.length img in
+  for i = 0 to n - 1 do
+    img.(i) <- i
+  done;
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = img.(i) in
+    img.(i) <- img.(j);
+    img.(j) <- tmp
+  done
+
+(* A fixed pool of permutations, drawn outside the measured region so
+   the hot path only routes. *)
+let perm_pool st ~terminals ~count =
+  Array.init count (fun _ ->
+      let img = Array.make terminals 0 in
+      shuffle st img;
+      img)
+
+type loop_row = {
+  l_n : int;
+  l_terminals : int;
+  l_stages : int;
+  l_us : float;
+  l_minor_w : float;
+}
+
+let loop_row st ~n ~reps =
+  let router = Loop.create n in
+  let plan = Loop.plan router in
+  let pool = perm_pool st ~terminals:(Loop.terminals router) ~count:32 in
+  let k = ref 0 in
+  let op () =
+    let img = pool.(!k land 31) in
+    incr k;
+    Plan.reset plan;
+    Loop.route router plan img
+  in
+  let reps = Bench_util.scaled_reps ~reps in
+  let us = Bench_util.time_us ~reps op in
+  let minor_w = Bench_util.minor_words_per_op ~reps op in
+  Printf.printf "benes_loop_n%-2d   %8.1f us/perm   %10.0f perms/s   minor %.1f w\n%!" n us
+    (1e6 /. us) minor_w;
+  { l_n = n;
+    l_terminals = Loop.terminals router;
+    l_stages = (2 * n) - 1;
+    l_us = us;
+    l_minor_w = minor_w
+  }
+
+type bf_row = {
+  b_name : string;
+  b_n : int;
+  b_pairs : int;
+  b_routed : int;  (** pairs of the fixed test permutation that connect *)
+  b_us : float;  (** per full-permutation setup attempt *)
+  b_minor_w : float;
+}
+
+(* Module level so the measured closure does not rebuild it per call. *)
+let rec setup_all router plan img i acc =
+  if i = Array.length img then acc
+  else if Bit_follow.try_route router plan ~input:i ~output:img.(i) then
+    setup_all router plan img (i + 1) (acc + 1)
+  else setup_all router plan img (i + 1) acc
+
+let bit_follow_row st ~n ~reps =
+  let g = Mineq.Classical.network Omega ~n in
+  let router = Option.get (Bit_follow.of_network g) in
+  let plan = Plan.create (Bit_follow.fabric router) in
+  let terminals = 1 lsl n in
+  let img = Array.make terminals 0 in
+  shuffle st img;
+  let routed = ref 0 in
+  let op () =
+    Plan.reset plan;
+    routed := setup_all router plan img 0 0
+  in
+  let reps = Bench_util.scaled_reps ~reps in
+  let us = Bench_util.time_us ~reps op in
+  let minor_w = Bench_util.minor_words_per_op ~reps op in
+  let name = Printf.sprintf "omega_n%d_tag_setup" n in
+  Printf.printf "%-16s %8.1f us/perm   routed %d/%d   minor %.1f w\n%!" name us !routed
+    terminals minor_w;
+  { b_name = name; b_n = n; b_pairs = terminals; b_routed = !routed; b_us = us;
+    b_minor_w = minor_w }
+
+type planes_row = {
+  p_planes : int;
+  p_n : int;
+  p_routed : int;
+  p_pairs : int;
+  p_us : float;
+  p_minor_w : float;
+}
+
+let planes_row st ~n ~planes ~reps =
+  let g = Mineq.Classical.network Omega ~n in
+  let router = Option.get (Bit_follow.of_network g) in
+  let ens = Planes.create router ~planes in
+  let terminals = 1 lsl n in
+  let img = Array.make terminals 0 in
+  shuffle st img;
+  let routed = ref 0 in
+  let op () =
+    Planes.reset ens;
+    routed := Planes.connect_all ens img
+  in
+  let reps = Bench_util.scaled_reps ~reps in
+  let us = Bench_util.time_us ~reps op in
+  let minor_w = Bench_util.minor_words_per_op ~reps op in
+  Printf.printf "omega_n%d_planes%d %8.1f us/perm   routed %d/%d   minor %.1f w\n%!" n planes
+    us !routed terminals minor_w;
+  { p_planes = planes; p_n = n; p_routed = !routed; p_pairs = terminals; p_us = us;
+    p_minor_w = minor_w }
+
+(* Gate: the looping algorithm must route every permutation on a
+   Benes; verify [trials] random ones at n = 12 against the plan's own
+   propagation. *)
+let loop_gate st ~trials =
+  let router = Loop.create 12 in
+  let plan = Loop.plan router in
+  let img = Array.make (Loop.terminals router) 0 in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    shuffle st img;
+    Plan.reset plan;
+    Loop.route router plan img;
+    if not (Plan.realizes plan img) then incr failures
+  done;
+  Printf.printf "loop gate: %d/%d random permutations realized at n=12\n%!"
+    (trials - !failures) trials;
+  !failures
+
+let () =
+  let st = Seeds.state 0x526f757465 in
+  Printf.printf "route bench%s\n%!" (if smoke then " (smoke)" else "");
+  (* explicit lets: list literals evaluate right to left, which would
+     reverse the printed progress *)
+  let l4 = loop_row st ~n:4 ~reps:2000 in
+  let l8 = loop_row st ~n:8 ~reps:400 in
+  let l10 = loop_row st ~n:10 ~reps:100 in
+  let l12 = loop_row st ~n:12 ~reps:25 in
+  let loops = [ l4; l8; l10; l12 ] in
+  let b6 = bit_follow_row st ~n:6 ~reps:1000 in
+  let b10 = bit_follow_row st ~n:10 ~reps:100 in
+  let bfs = [ b6; b10 ] in
+  let p1 = planes_row st ~n:8 ~planes:1 ~reps:200 in
+  let p2 = planes_row st ~n:8 ~planes:2 ~reps:200 in
+  let p4 = planes_row st ~n:8 ~planes:4 ~reps:200 in
+  let planes = [ p1; p2; p4 ] in
+  let trials = if smoke then 10 else 1000 in
+  let failures = loop_gate st ~trials in
+  let alloc_rows =
+    List.map (fun r -> r.l_minor_w) loops
+    @ List.map (fun r -> r.b_minor_w) bfs
+    @ List.map (fun r -> r.p_minor_w) planes
+  in
+  let zero_alloc = List.for_all (fun w -> w <= 0.0) alloc_rows in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"ocaml\": %S,\n" Sys.ocaml_version);
+  Buffer.add_string buf "  \"benes_loop\": [\n";
+  let last = List.length loops - 1 in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"n\": %d, \"terminals\": %d, \"stages\": %d, \"us_per_perm\": %.2f, \
+            \"perms_per_sec\": %.0f, \"route_minor_w\": %.1f}%s\n"
+           r.l_n r.l_terminals r.l_stages r.l_us (1e6 /. r.l_us) r.l_minor_w
+           (if i = last then "" else ",")))
+    loops;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"bit_follow\": [\n";
+  let last = List.length bfs - 1 in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"n\": %d, \"pairs\": %d, \"routed\": %d, \
+            \"us_per_perm\": %.2f, \"try_route_minor_w\": %.1f}%s\n"
+           r.b_name r.b_n r.b_pairs r.b_routed r.b_us r.b_minor_w
+           (if i = last then "" else ",")))
+    bfs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"planes\": [\n";
+  let last = List.length planes - 1 in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"n\": %d, \"planes\": %d, \"routed\": %d, \"pairs\": %d, \
+            \"us_per_perm\": %.2f, \"connect_minor_w\": %.1f}%s\n"
+           r.p_n r.p_planes r.p_routed r.p_pairs r.p_us r.p_minor_w
+           (if i = last then "" else ",")))
+    planes;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"gates\": {\"loop_n12_trials\": %d, \"loop_n12_failures\": %d, \
+        \"zero_alloc\": %b}\n"
+       trials failures zero_alloc);
+  Buffer.add_string buf "}\n";
+  let path = Bench_util.output_path ~default:"BENCH_route.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  if failures > 0 then begin
+    Printf.eprintf "FAIL: looping failed %d/%d permutations on the n=12 Benes\n%!" failures
+      trials;
+    exit 1
+  end;
+  if not zero_alloc then begin
+    Printf.eprintf "FAIL: a routing hot path allocates (see *_minor_w)\n%!";
+    exit 1
+  end

@@ -10,6 +10,7 @@
 open Cmdliner
 open Mineq
 module Engine = Mineq_engine
+module Route = Mineq_route
 
 let parse_network spec ~n =
   match Classical.of_name spec with
@@ -191,30 +192,208 @@ let iso_cmd =
 
 (* route -------------------------------------------------------------- *)
 
+(* Permutation specifications for route --perm and the examples:
+   identity, bitrev, random:SEED, or an explicit comma-separated
+   image. *)
+let parse_perm spec ~terminals =
+  let bits =
+    let rec go b = if 1 lsl b >= terminals then b else go (b + 1) in
+    go 0
+  in
+  match spec with
+  | "identity" -> Ok (Array.init terminals Fun.id)
+  | "bitrev" ->
+      Ok
+        (Array.init terminals (fun i ->
+             let r = ref 0 in
+             for b = 0 to bits - 1 do
+               if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+             done;
+             !r))
+  | _ -> (
+      match String.split_on_char ':' spec with
+      | [ "random"; seed ] -> (
+          match int_of_string_opt seed with
+          | None -> Error "random:SEED needs an integer seed"
+          | Some s ->
+              let st = Engine.Seeds.state s in
+              let img = Array.init terminals Fun.id in
+              for i = terminals - 1 downto 1 do
+                let j = Random.State.int st (i + 1) in
+                let tmp = img.(i) in
+                img.(i) <- img.(j);
+                img.(j) <- tmp
+              done;
+              Ok img)
+      | _ -> (
+          let parts = String.split_on_char ',' spec in
+          match List.map int_of_string_opt parts with
+          | exception _ -> Error "bad permutation"
+          | opts ->
+              if List.exists Option.is_none opts then
+                Error
+                  "PERM must be identity, bitrev, random:SEED or a comma-separated image"
+              else
+                let img = Array.of_list (List.map Option.get opts) in
+                let seen = Array.make terminals false in
+                let ok = ref (Array.length img = terminals) in
+                Array.iter
+                  (fun v ->
+                    if v < 0 || v >= terminals || seen.(v) then ok := false
+                    else seen.(v) <- true)
+                  img;
+                if !ok then Ok img
+                else
+                  Error
+                    (Printf.sprintf "PERM must be a permutation of 0..%d" (terminals - 1))))
+
+(* Per-stage switch states: one group of radix digits per cell, the
+   digit at position j being the out-port assigned to in-port j ('.'
+   when unset). *)
+let print_plan plan =
+  let fab = Route.Plan.fabric plan in
+  let r = fab.Route.Fabric.radix in
+  let buf = Buffer.create 256 in
+  for s = 0 to fab.Route.Fabric.stages - 1 do
+    Buffer.clear buf;
+    Buffer.add_string buf (Printf.sprintf "stage %2d: " (s + 1));
+    for c = 0 to fab.Route.Fabric.per - 1 do
+      if c > 0 then Buffer.add_char buf ' ';
+      for j = 0 to r - 1 do
+        let p = Route.Plan.port_of plan ~stage:s ~cell:c ~in_port:j in
+        Buffer.add_char buf (if p < 0 then '.' else Char.chr (Char.code '0' + p))
+      done
+    done;
+    print_endline (Buffer.contents buf)
+  done
+
+let route_pair_run spec n src dst =
+  with_network spec n (fun g ->
+      match Routing.route g ~input:src ~output:dst with
+      | None -> Printf.printf "no path from %d to %d\n" src dst
+      | Some p ->
+          Printf.printf "cells: %s\n"
+            (String.concat " -> "
+               (Array.to_list (Array.map string_of_int p.Routing.cells)));
+          Printf.printf "ports: %s\n"
+            (String.concat ""
+               (Array.to_list (Array.map string_of_int p.Routing.ports)));
+          Printf.printf "port word: %d\n" (Routing.port_word p))
+
+let route_benes_perm n img =
+  let router = Route.Loop.create n in
+  let plan = Route.Loop.plan router in
+  Route.Loop.route router plan img;
+  let terminals = Route.Loop.terminals router in
+  Printf.printf "benes n=%d: %d terminals, %d stages, %d switch assignments\n" n terminals
+    ((2 * n) - 1)
+    (Route.Plan.set_count plan);
+  Printf.printf "plan realizes the permutation: %b\n" (Route.Plan.realizes plan img);
+  if terminals <= 32 then print_plan plan;
+  0
+
+let route_perm_run spec n pspec planes =
+  let terminals = 1 lsl n in
+  match parse_perm pspec ~terminals with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok img ->
+      if String.equal spec "benes" then route_benes_perm n img
+      else
+        with_network spec n (fun g ->
+            match Route.Bit_follow.of_network g with
+            | None ->
+                Printf.printf "%s is not a delta network: no destination-tag control\n" spec
+            | Some router ->
+                let ens = Route.Planes.create router ~planes in
+                let routed = Route.Planes.connect_all ens img in
+                Printf.printf "routed %d/%d pairs through %d plane(s)\n" routed terminals
+                  planes;
+                Array.iteri
+                  (fun input output ->
+                    if Route.Planes.plane_of ens input < 0 then
+                      match Route.Planes.connect ens ~input ~output with
+                      | Ok _ -> ()
+                      | Error b ->
+                          Printf.printf
+                            "blocked: %d -> %d contests stage %d cell %d port %d\n" input
+                            output (b.Route.Bit_follow.stage + 1) b.Route.Bit_follow.cell
+                            b.Route.Bit_follow.port)
+                  img;
+                if terminals <= 32 then
+                  for k = 0 to Route.Planes.plane_count ens - 1 do
+                    Printf.printf "plane %d:\n" k;
+                    print_plan (Route.Planes.plan ens k)
+                  done)
+
 let route_cmd =
   let src_arg =
-    Arg.(required & opt (some int) None & info [ "s"; "source" ] ~docv:"INPUT" ~doc:"Input terminal.")
+    Arg.(
+      value & opt (some int) None & info [ "s"; "source" ] ~docv:"INPUT" ~doc:"Input terminal.")
   in
   let dst_arg =
     Arg.(
-      required & opt (some int) None & info [ "d"; "dest" ] ~docv:"OUTPUT" ~doc:"Output terminal.")
+      value & opt (some int) None & info [ "d"; "dest" ] ~docv:"OUTPUT" ~doc:"Output terminal.")
   in
-  let run spec n src dst =
-    with_network spec n (fun g ->
-        match Routing.route g ~input:src ~output:dst with
-        | None -> Printf.printf "no path from %d to %d\n" src dst
-        | Some p ->
-            Printf.printf "cells: %s\n"
-              (String.concat " -> "
-                 (Array.to_list (Array.map string_of_int p.Routing.cells)));
-            Printf.printf "ports: %s\n"
-              (String.concat ""
-                 (Array.to_list (Array.map string_of_int p.Routing.ports)));
-            Printf.printf "port word: %d\n" (Routing.port_word p))
+  let perm_arg =
+    let doc =
+      "Route a whole permutation instead of one pair: identity, bitrev, random:SEED or a \
+       comma-separated image.  With NETWORK benes the looping algorithm compiles the full \
+       switch-state program (never blocks); on any delta network, destination-tag setup \
+       through --planes parallel planes."
+    in
+    Arg.(value & opt (some string) None & info [ "perm" ] ~docv:"PERM" ~doc)
+  in
+  let planes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "planes" ] ~docv:"K" ~doc:"Parallel expansion planes for --perm routing.")
+  in
+  let run spec n src dst perm planes =
+    match (perm, src, dst) with
+    | Some pspec, None, None -> route_perm_run spec n pspec planes
+    | None, Some src, Some dst -> route_pair_run spec n src dst
+    | _ ->
+        prerr_endline "route needs either --source and --dest, or --perm";
+        1
   in
   Cmd.v
-    (Cmd.info "route" ~doc:"Route one input/output pair through a network")
-    Term.(const run $ network_arg $ n_arg $ src_arg $ dst_arg)
+    (Cmd.info "route"
+       ~doc:"Route one input/output pair, or a whole permutation, through a network")
+    Term.(const run $ network_arg $ n_arg $ src_arg $ dst_arg $ perm_arg $ planes_arg)
+
+(* blocking ----------------------------------------------------------- *)
+
+let blocking_cmd =
+  let planes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "planes"; "k" ] ~docv:"K" ~doc:"Parallel expansion planes per network.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"T" ~doc:"Random permutations per network.")
+  in
+  let run n planes trials seed jobs =
+    let rows = Route.Survey.run ~jobs ~seed ~n ~planes ~trials () in
+    Printf.printf "%-26s %8s %10s %12s\n" "network" "planes" "perm-ok" "pairs-ok";
+    List.iter
+      (fun r ->
+        Printf.printf "%-26s %8d %9.1f%% %11.1f%%\n" r.Route.Survey.name
+          r.Route.Survey.planes
+          (100.0 *. Route.Survey.full_fraction r)
+          (100.0 *. Route.Survey.routed_fraction r))
+      rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "blocking"
+       ~doc:
+         "Blocking survey: random permutations through plane ensembles across the \
+          classical inventory")
+    Term.(const run $ n_arg $ planes_arg $ trials_arg $ seed_arg $ jobs_arg)
 
 (* simulate ----------------------------------------------------------- *)
 
@@ -530,9 +709,9 @@ let main_cmd =
   let doc = "Baseline-equivalence toolkit for multistage interconnection networks" in
   let info = Cmd.info "mineq" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ build_cmd; render_cmd; check_cmd; equiv_cmd; iso_cmd; route_cmd; simulate_cmd;
-      survey_cmd; census_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd; save_cmd;
-      load_cmd; dot_cmd; lint_cmd
+    [ build_cmd; render_cmd; check_cmd; equiv_cmd; iso_cmd; route_cmd; blocking_cmd;
+      simulate_cmd; survey_cmd; census_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd;
+      save_cmd; load_cmd; dot_cmd; lint_cmd
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -6,6 +6,31 @@ let network n =
     (Cascade.of_mi_digraph (Baseline.network n))
     (Cascade.of_mi_digraph (Baseline.reverse n))
 
+(* The recursive structure the looping algorithm descends: at depth d
+   the network splits into 2^d independent sub-Benes blocks living
+   between the mirrored stages d+1 and 2n-1-d, a block's cells sharing
+   their top d label bits, the next bit down (select_bit) telling the
+   upper from the lower sub-network. *)
+type level = {
+  depth : int;
+  left_stage : int;
+  right_stage : int;
+  blocks : int;
+  block_terminals : int;
+  select_bit : int;
+}
+
+let levels ~n =
+  if n < 2 then invalid_arg "Benes.levels: need n >= 2";
+  List.init (n - 1) (fun d ->
+      { depth = d;
+        left_stage = d + 1;
+        right_stage = (2 * n) - 1 - d;
+        blocks = 1 lsl d;
+        block_terminals = 1 lsl (n - d);
+        select_bit = n - 2 - d
+      })
+
 (* Looping 2-colouring: terminals sharing an input switch must use
    different subnetworks, and so must terminals whose images share an
    output switch.  The union of the two pairings is a disjoint union

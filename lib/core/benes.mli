@@ -16,6 +16,42 @@ val network : int -> Cascade.t
 (** [network n] is B(n): [Baseline.network n] concatenated with its
     reverse, middle stage shared.  [n >= 1]. *)
 
+(** {1 Recursive structure}
+
+    What the looping algorithm actually recurses on: B(n) minus its
+    outer stage pair is two independent copies of B(n-1) (the upper
+    and lower halves), and so on down to the single middle stage.
+    [lib/route]'s iterative looping engine consumes this description
+    instead of re-deriving the stage arithmetic. *)
+
+type level = {
+  depth : int;  (** recursion depth, [0 .. n-2] *)
+  left_stage : int;  (** 1-based stage of the blocks' entry cells *)
+  right_stage : int;  (** 1-based stage of the blocks' exit cells, [2n - 1 - depth] *)
+  blocks : int;  (** [2^depth] independent sub-networks at this depth *)
+  block_terminals : int;  (** [2^(n - depth)] terminals feeding each block *)
+  select_bit : int;
+      (** cell-label bit (within the enclosing block) that separates
+          the upper sub-network ([0]) from the lower ([1]) one level
+          down; the out-port taken at [left_stage] sets it *)
+}
+
+val levels : n:int -> level list
+(** The [n - 1] levels of B(n), outermost first: a block of depth [d]
+    spans stages [d+1 .. 2n-1-d] and consists of the cells sharing
+    their top [d] label bits.  Below the last level sit the
+    [2^(n-1)] single middle-stage cells.  [n >= 2]. *)
+
+val looping_colours : terminals:int -> int array -> int array
+(** One step of the looping algorithm: given a permutation of
+    [terminals] terminal ids (as an image array), 2-colour the
+    terminals so that the two terminals sharing an input switch
+    ([t lxor 1]) get different colours and so do terminals whose
+    images share an output switch.  Colour [s] sends the terminal
+    into sub-network [s].  The union of the two pairings is a
+    disjoint union of even cycles, so the greedy alternating
+    propagation used here never contradicts itself. *)
+
 val route_permutation : Cascade.t option -> n:int -> Mineq_perm.Perm.t -> Cascade.route list
 (** [route_permutation cascade ~n p] runs the looping algorithm and
     returns one route per terminal, [input i -> output (p i)].  The

@@ -1,0 +1,56 @@
+module Mi_digraph = Mineq.Mi_digraph
+module Connection = Mineq.Connection
+module Cascade = Mineq.Cascade
+
+type t = {
+  stages : int;
+  width : int;
+  radix : int;
+  per : int;
+  child : int array array;
+  in_port : int array array;
+}
+
+(* Input ports are numbered in the packed predecessor fill order:
+   ascending source label, then ascending out-port.  The fill counter
+   per child cell reproduces that order without touching p_pred, so
+   the same derivation serves packed networks and cascades. *)
+let in_ports_of_child ~per child =
+  Array.map
+    (fun gap_child ->
+      let next = Array.make per 0 in
+      Array.map
+        (fun y ->
+          let slot = next.(y) in
+          next.(y) <- slot + 1;
+          slot)
+        gap_child)
+    child
+
+let make ~stages ~width ~radix ~per ~child =
+  { stages; width; radix; per; child; in_port = in_ports_of_child ~per child }
+
+let of_packed (p : Mi_digraph.packed) =
+  make ~stages:p.p_stages ~width:p.p_width ~radix:p.p_radix ~per:p.p_per ~child:p.p_child
+
+let of_network g = of_packed (Mi_digraph.packed g)
+
+let of_rnetwork g = of_packed (Mineq_radix.Rnetwork.packed g)
+
+let of_cascade c =
+  let stages = Cascade.stages c in
+  let width = Cascade.width c in
+  let per = Cascade.cells_per_stage c in
+  let child =
+    Array.init (stages - 1) (fun k ->
+        let conn = Cascade.connection c (k + 1) in
+        Array.init (2 * per) (fun i ->
+            let x = i / 2 in
+            let cf, cg = Connection.children conn x in
+            if i land 1 = 0 then cf else cg))
+  in
+  make ~stages ~width ~radix:2 ~per ~child
+
+let terminals t = t.radix * t.per
+
+let cell_count t = t.stages * t.per

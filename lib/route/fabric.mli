@@ -1,0 +1,55 @@
+(** Flat per-gap routing tables — the read-only substrate every
+    router in this library walks.
+
+    A fabric is the child tables of {!Mineq.Mi_digraph.packed} plus
+    the inverse information a switch-state router needs and the
+    packed record does not spell out: for every arc [(cell, out
+    port)], the {e input-port index} it occupies at the cell it
+    lands on.  Input ports are numbered in the predecessor fill
+    order of the packed representation (ascending source label,
+    then ascending out-port), the same order {!Mineq.Packed.parent}
+    and the simulator use, so fabrics and packed kernels agree on
+    which wire is which.
+
+    Unlike [packed], a fabric also covers {e rectangular} cascades
+    ({!of_cascade}) — the Benes network has [2n - 1] stages over
+    [n - 1] label bits, which no MI-digraph (and hence no [packed])
+    can represent.  All tables are plain int arrays; every per-route
+    walk over them is allocation-free. *)
+
+type t = private {
+  stages : int;  (** [S >= 1] *)
+  width : int;  (** label digits per cell *)
+  radix : int;  (** [r]: ports per cell side *)
+  per : int;  (** cells per stage, [r^width] *)
+  child : int array array;
+      (** [child.(k).(r * x + j)]: label of the port-[j] child of
+          cell [x] across 0-based gap [k] ([S - 1] gaps) — the
+          layout of [p_child]. *)
+  in_port : int array array;
+      (** [in_port.(k).(r * x + j)]: input-port index the arc
+          [(x, j)] of gap [k] occupies at its child cell. *)
+}
+
+val of_packed : Mineq.Mi_digraph.packed -> t
+(** Adopts the packed child tables (shared, not copied) and derives
+    the input-port tables. *)
+
+val of_network : Mineq.Mi_digraph.t -> t
+(** [of_packed (Mi_digraph.packed g)]. *)
+
+val of_rnetwork : Mineq_radix.Rnetwork.t -> t
+(** The radix-[r] fabric, via {!Mineq_radix.Rnetwork.packed}. *)
+
+val of_cascade : Mineq.Cascade.t -> t
+(** Tabulates a rectangular cascade (e.g. {!Mineq.Benes.network})
+    into the same layout; always [radix = 2]. *)
+
+val terminals : t -> int
+(** [radix * per]: terminal count on each boundary.  Terminal [i]
+    attaches to cell [i / radix] on port [i mod radix], at stage 1
+    going in and stage [S] going out — the {!Mineq.Routing}
+    convention. *)
+
+val cell_count : t -> int
+(** [stages * per]: one switch state word per cell. *)

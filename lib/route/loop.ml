@@ -1,0 +1,175 @@
+module Benes = Mineq.Benes
+module Cascade = Mineq.Cascade
+
+type t = {
+  n : int;
+  net : Cascade.t;
+  fab : Fabric.t;
+  terminals : int;
+  stages : int;
+  levels : Benes.level array;
+  (* descent scratch: the two ping-pong pairs hold the current level's
+     sub-permutations and the original terminal each position carries *)
+  perm_a : int array;
+  perm_b : int array;
+  orig_a : int array;
+  orig_b : int array;
+  partner : int array;  (* output-switch mate, local to the block *)
+  colour : int array;
+  seen : int array;
+  stack : int array;  (* colouring worklist, entries [(local lsl 1) lor colour] *)
+  mutable top : int;
+  cells : int array;  (* terminal-major: cells.(t * stages + s) *)
+  image : int array;
+}
+
+let create n =
+  if n < 2 then invalid_arg "Loop.create: need n >= 2";
+  let net = Benes.network n in
+  let fab = Fabric.of_cascade net in
+  let terminals = 1 lsl n in
+  let stages = (2 * n) - 1 in
+  { n;
+    net;
+    fab;
+    terminals;
+    stages;
+    levels = Array.of_list (Benes.levels ~n);
+    perm_a = Array.make terminals 0;
+    perm_b = Array.make terminals 0;
+    orig_a = Array.make terminals 0;
+    orig_b = Array.make terminals 0;
+    partner = Array.make terminals 0;
+    colour = Array.make terminals 0;
+    seen = Array.make (terminals / 2) 0;
+    stack = Array.make ((2 * terminals) + 4) 0;
+    top = 0;
+    cells = Array.make (terminals * stages) 0;
+    image = Array.make terminals 0
+  }
+
+let n t = t.n
+
+let network t = t.net
+
+let fabric t = t.fab
+
+let terminals t = t.terminals
+
+let plan t = Plan.create t.fab
+
+(* Pass-2 worker at module level: a [let rec] inside the terminal loop
+   would allocate one closure per terminal and break the zero-alloc
+   contract. *)
+let rec claim_seq t plan t0 row s cur ip =
+  if s = t.stages - 1 then begin
+    match Plan.claim plan ~stage:s ~cell:cur ~in_port:ip ~out_port:(t.image.(t0) land 1) with
+    | Plan.Claimed -> ()
+    | _ -> failwith "Loop.route: switch conflict on Benes"
+  end
+  else begin
+    let nxt = t.cells.(row + s + 1) in
+    let a0 = 2 * cur in
+    let j = if t.fab.Fabric.child.(s).(a0) = nxt then 0 else 1 in
+    (match Plan.claim plan ~stage:s ~cell:cur ~in_port:ip ~out_port:j with
+    | Plan.Claimed -> ()
+    | _ -> failwith "Loop.route: switch conflict on Benes");
+    claim_seq t plan t0 row (s + 1) nxt t.fab.Fabric.in_port.(s).(a0 + j)
+  end
+
+let route t plan image =
+  if Plan.fabric plan != t.fab then
+    invalid_arg "Loop.route: plan built for another fabric";
+  let nt = t.terminals in
+  if Array.length image <> nt then invalid_arg "Loop.route: image size mismatch";
+  (* bijection check, using [partner] as scratch *)
+  Array.fill t.partner 0 nt (-1);
+  for i = 0 to nt - 1 do
+    let p = image.(i) in
+    if p < 0 || p >= nt then invalid_arg "Loop.route: image entry out of range";
+    if t.partner.(p) >= 0 then invalid_arg "Loop.route: image is not a permutation";
+    t.partner.(p) <- i
+  done;
+  Array.blit image 0 t.image 0 nt;
+  Array.blit image 0 t.perm_a 0 nt;
+  for i = 0 to nt - 1 do
+    t.orig_a.(i) <- i
+  done;
+  let width = t.n - 1 in
+  let stages = t.stages in
+  for l = 0 to t.n - 2 do
+    let lv = t.levels.(l) in
+    let m = lv.Benes.block_terminals in
+    let half = m / 2 in
+    let left = lv.Benes.left_stage - 1 in
+    let right = lv.Benes.right_stage - 1 in
+    let even = l land 1 = 0 in
+    let src_p = if even then t.perm_a else t.perm_b in
+    let src_o = if even then t.orig_a else t.orig_b in
+    let dst_p = if even then t.perm_b else t.perm_a in
+    let dst_o = if even then t.orig_b else t.orig_a in
+    for b = 0 to lv.Benes.blocks - 1 do
+      let base = b * m in
+      let cell_base = b lsl (width - l) in
+      (* output-switch mates: the two positions whose images share an
+         output cell must take different colours *)
+      Array.fill t.seen 0 half (-1);
+      for tl = 0 to m - 1 do
+        let osw = src_p.(base + tl) lsr 1 in
+        let prev = t.seen.(osw) in
+        if prev < 0 then t.seen.(osw) <- tl
+        else begin
+          t.partner.(base + tl) <- prev;
+          t.partner.(base + prev) <- tl
+        end
+      done;
+      (* greedy alternating 2-colouring over the union of input-switch
+         pairs (tl, tl lxor 1) and output-switch pairs: all cycles are
+         even, so propagation never contradicts itself *)
+      Array.fill t.colour base m (-1);
+      for t0 = 0 to m - 1 do
+        if t.colour.(base + t0) < 0 then begin
+          t.stack.(0) <- t0 lsl 1;
+          t.top <- 1;
+          while t.top > 0 do
+            t.top <- t.top - 1;
+            let v = t.stack.(t.top) in
+            let tl = v lsr 1 in
+            let c = v land 1 in
+            if t.colour.(base + tl) < 0 then begin
+              t.colour.(base + tl) <- c;
+              t.stack.(t.top) <- ((tl lxor 1) lsl 1) lor (1 - c);
+              t.stack.(t.top + 1) <- (t.partner.(base + tl) lsl 1) lor (1 - c);
+              t.top <- t.top + 2
+            end
+          done
+        end
+      done;
+      (* record this level's entry/exit cells; colour [s] sends the
+         position into sub-network [s] of the next level *)
+      for tl = 0 to m - 1 do
+        let og = src_o.(base + tl) in
+        let s = t.colour.(base + tl) in
+        let pv = src_p.(base + tl) in
+        let row = og * stages in
+        t.cells.(row + left) <- cell_base + (tl lsr 1);
+        t.cells.(row + right) <- cell_base + (pv lsr 1);
+        let sub = (((2 * b) + s) * half) + (tl lsr 1) in
+        dst_p.(sub) <- pv lsr 1;
+        dst_o.(sub) <- og
+      done
+    done
+  done;
+  (* base level: each block is the single middle-stage cell it names *)
+  let src_o = if (t.n - 1) land 1 = 0 then t.orig_a else t.orig_b in
+  let mid = t.n - 1 in
+  for i = 0 to nt - 1 do
+    t.cells.((src_o.(i) * stages) + mid) <- i lsr 1
+  done;
+  (* second pass: consecutive cells determine ports; the claims double
+     as a link-disjointness check (they cannot fail on a Benes) *)
+  for t0 = 0 to nt - 1 do
+    claim_seq t plan t0 (t0 * stages) 0 (t0 lsr 1) (t0 land 1)
+  done
+
+let route_perm t plan p = route t plan (Mineq_perm.Perm.to_array p)

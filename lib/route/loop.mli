@@ -1,0 +1,53 @@
+(** The looping algorithm as a switch-state compiler for the Benes
+    network B(n).
+
+    {!Mineq.Benes.route_permutation} proves rearrangeability by
+    producing route lists; this engine produces the thing a switch
+    fabric actually consumes — a full {!Plan.t} switch-state program
+    — and does it without allocating: the recursion of the looping
+    algorithm is run iteratively over the {!Mineq.Benes.levels}
+    structure with all working arrays preallocated in the router, so
+    a [reset]-and-{!route} cycle touches only scratch that already
+    exists.  [BENCH_route.json] gates this at zero minor words per
+    routed permutation.
+
+    Per level the algorithm 2-colours each block's terminals with
+    {!Mineq.Benes.looping_colours}, records the block's entry/exit
+    cells, and descends the half-size sub-permutations into the two
+    sub-networks; a second pass converts each terminal's cell
+    sequence into {!Plan.claim} calls.  The claims can never
+    conflict — that is the rearrangeability theorem, which the test
+    suite re-verifies via {!Plan.realizes} on every routed
+    instance. *)
+
+type t
+(** A looping router for one B(n): the Benes fabric plus reusable
+    scratch.  Routers are single-threaded; parallel workers must
+    each hold their own (like {!Mineq.Packed.scratch}). *)
+
+val create : int -> t
+(** [create n] builds B(n) ({!Mineq.Benes.network}), its fabric and
+    the scratch.  [n >= 2]. *)
+
+val n : t -> int
+
+val network : t -> Mineq.Cascade.t
+
+val fabric : t -> Fabric.t
+
+val terminals : t -> int
+(** [2^n]. *)
+
+val plan : t -> Plan.t
+(** A fresh plan sized for this router's fabric. *)
+
+val route : t -> Plan.t -> int array -> unit
+(** [route t plan image] sets the switch states realizing input
+    terminal [i] -> output terminal [image.(i)] on top of whatever
+    [plan] already holds (callers normally {!Plan.reset} first).
+    Raises [Invalid_argument] when [image] is not a permutation of
+    [0 .. 2^n - 1] or the plan belongs to another fabric.
+    Allocation-free on the success path. *)
+
+val route_perm : t -> Plan.t -> Mineq_perm.Perm.t -> unit
+(** Convenience wrapper over {!route} (copies the image array). *)

@@ -1,0 +1,99 @@
+type t = {
+  fab : Fabric.t;
+  per : int;
+  radix : int;
+  fw : int;  (* bits per assignment field *)
+  fmask : int;
+  state : int array;  (* one word per cell, stage-major *)
+  mutable live : int;
+}
+
+type claim = Claimed | In_busy | Out_busy
+
+let field_width radix =
+  let rec go bits top = if top >= radix then bits else go (bits + 1) (top * 2) in
+  go 1 2
+
+let create fab =
+  let radix = fab.Fabric.radix in
+  let fw = field_width radix in
+  if (2 * radix) + (radix * fw) > Sys.int_size - 1 then
+    invalid_arg "Plan.create: radix too large for one-word cell states";
+  { fab;
+    per = fab.Fabric.per;
+    radix;
+    fw;
+    fmask = (1 lsl fw) - 1;
+    state = Array.make (Fabric.cell_count fab) 0;
+    live = 0
+  }
+
+let fabric t = t.fab
+
+let reset t =
+  Array.fill t.state 0 (Array.length t.state) 0;
+  t.live <- 0
+
+let[@inline] field_shift t in_port = (2 * t.radix) + (in_port * t.fw)
+
+let claim t ~stage ~cell ~in_port ~out_port =
+  let i = (stage * t.per) + cell in
+  let w = t.state.(i) in
+  if w land (1 lsl in_port) <> 0 then
+    if (w lsr (field_shift t in_port)) land t.fmask = out_port then Claimed else In_busy
+  else if w land (1 lsl (t.radix + out_port)) <> 0 then Out_busy
+  else begin
+    t.state.(i) <-
+      w lor (1 lsl in_port) lor (1 lsl (t.radix + out_port))
+      lor (out_port lsl (field_shift t in_port));
+    t.live <- t.live + 1;
+    Claimed
+  end
+
+let release t ~stage ~cell ~in_port =
+  let i = (stage * t.per) + cell in
+  let w = t.state.(i) in
+  if w land (1 lsl in_port) <> 0 then begin
+    let out_port = (w lsr (field_shift t in_port)) land t.fmask in
+    t.state.(i) <-
+      w
+      land lnot ((1 lsl in_port) lor (1 lsl (t.radix + out_port))
+                lor (t.fmask lsl (field_shift t in_port)));
+    t.live <- t.live - 1
+  end
+
+let port_of t ~stage ~cell ~in_port =
+  let w = t.state.((stage * t.per) + cell) in
+  if w land (1 lsl in_port) = 0 then -1 else (w lsr (field_shift t in_port)) land t.fmask
+
+let out_taken t ~stage ~cell ~out_port =
+  t.state.((stage * t.per) + cell) land (1 lsl (t.radix + out_port)) <> 0
+
+let set_count t = t.live
+
+let propagate t input =
+  let last = t.fab.Fabric.stages - 1 in
+  let rec go s cell in_port =
+    let out = port_of t ~stage:s ~cell ~in_port in
+    if out < 0 then -1
+    else if s = last then (cell * t.radix) + out
+    else
+      let a = (t.radix * cell) + out in
+      go (s + 1) t.fab.Fabric.child.(s).(a) t.fab.Fabric.in_port.(s).(a)
+  in
+  go 0 (input / t.radix) (input mod t.radix)
+
+let realizes t image =
+  let n = Fabric.terminals t.fab in
+  if Array.length image <> n then false
+  else begin
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      if image.(!i) >= 0 && propagate t !i <> image.(!i) then ok := false;
+      incr i
+    done;
+    !ok
+  end
+
+let to_array t = Array.init (Fabric.terminals t.fab) (propagate t)

@@ -1,0 +1,71 @@
+(** Mutable switch-state programs: one state word per cell.
+
+    A plan assigns, cell by cell, input ports to output ports — the
+    "switch settings" that turn a topology into a circuit.  The word
+    for an [r x r] cell packs three things: an input-occupancy mask
+    ([r] bits), an output-occupancy mask ([r] bits) and one
+    [ceil(log2 r)]-bit field per input port holding its assigned
+    output port.  Claiming, releasing and following an assignment
+    are each a handful of bit operations on one array slot, and
+    {!reset} is a single [Array.fill] — nothing on the routing hot
+    path allocates, which is what the [*_minor_w] columns of
+    [BENCH_route.json] gate at zero.
+
+    Stages, cells and ports are 0-based throughout this module (the
+    hot-path convention), unlike the 1-based paper stages of
+    {!Mineq.Mi_digraph}. *)
+
+type t
+
+(** Outcome of {!claim}.  Constant constructors — returning one
+    never allocates. *)
+type claim =
+  | Claimed  (** the pair was free (or already claimed identically) *)
+  | In_busy  (** the input port is already assigned elsewhere *)
+  | Out_busy  (** the output link is already carrying another path *)
+
+val create : Fabric.t -> t
+(** A fresh all-unset plan.  Raises [Invalid_argument] when the
+    fabric's radix needs more state bits per cell than an [int]
+    holds (radix above 8 on 64-bit). *)
+
+val fabric : t -> Fabric.t
+
+val reset : t -> unit
+(** Clear every switch state ([Array.fill]; no allocation). *)
+
+val claim : t -> stage:int -> cell:int -> in_port:int -> out_port:int -> claim
+(** Try to assign [in_port -> out_port] at the given cell.
+    Re-claiming an identical assignment is [Claimed] and changes
+    nothing; a different assignment for a busy input port is
+    [In_busy]; a free input port wanting an occupied output link is
+    [Out_busy] — the contested link is exactly
+    [(stage, cell, out_port)]. *)
+
+val release : t -> stage:int -> cell:int -> in_port:int -> unit
+(** Undo the input port's assignment, if any (used to unwind the
+    partial path of a blocked route). *)
+
+val port_of : t -> stage:int -> cell:int -> in_port:int -> int
+(** The assigned output port, or [-1] when unset. *)
+
+val out_taken : t -> stage:int -> cell:int -> out_port:int -> bool
+(** Whether the output link is occupied. *)
+
+val set_count : t -> int
+(** Number of live input-to-output assignments across all cells. *)
+
+val propagate : t -> int -> int
+(** [propagate t input]: follow the switch states from input
+    terminal [input] to the output terminal they deliver it to, or
+    [-1] if some cell on the way has no assignment for the arriving
+    port.  Allocation-free. *)
+
+val realizes : t -> int array -> bool
+(** [realizes t image]: every input terminal [i] propagates to
+    [image.(i)] — the plan implements the permutation (or partial
+    map; [-1] entries of [image] mean "don't care").
+    Allocation-free. *)
+
+val to_array : t -> int array
+(** Fresh array: [propagate] of every input terminal. *)

@@ -1,0 +1,83 @@
+type t = {
+  router : Bit_follow.t;
+  plans : Plan.t array;
+  assign : int array;  (* input terminal -> plane, or -1 *)
+  dest : int array;  (* input terminal -> connected output, or -1 *)
+}
+
+let create router ~planes =
+  if planes < 1 then invalid_arg "Planes.create: need planes >= 1";
+  let fab = Bit_follow.fabric router in
+  { router;
+    plans = Array.init planes (fun _ -> Plan.create fab);
+    assign = Array.make (Fabric.terminals fab) (-1);
+    dest = Array.make (Fabric.terminals fab) (-1)
+  }
+
+let router t = t.router
+
+let plane_count t = Array.length t.plans
+
+let plan t k = t.plans.(k)
+
+let reset t =
+  Array.iter Plan.reset t.plans;
+  Array.fill t.assign 0 (Array.length t.assign) (-1);
+  Array.fill t.dest 0 (Array.length t.dest) (-1)
+
+let plane_of t input = t.assign.(input)
+
+(* First-fit scan at module level: an inner [let rec] closure would
+   allocate per connection attempt. *)
+let rec first_fit t input output p =
+  if p = Array.length t.plans then -1
+  else if Bit_follow.try_route t.router t.plans.(p) ~input ~output then begin
+    t.assign.(input) <- p;
+    t.dest.(input) <- output;
+    p
+  end
+  else first_fit t input output (p + 1)
+
+let try_connect t ~input ~output =
+  if t.assign.(input) >= 0 then
+    if t.dest.(input) = output then t.assign.(input) else -1
+  else first_fit t input output 0
+
+let connect t ~input ~output =
+  if t.assign.(input) >= 0 then
+    if t.dest.(input) = output then Ok t.assign.(input)
+    else
+      Error
+        { Bit_follow.input; output; stage = 0;
+          cell = input / (Bit_follow.fabric t.router).Fabric.radix;
+          port = input mod (Bit_follow.fabric t.router).Fabric.radix
+        }
+  else begin
+    let k = Array.length t.plans in
+    let rec go p =
+      if p = k - 1 then
+        match Bit_follow.route t.router t.plans.(p) ~input ~output with
+        | Bit_follow.Routed ->
+            t.assign.(input) <- p;
+            t.dest.(input) <- output;
+            Ok p
+        | Bit_follow.Blocked b -> Error b
+      else if Bit_follow.try_route t.router t.plans.(p) ~input ~output then begin
+        t.assign.(input) <- p;
+        t.dest.(input) <- output;
+        Ok p
+      end
+      else go (p + 1)
+    in
+    go 0
+  end
+
+let rec connect_from t image input acc =
+  if input = Array.length image then acc
+  else
+    let output = image.(input) in
+    if output >= 0 && try_connect t ~input ~output >= 0 then
+      connect_from t image (input + 1) (acc + 1)
+    else connect_from t image (input + 1) acc
+
+let connect_all t image = connect_from t image 0 0

@@ -1,0 +1,46 @@
+(** Expansion planes: [k] parallel copies of one Banyan network.
+
+    A single Banyan has exactly one path per input/output pair, so
+    permutation traffic blocks; the classical remedy is to replicate
+    the fabric into [k] parallel planes and let each connection pick
+    a plane with capacity.  An ensemble shares one {!Bit_follow}
+    router (the control tables are identical across planes) and
+    keeps one {!Plan.t} of switch state per plane; {!try_connect}
+    assigns greedily — first plane whose deterministic path is free
+    wins — which keeps the hot path allocation-free and makes the
+    outcome independent of everything but the order of connection
+    attempts. *)
+
+type t
+
+val create : Bit_follow.t -> planes:int -> t
+(** An ensemble of [planes >= 1] empty copies. *)
+
+val router : t -> Bit_follow.t
+
+val plane_count : t -> int
+
+val plan : t -> int -> Plan.t
+(** The switch state of one plane (0-based; live, not a copy). *)
+
+val reset : t -> unit
+(** Clear every plane and every assignment. *)
+
+val plane_of : t -> int -> int
+(** The plane carrying the given input terminal's path, or [-1]. *)
+
+val try_connect : t -> input:int -> output:int -> int
+(** First-fit: try the planes in order, claim the path on the first
+    one that is free end to end, return its index ([-1] when every
+    plane blocks).  An input already connected returns its existing
+    plane when the output matches and [-1] otherwise.  Never
+    allocates. *)
+
+val connect : t -> input:int -> output:int -> (int, Bit_follow.blocked) result
+(** Like {!try_connect} but, when every plane blocks, reports the
+    contested link on the {e last} plane tried. *)
+
+val connect_all : t -> int array -> int
+(** [connect_all t image] greedily connects input [i] to
+    [image.(i)] for ascending [i] (entries [< 0] are skipped) and
+    returns how many connections succeeded.  Does not reset first. *)

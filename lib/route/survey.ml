@@ -1,0 +1,67 @@
+module Pool = Mineq_engine.Pool
+module Seeds = Mineq_engine.Seeds
+
+type row = {
+  name : string;
+  n : int;
+  planes : int;
+  trials : int;
+  full : int;
+  pairs_routed : int;
+  pairs_total : int;
+}
+
+let routed_fraction r = float_of_int r.pairs_routed /. float_of_int r.pairs_total
+
+let full_fraction r = float_of_int r.full /. float_of_int r.trials
+
+let shuffle st img =
+  let n = Array.length img in
+  for i = 0 to n - 1 do
+    img.(i) <- i
+  done;
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = img.(i) in
+    img.(i) <- img.(j);
+    img.(j) <- tmp
+  done
+
+let router_in pool ~root ~name ~n ~planes ~trials router =
+  if trials < 1 then invalid_arg "Survey.router_in: need trials >= 1";
+  let nt = Fabric.terminals (Bit_follow.fabric router) in
+  let tallies =
+    Pool.map_array pool
+      (fun i ->
+        let st = Seeds.derive ~root i in
+        let img = Array.make nt 0 in
+        shuffle st img;
+        let ens = Planes.create router ~planes in
+        let ok = Planes.connect_all ens img in
+        ((if ok = nt then 1 else 0), ok))
+      (Array.init trials (fun i -> i))
+  in
+  let full = Array.fold_left (fun acc (f, _) -> acc + f) 0 tallies in
+  let routed = Array.fold_left (fun acc (_, r) -> acc + r) 0 tallies in
+  { name;
+    n;
+    planes;
+    trials;
+    full;
+    pairs_routed = routed;
+    pairs_total = trials * nt
+  }
+
+let run_in pool ~seed ~n ~planes ~trials =
+  Mineq.Classical.all_networks ~n
+  |> List.mapi (fun idx (name, g) ->
+         match Bit_follow.of_network g with
+         | None -> None
+         | Some router ->
+             let root = Seeds.fold seed idx in
+             Some (router_in pool ~root ~name ~n ~planes ~trials router))
+  |> List.filter_map Fun.id
+
+let run ?jobs ~seed ~n ~planes ~trials () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  Pool.run ~jobs (fun pool -> run_in pool ~seed ~n ~planes ~trials)

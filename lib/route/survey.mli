@@ -1,0 +1,56 @@
+(** Blocking-probability survey: random permutations through plane
+    ensembles, across the classical inventory.
+
+    For each delta network of the classical inventory at a given
+    size, the survey draws random permutations, connects them
+    greedily through a [k]-plane {!Planes} ensemble and tallies how
+    many pairs (and how many whole permutations) get through — an
+    empirical view of the blocking the Baseline-equivalence theory
+    says all these networks share, and of how fast expansion planes
+    buy it back.
+
+    Runs are driven through {!Mineq_engine.Pool} with one
+    {!Mineq_engine.Seeds.derive}d RNG per trial, so every tally is
+    bit-identical across [--jobs] values and stealing schedules. *)
+
+type row = {
+  name : string;  (** classical network name *)
+  n : int;
+  planes : int;
+  trials : int;
+  full : int;  (** trials whose whole permutation connected *)
+  pairs_routed : int;
+  pairs_total : int;  (** [trials * 2^n] *)
+}
+
+val routed_fraction : row -> float
+(** [pairs_routed / pairs_total]. *)
+
+val full_fraction : row -> float
+(** [full / trials]. *)
+
+val router_in :
+  Mineq_engine.Pool.t ->
+  root:int ->
+  name:string ->
+  n:int ->
+  planes:int ->
+  trials:int ->
+  Bit_follow.t ->
+  row
+(** Survey one router: trial [i] draws its permutation from
+    [Seeds.derive ~root i], builds a fresh ensemble and connects
+    greedily in ascending input order. *)
+
+val run_in :
+  Mineq_engine.Pool.t ->
+  seed:int -> n:int -> planes:int -> trials:int -> row list
+(** Every delta network of {!Mineq.Classical.all_networks} at size
+    [n] (they all are, being Baseline-equivalent), each under its
+    own seed root folded from [seed] and its inventory position. *)
+
+val run :
+  ?jobs:int -> seed:int -> n:int -> planes:int -> trials:int -> unit -> row list
+(** {!run_in} under a bracketed pool ([jobs] defaults to
+    {!Mineq_engine.Pool.default_jobs}); results do not depend on
+    [jobs]. *)

@@ -51,6 +51,47 @@ let test_all_permutations_n2 () =
       check_true "every permutation of 4 routes" (C.link_disjoint net routes))
     all
 
+let test_levels_structure () =
+  for n = 2 to 6 do
+    let levels = B.levels ~n in
+    check_int "one level per recursion depth" (n - 1) (List.length levels);
+    List.iteri
+      (fun d lv ->
+        check_int "depth recorded" d lv.B.depth;
+        check_int "left stage" (d + 1) lv.B.left_stage;
+        check_int "right stage" ((2 * n) - 1 - d) lv.B.right_stage;
+        check_int "block count" (1 lsl d) lv.B.blocks;
+        check_int "block terminals" (1 lsl (n - d)) lv.B.block_terminals;
+        check_int "select bit" (n - 2 - d) lv.B.select_bit;
+        check_int "blocks cover all terminals" (1 lsl n) (lv.B.blocks * lv.B.block_terminals))
+      levels
+  done;
+  let last = List.nth (B.levels ~n:4) 2 in
+  check_int "deepest level pairs terminals" 4 last.B.block_terminals;
+  Alcotest.check_raises "n=1 rejected" (Invalid_argument "Benes.levels: need n >= 2")
+    (fun () -> ignore (B.levels ~n:1))
+
+let test_looping_colours () =
+  let terminals = 8 in
+  let rng = rng_of 17 in
+  for _ = 1 to 20 do
+    let perm = Perm.to_array (Perm.random rng terminals) in
+    let colours = B.looping_colours ~terminals perm in
+    check_int "one colour per terminal" terminals (Array.length colours);
+    Array.iter (fun c -> check_true "colour is 0 or 1" (c = 0 || c = 1)) colours;
+    for i = 0 to (terminals / 2) - 1 do
+      check_true "input-switch mates split"
+        (colours.(2 * i) <> colours.((2 * i) + 1))
+    done;
+    (* output-switch mates: positions whose images share a cell *)
+    for i = 0 to terminals - 1 do
+      for j = i + 1 to terminals - 1 do
+        if perm.(i) / 2 = perm.(j) / 2 then
+          check_true "output-switch mates split" (colours.(i) <> colours.(j))
+      done
+    done
+  done
+
 let test_rearrangeable_check () =
   check_true "n=4 sample check" (B.rearrangeable_check (rng_of 300) ~n:4 ~samples:30)
 
@@ -94,6 +135,8 @@ let props =
 
 let suite =
   [ quick "structure" test_structure;
+    quick "recursion levels" test_levels_structure;
+    quick "looping colours split both mates" test_looping_colours;
     quick "identity routes" test_identity_routes;
     quick "reversal permutation" test_reversal_permutation;
     quick "all permutations at n=2" test_all_permutations_n2;

@@ -137,6 +137,49 @@ let test_admissible_pairs () =
      different last cells with distinct port words. *)
   check_true "disjoint pair admissible" (R.is_admissible g [ (0, 0); (15, 15) ])
 
+let test_identity_smallest_widths () =
+  (* Edge widths n = 2 and 3: identity pairs route with the expected
+     endpoints on every classical network. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (name, g) ->
+          let terminals = M.inputs g in
+          for i = 0 to terminals - 1 do
+            match R.route g ~input:i ~output:i with
+            | None -> Alcotest.fail (name ^ ": identity pair must route")
+            | Some p ->
+                check_int (name ^ " identity starts") (i / 2) p.R.cells.(0);
+                check_int (name ^ " identity ends") (i / 2) p.R.cells.(n - 1);
+                check_int (name ^ " exit parity") (i land 1) p.R.ports.(n - 1)
+          done)
+        (all_classical ~n))
+    [ 2; 3 ]
+
+let test_bit_reversal_smallest_widths () =
+  List.iter
+    (fun n ->
+      let terminals = 1 lsl n in
+      let bitrev i =
+        let r = ref 0 in
+        for b = 0 to n - 1 do
+          if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (n - 1 - b))
+        done;
+        !r
+      in
+      List.iter
+        (fun (name, g) ->
+          for i = 0 to terminals - 1 do
+            match R.route g ~input:i ~output:(bitrev i) with
+            | None -> Alcotest.fail (name ^ ": bit-reversal pair must route")
+            | Some p ->
+                check_int (name ^ " reaches reversed address") (bitrev i) p.R.output;
+                check_int (name ^ " lands on reversed cell") (bitrev i / 2)
+                  p.R.cells.(n - 1)
+          done)
+        (all_classical ~n))
+    [ 2; 3 ]
+
 let test_bad_terminals () =
   let g = baseline 3 in
   Alcotest.check_raises "bad input" (Invalid_argument "Routing: bad input") (fun () ->
@@ -164,6 +207,22 @@ let props =
          ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
          QCheck.Gen.(pair (int_range 2 5) (int_bound 100000)))
       (fun (n, seed) -> R.is_bidelta (random_banyan_pipid (rng_of seed) ~n));
+    qcheck "route in the reverse network retraces the cells" ~count:25 n_and_seed
+      (fun (n, seed) ->
+        let rng = rng_of seed in
+        let nets = all_classical ~n in
+        let name, g = List.nth nets (Random.State.int rng (List.length nets)) in
+        let terminals = M.inputs g in
+        let input = Random.State.int rng terminals in
+        let output = Random.State.int rng terminals in
+        match (R.route g ~input ~output, R.route (M.reverse g) ~input:output ~output:input)
+        with
+        | Some p, Some q ->
+            (* stage k of G^-1 is stage n+1-k of G: the cell sequence
+               comes back reversed *)
+            Array.for_all2 ( = ) q.R.cells
+              (Array.init n (fun s -> p.R.cells.(n - 1 - s)))
+        | _ -> QCheck.Test.fail_reportf "%s: both directions must route" name);
     qcheck "link loads of a full permutation: every path routed" ~count:20 n_and_seed
       (fun (n, seed) ->
         let rng = rng_of seed in
@@ -186,6 +245,8 @@ let suite =
     quick "link loads single path" test_link_loads_single_path;
     quick "link loads conflict" test_link_loads_conflict;
     quick "admissible pairs" test_admissible_pairs;
+    quick "identity at smallest widths" test_identity_smallest_widths;
+    quick "bit reversal at smallest widths" test_bit_reversal_smallest_widths;
     quick "bad terminals rejected" test_bad_terminals
   ]
   @ props
