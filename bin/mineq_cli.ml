@@ -194,7 +194,18 @@ let iso_cmd =
 
 (* Permutation specifications for route --perm and the examples:
    identity, bitrev, random:SEED, or an explicit comma-separated
-   image. *)
+   image.  Malformed images are rejected with a structured MINEQ-R2xx
+   finding (never a raw exception, never silent truncation); the CLI
+   maps those to exit code 2, like spec parse errors. *)
+let perm_finding ~code ~message ?witness () =
+  { Mineq_analysis.Diagnostics.code;
+    severity = Mineq_analysis.Diagnostics.Error;
+    stage = None;
+    message;
+    witness;
+    hint = Some "PERM is identity, bitrev, random:SEED or a comma-separated image"
+  }
+
 let parse_perm spec ~terminals =
   let bits =
     let rec go b = if 1 lsl b >= terminals then b else go (b + 1) in
@@ -214,7 +225,11 @@ let parse_perm spec ~terminals =
       match String.split_on_char ':' spec with
       | [ "random"; seed ] -> (
           match int_of_string_opt seed with
-          | None -> Error "random:SEED needs an integer seed"
+          | None ->
+              Error
+                (perm_finding ~code:"MINEQ-R205" ~message:"random:SEED needs an integer seed"
+                   ~witness:(Printf.sprintf "seed %S" seed)
+                   ())
           | Some s ->
               let st = Engine.Seeds.state s in
               let img = Array.init terminals Fun.id in
@@ -227,25 +242,60 @@ let parse_perm spec ~terminals =
               Ok img)
       | _ -> (
           let parts = String.split_on_char ',' spec in
-          match List.map int_of_string_opt parts with
-          | exception _ -> Error "bad permutation"
-          | opts ->
-              if List.exists Option.is_none opts then
+          match
+            List.find_opt (fun p -> Option.is_none (int_of_string_opt p)) parts
+          with
+          | Some bad ->
+              Error
+                (perm_finding ~code:"MINEQ-R201"
+                   ~message:"permutation image has a non-integer entry"
+                   ~witness:(Printf.sprintf "entry %S" bad)
+                   ())
+          | None ->
+              let img = Array.of_list (List.filter_map int_of_string_opt parts) in
+              if Array.length img <> terminals then
                 Error
-                  "PERM must be identity, bitrev, random:SEED or a comma-separated image"
-              else
-                let img = Array.of_list (List.map Option.get opts) in
-                let seen = Array.make terminals false in
-                let ok = ref (Array.length img = terminals) in
-                Array.iter
-                  (fun v ->
-                    if v < 0 || v >= terminals || seen.(v) then ok := false
-                    else seen.(v) <- true)
+                  (perm_finding ~code:"MINEQ-R202"
+                     ~message:"permutation image has the wrong length"
+                     ~witness:
+                       (Printf.sprintf "%d entries, network has %d terminals"
+                          (Array.length img) terminals)
+                     ())
+              else begin
+                let seen = Array.make terminals (-1) in
+                let problem = ref None in
+                Array.iteri
+                  (fun i v ->
+                    if !problem = None then
+                      if v < 0 || v >= terminals then
+                        problem :=
+                          Some
+                            (perm_finding ~code:"MINEQ-R203"
+                               ~message:"permutation image entry is out of range"
+                               ~witness:
+                                 (Printf.sprintf "image(%d) = %d, valid range 0..%d" i v
+                                    (terminals - 1))
+                               ())
+                      else if seen.(v) >= 0 then
+                        problem :=
+                          Some
+                            (perm_finding ~code:"MINEQ-R204"
+                               ~message:"permutation image repeats an output"
+                               ~witness:
+                                 (Printf.sprintf "output %d claimed by inputs %d and %d" v
+                                    seen.(v) i)
+                               ())
+                      else seen.(v) <- i)
                   img;
-                if !ok then Ok img
-                else
-                  Error
-                    (Printf.sprintf "PERM must be a permutation of 0..%d" (terminals - 1))))
+                match !problem with Some f -> Error f | None -> Ok img
+              end))
+
+let print_finding_stderr (f : Mineq_analysis.Diagnostics.finding) =
+  Printf.eprintf "%s %s\n  %s\n"
+    (Mineq_analysis.Diagnostics.severity_name f.severity |> String.uppercase_ascii)
+    f.code f.message;
+  Option.iter (Printf.eprintf "  witness: %s\n") f.witness;
+  Option.iter (Printf.eprintf "  hint: %s\n") f.hint
 
 (* Per-stage switch states: one group of radix digits per cell, the
    digit at position j being the out-port assigned to in-port j ('.'
@@ -295,9 +345,9 @@ let route_benes_perm n img =
 let route_perm_run spec n pspec planes =
   let terminals = 1 lsl n in
   match parse_perm pspec ~terminals with
-  | Error m ->
-      prerr_endline m;
-      1
+  | Error f ->
+      print_finding_stderr f;
+      2
   | Ok img ->
       if String.equal spec "benes" then route_benes_perm n img
       else
@@ -376,24 +426,52 @@ let blocking_cmd =
       value & opt int 200
       & info [ "trials" ] ~docv:"T" ~doc:"Random permutations per network.")
   in
-  let run n planes trials seed jobs =
-    let rows = Route.Survey.run ~jobs ~seed ~n ~planes ~trials () in
-    Printf.printf "%-26s %8s %10s %12s\n" "network" "planes" "perm-ok" "pairs-ok";
+  let classes_arg =
+    let doc =
+      "Skip the Monte-Carlo survey and decide the classical affine traffic classes \
+       symbolically: per network, a blocking-free certificate or a minimal blocked pair \
+       (Mineq_route_verify.Certify)."
+    in
+    Arg.(value & flag & info [ "classes" ] ~doc)
+  in
+  let run_classes n =
+    let module V = Mineq_route_verify in
+    Printf.printf "%-26s %-16s %s\n" "network" "class" "verdict";
     List.iter
-      (fun r ->
-        Printf.printf "%-26s %8d %9.1f%% %11.1f%%\n" r.Route.Survey.name
-          r.Route.Survey.planes
-          (100.0 *. Route.Survey.full_fraction r)
-          (100.0 *. Route.Survey.routed_fraction r))
-      rows;
+      (fun (name, g) ->
+        match Route.Bit_follow.of_network g with
+        | None -> Printf.printf "%-26s %-16s not a delta network\n" name "-"
+        | Some router ->
+            List.iter
+              (fun ((tr : V.Certify.traffic), result) ->
+                Printf.printf "%-26s %-16s %s\n" name tr.V.Certify.name
+                  (Format.asprintf "%a" V.Certify.pp_result result))
+              (V.Certify.survey_classes router))
+      (Classical.all_networks ~n);
     0
+  in
+  let run n planes trials seed jobs classes =
+    if classes then run_classes n
+    else begin
+      let rows = Route.Survey.run ~jobs ~seed ~n ~planes ~trials () in
+      Printf.printf "%-26s %8s %10s %12s\n" "network" "planes" "perm-ok" "pairs-ok";
+      List.iter
+        (fun r ->
+          Printf.printf "%-26s %8d %9.1f%% %11.1f%%\n" r.Route.Survey.name
+            r.Route.Survey.planes
+            (100.0 *. Route.Survey.full_fraction r)
+            (100.0 *. Route.Survey.routed_fraction r))
+        rows;
+      0
+    end
   in
   Cmd.v
     (Cmd.info "blocking"
        ~doc:
          "Blocking survey: random permutations through plane ensembles across the \
-          classical inventory")
-    Term.(const run $ n_arg $ planes_arg $ trials_arg $ seed_arg $ jobs_arg)
+          classical inventory, or (--classes) symbolic certificates for the affine \
+          traffic classes")
+    Term.(const run $ n_arg $ planes_arg $ trials_arg $ seed_arg $ jobs_arg $ classes_arg)
 
 (* simulate ----------------------------------------------------------- *)
 
@@ -652,10 +730,23 @@ let lint_cmd =
     let doc = "Emit the machine-readable JSON report instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run target n json =
+  let routes_arg =
+    let doc =
+      "Run the static routing verifier instead of the structural lint: CDG deadlock \
+       analysis (forward and recirculating), affine blocking certificates and a \
+       Plan_check-audited routing smoke test (MINEQ-R* findings)."
+    in
+    Arg.(value & flag & info [ "routes" ] ~doc)
+  in
+  let run target n json routes =
+    let module RL = Mineq_route_verify.Route_lint in
     let print_report r =
       print_string (if json then A.Report.to_json r else A.Report.to_text r);
       A.Lint.exit_code r
+    in
+    let print_route_report r =
+      print_string (if json then RL.to_json r else RL.to_text r);
+      RL.exit_code r
     in
     let parse_error e =
       if json then print_string (A.Report.error_to_json e)
@@ -663,20 +754,25 @@ let lint_cmd =
       2
     in
     if Sys.file_exists target then
-      match A.Spec_lint.lint_file target with
-      | Ok r -> print_report r
-      | Error e -> parse_error e
+      if routes then
+        match RL.lint_file target with
+        | Ok r -> print_route_report r
+        | Error e -> parse_error e
+      else
+        match A.Spec_lint.lint_file target with
+        | Ok r -> print_report r
+        | Error e -> parse_error e
     else
       match parse_network target ~n with
-      | Ok g -> print_report (A.Lint.run g)
+      | Ok g -> if routes then print_route_report (RL.run g) else print_report (A.Lint.run g)
       | Error (`Msg m) -> parse_error { Spec_io.line = None; reason = m }
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Analyze a spec file or network and report structured diagnostics (exit 0 clean, 1 \
-          findings, 2 parse error)")
-    Term.(const run $ target_arg $ n_arg $ json_arg)
+          findings, 2 parse error); --routes runs the static routing verifier instead")
+    Term.(const run $ target_arg $ n_arg $ json_arg $ routes_arg)
 
 (* rsurvey ------------------------------------------------------------- *)
 

@@ -19,7 +19,15 @@
     Errors refute Baseline-equivalence outright ([P(1,j)]/[P(i,n)]
     are necessary, Banyan-ness too); warnings flag structure that
     blocks the symbolic fast paths or the Theorem-3 sufficient
-    condition; infos are positive verdicts. *)
+    condition; infos are positive verdicts.
+
+    The routing verifier ([lib/analysis/route_verify/]) shares this
+    finding type and extends the code space with three further
+    families: [MINEQ-R0xx] plan-soundness errors ({!Mineq_route_verify.Plan_check}),
+    [MINEQ-R1xx] route-lint verdicts ({!Mineq_route_verify.Route_lint})
+    and [MINEQ-R2xx] CLI [--perm] parse findings ([bin/mineq_cli.ml]);
+    the code tables live in those interfaces and in DESIGN.md
+    ("Static verification layer"). *)
 
 type severity = Error | Warning | Info
 

@@ -27,3 +27,16 @@ val to_json : Lint.report -> string
 val error_to_json : Mineq.Spec_io.error -> string
 (** JSON for a parse failure (exit code 2):
     [{ "schema": "mineq-lint/1", "parse_error": { "line": ..., "reason": ... } }]. *)
+
+(** {1 JSON building blocks}
+
+    Shared by every report family ([mineq-lint/1],
+    [mineq-route-lint/1]) so findings render identically
+    everywhere. *)
+
+val json_string : string -> string
+(** Quote and escape a string as a JSON literal. *)
+
+val finding_to_json : Diagnostics.finding -> string
+(** One finding as a JSON object — the element shape of every
+    [findings] array. *)

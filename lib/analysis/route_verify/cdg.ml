@@ -1,0 +1,253 @@
+module Fabric = Mineq_route.Fabric
+module Bit_follow = Mineq_route.Bit_follow
+
+(* Link ids are [((s * per) + x) * r + j]: stage-major, then cell,
+   then out-port — the same flat layout as the fabric tables.  The
+   successor relation is stored as one word per link: [succ_base]
+   holds the id of the target cell's port-0 link at the next stage
+   (or the wrap target for ejection links), [succ_mask] the set of
+   admitted ports there, so enumerating turns is a shift and a mask
+   test — no adjacency lists, nothing boxed. *)
+type t = {
+  stages : int;
+  per : int;
+  radix : int;
+  links : int;
+  recirculate : bool;
+  succ_mask : int array;
+  succ_base : int array;
+  (* Tarjan scratch, preallocated so the pass allocates nothing *)
+  index : int array;
+  low : int array;
+  comp : int array;
+  onstack : int array;
+  stack : int array;
+  cs_v : int array;  (* explicit DFS call stack: node ... *)
+  cs_j : int array;  (* ... and next successor port to scan *)
+  mutable sccs : int;
+  mutable cyclic : int;  (* a node inside some cycle, or -1 *)
+}
+
+let of_router ?(recirculate = false) router =
+  let fab = Bit_follow.fabric router in
+  let stages = fab.Fabric.stages in
+  let per = fab.Fabric.per in
+  let r = fab.Fabric.radix in
+  let n = Fabric.terminals fab in
+  let links = stages * per * r in
+  let succ_mask = Array.make links 0 in
+  let succ_base = Array.make links 0 in
+  (* Geometry: which cell each link lands on.  Ejection link
+     [(S-1, x, j)] carries output terminal [x * r + j]; under the
+     identity wrap it re-enters as input terminal [x * r + j], i.e.
+     at stage-0 cell [x] — the wrap preserves the cell label. *)
+  for s = 0 to stages - 2 do
+    for a = 0 to (per * r) - 1 do
+      succ_base.(((s * per) * r) + a) <- (((s + 1) * per) + fab.Fabric.child.(s).(a)) * r
+    done
+  done;
+  for x = 0 to per - 1 do
+    for j = 0 to r - 1 do
+      succ_base.(((((stages - 1) * per) + x) * r) + j) <- x * r
+    done
+  done;
+  (* Ports any destination can demand at stage 0: the admitted turns
+     out of a wrap (the re-entering worm has a fresh destination). *)
+  let d0 = ref 0 in
+  for o = 0 to n - 1 do
+    d0 := !d0 lor (1 lsl Bit_follow.control router ~stage:0 ~output:o)
+  done;
+  (* Admitted turns: for each output, sweep the cell sets its tag
+     walk can occupy.  R_0 = all cells (delta: any input reaches o);
+     R_{s+1} = children of R_s under o's stage-s digit. *)
+  let cur = Array.make per 0 in
+  let nxt = Array.make per 0 in
+  let stamp = Array.make per (-1) in
+  let version = ref (-1) in
+  for o = 0 to n - 1 do
+    let count = ref per in
+    for x = 0 to per - 1 do
+      cur.(x) <- x
+    done;
+    for s = 0 to stages - 2 do
+      let d = Bit_follow.control router ~stage:s ~output:o in
+      let dn = Bit_follow.control router ~stage:(s + 1) ~output:o in
+      incr version;
+      let c2 = ref 0 in
+      for i = 0 to !count - 1 do
+        let x = cur.(i) in
+        let v = (((s * per) + x) * r) + d in
+        succ_mask.(v) <- succ_mask.(v) lor (1 lsl dn);
+        let y = fab.Fabric.child.(s).((r * x) + d) in
+        if stamp.(y) <> !version then begin
+          stamp.(y) <- !version;
+          nxt.(!c2) <- y;
+          incr c2
+        end
+      done;
+      Array.blit nxt 0 cur 0 !c2;
+      count := !c2
+    done;
+    if recirculate then begin
+      let d = Bit_follow.control router ~stage:(stages - 1) ~output:o in
+      for i = 0 to !count - 1 do
+        let v = ((((stages - 1) * per) + cur.(i)) * r) + d in
+        succ_mask.(v) <- succ_mask.(v) lor !d0
+      done
+    end
+  done;
+  { stages;
+    per;
+    radix = r;
+    links;
+    recirculate;
+    succ_mask;
+    succ_base;
+    index = Array.make links (-1);
+    low = Array.make links 0;
+    comp = Array.make links (-1);
+    onstack = Array.make links 0;
+    stack = Array.make links 0;
+    cs_v = Array.make links 0;
+    cs_j = Array.make links 0;
+    sccs = 0;
+    cyclic = -1
+  }
+
+let recirculating t = t.recirculate
+
+let links t = t.links
+
+let edge_count t =
+  let e = ref 0 in
+  for v = 0 to t.links - 1 do
+    e := !e + Mineq_bitvec.Bv.popcount t.succ_mask.(v)
+  done;
+  !e
+
+let describe t v =
+  let pr = t.per * t.radix in
+  (v / pr, (v / t.radix) mod t.per, v mod t.radix)
+
+let iter_succ t v f =
+  let m = t.succ_mask.(v) in
+  for j = 0 to t.radix - 1 do
+    if m land (1 lsl j) <> 0 then f (t.succ_base.(v) + j)
+  done
+
+(* Iterative Tarjan.  The DFS call stack lives in [cs_v]/[cs_j];
+   each visit to the top frame advances its successor cursor by one,
+   so the loop body is flat and the pass touches only the
+   preallocated arrays (the int refs below stay unboxed). *)
+let run_scc t =
+  let v = t.links in
+  Array.fill t.index 0 v (-1);
+  Array.fill t.onstack 0 v 0;
+  t.sccs <- 0;
+  t.cyclic <- -1;
+  let counter = ref 0 in
+  let sp = ref 0 in
+  let top = ref 0 in
+  for root = 0 to v - 1 do
+    if t.index.(root) < 0 then begin
+      t.index.(root) <- !counter;
+      t.low.(root) <- !counter;
+      incr counter;
+      t.stack.(!sp) <- root;
+      incr sp;
+      t.onstack.(root) <- 1;
+      t.cs_v.(0) <- root;
+      t.cs_j.(0) <- 0;
+      top := 1;
+      while !top > 0 do
+        let f = !top - 1 in
+        let u = t.cs_v.(f) in
+        let j = t.cs_j.(f) in
+        if j < t.radix then begin
+          t.cs_j.(f) <- j + 1;
+          if t.succ_mask.(u) land (1 lsl j) <> 0 then begin
+            let w = t.succ_base.(u) + j in
+            if w = u then t.cyclic <- u;
+            if t.index.(w) < 0 then begin
+              t.index.(w) <- !counter;
+              t.low.(w) <- !counter;
+              incr counter;
+              t.stack.(!sp) <- w;
+              incr sp;
+              t.onstack.(w) <- 1;
+              t.cs_v.(!top) <- w;
+              t.cs_j.(!top) <- 0;
+              incr top
+            end
+            else if t.onstack.(w) = 1 && t.index.(w) < t.low.(u) then t.low.(u) <- t.index.(w)
+          end
+        end
+        else begin
+          decr top;
+          if !top > 0 then begin
+            let p = t.cs_v.(!top - 1) in
+            if t.low.(u) < t.low.(p) then t.low.(p) <- t.low.(u)
+          end;
+          if t.low.(u) = t.index.(u) then begin
+            let size = ref 0 in
+            let more = ref true in
+            while !more do
+              decr sp;
+              let w = t.stack.(!sp) in
+              t.onstack.(w) <- 0;
+              t.comp.(w) <- t.sccs;
+              incr size;
+              if w = u then more := false
+            done;
+            t.sccs <- t.sccs + 1;
+            if !size >= 2 then t.cyclic <- u
+          end
+        end
+      done
+    end
+  done
+
+let deadlock_free t =
+  run_scc t;
+  t.cyclic < 0
+
+let scc_count t =
+  run_scc t;
+  t.sccs
+
+type verdict = Deadlock_free | Deadlock of { cycle : int array }
+
+let verdict t =
+  if deadlock_free t then Deadlock_free
+  else begin
+    (* Walk successors inside the witness SCC until a link repeats:
+       in a strongly connected component every node keeps an in-SCC
+       successor, so the walk must close a cycle. *)
+    let c = t.comp.(t.cyclic) in
+    let path = Array.make (t.links + 1) (-1) in
+    let pos = Array.make t.links (-1) in
+    let len = ref 0 in
+    let v = ref t.cyclic in
+    let cycle = ref [||] in
+    while Array.length !cycle = 0 do
+      if pos.(!v) >= 0 then cycle := Array.sub path pos.(!v) (!len - pos.(!v))
+      else begin
+        pos.(!v) <- !len;
+        path.(!len) <- !v;
+        incr len;
+        let nextv = ref (-1) in
+        for j = 0 to t.radix - 1 do
+          if !nextv < 0 && t.succ_mask.(!v) land (1 lsl j) <> 0 then begin
+            let w = t.succ_base.(!v) + j in
+            if t.comp.(w) = c then nextv := w
+          end
+        done;
+        v := !nextv
+      end
+    done;
+    Deadlock { cycle = !cycle }
+  end
+
+let pp_link t ppf v =
+  let s, x, j = describe t v in
+  Format.fprintf ppf "stage %d cell %d port %d" (s + 1) x j

@@ -1,0 +1,76 @@
+(** Channel-dependency-graph deadlock analysis of a routed fabric.
+
+    The nodes of the CDG are the fabric's directed links — one per
+    [(stage, cell, out-port)] triple, including the ejection links of
+    the last stage — and its edges are the {e turns} the routing
+    function admits: link [(s, x, j)] depends on link
+    [(s+1, y, j')] exactly when some destination-tag walk can hold
+    [(s, x, j)] while waiting for [(s+1, y, j')].  Turns are read off
+    the {!Mineq_route.Bit_follow} delta schedule directly from the
+    fabric's flat per-gap child tables: for every output [o] the
+    construction sweeps the cells its tag walk can occupy stage by
+    stage (starting from all stage-0 cells — the delta property says
+    any input reaches [o]) and admits the turn from [o]'s stage-[s]
+    digit onto its stage-[s+1] digit at every reachable cell.
+
+    A wormhole router is deadlock-free iff this graph is acyclic
+    (Dally–Seitz); {!deadlock_free} decides it with an iterative
+    Tarjan SCC pass over preallocated int arrays — after {!of_router}
+    the pass allocates nothing, which [BENCH_verify.json] gates at
+    zero minor words.  A forward-only fabric is trivially leveled
+    (every turn steps one stage right) so its CDG is provably
+    acyclic; the pass certifies that rather than assuming it, and the
+    interesting verdicts come from the {e recirculating}
+    configuration ([~recirculate:true]): output terminal [t] wired
+    back to input terminal [t] for multi-pass traffic, which adds
+    last-stage-to-first-stage turns and — for any single-lane fabric
+    with nontrivial stage-0 fan-out — a dependency cycle.  That
+    verdict is the static gate the wormhole simulator consults: a
+    cyclic configuration must provision multiple virtual lanes
+    (Stergiou's multi-lane MINs) or restrict injection. *)
+
+type t
+(** A built CDG: flat successor tables plus the preallocated Tarjan
+    scratch.  Single-threaded, like {!Mineq.Packed.scratch}. *)
+
+val of_router : ?recirculate:bool -> Mineq_route.Bit_follow.t -> t
+(** Build the CDG of the router's fabric under its delta schedule.
+    [recirculate] (default [false]) wires output terminal [t] back to
+    input terminal [t].  Construction allocates; the analysis passes
+    below do not. *)
+
+val recirculating : t -> bool
+
+val links : t -> int
+(** Node count: [stages * per * radix]. *)
+
+val edge_count : t -> int
+(** Admitted turns (recomputed on demand; allocation-free). *)
+
+val describe : t -> int -> int * int * int
+(** [(stage, cell, out_port)] of a link id, 0-based. *)
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+(** Iterate the link ids a given link depends on (for agreement
+    tests and witness validation). *)
+
+val deadlock_free : t -> bool
+(** The Tarjan pass: [true] iff no SCC has two nodes or a self-loop.
+    Zero allocation. *)
+
+val scc_count : t -> int
+(** Number of strongly connected components (runs the same pass). *)
+
+(** Outcome of {!verdict}: deadlock-free, or a concrete cycle — link
+    ids in dependency order, each depending on the next and the last
+    on the first. *)
+type verdict = Deadlock_free | Deadlock of { cycle : int array }
+
+val verdict : t -> verdict
+(** {!deadlock_free}, plus a cycle witness extracted from a
+    nontrivial SCC on failure (the witness array is the only
+    allocation, and only on failure). *)
+
+val pp_link : t -> Format.formatter -> int -> unit
+(** Render a link id as [stage s cell c port p] (1-based stage, the
+    diagnostics convention). *)

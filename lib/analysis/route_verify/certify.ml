@@ -1,0 +1,180 @@
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module Affine = Mineq_analysis.Affine
+module Fabric = Mineq_route.Fabric
+module Plan = Mineq_route.Plan
+module Bit_follow = Mineq_route.Bit_follow
+
+type traffic = { name : string; bits : int; map : Gf2.t; offset : Bv.t }
+
+let identity ~bits = { name = "identity"; bits; map = Gf2.identity bits; offset = Bv.zero }
+
+let complement ~bits =
+  { name = "complement"; bits; map = Gf2.identity bits; offset = (1 lsl bits) - 1 }
+
+let bit_reversal ~bits =
+  { name = "bit-reversal";
+    bits;
+    map = Gf2.create ~rows:bits ~cols:bits (fun i j -> j = bits - 1 - i);
+    offset = Bv.zero
+  }
+
+let perfect_shuffle ~bits =
+  { name = "perfect-shuffle";
+    bits;
+    map = Gf2.create ~rows:bits ~cols:bits (fun i j -> j = (i + bits - 1) mod bits);
+    offset = Bv.zero
+  }
+
+let transpose ~bits =
+  if bits mod 2 <> 0 then invalid_arg "Certify.transpose: odd address width";
+  { name = "transpose";
+    bits;
+    map = Gf2.create ~rows:bits ~cols:bits (fun i j -> j = (i + (bits / 2)) mod bits);
+    offset = Bv.zero
+  }
+
+let bpc ?name ?(complement = 0) perm =
+  let bits = Array.length perm in
+  let seen = Array.make bits false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= bits || seen.(j) then invalid_arg "Certify.bpc: not a permutation";
+      seen.(j) <- true)
+    perm;
+  let name = match name with Some n -> n | None -> "bpc" in
+  { name;
+    bits;
+    map = Gf2.create ~rows:bits ~cols:bits (fun i j -> j = perm.(i));
+    offset = complement land ((1 lsl bits) - 1)
+  }
+
+let classical_classes ~bits =
+  let base = [ identity ~bits; complement ~bits ] in
+  let rots =
+    if bits >= 2 then
+      [ bit_reversal ~bits; perfect_shuffle ~bits ]
+      @ (if bits mod 2 = 0 then [ transpose ~bits ] else [])
+    else []
+  in
+  base @ rots
+
+type unsupported = Radix_not_two | Shape | Gap_not_affine of int | Schedule_not_affine
+
+type collision = {
+  gap : int;
+  input_a : int;
+  input_b : int;
+  output_a : int;
+  output_b : int;
+}
+
+type result = Free of Gf2.t array | Blocked of collision | Unsupported of unsupported
+
+exception Unsup of unsupported
+
+(* Echelon rows have pairwise distinct leading bits, so integer order
+   follows leading-bit order and the least row is the least nonzero
+   element of the whole span. *)
+let min_kernel_vector ~cols m =
+  let ech = Gf2.row_space_basis (Gf2.of_rows ~cols (Array.of_list (Gf2.kernel_basis m))) in
+  match ech with [] -> assert false | h :: t -> List.fold_left min h t
+
+let analyze router tr =
+  let fab = Bit_follow.fabric router in
+  match
+    let cw = fab.Fabric.width in
+    let nb = cw + 1 in
+    if fab.Fabric.radix <> 2 then raise (Unsup Radix_not_two);
+    if tr.bits <> nb then invalid_arg "Certify.analyze: traffic width mismatch";
+    if fab.Fabric.stages <> nb then raise (Unsup Shape);
+    (* Affine form of the schedule word o -> w(o); digit at stage k
+       is bit (nb-1-k) of the word. *)
+    let word o =
+      let w = ref 0 in
+      for s = 0 to nb - 1 do
+        w := !w lor (Bit_follow.control router ~stage:s ~output:o lsl (nb - 1 - s))
+      done;
+      !w
+    in
+    let wm =
+      match Affine.of_function ~width:nb word with
+      | Some a -> a.Affine.m
+      | None -> raise (Unsup Schedule_not_affine)
+    in
+    (* Independent-connection form of each gap: child of cell y via
+       port d is B y xor c xor d*delta, with the linear part shared
+       between the two ports. *)
+    let gap_form k =
+      let f0 = Affine.of_function ~width:cw (fun y -> fab.Fabric.child.(k).(2 * y)) in
+      let f1 = Affine.of_function ~width:cw (fun y -> fab.Fabric.child.(k).((2 * y) + 1)) in
+      match (f0, f1) with
+      | Some a0, Some a1 when Gf2.equal a0.Affine.m a1.Affine.m ->
+          (a0.Affine.m, Bv.xor a0.Affine.c a1.Affine.c)
+      | _ -> raise (Unsup (Gap_not_affine k))
+    in
+    let a_t = Gf2.transpose tr.map in
+    (* Cell label at stage 0 is the input address without its port
+       bit: row i of L_0 reads address bit i+1. *)
+    let l = ref (Gf2.create ~rows:cw ~cols:nb (fun i j -> j = i + 1)) in
+    let mats = Array.make nb (Gf2.identity nb) in
+    let refuted = ref None in
+    let k = ref 0 in
+    while !refuted = None && !k < nb do
+      let s_k = Gf2.row wm (nb - 1 - !k) in
+      let r_k = Gf2.apply a_t s_k in
+      let m_k =
+        Gf2.of_rows ~cols:nb (Array.append (Array.init cw (Gf2.row !l)) [| r_k |])
+      in
+      if not (Gf2.is_invertible m_k) then begin
+        let d = min_kernel_vector ~cols:nb m_k in
+        refuted :=
+          Some
+            { gap = !k;
+              input_a = 0;
+              input_b = d;
+              output_a = tr.offset;
+              output_b = Bv.xor (Gf2.apply tr.map d) tr.offset
+            }
+      end
+      else begin
+        mats.(!k) <- m_k;
+        if !k < nb - 1 then begin
+          let b, delta = gap_form !k in
+          let outer =
+            Gf2.create ~rows:cw ~cols:nb (fun i j -> Bv.bit delta i && Bv.bit r_k j)
+          in
+          l := Gf2.add (Gf2.mul b !l) outer
+        end;
+        incr k
+      end
+    done;
+    match !refuted with Some c -> Blocked c | None -> Free mats
+  with
+  | result -> result
+  | exception Unsup u -> Unsupported u
+
+let confirm router c =
+  let plan = Plan.create (Bit_follow.fabric router) in
+  Bit_follow.try_route router plan ~input:c.input_a ~output:c.output_a
+  && not (Bit_follow.try_route router plan ~input:c.input_b ~output:c.output_b)
+
+let survey_classes router =
+  let fab = Bit_follow.fabric router in
+  let bits = fab.Fabric.width + 1 in
+  List.map (fun tr -> (tr, analyze router tr)) (classical_classes ~bits)
+
+let pp_result ppf = function
+  | Free mats ->
+      Format.fprintf ppf "blocking-free (certificate: %d invertible link matrices)"
+        (Array.length mats)
+  | Blocked c ->
+      Format.fprintf ppf "blocked at gap %d: inputs %d and %d contend (outputs %d and %d)"
+        c.gap c.input_a c.input_b c.output_a c.output_b
+  | Unsupported Radix_not_two -> Format.fprintf ppf "unsupported: radix is not 2"
+  | Unsupported Shape ->
+      Format.fprintf ppf "unsupported: not a banyan shape (stages <> address bits)"
+  | Unsupported (Gap_not_affine k) ->
+      Format.fprintf ppf "unsupported: gap %d wiring has no affine form" k
+  | Unsupported Schedule_not_affine ->
+      Format.fprintf ppf "unsupported: delta schedule is not affine"

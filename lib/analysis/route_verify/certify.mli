@@ -1,0 +1,112 @@
+(** Affine blocking certificates for destination-tag routing.
+
+    On a radix-2 banyan fabric ([stages = log2 terminals]) with
+    affine inter-stage wirings and an affine delta schedule, the link
+    a path occupies at each gap is an {e affine function of the input
+    address} once the traffic pattern is fixed to an affine class
+    [o = A x xor a] (the BPC family: bit-permute-complement and
+    every other GF(2)-affine pattern).  Two inputs collide at gap [k]
+    iff their difference lies in the kernel of that gap's {e link
+    matrix} [M_k] — the cell rows stacked over the port row —
+    because affine offsets cancel in differences.  So the whole
+    blocking question for a traffic class reduces to [stages] rank
+    computations:
+
+    - every [M_k] invertible: the class is {e blocking-free}, and
+      the matrices are a checkable symbolic certificate;
+    - some [M_k] singular: any nonzero kernel vector [d] yields the
+      concrete blocked pair [(0, d)] — {!analyze} returns the
+      minimal such [d] (echelon reduction of the kernel), and
+      {!confirm} replays the pair through {!Mineq_route.Bit_follow}
+      to check the refutation against the real router.
+
+    The recurrence behind the matrices is the paper's
+    independent-connection normal form, inferred per gap with
+    {!Mineq_analysis.Affine.of_function}: cell maps evolve as
+    [L_0 = drop-port-bit], [L_{k+1} = B_k L_k xor delta_k r_k^T],
+    where [r_k] is the linear part of the stage-[k] control digit
+    under the traffic class.  Fabrics outside the affine regime
+    (odd radix, non-square shape, crooked wirings) are reported
+    {!Unsupported}, never mis-certified. *)
+
+module Bv = Mineq_bitvec.Bv
+module Gf2 = Mineq_bitvec.Gf2_matrix
+
+(** An affine traffic class [x -> map x xor offset] on address
+    vectors of [bits] bits. *)
+type traffic = { name : string; bits : int; map : Gf2.t; offset : Bv.t }
+
+val identity : bits:int -> traffic
+val complement : bits:int -> traffic
+(** Identity permutation; full bit-complement ([x -> x xor ones]). *)
+
+val bit_reversal : bits:int -> traffic
+(** Address-bit reversal — the FFT access pattern. *)
+
+val perfect_shuffle : bits:int -> traffic
+(** One left rotation of the address bits ([x -> 2x mod (n-1)]). *)
+
+val transpose : bits:int -> traffic
+(** Rotation by [bits/2] — matrix transposition of a square grid.
+    Raises [Invalid_argument] when [bits] is odd. *)
+
+val bpc : ?name:string -> ?complement:int -> int array -> traffic
+(** [bpc perm] is the bit-permute-complement class: destination bit
+    [i] is source bit [perm.(i)], xor bit [i] of [complement]
+    (default 0).  Raises [Invalid_argument] unless [perm] is a
+    permutation of [0 .. length - 1]. *)
+
+val classical_classes : bits:int -> traffic list
+(** The survey inventory: identity, complement, bit-reversal,
+    perfect-shuffle, and transpose when [bits] is even. *)
+
+(** Why a fabric falls outside the affine fast path. *)
+type unsupported =
+  | Radix_not_two  (** the certificate algebra is radix-2 only *)
+  | Shape
+      (** not a banyan: [stages <> log2 terminals] (e.g. Benes), or
+          terminals not a power of two *)
+  | Gap_not_affine of int
+      (** gap index whose wiring has no shared-linear-part affine
+          form — the fabric is not an independent-connection cascade
+          there *)
+  | Schedule_not_affine
+      (** the delta schedule is not an affine function of the
+          output address *)
+
+(** A refuted class: inputs [input_a <> input_b] demand the same
+    link at [gap] (0-based; gap [stages - 1] is the ejection link,
+    where non-invertible traffic maps collide). *)
+type collision = {
+  gap : int;
+  input_a : int;
+  input_b : int;
+  output_a : int;
+  output_b : int;
+}
+
+type result =
+  | Free of Gf2.t array
+      (** blocking-free; the per-gap link matrices, each invertible
+          — the symbolic certificate *)
+  | Blocked of collision  (** minimal concrete refutation *)
+  | Unsupported of unsupported
+
+val analyze : Mineq_route.Bit_follow.t -> traffic -> result
+(** Decide the traffic class against the router's fabric and
+    schedule.  Cost is polynomial in [bits] plus the [O(terminals)]
+    affine inferences — no path enumeration.  Raises
+    [Invalid_argument] when [traffic.bits] does not match the
+    fabric's terminal count. *)
+
+val confirm : Mineq_route.Bit_follow.t -> collision -> bool
+(** Replay the collision pair concretely: route
+    [input_a -> output_a] in a fresh plan, then check
+    [input_b -> output_b] is refused.  [true] means the symbolic
+    refutation is real (test suites gate on this). *)
+
+val survey_classes : Mineq_route.Bit_follow.t -> (traffic * result) list
+(** {!analyze} every {!classical_classes} member — the fast path the
+    CLI's [blocking --classes] and the route lint use. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,174 @@
+module Fabric = Mineq_route.Fabric
+module Plan = Mineq_route.Plan
+module Diagnostics = Mineq_analysis.Diagnostics
+
+let finding ~code ~stage ~message ?witness ?hint () =
+  { Diagnostics.code;
+    severity = Diagnostics.Error;
+    stage;
+    message;
+    witness;
+    hint
+  }
+
+let check ?image plan =
+  let fab = Plan.fabric plan in
+  let stages = fab.Fabric.stages in
+  let per = fab.Fabric.per in
+  let r = fab.Fabric.radix in
+  let fw = Plan.field_width r in
+  let layout_bits = (2 * r) + (r * fw) in
+  let findings = ref [] in
+  let emit ~code ~stage ~message ?witness ?hint () =
+    findings := finding ~code ~stage ~message ?witness ?hint () :: !findings
+  in
+  (match image with
+  | Some img when Array.length img <> Fabric.terminals fab ->
+      invalid_arg "Plan_check.check: image length mismatch"
+  | _ -> ());
+  let cell_ctx s x = Printf.sprintf "stage %d cell %d" (s + 1) x in
+  (* Word-local invariants: R001-R004. *)
+  for s = 0 to stages - 1 do
+    for x = 0 to per - 1 do
+      let w = Plan.state_word plan ~stage:s ~cell:x in
+      let in_mask = w land ((1 lsl r) - 1) in
+      let out_mask = (w lsr r) land ((1 lsl r) - 1) in
+      if w lsr layout_bits <> 0 || w < 0 then
+        emit ~code:"MINEQ-R001" ~stage:(Some (s + 1))
+          ~message:(cell_ctx s x ^ ": state bits outside the cell layout")
+          ~witness:(Printf.sprintf "word 0x%x, layout %d bits" w layout_bits)
+          ~hint:"only Plan.claim/release may write state words" ();
+      let derived_out = ref 0 in
+      let dup = ref (-1) in
+      for i = 0 to r - 1 do
+        let field = (w lsr ((2 * r) + (i * fw))) land ((1 lsl fw) - 1) in
+        if in_mask land (1 lsl i) = 0 then begin
+          if field <> 0 then
+            emit ~code:"MINEQ-R002" ~stage:(Some (s + 1))
+              ~message:
+                (Printf.sprintf "%s: unassigned input port %d has a stale field"
+                   (cell_ctx s x) i)
+              ~witness:(Printf.sprintf "field value %d" field)
+              ~hint:"Plan.release must zero the assignment field" ()
+        end
+        else if field >= r then
+          emit ~code:"MINEQ-R002" ~stage:(Some (s + 1))
+            ~message:
+              (Printf.sprintf "%s: input port %d assigned out-of-range port"
+                 (cell_ctx s x) i)
+            ~witness:(Printf.sprintf "field value %d, radix %d" field r)
+            ()
+        else begin
+          if !derived_out land (1 lsl field) <> 0 then dup := field;
+          derived_out := !derived_out lor (1 lsl field)
+        end
+      done;
+      if !dup >= 0 then
+        emit ~code:"MINEQ-R004" ~stage:(Some (s + 1))
+          ~message:
+            (Printf.sprintf "%s: two input ports assigned to output port %d" (cell_ctx s x)
+               !dup)
+          ~hint:"Plan.claim refuses Out_busy; this word was forged" ();
+      if !dup < 0 && !derived_out <> out_mask then
+        emit ~code:"MINEQ-R003" ~stage:(Some (s + 1))
+          ~message:(cell_ctx s x ^ ": output occupancy disagrees with assignment fields")
+          ~witness:
+            (Printf.sprintf "mask 0x%x, fields give 0x%x" out_mask !derived_out)
+          ()
+    done
+  done;
+  (* Global invariants only make sense on locally well-formed words. *)
+  if !findings = [] then begin
+    (* R005: a union of complete paths claims once per stage. *)
+    let live s =
+      let n = ref 0 in
+      for x = 0 to per - 1 do
+        for i = 0 to r - 1 do
+          if Plan.port_of plan ~stage:s ~cell:x ~in_port:i >= 0 then incr n
+        done
+      done;
+      !n
+    in
+    let l0 = live 0 in
+    for s = 1 to stages - 1 do
+      let ls = live s in
+      if ls <> l0 then
+        emit ~code:"MINEQ-R005" ~stage:(Some (s + 1))
+          ~message:
+            (Printf.sprintf "stage %d carries %d assignments but stage 1 carries %d"
+               (s + 1) ls l0)
+          ~hint:"partial paths present: the plan is not a union of routes" ()
+    done;
+    (* R006: forward closure along the child tables. *)
+    for s = 0 to stages - 2 do
+      for x = 0 to per - 1 do
+        for i = 0 to r - 1 do
+          let j = Plan.port_of plan ~stage:s ~cell:x ~in_port:i in
+          if j >= 0 then begin
+            let a = (r * x) + j in
+            let y = fab.Fabric.child.(s).(a) in
+            let ip = fab.Fabric.in_port.(s).(a) in
+            if Plan.port_of plan ~stage:(s + 1) ~cell:y ~in_port:ip < 0 then
+              emit ~code:"MINEQ-R006" ~stage:(Some (s + 1))
+                ~message:
+                  (Printf.sprintf "%s out port %d: path dangles" (cell_ctx s x) j)
+                ~witness:
+                  (Printf.sprintf "lands on stage %d cell %d port %d, unassigned"
+                     (s + 2) y ip)
+                ()
+          end
+        done
+      done
+    done;
+    (* R007: reverse closure — every interior assignment is driven by
+       a claimed arc of the previous gap. *)
+    for s = 1 to stages - 1 do
+      let driven = Array.make (per * r) false in
+      for x = 0 to per - 1 do
+        for j = 0 to r - 1 do
+          if Plan.out_taken plan ~stage:(s - 1) ~cell:x ~out_port:j then begin
+            let a = (r * x) + j in
+            driven.((r * fab.Fabric.child.(s - 1).(a)) + fab.Fabric.in_port.(s - 1).(a)) <-
+              true
+          end
+        done
+      done;
+      for y = 0 to per - 1 do
+        for ip = 0 to r - 1 do
+          if Plan.port_of plan ~stage:s ~cell:y ~in_port:ip >= 0 && not (driven.((r * y) + ip))
+          then
+            emit ~code:"MINEQ-R007" ~stage:(Some (s + 1))
+              ~message:
+                (Printf.sprintf "%s input port %d: assignment no arc drives"
+                   (cell_ctx s y) ip)
+              ~hint:"claims must be made path-wise from the input terminal" ()
+        done
+      done
+    done;
+    (* R008/R009: end-to-end delivery. *)
+    let n = Fabric.terminals fab in
+    let hit = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      let o = Plan.propagate plan i in
+      if o >= 0 then begin
+        if hit.(o) >= 0 then
+          emit ~code:"MINEQ-R008" ~stage:None
+            ~message:
+              (Printf.sprintf "inputs %d and %d both reach output %d" hit.(o) i o)
+            ();
+        if hit.(o) < 0 then hit.(o) <- i
+      end;
+      match image with
+      | Some img when img.(i) >= 0 && o <> img.(i) ->
+          emit ~code:"MINEQ-R009" ~stage:None
+            ~message:
+              (Printf.sprintf "input %d reaches %s, declared image is %d" i
+                 (if o < 0 then "no output" else string_of_int o)
+                 img.(i))
+            ()
+      | _ -> ()
+    done
+  end;
+  List.sort Diagnostics.compare_finding !findings
+
+let is_sound ?image plan = check ?image plan = []

@@ -1,0 +1,43 @@
+(** Plan-soundness lint: audit a switch-state program word by word.
+
+    A {!Mineq_route.Plan} is sound when it is exactly a union of
+    complete input-to-output paths: every state word well-formed
+    (no stray bits, no stale assignment fields), occupancy masks
+    agreeing with the assignment fields, every claimed arc continued
+    at the next stage and driven from the previous one, and no two
+    paths delivering to the same output terminal.  Routers maintain
+    all of this by construction; this checker re-derives it from the
+    raw words so tests, the CLI lint and future mutation of plan
+    state have an independent referee.
+
+    Findings use the stable [MINEQ-R0xx] codes (severity Error,
+    1-based stages — the {!Mineq_analysis.Diagnostics} convention):
+
+    {v
+    MINEQ-R001  word-garbage         bits set above the cell layout
+    MINEQ-R002  bad-assignment-field unassigned-port field nonzero, or
+                                     assigned field out of range
+    MINEQ-R003  out-mask-mismatch    output occupancy disagrees with
+                                     the assignment fields
+    MINEQ-R004  duplicate-out        two inputs assigned one out port
+    MINEQ-R005  stage-count-skew     live assignments differ between
+                                     stages (not a union of paths)
+    MINEQ-R006  dangling-path        a claimed arc is unclaimed at the
+                                     cell it lands on
+    MINEQ-R007  orphan-path          an interior assignment no arc
+                                     drives
+    MINEQ-R008  output-collision     two inputs propagate to the same
+                                     output terminal
+    MINEQ-R009  realizes-mismatch    the plan disagrees with the
+                                     declared image
+    v} *)
+
+val check : ?image:int array -> Mineq_route.Plan.t -> Mineq_analysis.Diagnostics.finding list
+(** Every violated invariant, sorted with
+    {!Mineq_analysis.Diagnostics.compare_finding}; [[]] iff the plan
+    is sound.  [image] additionally checks {!Mineq_route.Plan.realizes}
+    entry by entry ([-1] entries are don't-care).  Raises
+    [Invalid_argument] when [image] has the wrong length. *)
+
+val is_sound : ?image:int array -> Mineq_route.Plan.t -> bool
+(** [check ?image plan = []]. *)

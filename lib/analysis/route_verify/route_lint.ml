@@ -1,0 +1,240 @@
+module Fabric = Mineq_route.Fabric
+module Plan = Mineq_route.Plan
+module Bit_follow = Mineq_route.Bit_follow
+module Diagnostics = Mineq_analysis.Diagnostics
+module Report = Mineq_analysis.Report
+
+type report = {
+  stages : int;
+  width : int;
+  terminals : int;
+  radix : int;
+  delta : bool;
+  cdg_links : int;
+  cdg_edges : int;
+  forward_free : bool option;
+  recirc_free : bool option;
+  routed_smoke : int;
+  findings : Diagnostics.finding list;
+}
+
+let finding ~code ~severity ?stage ~message ?witness ?hint () =
+  { Diagnostics.code; severity; stage; message; witness; hint }
+
+let cycle_witness cdg cycle =
+  let buf = Buffer.create 96 in
+  let shown = min (Array.length cycle) 6 in
+  for i = 0 to shown - 1 do
+    if i > 0 then Buffer.add_string buf " -> ";
+    Buffer.add_string buf (Format.asprintf "%a" (Cdg.pp_link cdg) cycle.(i))
+  done;
+  if Array.length cycle > shown then
+    Buffer.add_string buf (Printf.sprintf " -> ... (%d links)" (Array.length cycle));
+  Buffer.contents buf
+
+let run_router router =
+  let fab = Bit_follow.fabric router in
+  let n = Fabric.terminals fab in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  (* Forward channel-dependency graph: must certify acyclic. *)
+  let fwd = Cdg.of_router router in
+  let forward_free =
+    match Cdg.verdict fwd with
+    | Cdg.Deadlock_free ->
+        emit
+          (finding ~code:"MINEQ-R110" ~severity:Diagnostics.Info
+             ~message:"forward CDG is acyclic: wormhole deadlock-free (Dally-Seitz)"
+             ~witness:
+               (Printf.sprintf "%d links, %d turns, %d SCCs" (Cdg.links fwd)
+                  (Cdg.edge_count fwd) (Cdg.scc_count fwd))
+             ());
+        true
+    | Cdg.Deadlock { cycle } ->
+        emit
+          (finding ~code:"MINEQ-R102" ~severity:Diagnostics.Error
+             ~message:"forward CDG has a dependency cycle"
+             ~witness:(cycle_witness fwd cycle)
+             ~hint:"a leveled fabric cannot cycle; the tables are corrupt" ());
+        false
+  in
+  (* Recirculating configuration: output t wired back to input t. *)
+  let rc = Cdg.of_router ~recirculate:true router in
+  let recirc_free =
+    match Cdg.verdict rc with
+    | Cdg.Deadlock_free ->
+        emit
+          (finding ~code:"MINEQ-R112" ~severity:Diagnostics.Info
+             ~message:"recirculating configuration is deadlock-free even single-lane" ());
+        true
+    | Cdg.Deadlock { cycle } ->
+        emit
+          (finding ~code:"MINEQ-R111" ~severity:Diagnostics.Info
+             ~message:"recirculating configuration has a dependency cycle"
+             ~witness:(cycle_witness rc cycle)
+             ~hint:
+               "multi-pass traffic needs >= 2 virtual lanes or restricted injection"
+             ());
+        false
+  in
+  (* Affine blocking certificates for the classical traffic classes. *)
+  (match Certify.survey_classes router with
+  | (_, Certify.Unsupported u) :: _ ->
+      emit
+        (finding ~code:"MINEQ-R104" ~severity:Diagnostics.Info
+           ~message:
+             (Format.asprintf "blocking certificates unavailable: %a" Certify.pp_result
+                (Certify.Unsupported u))
+           ())
+  | classes ->
+      List.iter
+        (fun ((tr : Certify.traffic), result) ->
+          match result with
+          | Certify.Free mats ->
+              emit
+                (finding ~code:"MINEQ-R113" ~severity:Diagnostics.Info
+                   ~message:(Printf.sprintf "traffic class %s is blocking-free" tr.name)
+                   ~witness:
+                     (Printf.sprintf "certificate: %d invertible link matrices"
+                        (Array.length mats))
+                   ())
+          | Certify.Blocked c ->
+              emit
+                (finding ~code:"MINEQ-R103" ~severity:Diagnostics.Info
+                   ~message:(Printf.sprintf "traffic class %s blocks" tr.name)
+                   ~witness:
+                     (Printf.sprintf
+                        "inputs %d and %d contend at gap %d (outputs %d and %d)"
+                        c.Certify.input_a c.Certify.input_b c.Certify.gap
+                        c.Certify.output_a c.Certify.output_b)
+                   ())
+          | Certify.Unsupported _ -> ())
+        classes);
+  (* Routing smoke test: identity permutation, plan audited word by
+     word (blocked paths unwind, so the partial plan must stay sound). *)
+  let plan = Plan.create fab in
+  let image = Array.make n (-1) in
+  let routed = ref 0 in
+  for i = 0 to n - 1 do
+    if Bit_follow.try_route router plan ~input:i ~output:i then begin
+      image.(i) <- i;
+      incr routed
+    end
+  done;
+  List.iter emit (Plan_check.check ~image plan);
+  { stages = fab.Fabric.stages;
+    width = fab.Fabric.width;
+    terminals = n;
+    radix = fab.Fabric.radix;
+    delta = true;
+    cdg_links = Cdg.links fwd;
+    cdg_edges = Cdg.edge_count fwd;
+    forward_free = Some forward_free;
+    recirc_free = Some recirc_free;
+    routed_smoke = !routed;
+    findings = List.sort Diagnostics.compare_finding !findings
+  }
+
+let run net =
+  match Bit_follow.of_network net with
+  | Some router -> run_router router
+  | None ->
+      let fab = Fabric.of_network net in
+      { stages = fab.Fabric.stages;
+        width = fab.Fabric.width;
+        terminals = Fabric.terminals fab;
+        radix = fab.Fabric.radix;
+        delta = false;
+        cdg_links = 0;
+        cdg_edges = 0;
+        forward_free = None;
+        recirc_free = None;
+        routed_smoke = -1;
+        findings =
+          [ finding ~code:"MINEQ-R101" ~severity:Diagnostics.Warning
+              ~message:"no shared destination-tag schedule: the network is not delta"
+              ~hint:"only delta networks admit static routing verification" ()
+          ]
+      }
+
+let count sev r =
+  List.length (List.filter (fun f -> f.Diagnostics.severity = sev) r.findings)
+
+let errors = count Diagnostics.Error
+let warnings = count Diagnostics.Warning
+let infos = count Diagnostics.Info
+
+let clean r = errors r = 0 && warnings r = 0
+
+let exit_code r = if clean r then 0 else 1
+
+let lint_string text =
+  match Mineq.Spec_io.gaps_of_string text with
+  | Error _ as e -> e
+  | Ok (n, gaps) -> (
+      match
+        Mineq.Mi_digraph.create (List.map (Mineq.Spec_io.connection_of_gap ~n) gaps)
+      with
+      | net -> Ok (run net)
+      | exception Invalid_argument m -> Error { Mineq.Spec_io.line = None; reason = m })
+
+let lint_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> lint_string text
+  | exception Sys_error m -> Error { Mineq.Spec_io.line = None; reason = m }
+
+let verdict_string = function
+  | None -> "n/a"
+  | Some true -> "deadlock-free"
+  | Some false -> "cyclic"
+
+let to_text r =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%d stages (width %d, radix %d): %d terminals, delta: %b\n" r.stages r.width r.radix
+    r.terminals r.delta;
+  add "cdg: %d links, %d turns; forward: %s, recirculating: %s\n" r.cdg_links r.cdg_edges
+    (verdict_string r.forward_free)
+    (verdict_string r.recirc_free);
+  if r.routed_smoke >= 0 then
+    add "identity smoke plan: %d/%d paths routed\n" r.routed_smoke r.terminals;
+  add "%d error(s), %d warning(s), %d info(s)\n" (errors r) (warnings r) (infos r);
+  List.iter
+    (fun (f : Diagnostics.finding) ->
+      add "\n%s %s%s\n  %s\n"
+        (Diagnostics.severity_name f.severity |> String.uppercase_ascii)
+        f.code
+        (match f.stage with Some s -> Printf.sprintf " (stage %d)" s | None -> "")
+        f.message;
+      Option.iter (add "  witness: %s\n") f.witness;
+      Option.iter (add "  hint: %s\n") f.hint)
+    r.findings;
+  Buffer.contents buf
+
+let json_opt_bool = function None -> "null" | Some b -> string_of_bool b
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"mineq-route-lint/1\",\n";
+  add "  \"stages\": %d,\n" r.stages;
+  add "  \"width\": %d,\n" r.width;
+  add "  \"radix\": %d,\n" r.radix;
+  add "  \"terminals\": %d,\n" r.terminals;
+  add "  \"delta\": %b,\n" r.delta;
+  add "  \"cdg\": { \"links\": %d, \"turns\": %d },\n" r.cdg_links r.cdg_edges;
+  add "  \"forward_deadlock_free\": %s,\n" (json_opt_bool r.forward_free);
+  add "  \"recirc_deadlock_free\": %s,\n" (json_opt_bool r.recirc_free);
+  add "  \"routed_smoke\": %d,\n" r.routed_smoke;
+  add "  \"summary\": { \"errors\": %d, \"warnings\": %d, \"infos\": %d },\n" (errors r)
+    (warnings r) (infos r);
+  add "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then add ",";
+      add "\n    %s" (Report.finding_to_json f))
+    r.findings;
+  if r.findings <> [] then add "\n  ";
+  add "]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(** The route lint: static verification verdicts for one network.
+
+    Bundles the three verifiers of this library over a network
+    spec — delta-schedule existence, {!Cdg} deadlock analysis
+    (forward and recirculating), {!Certify} blocking certificates
+    for the classical traffic classes, and a {!Plan_check}-audited
+    routing smoke test — into one report with the familiar
+    text/JSON renderers and 0/1/2 exit codes of
+    {!Mineq_analysis.Spec_lint}.  Surfaced on the CLI as
+    [mineq_cli lint --routes].
+
+    Network-level findings use the [MINEQ-R1xx] codes (the
+    [MINEQ-R0xx] plan-soundness codes of {!Plan_check} may also
+    appear, raised by the smoke plan):
+
+    {v
+    MINEQ-R101  not-delta            W  no shared destination-tag
+                                        schedule; routing verifiers
+                                        cannot run
+    MINEQ-R102  forward-cdg-cycle    E  the forward CDG has a cycle
+                                        (a leveled fabric never does)
+    MINEQ-R103  traffic-blocked      I  a classical traffic class has
+                                        a blocked pair (witness)
+    MINEQ-R104  certify-unavailable  I  fabric outside the affine
+                                        certificate regime
+    MINEQ-R110  forward-deadlock-free I forward CDG acyclic (Dally-
+                                        Seitz: wormhole-safe)
+    MINEQ-R111  recirc-cycle         I  recirculating configuration
+                                        has a dependency cycle; hint:
+                                        provision >= 2 virtual lanes
+    MINEQ-R112  recirc-deadlock-free I  recirculating configuration
+                                        acyclic even single-lane
+    MINEQ-R113  traffic-free         I  a classical traffic class is
+                                        certified blocking-free
+    v} *)
+
+type report = {
+  stages : int;
+  width : int;  (** cell-label digits, as in {!Mineq_route.Fabric} *)
+  terminals : int;
+  radix : int;
+  delta : bool;  (** a shared destination-tag schedule exists *)
+  cdg_links : int;  (** 0 when not delta *)
+  cdg_edges : int;
+  forward_free : bool option;  (** [None] when not delta *)
+  recirc_free : bool option;
+  routed_smoke : int;
+      (** identity-permutation paths the smoke plan carried
+          (of [terminals]); [-1] when not delta *)
+  findings : Mineq_analysis.Diagnostics.finding list;  (** sorted, errors first *)
+}
+
+val run : Mineq.Mi_digraph.t -> report
+(** Verify a built network: build its fabric and router, run both
+    CDG configurations, survey the classical traffic classes, route
+    the identity permutation and {!Plan_check} the resulting plan. *)
+
+val run_router : Mineq_route.Bit_follow.t -> report
+(** Same, from an already-built router (cascade fabrics included). *)
+
+val errors : report -> int
+val warnings : report -> int
+val infos : report -> int
+
+val clean : report -> bool
+(** No errors and no warnings. *)
+
+val exit_code : report -> int
+(** [0] when {!clean}, [1] otherwise; parse failures are mapped to
+    [2] by the CLI, as with {!Mineq_analysis.Spec_lint}. *)
+
+val lint_string : string -> (report, Mineq.Spec_io.error) result
+(** Parse a [.min] spec and {!run} it. *)
+
+val lint_file : string -> (report, Mineq.Spec_io.error) result
+
+val to_text : report -> string
+(** Human rendering: summary header, then one block per finding. *)
+
+val to_json : report -> string
+(** Stable JSON (schema ["mineq-route-lint/1"]), findings rendered
+    with {!Mineq_analysis.Report.finding_to_json}. *)

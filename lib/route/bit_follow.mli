@@ -12,9 +12,17 @@
 
     The walk is allocation-free.  A blocked {!try_route} unwinds its
     partial path (re-walking the deterministic prefix and releasing
-    each claim) and leaves the plan exactly as it found it; {!route}
-    additionally reports the contested link, allocating only the
-    {!type-blocked} record and only on failure.
+    each claim) and leaves the plan {e bit-identical} to its pre-call
+    state: every cell's state word — occupancy masks and assignment
+    fields alike — compares equal to a {!Plan.snapshot} taken before
+    the call.  This is an invariant, not a best effort: the unwind
+    re-derives the exact prefix the forward walk claimed (the control
+    digits are deterministic in the output), and [Plan.release]
+    restores each word to what a never-claimed cell holds.  A qcheck
+    gate in the test suite routes, blocks and compares plan words so
+    the invariant cannot silently rot.  {!route} additionally reports
+    the contested link, allocating only the {!type-blocked} record and
+    only on failure.
 
     Each input terminal may carry at most one path per plan.
     Re-routing an identical [(input, output)] pair is a harmless

@@ -62,6 +62,10 @@ let release t ~stage ~cell ~in_port =
     t.live <- t.live - 1
   end
 
+let state_word t ~stage ~cell = t.state.((stage * t.per) + cell)
+
+let snapshot t = Array.copy t.state
+
 let port_of t ~stage ~cell ~in_port =
   let w = t.state.((stage * t.per) + cell) in
   if w land (1 lsl in_port) = 0 then -1 else (w lsr (field_shift t in_port)) land t.fmask

@@ -46,6 +46,25 @@ val release : t -> stage:int -> cell:int -> in_port:int -> unit
 (** Undo the input port's assignment, if any (used to unwind the
     partial path of a blocked route). *)
 
+val field_width : int -> int
+(** [field_width radix]: bits of one assigned-port field in a cell's
+    state word — the layout constant a word-level checker (e.g.
+    [Mineq_route_verify.Plan_check]) needs to audit raw states.  The
+    word packs, low to high: [radix] input-occupancy bits, [radix]
+    output-occupancy bits, then [radix] fields of [field_width radix]
+    bits each. *)
+
+val state_word : t -> stage:int -> cell:int -> int
+(** The raw state word of one cell (read-only view; see
+    {!field_width} for the layout).  Exposed for static checkers —
+    routing code should use {!port_of}/{!out_taken}. *)
+
+val snapshot : t -> int array
+(** Fresh copy of every cell's state word, stage-major — the
+    bit-identical-unwind witness: capturing a snapshot before a
+    blocked {!Bit_follow.try_route} and comparing after must find
+    equal arrays (qcheck-enforced). *)
+
 val port_of : t -> stage:int -> cell:int -> in_port:int -> int
 (** The assigned output port, or [-1] when unset. *)
 

@@ -1,0 +1,466 @@
+(* The static verification layer: CDG deadlock analysis, affine
+   blocking certificates, plan soundness and the route lint. *)
+
+open Helpers
+module F = Mineq_route.Fabric
+module Plan = Mineq_route.Plan
+module Loop = Mineq_route.Loop
+module BF = Mineq_route.Bit_follow
+module Cdg = Mineq_route_verify.Cdg
+module Certify = Mineq_route_verify.Certify
+module Plan_check = Mineq_route_verify.Plan_check
+module Route_lint = Mineq_route_verify.Route_lint
+module Gf2 = Mineq_bitvec.Gf2_matrix
+module D = Mineq_analysis.Diagnostics
+
+let router_of net = Option.get (BF.of_network net)
+
+let shuffle rng img =
+  let n = Array.length img in
+  for i = 0 to n - 1 do
+    img.(i) <- i
+  done;
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = img.(i) in
+    img.(i) <- img.(j);
+    img.(j) <- tmp
+  done
+
+(* Reference implementations ------------------------------------------ *)
+
+(* Exhaustive cycle search over the CDG successor relation, the
+   O(V+E) textbook three-colour DFS — the oracle the Tarjan pass must
+   agree with. *)
+let has_cycle_dfs cdg =
+  let v = Cdg.links cdg in
+  let colour = Array.make v 0 in
+  let found = ref false in
+  let rec visit u =
+    colour.(u) <- 1;
+    Cdg.iter_succ cdg u (fun w ->
+        if colour.(w) = 1 then found := true
+        else if colour.(w) = 0 then visit w);
+    colour.(u) <- 2
+  in
+  for u = 0 to v - 1 do
+    if colour.(u) = 0 then visit u
+  done;
+  !found
+
+(* The link (cell, digit) input [x] occupies at each gap, walked over
+   the raw tables — independent of both Cdg and Certify. *)
+let links_of_walk router ~input ~output =
+  let fab = BF.fabric router in
+  let cell = ref (input / 2) in
+  Array.init fab.F.stages (fun s ->
+      let d = BF.control router ~stage:s ~output in
+      let link = (s, !cell, d) in
+      if s < fab.F.stages - 1 then cell := fab.F.child.(s).((2 * !cell) + d);
+      link)
+
+let apply_traffic (tr : Certify.traffic) x = Gf2.apply tr.Certify.map x lxor tr.Certify.offset
+
+(* First gap where some nonzero difference [d] makes inputs 0 and [d]
+   collide, with the least such [d] — Certify's refutation must land
+   exactly here. *)
+let brute_refutation router tr =
+  let fab = BF.fabric router in
+  let n = F.terminals fab in
+  let walk x = links_of_walk router ~input:x ~output:(apply_traffic tr x) in
+  let zero = walk 0 in
+  let answer = ref None in
+  for s = 0 to fab.F.stages - 1 do
+    if !answer = None then
+      for d = 1 to n - 1 do
+        if !answer = None && (walk d).(s) = zero.(s) then answer := Some (s, d)
+      done
+  done;
+  !answer
+
+(* Whether routing the whole class concretely hits a conflict. *)
+let concretely_blocks router tr =
+  let fab = BF.fabric router in
+  let n = F.terminals fab in
+  let plan = Plan.create fab in
+  let blocked = ref false in
+  for x = 0 to n - 1 do
+    if not (BF.try_route router plan ~input:x ~output:(apply_traffic tr x)) then
+      blocked := true
+  done;
+  !blocked
+
+(* Cdg ---------------------------------------------------------------- *)
+
+let test_cdg_forward_classical () =
+  for n = 2 to 4 do
+    List.iter
+      (fun (name, net) ->
+        let router = router_of net in
+        let fab = BF.fabric router in
+        let cdg = Cdg.of_router router in
+        check_false (name ^ " forward") (Cdg.recirculating cdg);
+        check_int (name ^ " links") (fab.F.stages * fab.F.per * 2) (Cdg.links cdg);
+        check_true (name ^ " deadlock-free") (Cdg.deadlock_free cdg);
+        check_int (name ^ " trivial SCCs") (Cdg.links cdg) (Cdg.scc_count cdg);
+        check_true (name ^ " verdict") (Cdg.verdict cdg = Cdg.Deadlock_free);
+        (* every admitted turn steps exactly one stage forward *)
+        for v = 0 to Cdg.links cdg - 1 do
+          let s, _, _ = Cdg.describe cdg v in
+          Cdg.iter_succ cdg v (fun w ->
+              let s', _, _ = Cdg.describe cdg w in
+              check_int (name ^ " leveled") (s + 1) s')
+        done)
+      (all_classical ~n)
+  done
+
+let test_cdg_agreement_exhaustive () =
+  for n = 2 to 4 do
+    List.iter
+      (fun (name, net) ->
+        let router = router_of net in
+        List.iter
+          (fun recirculate ->
+            let cdg = Cdg.of_router ~recirculate router in
+            check_bool
+              (Printf.sprintf "%s n=%d recirc=%b agrees with DFS" name n recirculate)
+              (not (has_cycle_dfs cdg))
+              (Cdg.deadlock_free cdg))
+          [ false; true ])
+      (all_classical ~n)
+  done
+
+let test_cdg_recirc_cycle_witness () =
+  List.iter
+    (fun (name, net) ->
+      let router = router_of net in
+      let cdg = Cdg.of_router ~recirculate:true router in
+      check_true (name ^ " recirculating") (Cdg.recirculating cdg);
+      match Cdg.verdict cdg with
+      | Cdg.Deadlock_free -> Alcotest.fail (name ^ ": single-lane recirculation must cycle")
+      | Cdg.Deadlock { cycle } ->
+          let k = Array.length cycle in
+          check_true (name ^ " nonempty cycle") (k >= 1);
+          Array.iteri
+            (fun i v ->
+              let next = cycle.((i + 1) mod k) in
+              let admitted = ref false in
+              Cdg.iter_succ cdg v (fun w -> if w = next then admitted := true);
+              check_true
+                (Format.asprintf "%s: %a depends on %a" name (Cdg.pp_link cdg) v
+                   (Cdg.pp_link cdg) next)
+                !admitted)
+            cycle)
+    (all_classical ~n:3)
+
+let test_cdg_edge_count () =
+  let router = router_of (Mineq.Classical.network Omega ~n:3) in
+  let cdg = Cdg.of_router router in
+  let counted = ref 0 in
+  for v = 0 to Cdg.links cdg - 1 do
+    Cdg.iter_succ cdg v (fun _ -> incr counted)
+  done;
+  check_int "edge_count matches iter_succ" !counted (Cdg.edge_count cdg);
+  (* forward graphs gain edges when recirculated *)
+  let rc = Cdg.of_router ~recirculate:true router in
+  check_true "recirculation adds turns" (Cdg.edge_count rc > Cdg.edge_count cdg)
+
+let prop_cdg_random_banyan =
+  qcheck ~count:40 "random banyan PIPID forward CDG is acyclic" n_and_seed
+    (fun (n, seed) ->
+      let rng = rng_of seed in
+      let g = random_banyan_pipid rng ~n:(min n 4) in
+      match BF.of_network g with
+      | None -> true
+      | Some router -> Cdg.deadlock_free (Cdg.of_router router))
+
+(* Certify ------------------------------------------------------------ *)
+
+let test_certify_agreement () =
+  for n = 2 to 4 do
+    List.iter
+      (fun (name, net) ->
+        let router = router_of net in
+        List.iter
+          (fun (tr : Certify.traffic) ->
+            let label = Printf.sprintf "%s n=%d %s" name n tr.Certify.name in
+            match Certify.analyze router tr with
+            | Certify.Unsupported _ -> Alcotest.fail (label ^ ": unexpectedly unsupported")
+            | Certify.Free mats ->
+                check_int (label ^ " certificate size") n (Array.length mats);
+                Array.iter
+                  (fun m -> check_true (label ^ " invertible") (Gf2.is_invertible m))
+                  mats;
+                check_false (label ^ " concrete agreement") (concretely_blocks router tr);
+                check_true (label ^ " no refutation") (brute_refutation router tr = None)
+            | Certify.Blocked c ->
+                check_true (label ^ " concrete agreement") (concretely_blocks router tr);
+                check_true (label ^ " confirmed") (Certify.confirm router c);
+                (match brute_refutation router tr with
+                | None -> Alcotest.fail (label ^ ": symbolic refutation, concrete none")
+                | Some (gap, d) ->
+                    check_int (label ^ " first gap") gap c.Certify.gap;
+                    check_int (label ^ " minimal pair") d c.Certify.input_b);
+                check_int (label ^ " input_a") 0 c.Certify.input_a;
+                check_int (label ^ " output_a") (apply_traffic tr 0) c.Certify.output_a;
+                check_int (label ^ " output_b")
+                  (apply_traffic tr c.Certify.input_b)
+                  c.Certify.output_b)
+          (Certify.classical_classes ~bits:n))
+      (all_classical ~n)
+  done
+
+let test_certify_survey_shape () =
+  let router = router_of (Mineq.Classical.network Baseline_net ~n:4) in
+  let survey = Certify.survey_classes router in
+  check_int "five classes at even bits" 5 (List.length survey);
+  List.iter
+    (fun ((tr : Certify.traffic), result) ->
+      check_int "bits" 4 tr.Certify.bits;
+      match result with
+      | Certify.Unsupported _ ->
+          Alcotest.fail (tr.Certify.name ^ ": classical fabric must be supported")
+      | _ -> ())
+    survey
+
+let test_certify_unsupported_shape () =
+  (* The Benes cascade is rectangular (2n-1 stages over n-1 label
+     digits): outside the banyan certificate regime. *)
+  let fab = F.of_cascade (Mineq.Benes.network 3) in
+  let router = BF.of_fabric fab ~schedule:(Array.init 8 Fun.id) in
+  (match Certify.analyze router (Certify.identity ~bits:3) with
+  | Certify.Unsupported Certify.Shape -> ()
+  | _ -> Alcotest.fail "expected Unsupported Shape");
+  check_true "pp_result renders"
+    (String.length
+       (Format.asprintf "%a" Certify.pp_result (Certify.Unsupported Certify.Shape))
+    > 0)
+
+let test_certify_bad_inputs () =
+  (match Certify.bpc [| 0; 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bpc must reject non-permutations");
+  (match Certify.transpose ~bits:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "transpose must reject odd widths");
+  let router = router_of (Mineq.Classical.network Omega ~n:3) in
+  match Certify.analyze router (Certify.identity ~bits:4) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "analyze must reject mismatched widths"
+
+let test_certify_bpc_class () =
+  let tr = Certify.bpc ~name:"swap" ~complement:0b101 [| 1; 0; 2 |] in
+  check_int "bits" 3 tr.Certify.bits;
+  (* destination bit i is source bit perm.(i), xor the complement *)
+  check_int "apply" (0b010 lxor 0b101) (apply_traffic tr 0b001);
+  let router = router_of (Mineq.Classical.network Omega ~n:3) in
+  match Certify.analyze router tr with
+  | Certify.Unsupported _ -> Alcotest.fail "bpc on omega must be supported"
+  | Certify.Free _ -> check_false "agreement" (concretely_blocks router tr)
+  | Certify.Blocked c ->
+      check_true "agreement" (concretely_blocks router tr);
+      check_true "confirmed" (Certify.confirm router c)
+
+(* Plan_check --------------------------------------------------------- *)
+
+let prop_plan_check_accepts_loop =
+  qcheck ~count:60 "Plan_check accepts every looping-routed plan"
+    (QCheck.pair (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 4)) seed_gen)
+    (fun (n, seed) ->
+      let rng = rng_of seed in
+      let router = Loop.create n in
+      let plan = Loop.plan router in
+      let image = Array.make (Loop.terminals router) 0 in
+      shuffle rng image;
+      Loop.route router plan image;
+      Plan_check.is_sound ~image plan)
+
+let prop_plan_check_accepts_bit_follow =
+  qcheck ~count:60 "Plan_check accepts every Bit_follow plan (partial too)"
+    (QCheck.pair n_and_seed (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 5)))
+    (fun ((n, seed), pick) ->
+      let kinds = Mineq.Classical.all_kinds in
+      let kind = List.nth kinds (pick mod List.length kinds) in
+      let rng = rng_of seed in
+      let router = router_of (Mineq.Classical.network kind ~n) in
+      let fab = BF.fabric router in
+      let terminals = F.terminals fab in
+      let want = Array.make terminals 0 in
+      shuffle rng want;
+      let plan = Plan.create fab in
+      let image = Array.make terminals (-1) in
+      for i = 0 to terminals - 1 do
+        if BF.try_route router plan ~input:i ~output:want.(i) then image.(i) <- want.(i)
+      done;
+      Plan_check.is_sound ~image plan)
+
+let test_plan_check_flags_partial_path () =
+  let router = router_of (Mineq.Classical.network Omega ~n:3) in
+  let fab = BF.fabric router in
+  let plan = Plan.create fab in
+  (* a single interior claim is not a union of complete paths *)
+  (match Plan.claim plan ~stage:1 ~cell:0 ~in_port:0 ~out_port:0 with
+  | Plan.Claimed -> ()
+  | _ -> Alcotest.fail "claim must succeed on an empty plan");
+  let findings = Plan_check.check plan in
+  let codes = List.map (fun f -> f.D.code) findings in
+  check_true "stage-count skew" (List.mem "MINEQ-R005" codes);
+  check_true "dangles forward" (List.mem "MINEQ-R006" codes);
+  check_true "orphan (nothing drives it)" (List.mem "MINEQ-R007" codes);
+  List.iter (fun f -> check_true "severity" (f.D.severity = D.Error)) findings;
+  check_false "not sound" (Plan_check.is_sound plan)
+
+let test_plan_check_realizes_mismatch () =
+  (* the rearrangeable Benes router realizes any permutation in full *)
+  let router = Loop.create 3 in
+  let plan = Loop.plan router in
+  let n = Loop.terminals router in
+  let image = Array.init n Fun.id in
+  Loop.route router plan image;
+  check_true "correct image accepted" (Plan_check.is_sound ~image plan);
+  image.(0) <- 1;
+  let codes = List.map (fun f -> f.D.code) (Plan_check.check ~image plan) in
+  check_true "realizes mismatch" (List.mem "MINEQ-R009" codes);
+  (match Plan_check.check ~image:[| 0 |] plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong image length must be rejected");
+  (* don't-care entries are fine *)
+  let dontcare = Array.make n (-1) in
+  check_true "don't-care image" (Plan_check.is_sound ~image:dontcare plan)
+
+(* Bit_follow unwind invariant ---------------------------------------- *)
+
+let test_unwind_bit_identical () =
+  let router = router_of (Mineq.Classical.network Omega ~n:3) in
+  let fab = BF.fabric router in
+  let plan = Plan.create fab in
+  (* find a concrete blocked pair by brute force *)
+  let n = F.terminals fab in
+  let found = ref false in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if (not !found) && a <> b then begin
+        Plan.reset plan;
+        check_true "first routes" (BF.try_route router plan ~input:0 ~output:a);
+        let before = Plan.snapshot plan in
+        if not (BF.try_route router plan ~input:1 ~output:b) then begin
+          found := true;
+          check_true "words bit-identical after unwind" (Plan.snapshot plan = before);
+          check_int "set_count restored" fab.F.stages (Plan.set_count plan)
+        end
+      end
+    done
+  done;
+  check_true "a blocked pair exists at n=3" !found
+
+let prop_unwind_bit_identical =
+  qcheck ~count:120 "blocked try_route leaves plan words bit-identical"
+    (QCheck.pair n_and_seed (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 5)))
+    (fun ((n, seed), pick) ->
+      let kinds = Mineq.Classical.all_kinds in
+      let kind = List.nth kinds (pick mod List.length kinds) in
+      let rng = rng_of seed in
+      let router = router_of (Mineq.Classical.network kind ~n) in
+      let fab = BF.fabric router in
+      let terminals = F.terminals fab in
+      let want = Array.make terminals 0 in
+      shuffle rng want;
+      let plan = Plan.create fab in
+      let ok = ref true in
+      for i = 0 to terminals - 1 do
+        let before = Plan.snapshot plan in
+        if not (BF.try_route router plan ~input:i ~output:want.(i)) then
+          (* blocked: the plan must be word-for-word what it was *)
+          if Plan.snapshot plan <> before then ok := false
+      done;
+      !ok)
+
+(* Route_lint --------------------------------------------------------- *)
+
+let test_route_lint_classical () =
+  List.iter
+    (fun (name, net) ->
+      let r = Route_lint.run net in
+      check_true (name ^ " delta") r.Route_lint.delta;
+      check_bool (name ^ " forward free") true (r.Route_lint.forward_free = Some true);
+      check_bool (name ^ " recirc cycles") true (r.Route_lint.recirc_free = Some false);
+      check_int (name ^ " no errors") 0 (Route_lint.errors r);
+      check_int (name ^ " no warnings") 0 (Route_lint.warnings r);
+      check_true (name ^ " clean") (Route_lint.clean r);
+      check_int (name ^ " exit 0") 0 (Route_lint.exit_code r);
+      check_true (name ^ " smoke routed") (r.Route_lint.routed_smoke > 0);
+      let codes = List.map (fun f -> f.D.code) r.Route_lint.findings in
+      check_true (name ^ " R110") (List.mem "MINEQ-R110" codes);
+      check_true (name ^ " R111") (List.mem "MINEQ-R111" codes);
+      check_true (name ^ " certificates ran")
+        (List.mem "MINEQ-R113" codes || List.mem "MINEQ-R103" codes))
+    (all_classical ~n:3)
+
+let test_route_lint_not_delta () =
+  let rng = rng_of 80 in
+  let rec find attempts =
+    if attempts = 0 then None
+    else
+      match Mineq.Counterexample.random_buddy_banyan rng ~n:4 ~attempts:2000 with
+      | None -> None
+      | Some g -> if Mineq.Routing.is_delta g then find (attempts - 1) else Some g
+  in
+  match find 20 with
+  | None -> Alcotest.fail "expected a non-delta Banyan instance"
+  | Some g ->
+      let r = Route_lint.run g in
+      check_false "not delta" r.Route_lint.delta;
+      check_true "no CDG verdict" (r.Route_lint.forward_free = None);
+      check_int "one warning" 1 (Route_lint.warnings r);
+      check_int "exit 1" 1 (Route_lint.exit_code r);
+      let codes = List.map (fun f -> f.D.code) r.Route_lint.findings in
+      check_true "R101" (codes = [ "MINEQ-R101" ])
+
+let test_route_lint_renderers () =
+  let r = Route_lint.run (Mineq.Classical.network Omega ~n:3) in
+  let text = Route_lint.to_text r in
+  check_true "text header" (String.length text > 0);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "text has verdict" (contains text "MINEQ-R110");
+  let json = Route_lint.to_json r in
+  check_true "json schema" (contains json "\"schema\": \"mineq-route-lint/1\"");
+  check_true "json findings" (contains json "\"MINEQ-R110\"");
+  check_true "json cdg" (contains json "\"cdg\"")
+
+let test_route_lint_strings () =
+  (match Route_lint.lint_string "gap garbage\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed spec must fail to parse");
+  let omega_n3 = "mineq-spec 1\nstages 3\ngap theta 2 0 1\ngap theta 2 0 1\n" in
+  match Route_lint.lint_string omega_n3 with
+  | Error e -> Alcotest.fail ("spec should parse: " ^ e.Mineq.Spec_io.reason)
+  | Ok r ->
+      check_true "delta" r.Route_lint.delta;
+      check_int "exit 0" 0 (Route_lint.exit_code r)
+
+let suite =
+  [ quick "cdg: forward classical fabrics are leveled and free" test_cdg_forward_classical;
+    quick "cdg: Tarjan agrees with exhaustive DFS (n <= 4)" test_cdg_agreement_exhaustive;
+    quick "cdg: recirculation yields a validated cycle witness" test_cdg_recirc_cycle_witness;
+    quick "cdg: edge counts and recirculation growth" test_cdg_edge_count;
+    prop_cdg_random_banyan;
+    quick "certify: symbolic verdicts match brute force (n <= 4)" test_certify_agreement;
+    quick "certify: survey covers the classical classes" test_certify_survey_shape;
+    quick "certify: rectangular cascades are unsupported" test_certify_unsupported_shape;
+    quick "certify: invalid inputs rejected" test_certify_bad_inputs;
+    quick "certify: bpc classes analyze" test_certify_bpc_class;
+    prop_plan_check_accepts_loop;
+    prop_plan_check_accepts_bit_follow;
+    quick "plan_check: partial paths are flagged" test_plan_check_flags_partial_path;
+    quick "plan_check: realizes mismatches are flagged" test_plan_check_realizes_mismatch;
+    quick "bit_follow: unwind leaves words bit-identical" test_unwind_bit_identical;
+    prop_unwind_bit_identical;
+    quick "route_lint: classical networks verify clean" test_route_lint_classical;
+    quick "route_lint: non-delta networks warn" test_route_lint_not_delta;
+    quick "route_lint: text and JSON renderers" test_route_lint_renderers;
+    quick "route_lint: spec parsing round-trip" test_route_lint_strings
+  ]
