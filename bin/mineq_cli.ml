@@ -567,31 +567,83 @@ let census_cmd =
       value & opt int 400
       & info [ "attempts" ] ~docv:"A" ~doc:"Rejection attempts per Banyan draw.")
   in
-  let run n samples attempts seed jobs =
-    let classes =
-      Engine.Batch.sample_census ~jobs ~root:seed ~n ~samples ~attempts
-    in
-    let total = List.fold_left (fun acc c -> acc + List.length c.Census.members) 0 classes in
-    Printf.printf "%d random Banyans at n=%d fall into %d isomorphism classes:\n" total n
-      (List.length classes);
-    List.iteri
-      (fun i cls ->
-        Printf.printf "  class %d: %3d members  buddy=%-5b delta=%-5b%s\n" (i + 1)
-          (List.length cls.Census.members)
-          (Properties.has_buddy_property cls.Census.representative)
-          (Routing.is_delta cls.Census.representative)
-          (if Census.contains_baseline cls then "  <- the Baseline class" else ""))
-      classes;
-    Printf.printf "baseline class present: %b\n"
-      (List.exists Census.contains_baseline classes);
-    0
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Streaming fingerprint-bucketed census: generate $(b,--specs) networks from \
+             $(b,--generator) in bounded-memory chunks, bucket by canonical fingerprint and \
+             run the isomorphism search only within colliding buckets.  Counts are invariant \
+             under $(b,--jobs).")
+  in
+  let specs_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "specs" ] ~docv:"K" ~doc:"Specs to stream (with $(b,--stream)).")
+  in
+  let generator_arg =
+    Arg.(
+      value & opt string "pipid"
+      & info [ "generator" ] ~docv:"GEN"
+          ~doc:"Spec generator for $(b,--stream): $(b,random), $(b,pipid) or $(b,affine).")
+  in
+  let run n samples attempts seed jobs stream specs generator =
+    if stream then begin
+      match Engine.Stream_census.generator_of_string generator with
+      | None ->
+          Printf.eprintf "unknown generator %S (expected random, pipid or affine)\n" generator;
+          2
+      | Some gen ->
+          let s = Engine.Stream_census.run ~jobs ~root:seed ~n ~specs ~generator:gen in
+          Printf.printf "streamed %d %s specs at n=%d: %d isomorphism classes in %d \
+                         fingerprint buckets (%d collisions)\n"
+            s.Engine.Stream_census.specs
+            (Engine.Stream_census.generator_name s.Engine.Stream_census.generator)
+            s.Engine.Stream_census.n
+            (List.length s.Engine.Stream_census.classes)
+            s.Engine.Stream_census.buckets s.Engine.Stream_census.collisions;
+          List.iteri
+            (fun i (c : Engine.Stream_census.class_row) ->
+              Printf.printf "  class %d: %6d members  first=%-6d%s\n" (i + 1) c.count
+                c.first_index
+                (if c.baseline then "  <- the Baseline class" else ""))
+            s.Engine.Stream_census.classes;
+          Printf.printf "baseline class present: %b\n"
+            (List.exists
+               (fun (c : Engine.Stream_census.class_row) -> c.baseline)
+               s.Engine.Stream_census.classes);
+          0
+    end
+    else begin
+      let classes =
+        Engine.Batch.sample_census ~jobs ~root:seed ~n ~samples ~attempts
+      in
+      let total = List.fold_left (fun acc c -> acc + List.length c.Census.members) 0 classes in
+      Printf.printf "%d random Banyans at n=%d fall into %d isomorphism classes:\n" total n
+        (List.length classes);
+      List.iteri
+        (fun i cls ->
+          Printf.printf "  class %d: %3d members  buddy=%-5b delta=%-5b%s\n" (i + 1)
+            (List.length cls.Census.members)
+            (Properties.has_buddy_property cls.Census.representative)
+            (Routing.is_delta cls.Census.representative)
+            (if Census.contains_baseline cls then "  <- the Baseline class" else ""))
+        classes;
+      Printf.printf "baseline class present: %b\n"
+        (List.exists Census.contains_baseline classes);
+      0
+    end
   in
   Cmd.v
     (Cmd.info "census"
        ~doc:
          "Sample random Banyan networks and count their isomorphism classes (the X15 \
-          experiment as a command)")
-    Term.(const run $ n_arg $ samples_arg $ attempts_arg $ seed_arg $ jobs_arg)
+          experiment as a command); with $(b,--stream), a fingerprint-bucketed streaming \
+          census over random/PIPID/affine generators")
+    Term.(
+      const run $ n_arg $ samples_arg $ attempts_arg $ seed_arg $ jobs_arg $ stream_arg
+      $ specs_arg $ generator_arg)
 
 (* benes --------------------------------------------------------------- *)
 

@@ -4,7 +4,15 @@
     {e one} class (the Baseline's).  The census machinery measures
     how many classes the rest of the Banyan universe occupies
     (experiment X15): sampling at [n = 3] finds a handful of classes,
-    of which exactly one is the Baseline's. *)
+    of which exactly one is the Baseline's.
+
+    Classification is hash-bucketed: networks shard by their
+    {!Fingerprint} (any two isomorphic networks share one), and the
+    {!Iso_min} search runs only within a bucket.  The classified
+    output is identical to exhaustive pairwise refinement — the
+    fingerprint only prunes comparisons it has already refuted — so
+    {!classify_pairwise} exists purely as the quadratic baseline the
+    census bench measures the bucketing against. *)
 
 type 'a classified = {
   representative : Mi_digraph.t;
@@ -12,17 +20,42 @@ type 'a classified = {
 }
 
 val signature : Mi_digraph.t -> string
-(** A cheap isomorphism invariant: the [P(i,j)] component-count
-    matrix, the buddy flags per gap, and the sorted path-count
-    profile.  Equal signatures are necessary (not sufficient) for
-    isomorphism; {!classify} uses it to prescreen before running the
-    search. *)
+(** The legacy cheap isomorphism invariant: the [P(i,j)]
+    component-count matrix, the buddy flags per gap, and the sorted
+    path-count profile.  Equal signatures are necessary (not
+    sufficient) for isomorphism.  Superseded as a prescreen by
+    {!Fingerprint} (strictly more discriminating in practice and
+    allocation-free per network); kept for the agreement tests and as
+    an alternative {!classify_keyed} key. *)
+
+val classify_keyed : key:(Mi_digraph.t -> 'k) -> (Mi_digraph.t * 'a) list -> 'a classified list
+(** Group tagged networks by MI-digraph isomorphism ({!Iso_min}),
+    bucketing by [key] first — [key] must be an isomorphism invariant
+    (isomorphic networks map to equal keys, where equality is
+    structural as used by [Hashtbl]); the search then runs only
+    within a bucket.  Classes are ordered by first appearance in the
+    input and members stay in input order, so the result is
+    independent of the key used (the key only changes cost). *)
 
 val classify : (Mi_digraph.t * 'a) list -> 'a classified list
-(** Group tagged networks by MI-digraph isomorphism ({!Iso_min});
-    classes ordered by first appearance.  Each instance is compared
-    against one representative per class, after a {!signature}
-    prescreen. *)
+(** {!classify_keyed} with the {!Fingerprint} key — the production
+    census path. *)
+
+val classify_pairwise : (Mi_digraph.t * 'a) list -> 'a classified list
+(** {!classify_keyed} with a constant key: every network lands in one
+    bucket, so each one runs the {!Iso_min} search against every
+    already-found class until a match — the quadratic pre-fingerprint
+    behaviour.  Kept as the bench baseline and as the deliberate
+    worst-case collision path for the soundness tests. *)
+
+val bucket_stats : (Mi_digraph.t * 'a) list -> int * int
+(** [(buckets, classes)] for the fingerprint keying of the input:
+    [buckets] distinct fingerprints against [classes] true iso
+    classes.  Every class maps to one fingerprint, so
+    [classes >= buckets] always; [classes - buckets > 0] counts
+    fingerprint collisions (distinct classes sharing a bucket, each
+    resolved by the within-bucket {!Iso_min} fallback).  The census
+    bench reports the rate. *)
 
 val class_count : Mi_digraph.t list -> int
 

@@ -129,8 +129,24 @@ let equivalent_enum g =
   let rec suffixes i = i > n || (window_ok ~lo:i ~hi:n && suffixes (i + 1)) in
   prefixes 1 && suffixes 1
 
+(* Fingerprint pre-filter.  On MI-digraphs any digraph isomorphism is
+   automatically stage-respecting (stage 1 is the in-degree-0 set and
+   arcs advance the stage by one, so stages are determined by the arc
+   structure), hence the Fingerprint invariant applies to the general
+   digraph searches below too: unequal fingerprints prove no
+   isomorphism exists, and the exhaustive search — whose refutations
+   are its most expensive outcomes — only runs on equal ones. *)
+let fingerprint_distinct a b =
+  not (Fingerprint.equal (Fingerprint.of_network a) (Fingerprint.of_network b))
+
 let by_isomorphism ?limit g =
   let base = Baseline.network (Mi_digraph.stages g) in
+  if fingerprint_distinct g base then
+    { equivalent = false;
+      banyan = Banyan.is_banyan g;
+      detail = "structural fingerprint differs from the Baseline MI-digraph (no isomorphism)"
+    }
+  else
   match
     Iso.find_isomorphism ?limit (Mi_digraph.to_digraph g) (Mi_digraph.to_digraph base)
   with
@@ -154,5 +170,6 @@ let decide ?limit m g =
 let equivalent_networks ?limit m a b =
   match m with
   | Isomorphism ->
-      Iso.are_isomorphic ?limit (Mi_digraph.to_digraph a) (Mi_digraph.to_digraph b)
+      (not (fingerprint_distinct a b))
+      && Iso.are_isomorphic ?limit (Mi_digraph.to_digraph a) (Mi_digraph.to_digraph b)
   | _ -> (decide ?limit m a).equivalent && (decide ?limit m b).equivalent

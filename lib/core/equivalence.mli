@@ -47,7 +47,13 @@ val by_independence_any_split : Mi_digraph.t -> verdict
     characterization. *)
 
 val by_characterization : Mi_digraph.t -> verdict
+
 val by_isomorphism : ?limit:int -> Mi_digraph.t -> verdict
+(** Prefiltered by {!Fingerprint}: a fingerprint mismatch against the
+    Baseline is a sound immediate negative (on MI-digraphs every
+    digraph isomorphism is stage-respecting), so the exhaustive
+    search only runs on fingerprint-equal pairs — refutations, its
+    most expensive outcomes, are mostly decided without search. *)
 
 val equivalent_enum : Mi_digraph.t -> bool
 (** Enumeration-only characterization verdict (Banyan by the packed

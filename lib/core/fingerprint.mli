@@ -1,0 +1,72 @@
+(** Canonical 128-bit structural fingerprints for MI-digraphs.
+
+    A fingerprint is computed by iterated Weisfeiler-Leman-style
+    colour refinement over the packed CSR representation
+    ({!Mi_digraph.packed}), seeded with the per-node component sizes
+    of every stage window — the paper's [P(i,j)] substrate — because
+    stage-biregularity makes plain degree-based refinement vacuous on
+    these graphs.  The result is invariant under the stage-respecting
+    isomorphisms {!Iso_min} decides:
+
+    - {e sound as a negative}: different fingerprints prove the
+      networks are not isomorphic;
+    - {e not complete}: equal fingerprints do not prove isomorphism —
+      callers must fall back to {!Iso_min.find} within colliding
+      buckets.
+
+    With a reused {!scratch} the refinement allocates nothing, so a
+    census can fingerprint millions of networks with a flat memory
+    profile. *)
+
+type t = private { fa : int; fb : int }
+(** Two 63-bit halves of the structural hash. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Non-negative hash mixing both halves, suitable for [Hashtbl]
+    sharding. *)
+
+val to_hex : t -> string
+(** 32-character lowercase hex rendering, [fa] then [fb]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Scratch buffers} *)
+
+type scratch
+(** Preallocated refinement state for one network {e shape}
+    (stages, nodes per stage, radix).  Reusable across every network
+    of that shape; not thread-safe — use one per domain. *)
+
+val scratch_for : Mi_digraph.packed -> scratch
+(** Buffers sized for networks shaped like the argument. *)
+
+(** {1 Fingerprinting} *)
+
+val into : scratch -> Mi_digraph.packed -> unit
+(** Run the refinement, leaving the hash halves in the scratch
+    (read them with {!result}).  Allocates nothing — the
+    entry point the census bench holds to 0.0 minor words per
+    network.  Raises [Invalid_argument] when the scratch was built
+    for a different shape. *)
+
+val result : scratch -> t
+(** The fingerprint left by the last {!into} on this scratch. *)
+
+val of_packed : ?scratch:scratch -> Mi_digraph.packed -> t
+(** Fingerprint of a packed network.  With [?scratch] (shape must
+    match or [Invalid_argument] is raised) the computation performs no
+    allocation beyond the returned record. *)
+
+val of_network : ?scratch:scratch -> Mi_digraph.t -> t
+(** Like {!of_packed} via {!Mi_digraph.packed}, memoised in the
+    network record's fingerprint cache slot (same benign-race
+    contract as the packed cache: concurrent computes agree). *)
+
+val colour_classes : ?scratch:scratch -> Mi_digraph.packed -> int
+(** Number of stable colour classes the refinement reaches — a
+    diagnostic for how discriminating the refinement is on a given
+    network (upper-bounded by the node count). *)

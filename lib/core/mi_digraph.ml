@@ -34,9 +34,14 @@ type packed = {
   p_pred : int array;
 }
 
-type t = { width : int; conns : Connection.t array; mutable packed_cache : packed option }
+type t = {
+  width : int;
+  conns : Connection.t array;
+  mutable packed_cache : packed option;
+  mutable fp_cache : (int * int) option;
+}
 
-let make ~width conns = { width; conns; packed_cache = None }
+let make ~width conns = { width; conns; packed_cache = None; fp_cache = None }
 
 let stages g = Array.length g.conns + 1
 
@@ -173,6 +178,16 @@ let packed g =
          concurrent builders store equal values and either wins. *)
       g.packed_cache <- Some p;
       p
+
+(* Fingerprint cache slot.  The slot lives here (rather than in
+   Fingerprint's own table) so it dies with the record, but this
+   module never computes fingerprints — Fingerprint owns the halves'
+   meaning.  Same benign race as [packed_cache]: the computation is
+   deterministic, so concurrent writers store equal pairs. *)
+
+let fingerprint_cache g = g.fp_cache
+
+let set_fingerprint_cache g fp = g.fp_cache <- Some fp
 
 let subgraph g ~lo ~hi =
   let n = stages g in

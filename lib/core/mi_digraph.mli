@@ -55,6 +55,17 @@ val packed : t -> packed
     independently).  Safe to call from parallel engine workers:
     packing is deterministic and idempotent. *)
 
+val fingerprint_cache : t -> (int * int) option
+(** The cached structural-fingerprint halves, if [Fingerprint] has
+    already computed them for this record.  The slot lives on the
+    network record (like the packed cache) so derived records —
+    reverse, relabel, map_gaps results — fingerprint independently;
+    only [Fingerprint] interprets the two ints. *)
+
+val set_fingerprint_cache : t -> int * int -> unit
+(** Store the fingerprint halves.  Benign race under Domains: the
+    computation is deterministic, so concurrent writers agree. *)
+
 val pack_tables :
   stages:int -> radix:int -> width:int -> child:(gap:int -> port:int -> int -> int) -> packed
 (** General packed constructor for radix-[r] stage networks:

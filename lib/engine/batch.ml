@@ -39,14 +39,16 @@ let pairwise_in pool ?memo nets =
 let pairwise ~jobs ?memo nets = Pool.run ~jobs (fun pool -> pairwise_in pool ?memo nets)
 
 (* classify: a parallel refinement with output bit-identical to
-   Census.classify.  Signatures prescreen (equal signatures are
-   necessary for isomorphism), so items are first grouped by
-   signature; each group is then peeled one class per round: the
-   group's first remaining item is the representative, every other
-   remaining item is iso-checked against it in parallel, matches
-   join the class in input order, the rest go to the next round.
-   Scanning representatives in rounds reproduces exactly the
-   sequential first-match placement. *)
+   Census.classify.  Fingerprints prescreen (equal fingerprints are
+   necessary for isomorphism — the same bucketing Census.classify
+   uses serially), so items are first grouped by fingerprint; each
+   group is then peeled one class per round: the group's first
+   remaining item is the representative, every other remaining item
+   is iso-checked against it in parallel, matches join the class in
+   input order, the rest go to the next round.  Scanning
+   representatives in rounds reproduces exactly the sequential
+   first-match placement, and the final sort by first-member index
+   erases the grouping order entirely. *)
 
 let classify_group pool group =
   let rec rounds remaining acc =
@@ -71,7 +73,9 @@ let classify_in pool tagged =
   | [] -> []
   | _ ->
       let items = List.mapi (fun i (g, tag) -> (i, g, tag)) tagged in
-      let signatures = Pool.map_list pool (fun (_, g, _) -> Census.signature g) items in
+      let signatures =
+        Pool.map_list pool (fun (_, g, _) -> Mineq.Fingerprint.of_network g) items
+      in
       let groups = Hashtbl.create 16 in
       let order = ref [] in
       List.iter2

@@ -10,7 +10,14 @@
    (swapping [f] and [g] is the same digraph), which is exactly the
    arc-multiset equality [Mi_digraph.equal] implements — but computed
    pointwise with no allocation.  Collisions are harmless: the
-   hashtable falls back on [structural_equal]. *)
+   hashtable falls back on [structural_equal].
+
+   A second keying collapses entries further: the canonical
+   Fingerprint identifies all isomorphic networks (up to WL hash
+   collisions), so iso-invariant computations — every verdict that
+   depends only on the isomorphism class — hit the cache across
+   relabellings the structural key treats as distinct.  The keying is
+   chosen at [create] time; the probing API is identical. *)
 
 let structural_equal a b =
   let module M = Mineq.Mi_digraph in
@@ -69,48 +76,88 @@ module H = Hashtbl.Make (struct
   let hash = structural_hash
 end)
 
+module FH = Hashtbl.Make (struct
+  type t = Mineq.Fingerprint.t
+
+  let equal = Mineq.Fingerprint.equal
+
+  let hash = Mineq.Fingerprint.hash
+end)
+
+type keying = Structural | Fingerprint
+
+let keying_name = function Structural -> "structural" | Fingerprint -> "fingerprint"
+
 (* Lock striping: a probe touches one shard mutex chosen by the key
    hash, so concurrent workers probing different networks never
    contend.  Counters are per shard, mutated under the shard lock and
    summed on read. *)
 
-type 'a shard = { table : 'a H.t; m : Mutex.t; mutable hits : int; mutable misses : int }
+type 'a table = S of 'a H.t | F of 'a FH.t
+
+type 'a shard = { table : 'a table; m : Mutex.t; mutable hits : int; mutable misses : int }
 
 let shard_count = 16 (* power of two: shard index is a mask of the hash *)
 
-type 'a t = { shards : 'a shard array }
+type 'a t = { keying : keying; shards : 'a shard array }
 
-let create ?(size = 64) () =
-  { shards =
+let create ?(size = 64) ?(keying = Structural) () =
+  { keying;
+    shards =
       Array.init shard_count (fun _ ->
-          { table = H.create (max 1 (size / shard_count));
-            m = Mutex.create ();
-            hits = 0;
-            misses = 0
-          })
+          let cap = max 1 (size / shard_count) in
+          let table = match keying with Structural -> S (H.create cap) | Fingerprint -> F (FH.create cap) in
+          { table; m = Mutex.create (); hits = 0; misses = 0 })
   }
 
-let shard t g = t.shards.(structural_hash g land (shard_count - 1))
+let keying t = t.keying
+
+let key_hash t g =
+  match t.keying with
+  | Structural -> structural_hash g
+  | Fingerprint -> Mineq.Fingerprint.hash (Mineq.Fingerprint.of_network g)
+
+let shard t g = t.shards.(key_hash t g land (shard_count - 1))
 
 let find_or_compute t g f =
   let s = shard t g in
-  Mutex.lock s.m;
-  match H.find_opt s.table g with
-  | Some v ->
-      s.hits <- s.hits + 1;
-      Mutex.unlock s.m;
-      v
-  | None ->
-      s.misses <- s.misses + 1;
-      Mutex.unlock s.m;
-      (* Compute outside the lock: a value may rarely be computed
-         twice under contention — harmless, computations are
-         deterministic — and the first store wins. *)
-      let v = f g in
+  (* Probe under the shard lock; compute outside it.  A value may
+     rarely be computed twice under contention — harmless,
+     computations are deterministic — and the first store wins. *)
+  match s.table with
+  | S tbl -> (
       Mutex.lock s.m;
-      if not (H.mem s.table g) then H.add s.table g v;
-      Mutex.unlock s.m;
-      v
+      match H.find_opt tbl g with
+      | Some v ->
+          s.hits <- s.hits + 1;
+          Mutex.unlock s.m;
+          v
+      | None ->
+          s.misses <- s.misses + 1;
+          Mutex.unlock s.m;
+          let v = f g in
+          Mutex.lock s.m;
+          if not (H.mem tbl g) then H.add tbl g v;
+          Mutex.unlock s.m;
+          v)
+  | F tbl -> (
+      (* [of_network] memoises on the record, so hash and probe share
+         one refinement pass. *)
+      let k = Mineq.Fingerprint.of_network g in
+      Mutex.lock s.m;
+      match FH.find_opt tbl k with
+      | Some v ->
+          s.hits <- s.hits + 1;
+          Mutex.unlock s.m;
+          v
+      | None ->
+          s.misses <- s.misses + 1;
+          Mutex.unlock s.m;
+          let v = f g in
+          Mutex.lock s.m;
+          if not (FH.mem tbl k) then FH.add tbl k v;
+          Mutex.unlock s.m;
+          v)
 
 let sum_shards t f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 
@@ -118,10 +165,12 @@ let hits t = sum_shards t (fun s -> s.hits)
 
 let misses t = sum_shards t (fun s -> s.misses)
 
+let table_length = function S tbl -> H.length tbl | F tbl -> FH.length tbl
+
 let size t =
   sum_shards t (fun s ->
       Mutex.lock s.m;
-      let n = H.length s.table in
+      let n = table_length s.table in
       Mutex.unlock s.m;
       n)
 
@@ -134,7 +183,7 @@ let reset t =
   Array.iter
     (fun s ->
       Mutex.lock s.m;
-      H.reset s.table;
+      (match s.table with S tbl -> H.reset tbl | F tbl -> FH.reset tbl);
       s.hits <- 0;
       s.misses <- 0;
       Mutex.unlock s.m)

@@ -1,13 +1,23 @@
 (** Memo cache for per-network analysis results, sharded for parallel
     probes.
 
-    Networks are keyed structurally: a cheap multiply-xor hash over
-    the unordered child pair of every node (no serialization, no MD5)
-    with full structural equality on bucket collisions, so two
-    networks share an entry exactly when they are the same labelled
-    digraph ({!Mineq.Mi_digraph.equal} — insensitive to the
-    non-canonical [(f, g)] decomposition, but not to isomorphism; use
-    {!Mineq.Census.signature} for an isomorphism-invariant prescreen).
+    Two keyings are available, chosen at {!create}:
+
+    - {!Structural} (the default): a cheap multiply-xor hash over the
+      unordered child pair of every node (no serialization, no MD5)
+      with full structural equality on bucket collisions, so two
+      networks share an entry exactly when they are the same labelled
+      digraph ({!Mineq.Mi_digraph.equal} — insensitive to the
+      non-canonical [(f, g)] decomposition, but not to isomorphism).
+    - {!Fingerprint}: keys on the canonical {!Mineq.Fingerprint}, so
+      all isomorphic networks share one entry and a relabelled probe
+      hits the cache the structural keying would miss.  {b Only sound
+      for iso-invariant computations} (verdicts depending only on the
+      isomorphism class, like [Equivalence.by_characterization]'s
+      [equivalent]/[banyan] fields): a WL fingerprint collision —
+      never observed in the soundness suite but not impossible —
+      silently merges two classes' entries, and any cached value that
+      mentions labels would be wrong for other members of the class.
 
     The cache is domain-safe and lock-striped across {!shard_count}
     shards selected by the key hash: workers probing different
@@ -21,10 +31,17 @@
 
 type 'a t
 
+type keying = Structural | Fingerprint
+
+val keying_name : keying -> string
+
 val shard_count : int
 (** Number of lock stripes (a power of two). *)
 
-val create : ?size:int -> unit -> 'a t
+val create : ?size:int -> ?keying:keying -> unit -> 'a t
+(** [keying] defaults to {!Structural}. *)
+
+val keying : 'a t -> keying
 
 val structural_hash : Mineq.Mi_digraph.t -> int
 (** The shard/bucket hash: folds [width], [stages] and every gap's

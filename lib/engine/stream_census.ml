@@ -1,0 +1,129 @@
+(* Streaming hash-bucketed census.
+
+   Specs flow through the pool in bounded-memory chunks: each chunk
+   generates its networks from per-index derived RNG streams,
+   fingerprints them in parallel, and is then merged serially — in
+   index order — into the running bucket table.  Only one chunk of
+   networks plus one representative per discovered class is ever
+   live, so the memory profile is O(classes + chunk) however many
+   specs stream through.
+
+   Jobs-invariance: the chunk size is a function of the spec count
+   alone, every network is generated from [Seeds.derive ~root index]
+   (so the stream of specs is fixed by the root seed), the pool
+   writes results at fixed indices, and the merge walks chunks and
+   indices in order.  Nothing about bucket iteration order reaches
+   the output: classes are reported in first appearance order of
+   their first member. *)
+
+module Fp = Mineq.Fingerprint
+
+type generator = Random_links | Pipid | Affine
+
+let all_generators = [ Random_links; Pipid; Affine ]
+
+let generator_name = function
+  | Random_links -> "random"
+  | Pipid -> "pipid"
+  | Affine -> "affine"
+
+let generator_of_string = function
+  | "random" -> Some Random_links
+  | "pipid" -> Some Pipid
+  | "affine" -> Some Affine
+  | _ -> None
+
+let generate gen rng ~n =
+  match gen with
+  | Random_links -> Mineq.Link_spec.random_network rng ~n
+  | Pipid -> Mineq.Link_spec.random_pipid_network rng ~n
+  | Affine ->
+      Mineq.Mi_digraph.create
+        (List.init (n - 1) (fun _ -> Mineq.Connection.random_independent rng ~width:(n - 1)))
+
+type class_row = {
+  representative : Mineq.Mi_digraph.t;
+  first_index : int;
+  count : int;
+  baseline : bool;
+}
+
+type summary = {
+  generator : generator;
+  n : int;
+  specs : int;
+  classes : class_row list;  (** first-appearance order *)
+  buckets : int;  (** distinct fingerprints seen *)
+  collisions : int;  (** classes beyond one per bucket, resolved by Iso_min *)
+}
+
+(* Bounded chunks: a function of the workload only (never of [jobs]),
+   so the generated stream and the merge order are identical at any
+   parallel width; small enough to bound live networks, large enough
+   to amortize the batch latch. *)
+let chunk_for ~specs = max 64 (min 4096 (specs / 32))
+
+type cls = { rep : Mineq.Mi_digraph.t; first : int; mutable members : int }
+
+let run_in pool ~root ~n ~specs ~generator =
+  if n < 2 then invalid_arg "Stream_census.run_in: need n >= 2";
+  if specs < 0 then invalid_arg "Stream_census.run_in: negative spec count";
+  let chunk = chunk_for ~specs in
+  let buckets : (Fp.t, cls list ref) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let nclasses = ref 0 in
+  let nchunks = (specs + chunk - 1) / chunk in
+  for c = 0 to nchunks - 1 do
+    let base = c * chunk in
+    let m = min chunk (specs - base) in
+    let items =
+      Pool.map_array pool
+        (fun i ->
+          let idx = base + i in
+          let g = generate generator (Seeds.derive ~root idx) ~n in
+          (idx, g, Fp.of_network g))
+        (Array.init m Fun.id)
+    in
+    Array.iter
+      (fun (idx, g, fp) ->
+        let bucket =
+          match Hashtbl.find_opt buckets fp with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add buckets fp b;
+              b
+        in
+        let rec place = function
+          | [] ->
+              let c = { rep = g; first = idx; members = 1 } in
+              bucket := !bucket @ [ c ];
+              incr nclasses;
+              order := c :: !order
+          | c :: rest ->
+              if Option.is_some (Mineq.Iso_min.find g c.rep) then c.members <- c.members + 1
+              else place rest
+        in
+        place !bucket)
+      items
+  done;
+  let classes =
+    List.rev_map
+      (fun c ->
+        { representative = c.rep;
+          first_index = c.first;
+          count = c.members;
+          baseline = (Mineq.Equivalence.by_characterization c.rep).equivalent
+        })
+      !order
+  in
+  { generator;
+    n;
+    specs;
+    classes;
+    buckets = Hashtbl.length buckets;
+    collisions = !nclasses - Hashtbl.length buckets
+  }
+
+let run ~jobs ~root ~n ~specs ~generator =
+  Pool.run ~jobs (fun pool -> run_in pool ~root ~n ~specs ~generator)

@@ -227,12 +227,60 @@ let test_memo_parallel () =
   check_int "six distinct networks computed once each" 6 (Memo.misses m);
   check_true "the other 66 probes hit" (Memo.hits m = 66)
 
+let test_memo_fingerprint_keying () =
+  (* The fingerprint keying identifies the whole isomorphism class:
+     the six classical networks at a given n are pairwise isomorphic,
+     so one miss computes for all of them, where the structural
+     keying misses once per network. *)
+  let nets = List.map snd (all_classical ~n:4) in
+  let mf = Memo.create ~keying:Memo.Fingerprint () in
+  List.iter
+    (fun g -> ignore (Memo.find_or_compute mf g Mineq.Equivalence.by_characterization))
+    nets;
+  check_int "one miss for the whole class" 1 (Memo.misses mf);
+  check_int "the other five probes hit" 5 (Memo.hits mf);
+  check_int "one stored entry" 1 (Memo.size mf);
+  check_bool "keying is reported" true (Memo.keying mf = Memo.Fingerprint);
+  check_bool "default keying is structural" true (Memo.keying (Memo.create ()) = Memo.Structural)
+
+let memo_keying_props =
+  [ qcheck "keyings agree on iso-invariant verdicts" ~count:15 seed_gen (fun seed ->
+        (* The same probe mix — random draws plus a relabelled copy of
+           each — through both keyings: every returned verdict must be
+           identical (by_characterization is iso-invariant), and the
+           fingerprint keying must hit at least as often (its key
+           identifies strictly coarser classes). *)
+        let rng = rng_of seed in
+        let draws = List.init 6 (fun _ -> Mineq.Link_spec.random_pipid_network rng ~n:3) in
+        let probes =
+          draws @ List.map (fun g -> Mineq.Counterexample.relabelled_equivalent rng g) draws
+        in
+        let run keying =
+          let m = Memo.create ~keying () in
+          let vs =
+            List.map
+              (fun g -> Memo.find_or_compute m g Mineq.Equivalence.by_characterization)
+              probes
+          in
+          (vs, Memo.hits m)
+        in
+        let vs_s, hits_s = run Memo.Structural in
+        let vs_f, hits_f = run Memo.Fingerprint in
+        List.for_all2
+          (fun (a : Mineq.Equivalence.verdict) b ->
+            a.Mineq.Equivalence.equivalent = b.Mineq.Equivalence.equivalent
+            && a.Mineq.Equivalence.banyan = b.Mineq.Equivalence.banyan)
+          vs_s vs_f
+        && hits_f >= hits_s)
+  ]
+
 let memo_suite =
   [ quick "verdict caching" test_memo_verdicts;
     quick "structural keys" test_memo_key_structural;
-    quick "shared across parallel workers" test_memo_parallel
+    quick "shared across parallel workers" test_memo_parallel;
+    quick "fingerprint keying collapses iso classes" test_memo_fingerprint_keying
   ]
-  @ memo_key_props
+  @ memo_key_props @ memo_keying_props
 
 (* batch --------------------------------------------------------------- *)
 
@@ -306,3 +354,97 @@ let batch_props =
   ]
 
 let batch_suite = quick "survey parallel = survey serial" test_survey_matches_serial :: batch_props
+
+(* stream census ------------------------------------------------------- *)
+
+module Stream = Mineq_engine.Stream_census
+
+let summary_equal (a : Stream.summary) (b : Stream.summary) =
+  a.Stream.specs = b.Stream.specs
+  && a.Stream.buckets = b.Stream.buckets
+  && a.Stream.collisions = b.Stream.collisions
+  && List.length a.Stream.classes = List.length b.Stream.classes
+  && List.for_all2
+       (fun (x : Stream.class_row) (y : Stream.class_row) ->
+         x.Stream.first_index = y.Stream.first_index
+         && x.Stream.count = y.Stream.count
+         && x.Stream.baseline = y.Stream.baseline
+         && Option.is_some (Mineq.Iso_min.find x.Stream.representative y.Stream.representative))
+       a.Stream.classes b.Stream.classes
+
+let test_stream_generators () =
+  List.iter
+    (fun gen ->
+      let s = Stream.run ~jobs:1 ~root:11 ~n:3 ~specs:120 ~generator:gen in
+      let counted =
+        List.fold_left (fun acc (c : Stream.class_row) -> acc + c.Stream.count) 0
+          s.Stream.classes
+      in
+      check_int
+        (Printf.sprintf "every %s spec lands in a class" (Stream.generator_name gen))
+        s.Stream.specs counted;
+      check_true "buckets never exceed classes"
+        (s.Stream.buckets <= List.length s.Stream.classes);
+      check_int "collisions are the bucket deficit"
+        (List.length s.Stream.classes - s.Stream.buckets)
+        s.Stream.collisions;
+      (* first_index strictly increases: first-appearance order. *)
+      let rec increasing = function
+        | (a : Stream.class_row) :: (b : Stream.class_row) :: rest ->
+            a.Stream.first_index < b.Stream.first_index && increasing (b :: rest)
+        | _ -> true
+      in
+      check_true "classes in first-appearance order" (increasing s.Stream.classes))
+    Stream.all_generators
+
+let test_stream_affine_baseline () =
+  (* Affine (independent-connection) Banyans are the paper's Theorem 3
+     territory: the Baseline class must show up in a modest stream. *)
+  let s = Stream.run ~jobs:1 ~root:3 ~n:3 ~specs:60 ~generator:Stream.Affine in
+  check_true "baseline class present in an affine stream"
+    (List.exists (fun (c : Stream.class_row) -> c.Stream.baseline) s.Stream.classes)
+
+let test_stream_generator_names () =
+  List.iter
+    (fun gen ->
+      check_bool
+        (Printf.sprintf "generator name %S round-trips" (Stream.generator_name gen))
+        true
+        (Stream.generator_of_string (Stream.generator_name gen) = Some gen))
+    Stream.all_generators;
+  check_bool "unknown generator rejected" true (Stream.generator_of_string "oops" = None)
+
+let stream_props =
+  [ qcheck "stream census is jobs-invariant" ~count:5 seed_gen (fun seed ->
+        let run jobs = Stream.run ~jobs ~root:seed ~n:3 ~specs:150 ~generator:Stream.Pipid in
+        summary_equal (run 1) (run 2) && summary_equal (run 1) (run 4));
+    qcheck "stream census is stealing-invariant on real domains" ~count:3 seed_gen
+      (fun seed ->
+        let serial = Stream.run ~jobs:1 ~root:seed ~n:3 ~specs:150 ~generator:Stream.Random_links in
+        Pool.run ~clamp:false ~jobs:4 (fun pool ->
+            summary_equal serial
+              (Stream.run_in pool ~root:seed ~n:3 ~specs:150 ~generator:Stream.Random_links)));
+    qcheck "stream agrees with the serial bucketed classify" ~count:4 seed_gen (fun seed ->
+        (* Regenerate the identical spec stream and classify it through
+           Census.classify: class count and member counts must match. *)
+        let specs = 80 in
+        let tagged =
+          List.init specs (fun i ->
+              (Mineq.Link_spec.random_pipid_network (Seeds.derive ~root:seed i) ~n:3, i))
+        in
+        let serial = Mineq.Census.classify tagged in
+        let s = Stream.run ~jobs:1 ~root:seed ~n:3 ~specs ~generator:Stream.Pipid in
+        List.length serial = List.length s.Stream.classes
+        && List.for_all2
+             (fun (c : _ Mineq.Census.classified) (r : Stream.class_row) ->
+               List.length c.Mineq.Census.members = r.Stream.count
+               && List.hd c.Mineq.Census.members = r.Stream.first_index)
+             serial s.Stream.classes)
+  ]
+
+let stream_suite =
+  [ quick "generators stream and count consistently" test_stream_generators;
+    quick "affine stream finds the baseline class" test_stream_affine_baseline;
+    quick "generator names round-trip" test_stream_generator_names
+  ]
+  @ stream_props
