@@ -192,19 +192,54 @@ let iso_cmd =
 
 (* route -------------------------------------------------------------- *)
 
-(* Permutation specifications for route --perm and the examples:
-   identity, bitrev, random:SEED, or an explicit comma-separated
-   image.  Malformed images are rejected with a structured MINEQ-R2xx
-   finding (never a raw exception, never silent truncation); the CLI
-   maps those to exit code 2, like spec parse errors. *)
-let perm_finding ~code ~message ?witness () =
+(* Argument specifications for route --perm / --churn: malformed
+   values are rejected with a structured MINEQ-R2xx finding (never a
+   raw exception, never silent truncation); the CLI maps those to
+   exit code 2, like spec parse errors. *)
+let route_finding ~code ~message ?witness ~hint () =
   { Mineq_analysis.Diagnostics.code;
     severity = Mineq_analysis.Diagnostics.Error;
     stage = None;
     message;
     witness;
-    hint = Some "PERM is identity, bitrev, random:SEED or a comma-separated image"
+    hint = Some hint
   }
+
+let perm_hint = "PERM is identity, bitrev, random:SEED or a comma-separated image"
+
+let perm_finding ~code ~message ?witness () =
+  route_finding ~code ~message ?witness ~hint:perm_hint ()
+
+(* Seed fields ("random:SEED", "OPS:SEED") get dedicated findings for
+   the two spellings that look deceptively valid: the empty seed
+   (trailing colon) and the all-digits seed too large for a native
+   int, which int_of_string would lump in with "abc". *)
+let all_digits s =
+  let body =
+    if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  String.length body > 0 && String.for_all (fun c -> c >= '0' && c <= '9') body
+
+let parse_seed ~what ~hint s =
+  if String.length s = 0 then
+    Error (route_finding ~code:"MINEQ-R206" ~message:(what ^ " has an empty seed") ~hint ())
+  else
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None when all_digits s ->
+        Error
+          (route_finding ~code:"MINEQ-R207"
+             ~message:(what ^ " seed overflows the native integer range")
+             ~witness:(Printf.sprintf "seed %S" s)
+             ~hint ())
+    | None ->
+        Error
+          (route_finding ~code:"MINEQ-R205"
+             ~message:(what ^ " needs an integer seed")
+             ~witness:(Printf.sprintf "seed %S" s)
+             ~hint ())
 
 let parse_perm spec ~terminals =
   let bits =
@@ -224,13 +259,9 @@ let parse_perm spec ~terminals =
   | _ -> (
       match String.split_on_char ':' spec with
       | [ "random"; seed ] -> (
-          match int_of_string_opt seed with
-          | None ->
-              Error
-                (perm_finding ~code:"MINEQ-R205" ~message:"random:SEED needs an integer seed"
-                   ~witness:(Printf.sprintf "seed %S" seed)
-                   ())
-          | Some s ->
+          match parse_seed ~what:"random:SEED" ~hint:perm_hint seed with
+          | Error f -> Error f
+          | Ok s ->
               let st = Engine.Seeds.state s in
               let img = Array.init terminals Fun.id in
               for i = terminals - 1 downto 1 do
@@ -377,6 +408,79 @@ let route_perm_run spec n pspec planes =
                     print_plan (Route.Planes.plan ens k)
                   done)
 
+(* --churn OPS[:SEED]: OPS random toggle operations per trial on an
+   incremental Rearrange engine, optionally under an explicit seed. *)
+let churn_hint = "CHURN is OPS or OPS:SEED, e.g. --churn 10000:7"
+
+let parse_churn spec =
+  let ops_of s =
+    if String.length s = 0 then
+      Error
+        (route_finding ~code:"MINEQ-R208" ~message:"--churn needs an operation count"
+           ~hint:churn_hint ())
+    else
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok v
+      | Some v ->
+          Error
+            (route_finding ~code:"MINEQ-R208"
+               ~message:"--churn operation count must be at least 1"
+               ~witness:(Printf.sprintf "ops %d" v) ~hint:churn_hint ())
+      | None when all_digits s ->
+          Error
+            (route_finding ~code:"MINEQ-R207"
+               ~message:"--churn operation count overflows the native integer range"
+               ~witness:(Printf.sprintf "ops %S" s) ~hint:churn_hint ())
+      | None ->
+          Error
+            (route_finding ~code:"MINEQ-R208"
+               ~message:"--churn operation count is not an integer"
+               ~witness:(Printf.sprintf "ops %S" s) ~hint:churn_hint ())
+  in
+  match String.index_opt spec ':' with
+  | None -> Result.map (fun ops -> (ops, 1)) (ops_of spec)
+  | Some i -> (
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match ops_of (String.sub spec 0 i) with
+      | Error f -> Error f
+      | Ok ops ->
+          Result.map (fun s -> (ops, s)) (parse_seed ~what:"OPS:SEED" ~hint:churn_hint rest))
+
+let route_churn_run spec n cspec trials jobs =
+  match parse_churn cspec with
+  | Error f ->
+      print_finding_stderr f;
+      2
+  | Ok (ops, seed) ->
+      if not (String.equal spec "benes") then begin
+        print_finding_stderr
+          (route_finding ~code:"MINEQ-R209"
+             ~message:"--churn needs the rearrangeable benes fabric"
+             ~witness:(Printf.sprintf "network %S" spec)
+             ~hint:"run as: mineq route benes --churn OPS[:SEED]" ());
+        2
+      end
+      else begin
+        let row = Route.Survey.churn ~jobs ~seed ~n ~ops ~trials () in
+        Printf.printf "churn benes n=%d: %d ops x %d trial(s), seed %d\n" n ops trials seed;
+        Printf.printf "connects %d  disconnects %d  rearranged %.1f%% of connects\n"
+          row.Route.Survey.connects row.Route.Survey.disconnects
+          (100.0 *. Route.Survey.rearranged_fraction row);
+        Printf.printf "connections moved per connect: %.3f mean\n"
+          (Route.Survey.moved_per_connect row);
+        print_string "moved histogram:";
+        Array.iteri
+          (fun k c ->
+            if c > 0 then
+              if k = Array.length row.Route.Survey.moved_hist - 1 then
+                Printf.printf " %d+:%d" k c
+              else Printf.printf " %d:%d" k c)
+          row.Route.Survey.moved_hist;
+        print_newline ();
+        Printf.printf "end-of-trial consistency failures: %d\n" row.Route.Survey.failures;
+        if row.Route.Survey.failures > 0 then 1 else 0
+      end
+
 let route_cmd =
   let src_arg =
     Arg.(
@@ -400,18 +504,38 @@ let route_cmd =
       value & opt int 1
       & info [ "planes" ] ~docv:"K" ~doc:"Parallel expansion planes for --perm routing.")
   in
-  let run spec n src dst perm planes =
-    match (perm, src, dst) with
-    | Some pspec, None, None -> route_perm_run spec n pspec planes
-    | None, Some src, Some dst -> route_pair_run spec n src dst
+  let churn_arg =
+    let doc =
+      "Connection-churn throughput model (NETWORK must be benes): per trial, drive a \
+       fresh incremental rearrangement engine through OPS random operations — toggle a \
+       uniform input, disconnecting it if live and otherwise connecting it to a uniform \
+       free output — and report how many existing connections each insertion had to \
+       re-route.  SEED defaults to 1; trials come from --trials and run in parallel \
+       under --jobs (results are jobs-invariant)."
+    in
+    Arg.(value & opt (some string) None & info [ "churn" ] ~docv:"OPS[:SEED]" ~doc)
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 4 & info [ "trials" ] ~docv:"T" ~doc:"Independent --churn trials.")
+  in
+  let run spec n src dst perm planes churn trials jobs =
+    match (churn, perm, src, dst) with
+    | Some cspec, None, None, None -> route_churn_run spec n cspec trials jobs
+    | None, Some pspec, None, None -> route_perm_run spec n pspec planes
+    | None, None, Some src, Some dst -> route_pair_run spec n src dst
     | _ ->
-        prerr_endline "route needs either --source and --dest, or --perm";
+        prerr_endline "route needs either --source and --dest, or --perm, or --churn";
         1
   in
   Cmd.v
     (Cmd.info "route"
-       ~doc:"Route one input/output pair, or a whole permutation, through a network")
-    Term.(const run $ network_arg $ n_arg $ src_arg $ dst_arg $ perm_arg $ planes_arg)
+       ~doc:
+         "Route one input/output pair, a whole permutation, or a churn workload through \
+          a network")
+    Term.(
+      const run $ network_arg $ n_arg $ src_arg $ dst_arg $ perm_arg $ planes_arg
+      $ churn_arg $ trials_arg $ jobs_arg)
 
 (* blocking ----------------------------------------------------------- *)
 

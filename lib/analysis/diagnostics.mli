@@ -25,7 +25,7 @@
     finding type and extends the code space with three further
     families: [MINEQ-R0xx] plan-soundness errors ({!Mineq_route_verify.Plan_check}),
     [MINEQ-R1xx] route-lint verdicts ({!Mineq_route_verify.Route_lint})
-    and [MINEQ-R2xx] CLI [--perm] parse findings ([bin/mineq_cli.ml]);
+    and [MINEQ-R2xx] CLI [--perm]/[--churn] parse findings ([bin/mineq_cli.ml]);
     the code tables live in those interfaces and in DESIGN.md
     ("Static verification layer"). *)
 

@@ -146,6 +146,30 @@ let fault_survival_in pool ~root cascade ~faults ~samples =
 let fault_survival ~jobs ~root cascade ~faults ~samples =
   Pool.run ~jobs (fun pool -> fault_survival_in pool ~root cascade ~faults ~samples)
 
+(* Integer tallies: one derived RNG stream and one private bin array
+   per task, summed elementwise in task order — counts are therefore
+   a function of [root] and [tasks] alone, never of [jobs]. *)
+let tally_in pool ~root ~tasks ~bins body =
+  let parts =
+    Pool.map_list pool
+      (fun i ->
+        let acc = Array.make bins 0 in
+        body (Seeds.derive ~root i) acc;
+        acc)
+      (List.init tasks Fun.id)
+  in
+  let total = Array.make bins 0 in
+  List.iter
+    (fun part ->
+      for k = 0 to bins - 1 do
+        total.(k) <- total.(k) + part.(k)
+      done)
+    parts;
+  total
+
+let tally ~jobs ~root ~tasks ~bins body =
+  Pool.run ~jobs (fun pool -> tally_in pool ~root ~tasks ~bins body)
+
 let replicate_in pool ~root ~replications metric =
   Pool.map_list pool (fun i -> metric (Seeds.derive ~root i)) (List.init replications Fun.id)
   |> Mineq_sim.Summary.of_samples

@@ -97,6 +97,22 @@ val fault_survival :
 val fault_survival_in :
   Pool.t -> root:int -> Mineq.Cascade.t -> faults:int list -> samples:int -> (int * float) list
 
+val tally :
+  jobs:int ->
+  root:int ->
+  tasks:int ->
+  bins:int ->
+  (Random.State.t -> int array -> unit) ->
+  int array
+(** Integer histogram reduction: task [i] gets [Seeds.derive ~root i]
+    and a private zeroed array of [bins] counters to bump; the
+    per-task arrays are summed elementwise in task order.  The churn
+    survey's aggregation — a function of [root] and [tasks] alone,
+    bit-identical across [jobs]. *)
+
+val tally_in :
+  Pool.t -> root:int -> tasks:int -> bins:int -> (Random.State.t -> int array -> unit) -> int array
+
 val replicate :
   jobs:int -> root:int -> replications:int -> (Random.State.t -> float) -> Mineq_sim.Summary.t
 (** Run a seeded metric once per replication (replication [i] gets

@@ -21,6 +21,7 @@ type t = {
   mutable top : int;
   cells : int array;  (* terminal-major: cells.(t * stages + s) *)
   image : int array;
+  mutable livec : int;  (* non-idle entries of the current image *)
 }
 
 let create n =
@@ -45,7 +46,8 @@ let create n =
     stack = Array.make ((2 * terminals) + 4) 0;
     top = 0;
     cells = Array.make (terminals * stages) 0;
-    image = Array.make terminals 0
+    image = Array.make terminals 0;
+    livec = 0
   }
 
 let n t = t.n
@@ -82,14 +84,20 @@ let route t plan image =
     invalid_arg "Loop.route: plan built for another fabric";
   let nt = t.terminals in
   if Array.length image <> nt then invalid_arg "Loop.route: image size mismatch";
-  (* bijection check, using [partner] as scratch *)
+  (* injectivity check over the live entries ([-1] marks an idle
+     input), using [partner] as scratch *)
   Array.fill t.partner 0 nt (-1);
+  t.livec <- 0;
   for i = 0 to nt - 1 do
     let p = image.(i) in
-    if p < 0 || p >= nt then invalid_arg "Loop.route: image entry out of range";
-    if t.partner.(p) >= 0 then invalid_arg "Loop.route: image is not a permutation";
-    t.partner.(p) <- i
+    if p < -1 || p >= nt then invalid_arg "Loop.route: image entry out of range";
+    if p >= 0 then begin
+      if t.partner.(p) >= 0 then invalid_arg "Loop.route: image is not a permutation";
+      t.partner.(p) <- i;
+      t.livec <- t.livec + 1
+    end
   done;
+  let total = t.livec = nt in
   Array.blit image 0 t.image 0 nt;
   Array.blit image 0 t.perm_a 0 nt;
   for i = 0 to nt - 1 do
@@ -112,15 +120,21 @@ let route t plan image =
       let base = b * m in
       let cell_base = b lsl (width - l) in
       (* output-switch mates: the two positions whose images share an
-         output cell must take different colours *)
+         output cell must take different colours.  On a total image
+         every position is paired, so [partner] is fully overwritten;
+         a partial image leaves gaps that must read as unpaired. *)
+      if not total then Array.fill t.partner base m (-1);
       Array.fill t.seen 0 half (-1);
       for tl = 0 to m - 1 do
-        let osw = src_p.(base + tl) lsr 1 in
-        let prev = t.seen.(osw) in
-        if prev < 0 then t.seen.(osw) <- tl
-        else begin
-          t.partner.(base + tl) <- prev;
-          t.partner.(base + prev) <- tl
+        let pv = src_p.(base + tl) in
+        if pv >= 0 then begin
+          let osw = pv lsr 1 in
+          let prev = t.seen.(osw) in
+          if prev < 0 then t.seen.(osw) <- tl
+          else begin
+            t.partner.(base + tl) <- prev;
+            t.partner.(base + prev) <- tl
+          end
         end
       done;
       (* greedy alternating 2-colouring over the union of input-switch
@@ -128,7 +142,7 @@ let route t plan image =
          even, so propagation never contradicts itself *)
       Array.fill t.colour base m (-1);
       for t0 = 0 to m - 1 do
-        if t.colour.(base + t0) < 0 then begin
+        if src_p.(base + t0) >= 0 && t.colour.(base + t0) < 0 then begin
           t.stack.(0) <- t0 lsl 1;
           t.top <- 1;
           while t.top > 0 do
@@ -138,38 +152,50 @@ let route t plan image =
             let c = v land 1 in
             if t.colour.(base + tl) < 0 then begin
               t.colour.(base + tl) <- c;
-              t.stack.(t.top) <- ((tl lxor 1) lsl 1) lor (1 - c);
-              t.stack.(t.top + 1) <- (t.partner.(base + tl) lsl 1) lor (1 - c);
-              t.top <- t.top + 2
+              (* a partial image turns components into paths: push
+                 only live input-switch mates and real partners *)
+              if src_p.(base + (tl lxor 1)) >= 0 then begin
+                t.stack.(t.top) <- ((tl lxor 1) lsl 1) lor (1 - c);
+                t.top <- t.top + 1
+              end;
+              let pr = t.partner.(base + tl) in
+              if pr >= 0 then begin
+                t.stack.(t.top) <- (pr lsl 1) lor (1 - c);
+                t.top <- t.top + 1
+              end
             end
           done
         end
       done;
       (* record this level's entry/exit cells; colour [s] sends the
          position into sub-network [s] of the next level *)
+      if not total then Array.fill dst_p base m (-1);
       for tl = 0 to m - 1 do
-        let og = src_o.(base + tl) in
-        let s = t.colour.(base + tl) in
         let pv = src_p.(base + tl) in
-        let row = og * stages in
-        t.cells.(row + left) <- cell_base + (tl lsr 1);
-        t.cells.(row + right) <- cell_base + (pv lsr 1);
-        let sub = (((2 * b) + s) * half) + (tl lsr 1) in
-        dst_p.(sub) <- pv lsr 1;
-        dst_o.(sub) <- og
+        if pv >= 0 then begin
+          let og = src_o.(base + tl) in
+          let s = t.colour.(base + tl) in
+          let row = og * stages in
+          t.cells.(row + left) <- cell_base + (tl lsr 1);
+          t.cells.(row + right) <- cell_base + (pv lsr 1);
+          let sub = (((2 * b) + s) * half) + (tl lsr 1) in
+          dst_p.(sub) <- pv lsr 1;
+          dst_o.(sub) <- og
+        end
       done
     done
   done;
   (* base level: each block is the single middle-stage cell it names *)
+  let src_p = if (t.n - 1) land 1 = 0 then t.perm_a else t.perm_b in
   let src_o = if (t.n - 1) land 1 = 0 then t.orig_a else t.orig_b in
   let mid = t.n - 1 in
   for i = 0 to nt - 1 do
-    t.cells.((src_o.(i) * stages) + mid) <- i lsr 1
+    if src_p.(i) >= 0 then t.cells.((src_o.(i) * stages) + mid) <- i lsr 1
   done;
   (* second pass: consecutive cells determine ports; the claims double
      as a link-disjointness check (they cannot fail on a Benes) *)
   for t0 = 0 to nt - 1 do
-    claim_seq t plan t0 (t0 * stages) 0 (t0 lsr 1) (t0 land 1)
+    if t.image.(t0) >= 0 then claim_seq t plan t0 (t0 * stages) 0 (t0 lsr 1) (t0 land 1)
   done
 
 let route_perm t plan p = route t plan (Mineq_perm.Perm.to_array p)

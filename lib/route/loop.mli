@@ -45,8 +45,12 @@ val route : t -> Plan.t -> int array -> unit
 (** [route t plan image] sets the switch states realizing input
     terminal [i] -> output terminal [image.(i)] on top of whatever
     [plan] already holds (callers normally {!Plan.reset} first).
-    Raises [Invalid_argument] when [image] is not a permutation of
-    [0 .. 2^n - 1] or the plan belongs to another fabric.
+    The image may be {e partial}: [-1] entries are idle inputs that
+    get no path (their switches stay unset), and the live entries
+    need only be injective — partial routing turns the looping
+    chains into paths, which 2-colour just as well.  Raises
+    [Invalid_argument] when a live entry repeats or falls outside
+    [0 .. 2^n - 1], or the plan belongs to another fabric.
     Allocation-free on the success path. *)
 
 val route_perm : t -> Plan.t -> Mineq_perm.Perm.t -> unit

@@ -101,3 +101,10 @@ let realizes t image =
   end
 
 let to_array t = Array.init (Fabric.terminals t.fab) (propagate t)
+
+let fill_image t out =
+  let n = Fabric.terminals t.fab in
+  if Array.length out <> n then invalid_arg "Plan.fill_image: image size mismatch";
+  for i = 0 to n - 1 do
+    out.(i) <- propagate t i
+  done

@@ -88,3 +88,8 @@ val realizes : t -> int array -> bool
 
 val to_array : t -> int array
 (** Fresh array: [propagate] of every input terminal. *)
+
+val fill_image : t -> int array -> unit
+(** In-place {!to_array} into a caller-owned array of [terminals]
+    length (checked) — the churn loops re-read plan images without
+    allocating.  Idle inputs read back as [-1]. *)

@@ -1,0 +1,418 @@
+module Benes = Mineq.Benes
+
+type t = {
+  n : int;
+  fab : Fabric.t;
+  terminals : int;
+  stages : int;
+  depth : int;  (* n - 1 colouring levels above the middle stage *)
+  plan : Plan.t;
+  out_of : int array;  (* input -> output, -1 idle *)
+  in_from : int array;  (* output -> input, -1 free *)
+  colw : int array;  (* per input: bit l = subnetwork chosen at level l *)
+  (* slot tables, level-major: level l is a row of [terminals] slots,
+     block b owning [terminals lsr l] of them; each slot holds the
+     input terminal of the connection occupying that local position,
+     or -1.  Input slots key by [i lsr l], output slots by [o lsr l]. *)
+  iocc : int array;
+  oocc : int array;
+  cells : int array;  (* one path's cell sequence, [stages] entries *)
+  chain : int array array;  (* per level: alternating-chain worklist *)
+  shadow_out : int array;  (* apply_moves validation state *)
+  shadow_in : int array;
+  touched : int array;
+  tmark : int array;
+  mutable stamp : int;
+  mutable tcount : int;
+  mutable tapplied : int;
+  mutable live : int;
+  mutable last_moved : int;
+  mutable moved_total : int;
+  mutable connects : int;
+  mutable disconnects : int;
+}
+
+type status = Done | Input_busy | Output_busy
+
+type move =
+  | Connect of { input : int; output : int }
+  | Disconnect of { input : int }
+
+let make fab n =
+  let terminals = 1 lsl n in
+  let stages = (2 * n) - 1 in
+  let depth = n - 1 in
+  { n;
+    fab;
+    terminals;
+    stages;
+    depth;
+    plan = Plan.create fab;
+    out_of = Array.make terminals (-1);
+    in_from = Array.make terminals (-1);
+    colw = Array.make terminals 0;
+    iocc = Array.make (depth * terminals) (-1);
+    oocc = Array.make (depth * terminals) (-1);
+    cells = Array.make stages 0;
+    chain = Array.init depth (fun l -> Array.make (terminals lsr l) 0);
+    shadow_out = Array.make terminals (-1);
+    shadow_in = Array.make terminals (-1);
+    touched = Array.make terminals 0;
+    tmark = Array.make terminals 0;
+    stamp = 0;
+    tcount = 0;
+    tapplied = 0;
+    live = 0;
+    last_moved = 0;
+    moved_total = 0;
+    connects = 0;
+    disconnects = 0
+  }
+
+let create n =
+  if n < 2 then invalid_arg "Rearrange.create: need n >= 2";
+  make (Fabric.of_cascade (Benes.network n)) n
+
+let of_loop loop = make (Loop.fabric loop) (Loop.n loop)
+
+let n t = t.n
+
+let fabric t = t.fab
+
+let terminals t = t.terminals
+
+let plan t = t.plan
+
+let live t = t.live
+
+let output_of t i = t.out_of.(i)
+
+let input_of t o = t.in_from.(o)
+
+let image t = Array.copy t.out_of
+
+let last_moved t = t.last_moved
+
+let moved_total t = t.moved_total
+
+let connects t = t.connects
+
+let disconnects t = t.disconnects
+
+let[@inline] colour_bit t i l = (t.colw.(i) lsr l) land 1
+
+let[@inline] set_colour_bit t i l c =
+  t.colw.(i) <- (t.colw.(i) land lnot (1 lsl l)) lor (c lsl l)
+
+(* All walkers below are module-level recursions with explicit
+   arguments: a [let rec] inside a function body is a closure
+   allocation, and the churn hot path is gated at 0 minor words. *)
+
+(* Derive the path's cell sequence from the colour word: at level l in
+   block b, the entry cell is [b lsl (depth - l) lor (i lsr (l + 1))],
+   the exit cell the same with [o], and the middle cell is the full
+   colour prefix itself. *)
+let rec fill_cells t i o l b =
+  if l < t.depth then begin
+    let cb = b lsl (t.depth - l) in
+    t.cells.(l) <- cb lor (i lsr (l + 1));
+    t.cells.(t.stages - 1 - l) <- cb lor (o lsr (l + 1));
+    fill_cells t i o (l + 1) ((2 * b) + colour_bit t i l)
+  end
+  else t.cells.(t.depth) <- b
+
+let rec claim_seq t o s cur ip =
+  if s = t.stages - 1 then begin
+    match Plan.claim t.plan ~stage:s ~cell:cur ~in_port:ip ~out_port:(o land 1) with
+    | Plan.Claimed -> ()
+    | _ -> failwith "Rearrange: switch conflict on Benes"
+  end
+  else begin
+    let nxt = t.cells.(s + 1) in
+    let a0 = 2 * cur in
+    let j = if t.fab.Fabric.child.(s).(a0) = nxt then 0 else 1 in
+    (match Plan.claim t.plan ~stage:s ~cell:cur ~in_port:ip ~out_port:j with
+    | Plan.Claimed -> ()
+    | _ -> failwith "Rearrange: switch conflict on Benes");
+    claim_seq t o (s + 1) nxt t.fab.Fabric.in_port.(s).(a0 + j)
+  end
+
+let claim_path t i o =
+  fill_cells t i o 0 0;
+  claim_seq t o 0 (i lsr 1) (i land 1)
+
+let rec release_seq t s cur ip =
+  Plan.release t.plan ~stage:s ~cell:cur ~in_port:ip;
+  if s < t.stages - 1 then begin
+    let nxt = t.cells.(s + 1) in
+    let a0 = 2 * cur in
+    let j = if t.fab.Fabric.child.(s).(a0) = nxt then 0 else 1 in
+    release_seq t (s + 1) nxt t.fab.Fabric.in_port.(s).(a0 + j)
+  end
+
+let release_path t i o =
+  fill_cells t i o 0 0;
+  release_seq t 0 (i lsr 1) (i land 1)
+
+let rec clear_occ t i o l b =
+  if l < t.depth then begin
+    let base = (l * t.terminals) + (b * (t.terminals lsr l)) in
+    t.iocc.(base + (i lsr l)) <- -1;
+    t.oocc.(base + (o lsr l)) <- -1;
+    clear_occ t i o (l + 1) ((2 * b) + colour_bit t i l)
+  end
+
+(* The alternating chain through [y], entered via its output switch:
+   hop to the mate at y's input switch, then to that connection's
+   output-switch mate, and so on until a free slot ends the path.  The
+   walk can neither cycle (the start switch has one occupied slot) nor
+   reach the new pair's switches (their slots are still free). *)
+let rec collect_chain t l base ch k y via_input =
+  ch.(k) <- y;
+  let nxt =
+    if via_input then t.iocc.(base + ((y lsr l) lxor 1))
+    else t.oocc.(base + ((t.out_of.(y) lsr l) lxor 1))
+  in
+  if nxt < 0 then k + 1 else collect_chain t l base ch (k + 1) nxt (not via_input)
+
+(* Place connection i -> o at level l of block b: pick the colour both
+   mates leave free, rearranging the output-side chain when the two
+   mates force opposite colours, then descend.  [rearrange] is
+   three-phase — release + clear every chain member, flip every
+   colour, then reinsert + reclaim — because moving members one at a
+   time would transiently collide two of them on one deeper slot. *)
+let rec insert t l b i o =
+  if l < t.depth then begin
+    let base = (l * t.terminals) + (b * (t.terminals lsr l)) in
+    let ipos = i lsr l in
+    let opos = o lsr l in
+    let im = t.iocc.(base + (ipos lxor 1)) in
+    let om = t.oocc.(base + (opos lxor 1)) in
+    let c =
+      if im < 0 && om < 0 then ipos land 1
+      else if im < 0 then 1 - colour_bit t om l
+      else if om < 0 then 1 - colour_bit t im l
+      else begin
+        let fi = colour_bit t im l in
+        let fo = colour_bit t om l in
+        if fi = fo then 1 - fi
+        else begin
+          (* the chain from om alternates colours starting at fo and
+             so never reaches im (whose colour is 1 - fo): flipping it
+             frees fo at the output switch while im keeps fi *)
+          rearrange t l b base om;
+          1 - fi
+        end
+      end
+    in
+    t.iocc.(base + ipos) <- i;
+    t.oocc.(base + opos) <- i;
+    set_colour_bit t i l c;
+    insert t (l + 1) ((2 * b) + c) i o
+  end
+
+and rearrange t l b base start =
+  let ch = t.chain.(l) in
+  let len = collect_chain t l base ch 0 start true in
+  for k = 0 to len - 1 do
+    let y = ch.(k) in
+    let oy = t.out_of.(y) in
+    release_path t y oy;
+    clear_occ t y oy (l + 1) ((2 * b) + colour_bit t y l)
+  done;
+  for k = 0 to len - 1 do
+    let y = ch.(k) in
+    set_colour_bit t y l (1 - colour_bit t y l)
+  done;
+  for k = 0 to len - 1 do
+    let y = ch.(k) in
+    let oy = t.out_of.(y) in
+    insert t (l + 1) ((2 * b) + colour_bit t y l) y oy;
+    claim_path t y oy
+  done;
+  t.last_moved <- t.last_moved + len
+
+let connect t ~input ~output =
+  if input < 0 || input >= t.terminals || output < 0 || output >= t.terminals
+  then invalid_arg "Rearrange.connect: terminal out of range";
+  if t.out_of.(input) >= 0 then Input_busy
+  else if t.in_from.(output) >= 0 then Output_busy
+  else begin
+    t.last_moved <- 0;
+    t.out_of.(input) <- output;
+    t.in_from.(output) <- input;
+    insert t 0 0 input output;
+    claim_path t input output;
+    t.live <- t.live + 1;
+    t.connects <- t.connects + 1;
+    t.moved_total <- t.moved_total + t.last_moved;
+    Done
+  end
+
+let disconnect t ~input =
+  if input < 0 || input >= t.terminals then
+    invalid_arg "Rearrange.disconnect: terminal out of range";
+  let o = t.out_of.(input) in
+  if o < 0 then false
+  else begin
+    release_path t input o;
+    clear_occ t input o 0 0;
+    t.out_of.(input) <- -1;
+    t.in_from.(o) <- -1;
+    t.live <- t.live - 1;
+    t.disconnects <- t.disconnects + 1;
+    true
+  end
+
+let rec sift a j v =
+  if j >= 0 && a.(j) > v then begin
+    a.(j + 1) <- a.(j);
+    sift a (j - 1) v
+  end
+  else a.(j + 1) <- v
+
+let sort_prefix a len =
+  for k = 1 to len - 1 do
+    sift a (k - 1) a.(k)
+  done
+
+let[@inline] mark_touched t input =
+  if t.tmark.(input) <> t.stamp then begin
+    t.tmark.(input) <- t.stamp;
+    t.touched.(t.tcount) <- input;
+    t.tcount <- t.tcount + 1
+  end
+
+let apply_moves t moves =
+  let nt = t.terminals in
+  Array.blit t.out_of 0 t.shadow_out 0 nt;
+  Array.blit t.in_from 0 t.shadow_in 0 nt;
+  t.stamp <- t.stamp + 1;
+  t.tcount <- 0;
+  (* validate the whole batch against the shadow first, so an invalid
+     op raises before the engine mutates *)
+  for k = 0 to Array.length moves - 1 do
+    match moves.(k) with
+    | Connect { input; output } ->
+      if input < 0 || input >= nt || output < 0 || output >= nt then
+        invalid_arg "Rearrange.apply_moves: terminal out of range";
+      if t.shadow_out.(input) >= 0 then
+        invalid_arg "Rearrange.apply_moves: connect on a busy input";
+      if t.shadow_in.(output) >= 0 then
+        invalid_arg "Rearrange.apply_moves: connect on a busy output";
+      t.shadow_out.(input) <- output;
+      t.shadow_in.(output) <- input;
+      mark_touched t input
+    | Disconnect { input } ->
+      if input < 0 || input >= nt then
+        invalid_arg "Rearrange.apply_moves: terminal out of range";
+      let o = t.shadow_out.(input) in
+      if o < 0 then invalid_arg "Rearrange.apply_moves: disconnect on an idle input";
+      t.shadow_out.(input) <- -1;
+      t.shadow_in.(o) <- -1;
+      mark_touched t input
+  done;
+  (* net effect only: disconnect every touched input whose connection
+     changes, then connect the new targets in ascending input order so
+     pairs sharing an input switch agree on colours without chains *)
+  t.tapplied <- 0;
+  for k = 0 to t.tcount - 1 do
+    let i = t.touched.(k) in
+    let cur = t.out_of.(i) in
+    if cur >= 0 && cur <> t.shadow_out.(i) then begin
+      ignore (disconnect t ~input:i);
+      t.tapplied <- t.tapplied + 1
+    end
+  done;
+  sort_prefix t.touched t.tcount;
+  for k = 0 to t.tcount - 1 do
+    let i = t.touched.(k) in
+    let d = t.shadow_out.(i) in
+    if d >= 0 && t.out_of.(i) <> d then begin
+      (match connect t ~input:i ~output:d with
+      | Done -> ()
+      | _ -> failwith "Rearrange.apply_moves: netted connect refused");
+      t.tapplied <- t.tapplied + 1
+    end
+  done;
+  t.tapplied
+
+let rec scan_cells t s cur ip =
+  let out = Plan.port_of t.plan ~stage:s ~cell:cur ~in_port:ip in
+  if out < 0 then
+    if s = 0 then -1
+    else invalid_arg "Rearrange.rescan: dangling mid-path assignment"
+  else begin
+    t.cells.(s) <- cur;
+    if s = t.stages - 1 then (2 * cur) + out
+    else begin
+      let a = (2 * cur) + out in
+      scan_cells t (s + 1) t.fab.Fabric.child.(s).(a) t.fab.Fabric.in_port.(s).(a)
+    end
+  end
+
+(* Read the colour bits back out of a scanned path and rebuild the
+   slot tables, cross-checking every cell against the block-descent
+   formula as we go. *)
+let rec adopt t i o l b =
+  if l < t.depth then begin
+    let cb = b lsl (t.depth - l) in
+    if
+      t.cells.(l) <> cb lor (i lsr (l + 1))
+      || t.cells.(t.stages - 1 - l) <> cb lor (o lsr (l + 1))
+    then invalid_arg "Rearrange.rescan: path disagrees with the Benes recursion";
+    let c = (t.cells.(l + 1) lsr (t.depth - 1 - l)) land 1 in
+    set_colour_bit t i l c;
+    let base = (l * t.terminals) + (b * (t.terminals lsr l)) in
+    if t.iocc.(base + (i lsr l)) >= 0 || t.oocc.(base + (o lsr l)) >= 0 then
+      invalid_arg "Rearrange.rescan: colliding paths";
+    t.iocc.(base + (i lsr l)) <- i;
+    t.oocc.(base + (o lsr l)) <- i;
+    adopt t i o (l + 1) ((2 * b) + c)
+  end
+  else if t.cells.(t.depth) <> b then
+    invalid_arg "Rearrange.rescan: path disagrees with the Benes recursion"
+
+let rescan t =
+  let nt = t.terminals in
+  Array.fill t.out_of 0 nt (-1);
+  Array.fill t.in_from 0 nt (-1);
+  Array.fill t.iocc 0 (t.depth * nt) (-1);
+  Array.fill t.oocc 0 (t.depth * nt) (-1);
+  t.live <- 0;
+  for i = 0 to nt - 1 do
+    let o = scan_cells t 0 (i lsr 1) (i land 1) in
+    if o >= 0 then begin
+      if t.in_from.(o) >= 0 then
+        invalid_arg "Rearrange.rescan: two inputs delivered to one output";
+      t.out_of.(i) <- o;
+      t.in_from.(o) <- i;
+      adopt t i o 0 0;
+      t.live <- t.live + 1
+    end
+  done;
+  if Plan.set_count t.plan <> t.live * t.stages then
+    invalid_arg "Rearrange.rescan: dangling mid-path assignment"
+
+let reset t =
+  let nt = t.terminals in
+  Array.fill t.out_of 0 nt (-1);
+  Array.fill t.in_from 0 nt (-1);
+  Array.fill t.colw 0 nt 0;
+  Array.fill t.iocc 0 (t.depth * nt) (-1);
+  Array.fill t.oocc 0 (t.depth * nt) (-1);
+  Plan.reset t.plan;
+  t.live <- 0;
+  t.last_moved <- 0;
+  t.moved_total <- 0;
+  t.connects <- 0;
+  t.disconnects <- 0
+
+let rec consistent_from t i =
+  i >= t.terminals
+  || (let o = t.out_of.(i) in
+      (if o < 0 then Plan.port_of t.plan ~stage:0 ~cell:(i lsr 1) ~in_port:(i land 1) < 0
+       else Plan.propagate t.plan i = o && t.in_from.(o) = i)
+      && consistent_from t (i + 1))
+
+let consistent t = Plan.set_count t.plan = t.live * t.stages && consistent_from t 0

@@ -1,0 +1,146 @@
+(** Incremental rearrangement routing on the Benes network B(n).
+
+    {!Loop.route} compiles a whole permutation at once; this engine
+    holds a {e live} circuit configuration and changes it one
+    connection at a time.  {!connect} routes a new input/output pair
+    into an already-set plan by Paull-style rearrangement: at each
+    recursion level of the Benes the new pair needs a subnetwork
+    (colour) that is free at both its input switch and its output
+    switch, and when the two switches force {e different} colours the
+    engine walks the alternating chain of existing connections
+    through the output switch, flips every colour on it, and
+    re-routes only those connections one level deeper.  The two
+    chains can never meet (an alternating path between an input-side
+    and an output-side endpoint has odd length, so its end colours
+    are equal — the classic parity argument), which is why the walk
+    terminates and the flip always frees the wanted colour.
+
+    Everything the steady-churn hot path touches — per-level slot
+    tables, colour words, chain worklists, the cell scratch of a
+    path claim — is preallocated in {!t}, so {!connect} and
+    {!disconnect} allocate {e zero} minor words
+    ([bench/route_bench.exe] gates the churn rows at exactly 0.0).
+    Cost per operation is [O(stages)] for the new pair itself plus
+    [O(stages)] per connection actually moved, instead of the
+    [O(terminals * stages)] of a full {!Loop.route} recompile.
+
+    Partial configurations are first-class: any subset of inputs may
+    be connected, and the invariant after every operation is that
+    the plan realizes exactly the current partial image (idle inputs
+    propagate nowhere).  Engines are single-threaded, like
+    {!Loop.t}; parallel workers each hold their own. *)
+
+type t
+
+(** Outcome of {!connect}.  Constant constructors — returning one
+    never allocates. *)
+type status =
+  | Done  (** the pair is connected (and the plan re-realizes) *)
+  | Input_busy  (** the input already carries a connection *)
+  | Output_busy  (** the output is already the target of another input *)
+
+(** One batch operation for {!apply_moves}. *)
+type move =
+  | Connect of { input : int; output : int }
+  | Disconnect of { input : int }
+
+val create : int -> t
+(** [create n] builds B(n), its fabric, an empty plan and all
+    scratch.  [n >= 2]. *)
+
+val of_loop : Loop.t -> t
+(** An engine sharing the given router's fabric, so its {!plan} is
+    also a valid target for {!Loop.route} — compile a permutation
+    with the looping algorithm, {!rescan}, then churn
+    incrementally. *)
+
+val n : t -> int
+
+val fabric : t -> Fabric.t
+
+val terminals : t -> int
+(** [2^n]. *)
+
+val plan : t -> Plan.t
+(** The engine's plan — a live view, not a copy.  Writing to it
+    through anything but this engine (or {!Loop.route} followed by
+    {!rescan}) desynchronizes the engine. *)
+
+val live : t -> int
+(** Number of connections currently held. *)
+
+val output_of : t -> int -> int
+(** The output the input is connected to, or [-1] when idle. *)
+
+val input_of : t -> int -> int
+(** The input connected to the output, or [-1] when free. *)
+
+val image : t -> int array
+(** Fresh copy of the current partial image ([-1] = idle input) —
+    the array {!Plan.realizes} of {!plan} holds against. *)
+
+val connect : t -> input:int -> output:int -> status
+(** Route [input -> output] into the current configuration,
+    rearranging existing connections as needed (never fails on a
+    Benes: rearrangeability).  Allocation-free.  Raises
+    [Invalid_argument] on out-of-range terminals. *)
+
+val disconnect : t -> input:int -> bool
+(** Tear down the input's connection: release its path and clear its
+    slots at every level.  [false] when the input was idle.  Never
+    rearranges, never allocates. *)
+
+val apply_moves : t -> move array -> int
+(** Apply a batch of operations.  The batch is first validated and
+    {e netted} against a shadow of the current configuration
+    (sequential semantics: each op must be legal in the state left
+    by its predecessors — a connect may reuse an output freed
+    earlier in the same batch), then applied as net effects only: a
+    disconnect/re-connect of the same pair is skipped outright, all
+    net disconnects run first to free capacity, and net connects run
+    in ascending input order so pairs sharing an input switch
+    coordinate colours without chain walks.  Returns the number of
+    physical operations performed (at most, never more than, the
+    batch length).  Raises [Invalid_argument] on the first invalid
+    op, before touching the engine.  The final configuration — and
+    hence {!Plan.to_array} of the plan — depends only on the
+    batch's net effect, not on how a move list is chunked into
+    [apply_moves] calls. *)
+
+val rescan : t -> unit
+(** Resynchronize the engine from its plan's switch words, after an
+    external compiler (typically {!Loop.route} on {!plan}) rewrote
+    them: every routed path is walked, its per-level colours are
+    read back from the cells it occupies, and the slot tables are
+    rebuilt.  Raises [Invalid_argument] when the plan is not a
+    link-disjoint Benes routing (dangling mid-path assignment, two
+    inputs delivered to one output). *)
+
+val reset : t -> unit
+(** Clear the configuration and the plan ([Array.fill]s only). *)
+
+val consistent : t -> bool
+(** Self-check: the plan realizes the current partial image, idle
+    inputs have no stage-0 assignment, and the claim count is
+    exactly [live * stages].  Allocation-free — the bench gates it
+    after every measured op sequence. *)
+
+(** {1 Churn statistics}
+
+    Rearrangement work is observable: the survey and the bench
+    report how much of the network a connection change actually
+    touches. *)
+
+val last_moved : t -> int
+(** Connections re-routed (chain members, over all levels) by the
+    most recent {!connect}.  [0] when the pair dropped in without
+    disturbing anyone. *)
+
+val moved_total : t -> int
+(** Lifetime sum of {!last_moved} over all connects. *)
+
+val connects : t -> int
+(** Lifetime successful {!connect} count. *)
+
+val disconnects : t -> int
+(** Lifetime successful {!disconnect} count. *)

@@ -1,5 +1,6 @@
 module Pool = Mineq_engine.Pool
 module Seeds = Mineq_engine.Seeds
+module Batch = Mineq_engine.Batch
 
 type row = {
   name : string;
@@ -65,3 +66,78 @@ let run_in pool ~seed ~n ~planes ~trials =
 let run ?jobs ~seed ~n ~planes ~trials () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   Pool.run ~jobs (fun pool -> run_in pool ~seed ~n ~planes ~trials)
+
+(* -- churn throughput model ------------------------------------- *)
+
+type churn_row = {
+  cn : int;
+  ops : int;
+  ctrials : int;
+  connects : int;
+  disconnects : int;
+  moved_total : int;
+  rearranged : int;
+  moved_hist : int array;
+  failures : int;
+}
+
+let hist_bins = 17
+
+(* bin layout for Batch.tally: 0..16 moved-count histogram (16 is the
+   17+ overflow), then connects, disconnects, moved total, rearranged
+   connects, consistency failures *)
+let churn_bins = hist_bins + 5
+
+let moved_per_connect r =
+  if r.connects = 0 then 0.0 else float_of_int r.moved_total /. float_of_int r.connects
+
+let rearranged_fraction r =
+  if r.connects = 0 then 0.0 else float_of_int r.rearranged /. float_of_int r.connects
+
+let rec free_output st rr nt =
+  let o = Random.State.int st nt in
+  if Rearrange.input_of rr o < 0 then o else free_output st rr nt
+
+let churn_trial ~n ~ops st bins =
+  let rr = Rearrange.create n in
+  let nt = Rearrange.terminals rr in
+  for _ = 1 to ops do
+    let i = Random.State.int st nt in
+    if Rearrange.output_of rr i >= 0 then begin
+      ignore (Rearrange.disconnect rr ~input:i);
+      bins.(hist_bins + 1) <- bins.(hist_bins + 1) + 1
+    end
+    else begin
+      (* an idle input means live < 2^n, so a free output exists and
+         rejection sampling terminates *)
+      let o = free_output st rr nt in
+      (match Rearrange.connect rr ~input:i ~output:o with
+      | Rearrange.Done -> ()
+      | _ -> assert false);
+      let mv = Rearrange.last_moved rr in
+      bins.(min mv (hist_bins - 1)) <- bins.(min mv (hist_bins - 1)) + 1;
+      bins.(hist_bins) <- bins.(hist_bins) + 1;
+      bins.(hist_bins + 2) <- bins.(hist_bins + 2) + mv;
+      if mv > 0 then bins.(hist_bins + 3) <- bins.(hist_bins + 3) + 1
+    end
+  done;
+  if not (Rearrange.consistent rr) then bins.(hist_bins + 4) <- bins.(hist_bins + 4) + 1
+
+let churn_in pool ~root ~n ~ops ~trials =
+  if trials < 1 then invalid_arg "Survey.churn_in: need trials >= 1";
+  if ops < 1 then invalid_arg "Survey.churn_in: need ops >= 1";
+  let bins = Batch.tally_in pool ~root ~tasks:trials ~bins:churn_bins (churn_trial ~n ~ops) in
+  { cn = n;
+    ops;
+    ctrials = trials;
+    connects = bins.(hist_bins);
+    disconnects = bins.(hist_bins + 1);
+    moved_total = bins.(hist_bins + 2);
+    rearranged = bins.(hist_bins + 3);
+    moved_hist = Array.sub bins 0 hist_bins;
+    failures = bins.(hist_bins + 4)
+  }
+
+let churn ?jobs ~seed ~n ~ops ~trials () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  Pool.run ~jobs (fun pool -> churn_in pool ~root:seed ~n ~ops ~trials)

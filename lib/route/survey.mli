@@ -54,3 +54,44 @@ val run :
 (** {!run_in} under a bracketed pool ([jobs] defaults to
     {!Mineq_engine.Pool.default_jobs}); results do not depend on
     [jobs]. *)
+
+(** {1 Churn throughput model}
+
+    How much rearrangement does steady connection churn actually
+    cause?  Each trial drives a fresh {!Rearrange} engine on B(n)
+    through [ops] random operations — toggle a uniform input:
+    disconnect it if live, otherwise connect it to a uniform free
+    output — and tallies, per successful connect, how many existing
+    connections the insertion had to move.  Trials run through
+    {!Mineq_engine.Batch.tally}, so the tallies are bit-identical
+    across [jobs]. *)
+
+type churn_row = {
+  cn : int;  (** B(n) size *)
+  ops : int;  (** operations per trial *)
+  ctrials : int;
+  connects : int;
+  disconnects : int;
+  moved_total : int;  (** existing connections re-routed, summed *)
+  rearranged : int;  (** connects that moved at least one connection *)
+  moved_hist : int array;
+      (** 17 bins: connects that moved exactly [k] connections for
+          [k = 0..15], overflow ([>= 16]) in the last bin *)
+  failures : int;  (** trials failing the end-of-trial {!Rearrange.consistent} *)
+}
+
+val moved_per_connect : churn_row -> float
+(** [moved_total / connects] — the mean rearrangement bill. *)
+
+val rearranged_fraction : churn_row -> float
+(** [rearranged / connects]. *)
+
+val churn_in :
+  Mineq_engine.Pool.t -> root:int -> n:int -> ops:int -> trials:int -> churn_row
+(** Trial [i] draws from [Seeds.derive ~root i].  Requires
+    [ops >= 1] and [trials >= 1]. *)
+
+val churn :
+  ?jobs:int -> seed:int -> n:int -> ops:int -> trials:int -> unit -> churn_row
+(** {!churn_in} under a bracketed pool; results do not depend on
+    [jobs]. *)

@@ -351,6 +351,21 @@ let batch_props =
         let summary jobs = Batch.replicate ~jobs ~root:seed ~replications:5 metric in
         Mineq_sim.Summary.mean (summary 1) = Mineq_sim.Summary.mean (summary 4)
         && Mineq_sim.Summary.stddev (summary 1) = Mineq_sim.Summary.stddev (summary 4))
+  ;
+    qcheck "tally is jobs-invariant" ~count:6 seed_gen (fun seed ->
+        (* each task throws 40 seeded darts at 8 bins; totals must not
+           depend on the worker count *)
+        let body rng bins =
+          for _ = 1 to 40 do
+            let k = Random.State.int rng (Array.length bins) in
+            bins.(k) <- bins.(k) + 1
+          done
+        in
+        let run jobs = Batch.tally ~jobs ~root:seed ~tasks:7 ~bins:8 body in
+        let a = run 1 in
+        a = run 3
+        && a = run 4
+        && Array.fold_left ( + ) 0 a = 7 * 40)
   ]
 
 let batch_suite = quick "survey parallel = survey serial" test_survey_matches_serial :: batch_props

@@ -1,0 +1,274 @@
+(* Incremental rearrangement engine: unit semantics, equivalence with
+   from-scratch looping compiles, batch netting, plan adoption. *)
+
+open Helpers
+module Plan = Mineq_route.Plan
+module Loop = Mineq_route.Loop
+module Rearrange = Mineq_route.Rearrange
+module Survey = Mineq_route.Survey
+module Pool = Mineq_engine.Pool
+
+let is_done = function Rearrange.Done -> true | _ -> false
+
+(* The survey's toggle policy: disconnect a live input, connect an
+   idle one to a uniform free output (which must exist: an idle input
+   means live < 2^n). *)
+let rec free_output rng rr nt =
+  let o = Random.State.int rng nt in
+  if Rearrange.input_of rr o < 0 then o else free_output rng rr nt
+
+let toggle rng rr nt =
+  let i = Random.State.int rng nt in
+  if Rearrange.output_of rr i >= 0 then ignore (Rearrange.disconnect rr ~input:i)
+  else ignore (Rearrange.connect rr ~input:i ~output:(free_output rng rr nt))
+
+let test_connect_basics () =
+  let rr = Rearrange.create 3 in
+  check_true "connect 0->5" (is_done (Rearrange.connect rr ~input:0 ~output:5));
+  check_int "live" 1 (Rearrange.live rr);
+  check_int "output_of" 5 (Rearrange.output_of rr 0);
+  check_int "input_of" 0 (Rearrange.input_of rr 5);
+  check_int "propagates" 5 (Plan.propagate (Rearrange.plan rr) 0);
+  check_true "busy input" (Rearrange.connect rr ~input:0 ~output:2 = Rearrange.Input_busy);
+  check_true "busy output" (Rearrange.connect rr ~input:3 ~output:5 = Rearrange.Output_busy);
+  check_false "disconnect idle" (Rearrange.disconnect rr ~input:4);
+  check_true "consistent" (Rearrange.consistent rr);
+  check_true "disconnect live" (Rearrange.disconnect rr ~input:0);
+  check_int "live after" 0 (Rearrange.live rr);
+  check_int "unrouted" (-1) (Plan.propagate (Rearrange.plan rr) 0);
+  check_true "consistent after" (Rearrange.consistent rr)
+
+let test_full_permutation () =
+  let rng = rng_of 0x9e21 in
+  let n = 4 in
+  let rr = Rearrange.create n in
+  let nt = Rearrange.terminals rr in
+  let img = Array.init nt Fun.id in
+  for i = nt - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = img.(i) in
+    img.(i) <- img.(j);
+    img.(j) <- t
+  done;
+  Array.iteri
+    (fun i o -> check_true "connects" (is_done (Rearrange.connect rr ~input:i ~output:o)))
+    img;
+  check_int "full" nt (Rearrange.live rr);
+  check_true "realizes" (Plan.realizes (Rearrange.plan rr) img);
+  check_true "consistent" (Rearrange.consistent rr)
+
+let test_rearrangement_observed () =
+  let rng = rng_of 0x51ce in
+  let rr = Rearrange.create 4 in
+  let nt = Rearrange.terminals rr in
+  for _ = 1 to 400 do
+    toggle rng rr nt
+  done;
+  check_true "connects counted" (Rearrange.connects rr > 0);
+  check_true "disconnects counted" (Rearrange.disconnects rr > 0);
+  (* 400 random toggles at n=4 cannot all drop into free subnetworks *)
+  check_true "some connect rearranged" (Rearrange.moved_total rr > 0);
+  check_true "consistent" (Rearrange.consistent rr)
+
+let test_reset () =
+  let rr = Rearrange.create 3 in
+  ignore (Rearrange.connect rr ~input:1 ~output:6);
+  ignore (Rearrange.connect rr ~input:2 ~output:0);
+  Rearrange.reset rr;
+  check_int "live" 0 (Rearrange.live rr);
+  check_int "set_count" 0 (Plan.set_count (Rearrange.plan rr));
+  check_int "connects counter" 0 (Rearrange.connects rr);
+  check_true "consistent" (Rearrange.consistent rr);
+  check_true "reusable" (is_done (Rearrange.connect rr ~input:1 ~output:6))
+
+let test_rescan_adopts () =
+  let rng = rng_of 0x77aa in
+  let n = 4 in
+  let loop = Loop.create n in
+  let rr = Rearrange.of_loop loop in
+  let nt = Rearrange.terminals rr in
+  let img = Array.init nt Fun.id in
+  for i = nt - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = img.(i) in
+    img.(i) <- img.(j);
+    img.(j) <- t
+  done;
+  (* idle a few inputs so adoption covers partial plans too *)
+  img.(3) <- -1;
+  img.(10) <- -1;
+  Loop.route loop (Rearrange.plan rr) img;
+  Rearrange.rescan rr;
+  check_int "live" (nt - 2) (Rearrange.live rr);
+  check_int "idle input" (-1) (Rearrange.output_of rr 3);
+  check_true "consistent" (Rearrange.consistent rr);
+  (* the adopted state must be churnable *)
+  for _ = 1 to 200 do
+    toggle rng rr nt
+  done;
+  check_true "consistent after churn" (Rearrange.consistent rr)
+
+let test_rescan_rejects_dangling () =
+  let rr = Rearrange.create 3 in
+  (* a mid-network claim no input feeds *)
+  ignore (Plan.claim (Rearrange.plan rr) ~stage:2 ~cell:1 ~in_port:0 ~out_port:1);
+  Alcotest.check_raises "dangling"
+    (Invalid_argument "Rearrange.rescan: dangling mid-path assignment") (fun () ->
+      Rearrange.rescan rr)
+
+let test_apply_moves_netting () =
+  let rr = Rearrange.create 3 in
+  ignore (Rearrange.connect rr ~input:0 ~output:1);
+  (* disconnect + identical reconnect nets to nothing *)
+  let nop =
+    [| Rearrange.Disconnect { input = 0 }; Rearrange.Connect { input = 0; output = 1 } |]
+  in
+  check_int "net no-op" 0 (Rearrange.apply_moves rr nop);
+  check_int "still connected" 1 (Rearrange.output_of rr 0);
+  (* swap two connections through a shared-output handover *)
+  ignore (Rearrange.connect rr ~input:5 ~output:2);
+  let swap =
+    [| Rearrange.Disconnect { input = 0 };
+       Rearrange.Disconnect { input = 5 };
+       Rearrange.Connect { input = 0; output = 2 };
+       Rearrange.Connect { input = 5; output = 1 }
+    |]
+  in
+  check_true "swap applied" (Rearrange.apply_moves rr swap <= 4);
+  check_int "swapped 0" 2 (Rearrange.output_of rr 0);
+  check_int "swapped 5" 1 (Rearrange.output_of rr 5);
+  check_true "consistent" (Rearrange.consistent rr)
+
+let test_apply_moves_validates () =
+  let rr = Rearrange.create 3 in
+  ignore (Rearrange.connect rr ~input:0 ~output:1);
+  Alcotest.check_raises "busy input"
+    (Invalid_argument "Rearrange.apply_moves: connect on a busy input") (fun () ->
+      ignore (Rearrange.apply_moves rr [| Rearrange.Connect { input = 0; output = 3 } |]));
+  Alcotest.check_raises "busy output"
+    (Invalid_argument "Rearrange.apply_moves: connect on a busy output") (fun () ->
+      ignore (Rearrange.apply_moves rr [| Rearrange.Connect { input = 2; output = 1 } |]));
+  Alcotest.check_raises "idle disconnect"
+    (Invalid_argument "Rearrange.apply_moves: disconnect on an idle input") (fun () ->
+      ignore (Rearrange.apply_moves rr [| Rearrange.Disconnect { input = 7 } |]));
+  (* a batch that fails mid-validation must not have touched anything *)
+  Alcotest.check_raises "atomic"
+    (Invalid_argument "Rearrange.apply_moves: connect on a busy output") (fun () ->
+      ignore
+        (Rearrange.apply_moves rr
+           [| Rearrange.Connect { input = 4; output = 6 };
+              Rearrange.Connect { input = 5; output = 1 }
+           |]));
+  check_int "untouched" (-1) (Rearrange.output_of rr 4);
+  check_int "kept" 1 (Rearrange.output_of rr 0);
+  check_true "consistent" (Rearrange.consistent rr)
+
+(* qcheck (a): after any toggle sequence the engine's plan realizes
+   the same partial image a from-scratch looping compile produces. *)
+let prop_matches_scratch (n, seed) =
+  let rng = rng_of seed in
+  let loop = Loop.create n in
+  let rr = Rearrange.of_loop loop in
+  let nt = Rearrange.terminals rr in
+  let ok = ref true in
+  for _ = 1 to 120 do
+    toggle rng rr nt;
+    if not (Rearrange.consistent rr) then ok := false
+  done;
+  let img = Rearrange.image rr in
+  let scratch = Loop.plan loop in
+  Loop.route loop scratch img;
+  !ok
+  && Plan.realizes (Rearrange.plan rr) img
+  && Plan.realizes scratch img
+  && Plan.to_array (Rearrange.plan rr) = Plan.to_array scratch
+
+(* qcheck (b): a move list applied as one batch or as any chunking of
+   consecutive sub-batches lands in the same configuration. *)
+let prop_chunking_invariant (n, seed) =
+  let rng = rng_of seed in
+  let nt = 1 lsl n in
+  let sh_out = Array.make nt (-1) in
+  let sh_in = Array.make nt (-1) in
+  let moves =
+    Array.init 60 (fun _ ->
+        let i = Random.State.int rng nt in
+        if sh_out.(i) >= 0 then begin
+          sh_in.(sh_out.(i)) <- -1;
+          sh_out.(i) <- -1;
+          Rearrange.Disconnect { input = i }
+        end
+        else begin
+          let rec free () =
+            let o = Random.State.int rng nt in
+            if sh_in.(o) < 0 then o else free ()
+          in
+          let o = free () in
+          sh_out.(i) <- o;
+          sh_in.(o) <- i;
+          Rearrange.Connect { input = i; output = o }
+        end)
+  in
+  let a = Rearrange.create n in
+  ignore (Rearrange.apply_moves a moves);
+  let b = Rearrange.create n in
+  let pos = ref 0 in
+  while !pos < Array.length moves do
+    let len = 1 + Random.State.int rng (Array.length moves - !pos) in
+    ignore (Rearrange.apply_moves b (Array.sub moves !pos len));
+    pos := !pos + len
+  done;
+  Rearrange.consistent a
+  && Rearrange.consistent b
+  && Rearrange.image a = Rearrange.image b
+  && Plan.to_array (Rearrange.plan a) = Plan.to_array (Rearrange.plan b)
+  && Rearrange.live a = Rearrange.live b
+
+(* one-at-a-time application is yet another chunking *)
+let prop_batch_matches_singles (n, seed) =
+  let rng = rng_of seed in
+  let loop = Loop.create n in
+  let rr = Rearrange.of_loop loop in
+  let nt = Rearrange.terminals rr in
+  for _ = 1 to 80 do
+    toggle rng rr nt
+  done;
+  let img = Rearrange.image rr in
+  let moves =
+    Array.of_list
+      (List.filter_map
+         (fun i ->
+           if img.(i) >= 0 then Some (Rearrange.Connect { input = i; output = img.(i) })
+           else None)
+         (List.init nt Fun.id))
+  in
+  let fresh = Rearrange.create n in
+  let applied = Rearrange.apply_moves fresh moves in
+  applied = Array.length moves
+  && Rearrange.consistent fresh
+  && Rearrange.image fresh = img
+
+let prop_churn_survey_jobs_invariant (n, seed) =
+  let row ~jobs = Survey.churn ~jobs ~seed ~n ~ops:40 ~trials:3 () in
+  let a = row ~jobs:1 in
+  let b = row ~jobs:3 in
+  a.Survey.failures = 0 && a = b
+
+let suite =
+  [ quick "connect/disconnect basics" test_connect_basics;
+    quick "full permutation via connects" test_full_permutation;
+    quick "random churn rearranges and stays sound" test_rearrangement_observed;
+    quick "reset clears engine and plan" test_reset;
+    quick "rescan adopts a loop-compiled plan" test_rescan_adopts;
+    quick "rescan rejects dangling claims" test_rescan_rejects_dangling;
+    quick "apply_moves nets opposing ops" test_apply_moves_netting;
+    quick "apply_moves validates atomically" test_apply_moves_validates;
+    qcheck ~count:60 "incremental matches from-scratch route" n_and_seed
+      prop_matches_scratch;
+    qcheck ~count:60 "apply_moves chunking invariance" n_and_seed prop_chunking_invariant;
+    qcheck ~count:40 "batch connect equals incremental state" n_and_seed
+      prop_batch_matches_singles;
+    qcheck ~count:8 "churn survey is jobs-invariant"
+      (QCheck.pair (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 4)) seed_gen)
+      prop_churn_survey_jobs_invariant
+  ]

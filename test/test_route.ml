@@ -157,12 +157,43 @@ let test_loop_rejects () =
       Loop.route router plan [| 0; 0; 1; 2; 3; 4; 5; 6 |]);
   Alcotest.check_raises "range" (Invalid_argument "Loop.route: image entry out of range")
     (fun () -> Loop.route router plan [| 0; 1; 2; 3; 4; 5; 6; 8 |]);
+  Alcotest.check_raises "below idle marker"
+    (Invalid_argument "Loop.route: image entry out of range") (fun () ->
+      Loop.route router plan [| 0; 1; 2; 3; 4; 5; 6; -2 |]);
+  Alcotest.check_raises "live entries must not repeat"
+    (Invalid_argument "Loop.route: image is not a permutation") (fun () ->
+      Loop.route router plan [| 3; -1; 3; -1; -1; -1; -1; -1 |]);
   let other = Loop.create 4 in
   Alcotest.check_raises "foreign plan"
     (Invalid_argument "Loop.route: plan built for another fabric") (fun () ->
       Loop.route other plan (Array.init 16 Fun.id));
   Alcotest.check_raises "n too small" (Invalid_argument "Loop.create: need n >= 2")
     (fun () -> ignore (Loop.create 1))
+
+let test_loop_partial () =
+  let router = Loop.create 3 in
+  let plan = Loop.plan router in
+  (* route half the inputs, idle the rest *)
+  let img = [| 5; -1; 0; -1; 7; -1; 2; -1 |] in
+  Loop.route router plan img;
+  check_true "partial image realizes" (Plan.realizes plan img);
+  check_int "idle input stays unrouted" (-1) (Plan.propagate plan 1);
+  check_int "only live paths claim cells" (4 * 5) (Plan.set_count plan);
+  let back = Array.make 8 0 in
+  Plan.fill_image plan back;
+  check_true "fill_image reads the partial map back" (back = img);
+  Alcotest.check_raises "fill_image checks length"
+    (Invalid_argument "Plan.fill_image: image size mismatch") (fun () ->
+      Plan.fill_image plan (Array.make 4 0));
+  (* a reset plan takes a total permutation again *)
+  Plan.reset plan;
+  let total = [| 1; 0; 3; 2; 5; 4; 7; 6 |] in
+  Loop.route router plan total;
+  check_true "total after partial" (Plan.realizes plan total);
+  (* the empty image is the empty plan *)
+  Plan.reset plan;
+  Loop.route router plan (Array.make 8 (-1));
+  check_int "empty image claims nothing" 0 (Plan.set_count plan)
 
 (* Bit_follow --------------------------------------------------------- *)
 
@@ -304,6 +335,27 @@ let props =
         Plan.reset plan;
         Loop.route router plan img;
         Plan.realizes plan img);
+    qcheck "looping realizes every random partial image" ~count:40
+      (QCheck.make
+         ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+         QCheck.Gen.(pair (int_range 2 6) (int_bound 100_000)))
+      (fun (n, seed) ->
+        let rng = rng_of seed in
+        let router = Loop.create n in
+        let plan = Loop.plan router in
+        let nt = Loop.terminals router in
+        let perm = Array.make nt 0 in
+        shuffle rng perm;
+        (* keep each pair of the permutation with probability 1/2 *)
+        let img = Array.map (fun o -> if Random.State.bool rng then o else -1) perm in
+        Plan.reset plan;
+        Loop.route router plan img;
+        let stages = (2 * n) - 1 in
+        let live = Array.fold_left (fun acc o -> if o >= 0 then acc + 1 else acc) 0 img in
+        Plan.realizes plan img
+        && Plan.set_count plan = live * stages
+        && Array.for_all Fun.id
+             (Array.init nt (fun i -> img.(i) >= 0 || Plan.propagate plan i = -1)));
     qcheck "looping agrees with Benes.route_permutation endpoints" ~count:20
       (QCheck.make
          ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
@@ -363,6 +415,7 @@ let suite =
     quick "looping: identity and bit reversal" test_loop_identity_and_bitrev;
     quick "looping: all permutations at n=2" test_loop_exhaustive_n2;
     quick "looping: bad inputs rejected" test_loop_rejects;
+    quick "looping: partial images route" test_loop_partial;
     quick "bit_follow matches Routing.route" test_bit_follow_matches_routing;
     quick "bit_follow matches Rrouting.route" test_bit_follow_matches_rrouting;
     quick "bit_follow reports the contested link" test_bit_follow_blocked;
