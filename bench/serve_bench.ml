@@ -1,0 +1,346 @@
+(* Service bench artifact: sustained queries/sec, p50/p99 latency and
+   warm-cache hit rate for the mineq serve layer, written to
+   BENCH_serve.json.
+
+   The query mix simulates a large user population hammering the
+   classical inventory: a Zipf-ranked pool of named networks (the six
+   classical families across several sizes, plus random/PIPID draws
+   in the tail) and a fixed op mix (equiv-heavy, with banyan, lint
+   and blocking traffic).  Two measurement paths:
+
+   - [direct]: requests evaluated straight through Service.handle —
+     the ceiling of the compute core with warm caches;
+   - [socket]: a forked daemon on a temp Unix socket, one synchronous
+     client, full frame round trips — what a real client observes.
+
+   Three self-gates, checked on exit:
+   - the Zipf-mix hit rate must reach the floor (0.70; skipped under
+     --smoke, where the tiny request budget can't amortize the cold
+     misses);
+   - a snapshot round trip must preserve every cache entry, reject a
+     corrupted checksum, and yield a warm hit in a fresh service that
+     adopted it;
+   - every socket response must arrive well-formed with ok:true.
+
+   Client and server measurement loops are serial by design, so the
+   artifact is never marked degraded: 1-core containers measure the
+   same protocol path CI's multi-core runner does. *)
+
+module Serve = Mineq_serve
+module Proto = Serve.Proto
+module Seeds = Mineq_engine.Seeds
+
+let smoke = Bench_util.smoke_requested ()
+
+(* The Zipf-ranked query pool ---------------------------------------- *)
+
+let pool_items =
+  let classical =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun kind -> (Mineq.Classical.name kind, n))
+          Mineq.Classical.all_kinds)
+      [ 4; 5; 6 ]
+  in
+  let tail prefix count n =
+    List.init count (fun i -> (Printf.sprintf "%s:%d" prefix (i + 1), n))
+  in
+  Array.of_list (classical @ tail "random" 50 4 @ tail "pipid" 32 4)
+
+let zipf_s = 1.1
+
+(* Inverse-CDF sampling over 1/rank^s weights. *)
+let zipf_cdf =
+  let n = Array.length pool_items in
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) zipf_s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i wi ->
+      acc := !acc +. (wi /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(n - 1) <- 1.0;
+  cdf
+
+let sample_item rng =
+  let u = Random.State.float rng 1.0 in
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if zipf_cdf.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+  in
+  pool_items.(bisect 0 (Array.length zipf_cdf - 1))
+
+(* equiv-heavy op mix: cumulative thresholds. *)
+let sample_op rng =
+  let u = Random.State.float rng 1.0 in
+  if u < 0.60 then "equiv" else if u < 0.75 then "banyan" else if u < 0.90 then "lint"
+  else "blocking"
+
+let request_of ~op ~network ~n : Proto.request =
+  { id = Proto.Null; op; network = Some network; spec = None; n; method_ = None;
+    deadline_ms = None
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(max 0 (min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))))
+
+(* Direct dispatch ---------------------------------------------------- *)
+
+type mix_result = {
+  requests : int;
+  qps : float;
+  p50_us : float;
+  p99_us : float;
+  hit_rate : float;
+}
+
+let run_direct ~requests =
+  let service = Serve.Service.create () in
+  let rng = Seeds.state 42 in
+  let lat = Array.make requests 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let network, n = sample_item rng in
+    let op = sample_op rng in
+    let a = Unix.gettimeofday () in
+    let resp = Serve.Service.handle service (request_of ~op ~network ~n) in
+    if not (Proto.response_ok resp) then begin
+      Printf.eprintf "FAIL: direct %s %s@%d answered %s\n%!" op network n
+        (Proto.json_to_string resp);
+      exit 1
+    end;
+    lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  let r =
+    { requests;
+      qps = float_of_int requests /. elapsed;
+      p50_us = percentile lat 0.5;
+      p99_us = percentile lat 0.99;
+      hit_rate = Serve.Service.hit_rate service
+    }
+  in
+  Printf.printf "direct  %7d reqs  %9.0f q/s  p50 %7.1f us  p99 %8.1f us  hit %.3f\n%!"
+    r.requests r.qps r.p50_us r.p99_us r.hit_rate;
+  (service, r)
+
+(* Socket loopback ---------------------------------------------------- *)
+
+let fresh_socket_path () =
+  let path = Filename.temp_file "mineq_serve_bench" ".sock" in
+  Sys.remove path;
+  path
+
+let run_socket ~requests =
+  let path = fresh_socket_path () in
+  match Unix.fork () with
+  | 0 ->
+      (* Daemon child: quiet stderr (the shutdown metrics dump would
+         interleave with the bench's own output). *)
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 devnull Unix.stderr;
+      Unix.close devnull;
+      let config =
+        { (Serve.Server.default_config ~socket_path:path) with
+          jobs = 1;
+          handle_signals = false
+        }
+      in
+      Serve.Server.run config (Serve.Service.create ());
+      Stdlib.exit 0
+  | child -> (
+      match Serve.Server.connect ~retries:100 ~path () with
+      | Error m ->
+          Printf.eprintf "FAIL: %s\n%!" m;
+          ignore (Unix.waitpid [] child);
+          exit 1
+      | Ok fd ->
+          let rng = Seeds.state 43 in
+          let lat = Array.make requests 0.0 in
+          let all_ok = ref true in
+          let t0 = Unix.gettimeofday () in
+          for i = 0 to requests - 1 do
+            let network, n = sample_item rng in
+            let op = sample_op rng in
+            let a = Unix.gettimeofday () in
+            (match
+               Serve.Server.call fd (Proto.request_to_json (request_of ~op ~network ~n))
+             with
+            | Ok resp -> if not (Proto.response_ok resp) then all_ok := false
+            | Error _ -> all_ok := false);
+            lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
+          done;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let server_hit_rate =
+            match Serve.Server.call fd (Proto.Obj [ ("op", Proto.Str "stats") ]) with
+            | Ok resp -> (
+                match Proto.to_float (Proto.member "hit_rate" resp) with
+                | Some r -> r
+                | None ->
+                    all_ok := false;
+                    nan)
+            | Error _ ->
+                all_ok := false;
+                nan
+          in
+          (match Serve.Server.call fd (Proto.Obj [ ("op", Proto.Str "shutdown") ]) with
+          | Ok resp -> if not (Proto.response_ok resp) then all_ok := false
+          | Error _ -> all_ok := false);
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          let _, status = Unix.waitpid [] child in
+          if status <> Unix.WEXITED 0 then all_ok := false;
+          Array.sort compare lat;
+          let r =
+            { requests;
+              qps = float_of_int requests /. elapsed;
+              p50_us = percentile lat 0.5;
+              p99_us = percentile lat 0.99;
+              hit_rate = server_hit_rate
+            }
+          in
+          Printf.printf
+            "socket  %7d reqs  %9.0f q/s  p50 %7.1f us  p99 %8.1f us  hit %.3f\n%!"
+            r.requests r.qps r.p50_us r.p99_us r.hit_rate;
+          (r, !all_ok))
+
+(* Snapshot round trip ------------------------------------------------ *)
+
+type snapshot_result = {
+  entries : int;
+  file_bytes : int;
+  save_ms : float;
+  load_ms : float;
+  roundtrip_ok : bool;
+  corrupt_rejected : bool;
+  warm_hit : bool;
+}
+
+let equiv_hits service =
+  (* The equiv cache's hit counter, read through the stats op so the
+     bench exercises the same surface clients do. *)
+  let resp =
+    Serve.Service.handle service
+      { Proto.id = Proto.Null; op = "stats"; network = None; spec = None; n = 4;
+        method_ = None; deadline_ms = None
+      }
+  in
+  Proto.to_int (Proto.member "hits" (Proto.member "equiv" (Proto.member "caches" resp)))
+
+let run_snapshot service =
+  let payload = Serve.Service.to_payload service in
+  let entries = Serve.Snapshot.entry_count payload in
+  let path = Filename.temp_file "mineq_serve_bench" ".snap" in
+  let (), save_ms = Bench_util.time_ms (fun () -> Serve.Snapshot.save ~path payload) in
+  let file_bytes = (Unix.stat path).Unix.st_size in
+  let loaded, load_ms = Bench_util.time_ms (fun () -> Serve.Snapshot.load ~path) in
+  let roundtrip_ok =
+    match loaded with
+    | Ok p -> Serve.Snapshot.entry_count p = entries
+    | Error _ -> false
+  in
+  (* Flip one payload byte: the checksum must catch it. *)
+  let corrupt_rejected =
+    let bytes =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Bytes.of_string s
+    in
+    let i = Bytes.length bytes - 1 in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x5a));
+    let oc = open_out_bin path in
+    output_bytes oc bytes;
+    close_out oc;
+    match Serve.Snapshot.load ~path with
+    | Error Serve.Snapshot.Bad_checksum -> true
+    | Ok _ | Error _ -> false
+  in
+  (* A fresh service that adopts the snapshot must answer the hottest
+     query from cache: its equiv hit counter moves 0 -> 1. *)
+  let warm_hit =
+    match loaded with
+    | Error _ -> false
+    | Ok p ->
+        let fresh = Serve.Service.create () in
+        let adopted = Serve.Service.adopt fresh p in
+        let network, n = pool_items.(0) in
+        let resp = Serve.Service.handle fresh (request_of ~op:"equiv" ~network ~n) in
+        adopted = entries && Proto.response_ok resp && equiv_hits fresh = Some 1
+  in
+  Sys.remove path;
+  let r = { entries; file_bytes; save_ms; load_ms; roundtrip_ok; corrupt_rejected; warm_hit } in
+  Printf.printf
+    "snapshot %6d entries  %7d bytes  save %6.2f ms  load %6.2f ms  roundtrip %b  \
+     corrupt-rejected %b  warm-hit %b\n%!"
+    r.entries r.file_bytes r.save_ms r.load_ms r.roundtrip_ok r.corrupt_rejected r.warm_hit;
+  r
+
+(* Main --------------------------------------------------------------- *)
+
+let () =
+  let direct_requests = if smoke then 300 else 6000 in
+  let socket_requests = if smoke then 150 else 3000 in
+  let service, direct = run_direct ~requests:direct_requests in
+  let socket, socket_ok = run_socket ~requests:socket_requests in
+  let snapshot = run_snapshot service in
+  let hit_floor = 0.70 in
+  let hit_ok = smoke || direct.hit_rate >= hit_floor in
+  let snapshot_ok = snapshot.roundtrip_ok && snapshot.corrupt_rejected && snapshot.warm_hit in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"mineq-serve-bench/1\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"ocaml\": %S,\n" Sys.ocaml_version;
+  add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  (* Serial client, serial dispatch: never a degraded capture. *)
+  add "  \"degraded\": false,\n";
+  add "  \"zipf\": {\"items\": %d, \"s\": %.2f, \"op_mix\": {\"equiv\": 0.60, \"banyan\": \
+       0.15, \"lint\": 0.15, \"blocking\": 0.10}},\n"
+    (Array.length pool_items) zipf_s;
+  let mix name (r : mix_result) extra =
+    add
+      "  %S: {\"requests\": %d, \"qps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+       \"hit_rate\": %.4f%s},\n"
+      name r.requests r.qps r.p50_us r.p99_us r.hit_rate extra
+  in
+  mix "direct" direct "";
+  mix "socket" socket (Printf.sprintf ", \"all_ok\": %b" socket_ok);
+  add
+    "  \"snapshot\": {\"entries\": %d, \"file_bytes\": %d, \"save_ms\": %.2f, \"load_ms\": \
+     %.2f, \"roundtrip_ok\": %b, \"corrupt_rejected\": %b, \"warm_hit\": %b},\n"
+    snapshot.entries snapshot.file_bytes snapshot.save_ms snapshot.load_ms
+    snapshot.roundtrip_ok snapshot.corrupt_rejected snapshot.warm_hit;
+  add
+    "  \"gates\": {\"hit_rate_floor\": %.2f, \"hit_rate_ok\": %b, \"snapshot_roundtrip\": \
+     %b, \"socket_ok\": %b}\n"
+    hit_floor hit_ok snapshot_ok socket_ok;
+  add "}\n";
+  let path = Bench_util.output_path ~default:"BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  if not hit_ok then begin
+    Printf.eprintf "FAIL: Zipf-mix hit rate %.3f is below the %.2f floor\n%!"
+      direct.hit_rate hit_floor;
+    exit 1
+  end;
+  if not snapshot_ok then begin
+    Printf.eprintf
+      "FAIL: snapshot round trip (roundtrip %b, corrupt_rejected %b, warm_hit %b)\n%!"
+      snapshot.roundtrip_ok snapshot.corrupt_rejected snapshot.warm_hit;
+    exit 1
+  end;
+  if not socket_ok then begin
+    Printf.eprintf "FAIL: a socket response was missing, malformed or not ok\n%!";
+    exit 1
+  end

@@ -950,6 +950,124 @@ let lint_cmd =
           findings, 2 parse error); --routes runs the static routing verifier instead")
     Term.(const run $ target_arg $ n_arg $ json_arg $ routes_arg)
 
+(* serve --------------------------------------------------------------- *)
+
+(* The persistent equivalence/lint daemon (lib/serve): packed
+   networks and the fingerprint-keyed verdict caches stay warm across
+   requests, with optional disk snapshots so they survive restarts.
+   The same subcommand doubles as the scripted client: --call sends
+   one JSON request over the socket and prints the response — the
+   building block of the serve-smoke CI job. *)
+
+let serve_cmd =
+  let module Serve = Mineq_serve in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen (or call) on.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ] ~docv:"Q"
+          ~doc:
+            "Bounded accept queue: requests beyond $(docv) pending are shed with \
+             MINEQ-S005 instead of stalling.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"B" ~doc:"Max requests per work-stealing pool dispatch.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; requests still queued past it are answered \
+             with MINEQ-S004 unevaluated.  A request's own deadline_ms can only lower \
+             it.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Persist the verdict caches here: loaded on boot (stale or corrupt files \
+             boot cold with a warning), written behind periodically and at shutdown.")
+  in
+  let every_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "snapshot-every" ] ~docv:"SECONDS" ~doc:"Write-behind snapshot period.")
+  in
+  let call_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "call" ] ~docv:"JSON"
+          ~doc:
+            "Client mode: send one request frame to a running daemon and print the \
+             response.  Exit 0 on ok:true, 1 on a server error response, 2 on \
+             transport or argument failure.")
+  in
+  let run_daemon socket jobs queue_cap batch_max deadline_ms snapshot_path every =
+    let config =
+      { (Serve.Server.default_config ~socket_path:socket) with
+        jobs;
+        queue_cap;
+        batch_max;
+        deadline_ms;
+        snapshot_path;
+        snapshot_every_s = every
+      }
+    in
+    let service = Serve.Service.create () in
+    let on_ready () =
+      Printf.printf "mineq serve: listening on %s (jobs %d, queue %d, deadline %.0f ms)\n%!"
+        socket config.Serve.Server.jobs queue_cap deadline_ms
+    in
+    Serve.Server.run ~on_ready config service;
+    0
+  in
+  let run_call socket text =
+    match Serve.Proto.json_of_string text with
+    | Error m ->
+        Printf.eprintf "--call argument is not valid JSON: %s\n" m;
+        2
+    | Ok request -> (
+        match Serve.Server.connect ~retries:40 ~path:socket () with
+        | Error m ->
+            prerr_endline m;
+            2
+        | Ok fd ->
+            let result = Serve.Server.call fd request in
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            (match result with
+            | Error m ->
+                prerr_endline m;
+                2
+            | Ok response ->
+                print_endline (Serve.Proto.json_to_string response);
+                if Serve.Proto.response_ok response then 0 else 1))
+  in
+  let run socket jobs queue_cap batch_max deadline_ms snapshot every call =
+    match call with
+    | Some text -> run_call socket text
+    | None -> run_daemon socket jobs queue_cap batch_max deadline_ms snapshot every
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent equivalence/lint daemon over a Unix socket: length-prefixed JSON \
+          requests against warm packed networks and snapshot-persisted verdict caches \
+          (or, with --call, a one-shot client)")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_arg $ batch_arg $ deadline_arg
+      $ snapshot_arg $ every_arg $ call_arg)
+
 (* rsurvey ------------------------------------------------------------- *)
 
 let rsurvey_cmd =
@@ -983,7 +1101,7 @@ let main_cmd =
   Cmd.group info
     [ build_cmd; render_cmd; check_cmd; equiv_cmd; iso_cmd; route_cmd; blocking_cmd;
       simulate_cmd; survey_cmd; census_cmd; rsurvey_cmd; benes_cmd; faults_cmd; perms_cmd;
-      save_cmd; load_cmd; dot_cmd; lint_cmd
+      save_cmd; load_cmd; dot_cmd; lint_cmd; serve_cmd
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -159,6 +159,60 @@ let find_or_compute t g f =
           Mutex.unlock s.m;
           v)
 
+(* Export / import -------------------------------------------------
+
+   The serving layer's snapshots need a point-in-time view of every
+   entry.  Grabbing the shard locks one at a time would interleave
+   with concurrent stores (an entry added to shard 3 while shard 7 is
+   being copied appears or not depending on timing); [export] instead
+   holds {e all} shard locks (acquired in index order, so two
+   concurrent exports cannot deadlock) for the duration of the copy —
+   a consistent cut, cheap because copying is proportional to the
+   entry count, not the compute time behind it. *)
+
+type 'a entry =
+  | Skey of Mineq.Mi_digraph.t * 'a
+  | Fkey of Mineq.Fingerprint.t * 'a
+
+let export t =
+  Array.iter (fun s -> Mutex.lock s.m) t.shards;
+  let acc = ref [] in
+  Array.iter
+    (fun s ->
+      match s.table with
+      | S tbl -> H.iter (fun k v -> acc := Skey (k, v) :: !acc) tbl
+      | F tbl -> FH.iter (fun k v -> acc := Fkey (k, v) :: !acc) tbl)
+    t.shards;
+  for i = Array.length t.shards - 1 downto 0 do
+    Mutex.unlock t.shards.(i).m
+  done;
+  Array.of_list !acc
+
+let fold f init t = Array.fold_left f init (export t)
+
+let import t entries =
+  let adopted = ref 0 in
+  Array.iter
+    (fun e ->
+      match (e, t.keying) with
+      | Skey (g, v), Structural -> (
+          let s = t.shards.(structural_hash g land (shard_count - 1)) in
+          Mutex.lock s.m;
+          (match s.table with
+          | S tbl -> if not (H.mem tbl g) then (H.add tbl g v; incr adopted)
+          | F _ -> ());
+          Mutex.unlock s.m)
+      | Fkey (k, v), Fingerprint -> (
+          let s = t.shards.(Mineq.Fingerprint.hash k land (shard_count - 1)) in
+          Mutex.lock s.m;
+          (match s.table with
+          | F tbl -> if not (FH.mem tbl k) then (FH.add tbl k v; incr adopted)
+          | S _ -> ());
+          Mutex.unlock s.m)
+      | Skey _, Fingerprint | Fkey _, Structural -> ())
+    entries;
+  !adopted
+
 let sum_shards t f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 
 let hits t = sum_shards t (fun s -> s.hits)

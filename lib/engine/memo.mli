@@ -71,3 +71,29 @@ val hit_rate : 'a t -> float
 
 val reset : 'a t -> unit
 (** Drop all entries and zero the counters. *)
+
+(** {1 Export / import}
+
+    A point-in-time view of the cache for the serving layer's disk
+    snapshots ([Mineq_serve.Snapshot]).  Entries carry their key in
+    the keying the cache was created with. *)
+
+type 'a entry =
+  | Skey of Mineq.Mi_digraph.t * 'a  (** a {!Structural} entry *)
+  | Fkey of Mineq.Fingerprint.t * 'a  (** a {!Fingerprint} entry *)
+
+val export : 'a t -> 'a entry array
+(** Every stored entry, copied under {e all} shard locks at once
+    (acquired in index order) — a consistent cut: an entry either
+    predates the export and appears, or postdates it and doesn't,
+    never a mix that depends on shard visit order.  Entry order is
+    unspecified. *)
+
+val fold : ('acc -> 'a entry -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over {!export}'s consistent cut. *)
+
+val import : 'a t -> 'a entry array -> int
+(** Adopt entries whose key kind matches the cache's keying, skipping
+    keys already present (resident entries win) and entries of the
+    other kind.  Returns the number adopted.  Neither hits nor misses
+    are counted. *)

@@ -1,0 +1,146 @@
+let reservoir_size = 4096
+
+type op_stats = {
+  mutable count : int;
+  mutable sum_us : float;
+  window : float array;  (* ring of the last [reservoir_size] latencies *)
+  mutable filled : int;
+  mutable next : int;
+}
+
+type t = {
+  m : Mutex.t;
+  ops : (string, op_stats) Hashtbl.t;
+  mutable shed : int;
+  mutable deadline_expired : int;
+  mutable errors : int;
+  mutable batches : int;
+}
+
+let create () =
+  { m = Mutex.create ();
+    ops = Hashtbl.create 8;
+    shed = 0;
+    deadline_expired = 0;
+    errors = 0;
+    batches = 0
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let op_stats t op =
+  match Hashtbl.find_opt t.ops op with
+  | Some s -> s
+  | None ->
+      let s =
+        { count = 0; sum_us = 0.0; window = Array.make reservoir_size 0.0; filled = 0;
+          next = 0
+        }
+      in
+      Hashtbl.add t.ops op s;
+      s
+
+let record t ~op ~us =
+  locked t (fun () ->
+      let s = op_stats t op in
+      s.count <- s.count + 1;
+      s.sum_us <- s.sum_us +. us;
+      s.window.(s.next) <- us;
+      s.next <- (s.next + 1) mod reservoir_size;
+      if s.filled < reservoir_size then s.filled <- s.filled + 1)
+
+let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+
+let incr_deadline t = locked t (fun () -> t.deadline_expired <- t.deadline_expired + 1)
+
+let incr_error t = locked t (fun () -> t.errors <- t.errors + 1)
+
+let incr_batches t = locked t (fun () -> t.batches <- t.batches + 1)
+
+let requests t =
+  locked t (fun () -> Hashtbl.fold (fun _ s acc -> acc + s.count) t.ops 0)
+
+let shed t = locked t (fun () -> t.shed)
+
+let deadline_expired t = locked t (fun () -> t.deadline_expired)
+
+let errors t = locked t (fun () -> t.errors)
+
+let batches t = locked t (fun () -> t.batches)
+
+let count t ~op =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.ops op with Some s -> s.count | None -> 0)
+
+(* Percentile over a sorted copy of the resident window: nearest-rank
+   on p * (n - 1), the convention the benches use. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) rank))
+
+let window_copy s = Array.sub s.window 0 s.filled
+
+let percentile_us t ~op ~p =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.ops op with
+      | None -> nan
+      | Some s ->
+          let w = window_copy s in
+          Array.sort compare w;
+          percentile_sorted w p)
+
+let op_rows t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun op s acc ->
+          let w = window_copy s in
+          Array.sort compare w;
+          ( op,
+            s.count,
+            (if s.count = 0 then nan else s.sum_us /. float_of_int s.count),
+            percentile_sorted w 0.5,
+            percentile_sorted w 0.99 )
+          :: acc)
+        t.ops []
+      |> List.sort compare)
+
+let json_float f : Proto.json = if Float.is_nan f then Null else Float f
+
+let to_json t : Proto.json =
+  let rows = op_rows t in
+  Obj
+    [ ("requests", Int (List.fold_left (fun acc (_, c, _, _, _) -> acc + c) 0 rows));
+      ("shed", Int (shed t));
+      ("deadline_expired", Int (deadline_expired t));
+      ("errors", Int (errors t));
+      ("batches", Int (batches t));
+      ( "ops",
+        Obj
+          (List.map
+             (fun (op, count, mean, p50, p99) ->
+               ( op,
+                 Proto.Obj
+                   [ ("count", Proto.Int count);
+                     ("mean_us", json_float mean);
+                     ("p50_us", json_float p50);
+                     ("p99_us", json_float p99)
+                   ] ))
+             rows) )
+    ]
+
+let dump t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "requests %d  shed %d  deadline-expired %d  errors %d  batches %d\n" (requests t)
+    (shed t) (deadline_expired t) (errors t) (batches t);
+  List.iter
+    (fun (op, count, mean, p50, p99) ->
+      add "  %-10s %8d reqs  mean %8.1f us  p50 %8.1f us  p99 %8.1f us\n" op count mean
+        p50 p99)
+    (op_rows t);
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Service counters: per-op request counts and latency percentiles,
+    overload/deadline/error tallies.
+
+    Latencies are kept in a bounded per-op reservoir (the most recent
+    {!reservoir_size} samples, a ring); percentiles are computed over
+    the resident window on demand.  All operations take one mutex —
+    recording is a few stores, far off the request hot path's compute
+    cost. *)
+
+type t
+
+val reservoir_size : int
+(** Samples retained per op (4096). *)
+
+val create : unit -> t
+
+val record : t -> op:string -> us:float -> unit
+(** One served request for [op] taking [us] microseconds
+    (queue wait + compute + response write). *)
+
+val incr_shed : t -> unit
+(** A request shed by backpressure (MINEQ-S005). *)
+
+val incr_deadline : t -> unit
+(** A request expired before evaluation (MINEQ-S004). *)
+
+val incr_error : t -> unit
+(** A malformed or rejected request (MINEQ-S001/S002/S003/S006). *)
+
+val incr_batches : t -> unit
+(** One pool dispatch of a request batch. *)
+
+val requests : t -> int
+(** Total {!record}ed requests, all ops. *)
+
+val shed : t -> int
+
+val deadline_expired : t -> int
+
+val errors : t -> int
+
+val batches : t -> int
+
+val count : t -> op:string -> int
+
+val percentile_us : t -> op:string -> p:float -> float
+(** [p] in [0, 1] over the op's resident window; [nan] when the op
+    has no samples. *)
+
+val to_json : t -> Proto.json
+(** {v
+    { "requests": 120, "shed": 2, "deadline_expired": 0, "errors": 1,
+      "batches": 17,
+      "ops": { "equiv": { "count": 100, "mean_us": 12.0,
+                          "p50_us": 9.1, "p99_us": 40.2 }, ... } }
+    v} *)
+
+val dump : t -> string
+(** Human-readable multi-line rendering (the shutdown report). *)

@@ -1,0 +1,300 @@
+module Pool = Mineq_engine.Pool
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_cap : int;
+  batch_max : int;
+  deadline_ms : float;
+  max_frame : int;
+  snapshot_path : string option;
+  snapshot_every_s : float;
+  handle_signals : bool;
+}
+
+let default_config ~socket_path =
+  { socket_path;
+    jobs = Pool.default_jobs ();
+    queue_cap = 256;
+    batch_max = 64;
+    deadline_ms = 2000.0;
+    max_frame = Proto.max_frame_default;
+    snapshot_path = None;
+    snapshot_every_s = 5.0;
+    handle_signals = true
+  }
+
+(* Connections -------------------------------------------------------
+
+   Each connection owns a reassembly buffer: reads append raw bytes,
+   and complete frames (4-byte length known and satisfied) peel off
+   the front.  Frames are small (requests are one-line JSON), so the
+   copy-the-remainder splice is cheap and keeps the state machine
+   trivial. *)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable alive : bool }
+
+type pending = { conn : conn; req : Proto.request; arrival : float }
+
+type evaluated = { p : pending; response : string; expired : bool }
+
+let close_conn conns c =
+  if c.alive then begin
+    c.alive <- false;
+    Hashtbl.remove conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send conns c payload =
+  if c.alive then
+    try Proto.write_frame c.fd payload
+    with Unix.Unix_error _ -> close_conn conns c
+
+let send_json conns c v = send conns c (Proto.json_to_string v)
+
+(* [Some (payload)] when a complete frame heads the buffer;
+   [Error len] when the declared length exceeds the limit. *)
+let peel_frame ~max_frame buf =
+  let have = Buffer.length buf in
+  if have < 4 then Ok None
+  else begin
+    let b i = Char.code (Buffer.nth buf i) in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_frame then Error len
+    else if have < 4 + len then Ok None
+    else begin
+      let payload = Buffer.sub buf 4 len in
+      let rest = Buffer.sub buf (4 + len) (have - 4 - len) in
+      Buffer.clear buf;
+      Buffer.add_string buf rest;
+      Ok (Some payload)
+    end
+  end
+
+(* The event loop ----------------------------------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let run ?(on_ready = fun () -> ()) config service =
+  let metrics = Service.metrics service in
+  let stop = ref false in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if config.handle_signals then begin
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler
+  end;
+
+  (* Boot-time snapshot load: every failure mode is a warning and an
+     empty cache, never a crash. *)
+  (match config.snapshot_path with
+  | None -> ()
+  | Some path -> (
+      match Snapshot.load ~path with
+      | Ok payload ->
+          let adopted = Service.adopt service payload in
+          Printf.eprintf "mineq serve: snapshot %s: loaded %d entries\n%!" path adopted
+      | Error Snapshot.Missing -> Service.note_snapshot_error service "no snapshot file"
+      | Error e ->
+          let m = Snapshot.error_to_string e in
+          Service.note_snapshot_error service m;
+          Printf.eprintf "mineq serve: warning: %s (%s); booting cold\n%!" m path));
+
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+
+  let pool = Pool.create ~jobs:config.jobs () in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let queue : pending Queue.t = Queue.create () in
+  let read_buf = Bytes.create 65536 in
+
+  let cache_total () =
+    let e, l, b = Service.cache_sizes service in
+    e + l + b
+  in
+  let last_save = ref (now ()) in
+  let saved_total = ref (cache_total ()) in
+  let save_snapshot ~reason =
+    match config.snapshot_path with
+    | None -> ()
+    | Some path -> (
+        let total = cache_total () in
+        if total <> !saved_total then
+          match Snapshot.save ~path (Service.to_payload service) with
+          | () ->
+              saved_total := total;
+              Printf.eprintf "mineq serve: snapshot %s: saved %d entries (%s)\n%!" path
+                total reason
+          | exception Sys_error m ->
+              Printf.eprintf "mineq serve: warning: snapshot save failed: %s\n%!" m)
+  in
+
+  let admit c req =
+    if String.equal req.Proto.op "shutdown" then begin
+      (* Never queued and never shed: the stop request must get
+         through precisely when the server is drowning.  Pending
+         admitted work still drains before the loop exits. *)
+      send_json conns c (Service.handle service req);
+      stop := true
+    end
+    else if Queue.length queue >= config.queue_cap then begin
+      Metrics.incr_shed metrics;
+      send_json conns c
+        (Proto.error_response ~id:req.Proto.id ~code:"MINEQ-S005"
+           ~message:
+             (Printf.sprintf "overloaded: %d requests pending, retry later"
+                (Queue.length queue)))
+    end
+    else Queue.add { conn = c; req; arrival = now () } queue
+  in
+
+  let on_frame c payload =
+    match Proto.json_of_string payload with
+    | Error m ->
+        Metrics.incr_error metrics;
+        send_json conns c
+          (Proto.error_response ~id:Proto.Null ~code:"MINEQ-S001"
+             ~message:("malformed frame payload: " ^ m))
+    | Ok v -> (
+        match Proto.request_of_json v with
+        | Error m ->
+            Metrics.incr_error metrics;
+            send_json conns c
+              (Proto.error_response ~id:(Proto.member "id" v) ~code:"MINEQ-S001"
+                 ~message:m)
+        | Ok req -> admit c req)
+  in
+
+  let drain_frames c =
+    let rec go () =
+      if c.alive then
+        match peel_frame ~max_frame:config.max_frame c.buf with
+        | Ok None -> ()
+        | Ok (Some payload) ->
+            on_frame c payload;
+            go ()
+        | Error len ->
+            (* The stream can no longer be framed: answer and close. *)
+            Metrics.incr_error metrics;
+            send_json conns c
+              (Proto.error_response ~id:Proto.Null ~code:"MINEQ-S006"
+                 ~message:
+                   (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
+                      config.max_frame));
+            close_conn conns c
+    in
+    go ()
+  in
+
+  let on_readable c =
+    match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> close_conn conns c
+    | n ->
+        Buffer.add_subbytes c.buf read_buf 0 n;
+        drain_frames c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn conns c
+  in
+
+  let evaluate (p : pending) =
+    let deadline =
+      match p.req.Proto.deadline_ms with
+      | Some d -> Float.min d config.deadline_ms
+      | None -> config.deadline_ms
+    in
+    let waited_ms = (now () -. p.arrival) *. 1000.0 in
+    if waited_ms > deadline then
+      { p;
+        expired = true;
+        response =
+          Proto.json_to_string
+            (Proto.error_response ~id:p.req.Proto.id ~code:"MINEQ-S004"
+               ~message:
+                 (Printf.sprintf "deadline of %.0f ms exceeded after %.1f ms queued"
+                    deadline waited_ms))
+      }
+    else
+      { p; expired = false; response = Proto.json_to_string (Service.handle service p.req) }
+  in
+
+  let dispatch () =
+    while not (Queue.is_empty queue) do
+      let batch =
+        Array.init
+          (min config.batch_max (Queue.length queue))
+          (fun _ -> Queue.take queue)
+      in
+      Metrics.incr_batches metrics;
+      let results = Pool.map_array pool evaluate batch in
+      let finish = now () in
+      Array.iter
+        (fun r ->
+          send conns r.p.conn r.response;
+          if r.expired then Metrics.incr_deadline metrics
+          else
+            Metrics.record metrics ~op:r.p.req.Proto.op
+              ~us:((finish -. r.p.arrival) *. 1e6))
+        results
+    done
+  in
+
+  on_ready ();
+  while not !stop do
+    let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    (match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then begin
+              match Unix.accept listen_fd with
+              | client, _ ->
+                  Hashtbl.replace conns client
+                    { fd = client; buf = Buffer.create 256; alive = true }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some c -> on_readable c
+              | None -> ())
+          ready);
+    dispatch ();
+    if now () -. !last_save >= config.snapshot_every_s then begin
+      save_snapshot ~reason:"write-behind";
+      last_save := now ()
+    end
+  done;
+
+  save_snapshot ~reason:"shutdown";
+  prerr_string (Metrics.dump metrics);
+  flush stderr;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  Pool.shutdown pool
+
+(* Client helpers ----------------------------------------------------- *)
+
+let connect ?(retries = 0) ~path () =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if attempt < retries then begin
+          ignore (Unix.select [] [] [] 0.05);
+          go (attempt + 1)
+        end
+        else Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+  in
+  go 0
+
+let call ?max_frame fd request =
+  Proto.write_frame fd (Proto.json_to_string request);
+  match Proto.read_frame ?max_frame fd with
+  | Ok payload -> Proto.json_of_string payload
+  | Error Proto.Closed -> Error "connection closed before a full response frame"
+  | Error (Proto.Oversized n) -> Error (Printf.sprintf "oversized response frame (%d bytes)" n)

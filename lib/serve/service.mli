@@ -1,0 +1,61 @@
+(** The warm compute core behind the daemon: resident packed
+    networks, sharded verdict caches and metrics, independent of any
+    socket.
+
+    Three {!Mineq_engine.Memo} caches hold verdicts:
+
+    - [equiv] is {e fingerprint-keyed}: the cached
+      [equivalent]/[banyan] fields depend only on the isomorphism
+      class, so a relabelled probe of a known network is a warm hit.
+      Only the default [characterization] decider is served from this
+      cache; explicit [independence]/[isomorphism] requests compute
+      fresh (their verdicts and details are label-sensitive).
+    - [lint] and [blocking] are {e structural}: findings carry
+      stage/label witnesses, sound only for the identical digraph.
+
+    Parsed networks (and their packed CSR forms, built lazily on
+    first use and cached in the record) are resident in a spec-keyed
+    table, so repeat queries skip parsing and packing entirely.
+
+    {!handle} is safe to call from multiple pool workers at once: the
+    caches are lock-striped, the network table has its own mutex, and
+    metric updates are mutexed. *)
+
+type t
+
+val create : unit -> t
+
+val metrics : t -> Metrics.t
+
+val handle : t -> Proto.request -> Proto.json
+(** Evaluate one request to its response.  Framing, queueing,
+    deadlines and shedding are the server's job — by the time a
+    request reaches [handle] it has already been admitted. *)
+
+val network_of_spec : t -> spec:string -> n:int -> (Mineq.Mi_digraph.t, string) result
+(** Resolve a named-network specification (classical name,
+    [random:SEED], [pipid:SEED], [buddy:SEED]) against the resident
+    table, parsing and caching on first sight. *)
+
+(** {1 Cache statistics and snapshots} *)
+
+val cache_sizes : t -> int * int * int
+(** [(equiv, lint, blocking)] entry counts. *)
+
+val hit_rate : t -> float
+(** Pooled hit rate across the three caches; [nan] before any
+    probe. *)
+
+val to_payload : t -> Snapshot.payload
+(** Consistent export of all three caches. *)
+
+val adopt : t -> Snapshot.payload -> int
+(** Import a loaded snapshot into the caches (resident entries win);
+    returns the number of entries adopted and records it for
+    {!handle}'s [stats] op. *)
+
+val snapshot_note : t -> string
+(** Boot provenance shown in [stats]: what {!adopt} or
+    {!note_snapshot_error} recorded, or ["cold"] initially. *)
+
+val note_snapshot_error : t -> string -> unit

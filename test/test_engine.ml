@@ -274,13 +274,58 @@ let memo_keying_props =
         && hits_f >= hits_s)
   ]
 
+let memo_export_props =
+  [ qcheck "export/fold/import agree with the shard counters" ~count:20 seed_gen
+      (fun seed ->
+        (* Warm a cache of either keying, then check the consistent
+           cut: export length and fold count equal the per-shard size
+           sum, a fresh same-keying cache adopts every entry (and then
+           serves them without recomputation), re-import is a no-op
+           (resident entries win), and a mismatched keying adopts
+           nothing. *)
+        let rng = rng_of seed in
+        let keying = if seed land 1 = 0 then Memo.Structural else Memo.Fingerprint in
+        let other =
+          match keying with
+          | Memo.Structural -> Memo.Fingerprint
+          | Memo.Fingerprint -> Memo.Structural
+        in
+        let m = Memo.create ~keying () in
+        let nets = List.init 8 (fun _ -> Mineq.Link_spec.random_pipid_network rng ~n:3) in
+        List.iter
+          (fun g -> ignore (Memo.find_or_compute m g Mineq.Equivalence.by_characterization))
+          nets;
+        let entries = Memo.export m in
+        let folded = Memo.fold (fun acc _ -> acc + 1) 0 m in
+        let fresh = Memo.create ~keying () in
+        let adopted = Memo.import fresh entries in
+        let reprobed =
+          List.for_all
+            (fun g ->
+              let direct = Mineq.Equivalence.by_characterization g in
+              let cached =
+                Memo.find_or_compute fresh g (fun _ -> Alcotest.fail "recomputed")
+              in
+              cached.Mineq.Equivalence.equivalent = direct.Mineq.Equivalence.equivalent
+              && cached.Mineq.Equivalence.banyan = direct.Mineq.Equivalence.banyan)
+            nets
+        in
+        Array.length entries = Memo.size m
+        && folded = Memo.size m
+        && adopted = Memo.size m
+        && Memo.size fresh = Memo.size m
+        && reprobed
+        && Memo.import fresh entries = 0
+        && Memo.import (Memo.create ~keying:other ()) entries = 0)
+  ]
+
 let memo_suite =
   [ quick "verdict caching" test_memo_verdicts;
     quick "structural keys" test_memo_key_structural;
     quick "shared across parallel workers" test_memo_parallel;
     quick "fingerprint keying collapses iso classes" test_memo_fingerprint_keying
   ]
-  @ memo_key_props @ memo_keying_props
+  @ memo_key_props @ memo_keying_props @ memo_export_props
 
 (* batch --------------------------------------------------------------- *)
 

@@ -1,0 +1,476 @@
+(* The mineq_serve layer: wire protocol round trips, snapshot
+   durability (checksums, version gates, torn writes), service
+   semantics against the underlying library verdicts, and the daemon
+   end to end over a real Unix socket — including the overload and
+   deadline error paths. *)
+
+open Helpers
+module Serve = Mineq_serve
+module Proto = Serve.Proto
+module Snapshot = Serve.Snapshot
+module Service = Serve.Service
+module Server = Serve.Server
+module Memo = Mineq_engine.Memo
+
+(* proto --------------------------------------------------------------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Proto.Null, Proto.Null -> true
+  | Proto.Bool x, Proto.Bool y -> x = y
+  | Proto.Int x, Proto.Int y -> x = y
+  | Proto.Float x, Proto.Float y -> Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x)
+  | Proto.Str x, Proto.Str y -> String.equal x y
+  | Proto.Arr x, Proto.Arr y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Proto.Obj x, Proto.Obj y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k, v) (k', v') -> String.equal k k' && json_equal v v') x y
+  | _ -> false
+
+let roundtrips v =
+  match Proto.json_of_string (Proto.json_to_string v) with
+  | Ok v' -> json_equal v v'
+  | Error _ -> false
+
+let test_json_roundtrip () =
+  let v =
+    Proto.Obj
+      [ ("op", Proto.Str "equiv");
+        ("id", Proto.Int 7);
+        ("nested", Proto.Arr [ Proto.Null; Proto.Bool false; Proto.Float 2.5 ]);
+        ("text", Proto.Str "line\nbreak \"quoted\" tab\t backslash \\ unicode \xc3\xa9");
+        ("empty_obj", Proto.Obj []);
+        ("empty_arr", Proto.Arr []);
+        ("neg", Proto.Int (-42))
+      ]
+  in
+  check_true "nested object round-trips" (roundtrips v)
+
+let test_json_parse () =
+  let ok s v =
+    match Proto.json_of_string s with
+    | Ok v' -> check_true (Printf.sprintf "parse %S" s) (json_equal v v')
+    | Error m -> Alcotest.failf "parse %S: %s" s m
+  in
+  ok "null" Proto.Null;
+  ok " [ 1 , -2.5e1 , true ] " (Proto.Arr [ Proto.Int 1; Proto.Float (-25.0); Proto.Bool true ]);
+  ok {|"a\nbA\\"|} (Proto.Str "a\nbA\\");
+  ok {|{"k": {"kk": []}}|} (Proto.Obj [ ("k", Proto.Obj [ ("kk", Proto.Arr []) ]) ]);
+  List.iter
+    (fun s ->
+      check_true
+        (Printf.sprintf "reject %S" s)
+        (match Proto.json_of_string s with Error _ -> true | Ok _ -> false))
+    [ ""; "{"; "[1,"; "tru"; "{\"k\":}"; "\"unterminated"; "1 2"; "{'k':1}" ]
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Proto.Null;
+        map (fun b -> Proto.Bool b) bool;
+        map (fun i -> Proto.Int i) (int_range (-1000000) 1000000);
+        map (fun f -> Proto.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Proto.Str s) (string_size ~gen:printable (int_bound 12))
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [ (3, scalar);
+          (1, map (fun l -> Proto.Arr l) (list_size (int_bound 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Proto.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 6)) (tree (depth - 1)))) )
+        ]
+  in
+  QCheck.make ~print:Proto.json_to_string (tree 3)
+
+let proto_props =
+  [ qcheck "printer and parser are inverse" ~count:200 json_gen roundtrips ]
+
+let test_frames () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payload = String.init 300 (fun i -> Char.chr (33 + (i mod 90))) in
+  Proto.write_frame a payload;
+  Proto.write_frame a "";
+  (match Proto.read_frame b with
+  | Ok got -> check_true "frame payload intact" (String.equal got payload)
+  | Error _ -> Alcotest.fail "first frame did not arrive");
+  (match Proto.read_frame b with
+  | Ok got -> check_true "empty frame allowed" (String.equal got "")
+  | Error _ -> Alcotest.fail "empty frame did not arrive");
+  Proto.write_frame a (String.make 100 'x');
+  (match Proto.read_frame ~max_frame:10 b with
+  | Error (Proto.Oversized n) -> check_int "oversized reports declared length" 100 n
+  | Ok _ | Error Proto.Closed -> Alcotest.fail "oversized frame was accepted");
+  Unix.close a;
+  (* [a]'s unread oversized bytes then EOF: whatever remains cannot
+     form a full frame. *)
+  Unix.close b
+
+let test_request_codec () =
+  let r : Proto.request =
+    { id = Proto.Int 3; op = "equiv"; network = Some "omega"; spec = None; n = 5;
+      method_ = Some "isomorphism"; deadline_ms = Some 120.0
+    }
+  in
+  match Proto.request_of_json (Proto.request_to_json r) with
+  | Ok r' ->
+      check_true "request codec round-trips" (r = r')
+  | Error m -> Alcotest.failf "request codec: %s" m
+
+let proto_suite =
+  [ quick "json round trip" test_json_roundtrip;
+    quick "json parse cases" test_json_parse;
+    quick "frame round trip and oversize" test_frames;
+    quick "request codec" test_request_codec
+  ]
+  @ proto_props
+
+(* snapshot ------------------------------------------------------------ *)
+
+let request ?(id = Proto.Null) ?network ?spec ?(n = 4) ?method_ ?deadline_ms op :
+    Proto.request =
+  { id; op; network; spec; n; method_; deadline_ms }
+
+(* A service warmed with a few verdicts of every kind, so snapshots
+   exercise all three caches. *)
+let warmed_service () =
+  let s = Service.create () in
+  List.iter
+    (fun (op, network) -> ignore (Service.handle s (request op ~network)))
+    [ ("equiv", "omega"); ("equiv", "flip"); ("banyan", "baseline");
+      ("lint", "random:5"); ("blocking", "omega")
+    ];
+  s
+
+let temp_snapshot () = Filename.temp_file "mineq_test" ".snap"
+
+let test_snapshot_roundtrip () =
+  let s = warmed_service () in
+  let payload = Service.to_payload s in
+  check_true "warmed caches are non-empty" (Snapshot.entry_count payload > 0);
+  let path = temp_snapshot () in
+  Snapshot.save ~path payload;
+  (match Snapshot.load ~path with
+  | Ok p ->
+      check_int "entry count preserved" (Snapshot.entry_count payload)
+        (Snapshot.entry_count p);
+      let fresh = Service.create () in
+      check_int "fresh service adopts every entry" (Snapshot.entry_count payload)
+        (Service.adopt fresh p);
+      (* The hottest query must now be a pure cache hit. *)
+      let resp = Service.handle fresh (request "equiv" ~network:"omega") in
+      check_true "adopted verdict answers" (Proto.response_ok resp);
+      check_true "equivalent field preserved"
+        (json_equal (Proto.member "equivalent" resp) (Proto.Bool true))
+  | Error e -> Alcotest.failf "load: %s" (Snapshot.error_to_string e));
+  Sys.remove path
+
+let mangle path f =
+  let ic = open_in_bin path in
+  let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let s = f s in
+  let oc = open_out_bin path in
+  output_bytes oc s;
+  close_out oc
+
+let test_snapshot_rejections () =
+  let payload = Service.to_payload (warmed_service ()) in
+  let path = temp_snapshot () in
+  let expect name want =
+    match (Snapshot.load ~path, want) with
+    | Error got, expected when got = expected -> check_true name true
+    | got, _ ->
+        Alcotest.failf "%s: got %s" name
+          (match got with
+          | Ok _ -> "Ok"
+          | Error e -> Snapshot.error_to_string e)
+  in
+  (* Corrupted payload byte: checksum must catch it. *)
+  Snapshot.save ~path payload;
+  mangle path (fun s ->
+      let i = Bytes.length s - 1 in
+      Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 1));
+      s);
+  expect "flipped payload bit is Bad_checksum" Snapshot.Bad_checksum;
+  (* Bumped version header: rejected before unmarshal. *)
+  Snapshot.save ~path ~version:(Snapshot.version + 1) payload;
+  expect "future version is Stale_version"
+    (Snapshot.Stale_version (Snapshot.version + 1));
+  (* Truncation below the declared payload length. *)
+  Snapshot.save ~path payload;
+  mangle path (fun s -> Bytes.sub s 0 (Bytes.length s - 7));
+  expect "short file is Truncated" Snapshot.Truncated;
+  (* Wrong magic: not a snapshot at all. *)
+  Snapshot.save ~path payload;
+  mangle path (fun s ->
+      Bytes.set s 0 'X';
+      s);
+  expect "wrong magic is Bad_magic" Snapshot.Bad_magic;
+  Sys.remove path;
+  expect "no file is Missing" Snapshot.Missing
+
+let test_snapshot_torn_write () =
+  let s = warmed_service () in
+  let first = Service.to_payload s in
+  let path = temp_snapshot () in
+  Snapshot.save ~path first;
+  (* Grow the cache, then die mid-way through the next save: the
+     completed snapshot must survive untouched. *)
+  ignore (Service.handle s (request "equiv" ~network:"pipid:9"));
+  let second = Service.to_payload s in
+  check_true "second payload is larger"
+    (Snapshot.entry_count second > Snapshot.entry_count first);
+  (match Snapshot.save ~path ~crash_after:20 second with
+  | () -> Alcotest.fail "crash_after did not raise"
+  | exception Snapshot.Injected_crash -> ());
+  (match Snapshot.load ~path with
+  | Ok p ->
+      check_int "previous snapshot intact after torn write"
+        (Snapshot.entry_count first) (Snapshot.entry_count p)
+  | Error e -> Alcotest.failf "load after torn write: %s" (Snapshot.error_to_string e));
+  Sys.remove path;
+  if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp")
+
+let snapshot_suite =
+  [ quick "round trip through disk" test_snapshot_roundtrip;
+    quick "typed rejection of bad files" test_snapshot_rejections;
+    quick "torn write keeps the last snapshot" test_snapshot_torn_write
+  ]
+
+(* service ------------------------------------------------------------- *)
+
+let code resp = Option.value (Proto.error_code resp) ~default:"-"
+
+let test_service_verdicts () =
+  let s = Service.create () in
+  let omega = Mineq.Classical.network Mineq.Classical.Omega ~n:4 in
+  let direct = Mineq.Equivalence.by_characterization omega in
+  let resp = Service.handle s (request "equiv" ~network:"omega" ~id:(Proto.Int 9)) in
+  check_true "equiv ok" (Proto.response_ok resp);
+  check_true "id echoed" (json_equal (Proto.member "id" resp) (Proto.Int 9));
+  check_true "equivalent matches the library"
+    (json_equal (Proto.member "equivalent" resp)
+       (Proto.Bool direct.Mineq.Equivalence.equivalent));
+  check_true "banyan matches the library"
+    (json_equal (Proto.member "banyan" resp) (Proto.Bool direct.Mineq.Equivalence.banyan));
+  let resp = Service.handle s (request "banyan" ~network:"omega") in
+  check_true "banyan op agrees"
+    (json_equal (Proto.member "banyan" resp) (Proto.Bool direct.Mineq.Equivalence.banyan));
+  let report = Mineq_analysis.Lint.run omega in
+  let resp = Service.handle s (request "lint" ~network:"omega") in
+  check_true "lint errors match"
+    (json_equal (Proto.member "errors" resp)
+       (Proto.Int (Mineq_analysis.Lint.errors report)));
+  check_true "lint warnings match"
+    (json_equal (Proto.member "warnings" resp)
+       (Proto.Int (Mineq_analysis.Lint.warnings report)));
+  let resp = Service.handle s (request "blocking" ~network:"omega") in
+  check_true "omega has a destination-tag router"
+    (json_equal (Proto.member "delta" resp) (Proto.Bool true));
+  check_true "blocking lists traffic classes"
+    (match Proto.member "classes" resp with Proto.Arr (_ :: _) -> true | _ -> false)
+
+let test_service_warm_hits () =
+  let s = Service.create () in
+  ignore (Service.handle s (request "equiv" ~network:"omega"));
+  ignore (Service.handle s (request "equiv" ~network:"omega"));
+  (* Fingerprint keying: a different member of the same class also
+     hits the single cached entry. *)
+  ignore (Service.handle s (request "equiv" ~network:"flip"));
+  let stats = Service.handle s (request "stats") in
+  let equiv = Proto.member "equiv" (Proto.member "caches" stats) in
+  check_true "repeat and relabelled probes hit"
+    (json_equal (Proto.member "hits" equiv) (Proto.Int 2));
+  check_true "one stored entry for the class"
+    (json_equal (Proto.member "size" equiv) (Proto.Int 1));
+  check_true "keying is advertised"
+    (json_equal (Proto.member "keying" equiv) (Proto.Str "fingerprint"))
+
+let test_service_errors () =
+  let s = Service.create () in
+  check_true "unknown op is MINEQ-S002"
+    (String.equal (code (Service.handle s (request "frobnicate"))) "MINEQ-S002");
+  check_true "unknown network is MINEQ-S003"
+    (String.equal (code (Service.handle s (request "equiv" ~network:"nonesuch"))) "MINEQ-S003");
+  check_true "seedless random is MINEQ-S003"
+    (String.equal (code (Service.handle s (request "equiv" ~network:"random:x"))) "MINEQ-S003");
+  check_true "missing network is MINEQ-S003"
+    (String.equal (code (Service.handle s (request "equiv"))) "MINEQ-S003");
+  check_true "bad inline spec is MINEQ-S003"
+    (String.equal (code (Service.handle s (request "equiv" ~spec:"not a spec"))) "MINEQ-S003");
+  check_true "unknown method is MINEQ-S003"
+    (String.equal
+       (code (Service.handle s (request "equiv" ~network:"omega" ~method_:"oracle")))
+       "MINEQ-S003")
+
+let test_service_inline_spec () =
+  let s = Service.create () in
+  let text = Mineq.Spec_io.to_string (Mineq.Classical.network Mineq.Classical.Omega ~n:3) in
+  let resp = Service.handle s (request "equiv" ~spec:text) in
+  check_true "inline spec evaluates" (Proto.response_ok resp);
+  check_true "inline omega is equivalent"
+    (json_equal (Proto.member "equivalent" resp) (Proto.Bool true))
+
+let service_suite =
+  [ quick "verdicts match the library" test_service_verdicts;
+    quick "warm hits across the iso class" test_service_warm_hits;
+    quick "typed request errors" test_service_errors;
+    quick "inline spec text" test_service_inline_spec
+  ]
+
+(* server -------------------------------------------------------------- *)
+
+let temp_socket () =
+  let path = Filename.temp_file "mineq_test" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(configure = fun c -> c) f =
+  let path = temp_socket () in
+  let config =
+    configure
+      { (Server.default_config ~socket_path:path) with jobs = 1; handle_signals = false }
+  in
+  let service = Service.create () in
+  let thread = Thread.create (fun () -> Server.run config service) () in
+  let result =
+    match Server.connect ~retries:100 ~path () with
+    | Error m -> Alcotest.failf "connect: %s" m
+    | Ok fd -> Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) (fun () -> f path fd)
+  in
+  (* A shutdown frame on a fresh connection stops the loop even if the
+     test's own connection died mid-scenario. *)
+  (match Server.connect ~retries:10 ~path () with
+  | Ok fd ->
+      ignore (Server.call fd (Proto.Obj [ ("op", Proto.Str "shutdown") ]));
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | Error _ -> ());
+  Thread.join thread;
+  result
+
+let call_exn fd v =
+  match Server.call fd v with Ok resp -> resp | Error m -> Alcotest.failf "call: %s" m
+
+let req_json ?deadline_ms op network =
+  Proto.request_to_json (request op ~network ?deadline_ms)
+
+let test_server_session () =
+  with_server (fun _path fd ->
+      let pong = call_exn fd (Proto.Obj [ ("op", Proto.Str "ping") ]) in
+      check_true "ping pongs" (json_equal (Proto.member "pong" pong) (Proto.Bool true));
+      let v1 = call_exn fd (req_json "equiv" "omega") in
+      check_true "equiv over the wire" (Proto.response_ok v1);
+      let v2 = call_exn fd (req_json "equiv" "omega") in
+      check_true "verdicts agree" (json_equal v1 v2);
+      let stats = call_exn fd (Proto.Obj [ ("op", Proto.Str "stats") ]) in
+      let equiv = Proto.member "equiv" (Proto.member "caches" stats) in
+      check_true "second query was a warm hit"
+        (json_equal (Proto.member "hits" equiv) (Proto.Int 1));
+      (* Pipelining: several frames before any read, answered in order. *)
+      Proto.write_frame fd (Proto.json_to_string (req_json "banyan" "flip"));
+      Proto.write_frame fd (Proto.json_to_string (req_json "lint" "baseline"));
+      (match (Proto.read_frame fd, Proto.read_frame fd) with
+      | Ok a, Ok b ->
+          let op v =
+            match Proto.json_of_string v with
+            | Ok j -> Proto.to_string_opt (Proto.member "op" j)
+            | Error _ -> None
+          in
+          check_true "pipelined responses in order"
+            (op a = Some "banyan" && op b = Some "lint")
+      | _ -> Alcotest.fail "pipelined frames lost"))
+
+let test_server_malformed () =
+  with_server (fun _path fd ->
+      Proto.write_frame fd "{\"op\": ";
+      (match Proto.read_frame fd with
+      | Ok resp -> (
+          match Proto.json_of_string resp with
+          | Ok v -> check_true "malformed JSON is MINEQ-S001" (code v = "MINEQ-S001")
+          | Error m -> Alcotest.failf "unparseable error response: %s" m)
+      | Error _ -> Alcotest.fail "no response to the malformed frame");
+      (* A syntactically valid frame that is not a request object. *)
+      Proto.write_frame fd "[1,2,3]";
+      match Proto.read_frame fd with
+      | Ok resp -> (
+          match Proto.json_of_string resp with
+          | Ok v -> check_true "non-object request is MINEQ-S001" (code v = "MINEQ-S001")
+          | Error m -> Alcotest.failf "unparseable error response: %s" m)
+      | Error _ -> Alcotest.fail "no response to the non-object frame")
+
+let test_server_oversized () =
+  with_server
+    ~configure:(fun c -> { c with max_frame = 64 })
+    (fun _path fd ->
+      Proto.write_frame fd (String.make 200 ' ');
+      (match Proto.read_frame fd with
+      | Ok resp -> (
+          match Proto.json_of_string resp with
+          | Ok v -> check_true "oversized frame is MINEQ-S006" (code v = "MINEQ-S006")
+          | Error m -> Alcotest.failf "unparseable error response: %s" m)
+      | Error _ -> Alcotest.fail "no response to the oversized frame");
+      (* The stream is unframeable, so the server hangs up after the
+         error. *)
+      match Proto.read_frame fd with
+      | Error Proto.Closed -> check_true "connection closed after S006" true
+      | Ok _ | Error (Proto.Oversized _) -> Alcotest.fail "connection survived S006")
+
+let test_server_deadline () =
+  with_server (fun _path fd ->
+      let resp = call_exn fd (req_json ~deadline_ms:0.0 "equiv" "omega") in
+      check_true "zero deadline is MINEQ-S004" (code resp = "MINEQ-S004"))
+
+let test_server_shed () =
+  with_server
+    ~configure:(fun c -> { c with queue_cap = 0 })
+    (fun _path fd ->
+      let resp = call_exn fd (req_json "equiv" "omega") in
+      check_true "full queue sheds with MINEQ-S005" (code resp = "MINEQ-S005");
+      (* Shutdown bypasses the queue, so the daemon stays stoppable
+         even while shedding everything — with_server's final shutdown
+         below exercises exactly that. *)
+      let resp = call_exn fd (Proto.Obj [ ("op", Proto.Str "ping") ]) in
+      check_true "ping is shed too" (code resp = "MINEQ-S005"))
+
+let test_server_snapshot_restart () =
+  let snap = Filename.temp_file "mineq_test" ".snap" in
+  Sys.remove snap;
+  let configure (c : Server.config) =
+    { c with snapshot_path = Some snap; snapshot_every_s = 3600.0 }
+  in
+  (* First life: answer queries, then shut down (which saves). *)
+  with_server ~configure (fun _path fd ->
+      ignore (call_exn fd (req_json "equiv" "omega"));
+      ignore (call_exn fd (req_json "lint" "baseline")));
+  check_true "shutdown wrote a snapshot" (Sys.file_exists snap);
+  (* Second life: boots warm and answers the same query from cache. *)
+  with_server ~configure (fun _path fd ->
+      let stats = call_exn fd (Proto.Obj [ ("op", Proto.Str "stats") ]) in
+      check_true "snapshot note reports the load"
+        (match Proto.to_string_opt (Proto.member "snapshot" stats) with
+        | Some note ->
+            String.length note >= 6 && String.equal (String.sub note 0 6) "loaded"
+        | None -> false);
+      ignore (call_exn fd (req_json "equiv" "omega"));
+      let stats = call_exn fd (Proto.Obj [ ("op", Proto.Str "stats") ]) in
+      let equiv = Proto.member "equiv" (Proto.member "caches" stats) in
+      check_true "first query after restart is a warm hit"
+        (json_equal (Proto.member "hits" equiv) (Proto.Int 1)));
+  Sys.remove snap
+
+let server_suite =
+  [ quick "scripted session" test_server_session;
+    quick "malformed frames" test_server_malformed;
+    quick "oversized frame closes" test_server_oversized;
+    quick "expired deadline" test_server_deadline;
+    quick "overload sheds" test_server_shed;
+    quick "snapshot warms a restart" test_server_snapshot_restart
+  ]
