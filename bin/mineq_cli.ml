@@ -989,6 +989,15 @@ let serve_cmd =
              with MINEQ-S004 unevaluated.  A request's own deadline_ms can only lower \
              it.")
   in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-conns" ] ~docv:"C"
+          ~doc:
+            "Concurrent-connection cap: past $(docv) new clients wait in the kernel \
+             backlog until a slot frees.  Keep below the select(2) FD_SETSIZE (1024 on \
+             Linux).")
+  in
   let snapshot_arg =
     Arg.(
       value
@@ -1013,13 +1022,15 @@ let serve_cmd =
              response.  Exit 0 on ok:true, 1 on a server error response, 2 on \
              transport or argument failure.")
   in
-  let run_daemon socket jobs queue_cap batch_max deadline_ms snapshot_path every =
+  let run_daemon socket jobs queue_cap batch_max deadline_ms max_conns snapshot_path
+      every =
     let config =
       { (Serve.Server.default_config ~socket_path:socket) with
         jobs;
         queue_cap;
         batch_max;
         deadline_ms;
+        max_conns;
         snapshot_path;
         snapshot_every_s = every
       }
@@ -1053,10 +1064,11 @@ let serve_cmd =
                 print_endline (Serve.Proto.json_to_string response);
                 if Serve.Proto.response_ok response then 0 else 1))
   in
-  let run socket jobs queue_cap batch_max deadline_ms snapshot every call =
+  let run socket jobs queue_cap batch_max deadline_ms max_conns snapshot every call =
     match call with
     | Some text -> run_call socket text
-    | None -> run_daemon socket jobs queue_cap batch_max deadline_ms snapshot every
+    | None ->
+        run_daemon socket jobs queue_cap batch_max deadline_ms max_conns snapshot every
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1066,7 +1078,7 @@ let serve_cmd =
           (or, with --call, a one-shot client)")
     Term.(
       const run $ socket_arg $ jobs_arg $ queue_arg $ batch_arg $ deadline_arg
-      $ snapshot_arg $ every_arg $ call_arg)
+      $ max_conns_arg $ snapshot_arg $ every_arg $ call_arg)
 
 (* rsurvey ------------------------------------------------------------- *)
 

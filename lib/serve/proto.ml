@@ -252,6 +252,8 @@ let to_string_opt = function Str s -> Some s | _ -> None
 
 let max_frame_default = 1 lsl 20
 
+let frame_payload_max = 0xffff_ffff
+
 type frame_error = Closed | Oversized of int
 
 let rec write_all fd buf off len =
@@ -262,15 +264,23 @@ let rec write_all fd buf off len =
     write_all fd buf (off + written) (len - written)
   end
 
-let write_frame fd payload =
+let frame payload =
   let len = String.length payload in
+  if len > frame_payload_max then
+    invalid_arg
+      (Printf.sprintf "Proto.frame: %d-byte payload does not fit the 4-byte length header"
+         len);
   let buf = Bytes.create (4 + len) in
   Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
   Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
   Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
   Bytes.set buf 3 (Char.chr (len land 0xff));
   Bytes.blit_string payload 0 buf 4 len;
-  write_all fd buf 0 (4 + len)
+  Bytes.unsafe_to_string buf
+
+let write_frame fd payload =
+  let b = Bytes.unsafe_of_string (frame payload) in
+  write_all fd b 0 (Bytes.length b)
 
 let read_exact fd buf off len =
   let rec go off len =
@@ -313,6 +323,8 @@ type request = {
   deadline_ms : float option;
 }
 
+let n_limit = 16
+
 let request_of_json v =
   match v with
   | Obj _ -> (
@@ -329,6 +341,10 @@ let request_of_json v =
           | Ok network, Ok spec, Ok method_ -> (
               match to_int ~default:4 (member "n" v) with
               | None -> Error "field \"n\" must be an integer"
+              | Some n when n < 2 || n > n_limit ->
+                  Error
+                    (Printf.sprintf "field \"n\" must be between 2 and %d, got %d" n_limit
+                       n)
               | Some n -> (
                   match (member "deadline_ms" v, to_float (member "deadline_ms" v)) with
                   | Null, _ ->

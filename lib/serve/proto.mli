@@ -19,7 +19,10 @@
       (classical name, [random:SEED], [pipid:SEED], [buddy:SEED]), or
       ["spec"]: inline spec-file text ({!Mineq.Spec_io.of_string}).
       Exactly the verdict ops need one of the two.
-    - ["n"]: stage count for named networks (default 4).
+    - ["n"]: stage count for named networks (default 4).  Bounded to
+      [2 <= n <= n_limit] at parse time, so a request can neither
+      reach constructors that require [n >= 2] nor ask the server to
+      materialize an absurdly large network.
     - ["method"]: equivalence decider for ["equiv"]
       ([characterization], [independence], [isomorphism]; default
       [characterization] — the only one served from the warm
@@ -43,7 +46,10 @@
       the request was shed without evaluation.  Retry later.
     - [MINEQ-S006] — frame longer than the server's limit; the
       connection is closed after the error, since the stream can no
-      longer be framed. *)
+      longer be framed.
+    - [MINEQ-S007] — internal error: evaluation raised instead of
+      producing a verdict.  The daemon answers and keeps serving; the
+      exception never escapes the request. *)
 
 (** {1 JSON} *)
 
@@ -80,12 +86,23 @@ val to_string_opt : json -> string option
 val max_frame_default : int
 (** 1 MiB. *)
 
+val frame_payload_max : int
+(** [2^32 - 1], the largest payload the 4-byte length header can
+    describe. *)
+
 type frame_error =
   | Closed  (** EOF before a full frame *)
   | Oversized of int  (** declared length exceeded the limit *)
 
+val frame : string -> string
+(** The on-wire bytes of one frame: 4-byte big-endian length prefix +
+    payload.  Raises [Invalid_argument] when the payload exceeds
+    {!frame_payload_max} — a larger frame would silently truncate the
+    header and desynchronize the stream. *)
+
 val write_frame : Unix.file_descr -> string -> unit
-(** Length prefix + payload, handling short writes. *)
+(** [frame] written out, handling short writes.  Raises
+    [Invalid_argument] as {!frame} does. *)
 
 val read_frame : ?max_frame:int -> Unix.file_descr -> (string, frame_error) result
 (** Blocking read of one frame.  On {!Oversized} the descriptor is
@@ -103,9 +120,15 @@ type request = {
   deadline_ms : float option;
 }
 
+val n_limit : int
+(** Largest ["n"] {!request_of_json} admits (16); the lower bound is
+    2.  Named-network constructors require [n >= 2], and an unbounded
+    [n] would let one request allocate a [2^n]-terminal network. *)
+
 val request_of_json : json -> (request, string) result
-(** Validates shape only (op present and a string, fields well-typed);
-    op/spec semantics are the service's. *)
+(** Validates shape only (op present and a string, fields well-typed,
+    ["n"] within [2 .. n_limit]); op/spec semantics are the
+    service's. *)
 
 val request_to_json : request -> json
 (** Inverse of {!request_of_json} up to field defaulting — the

@@ -7,6 +7,8 @@ type config = {
   batch_max : int;
   deadline_ms : float;
   max_frame : int;
+  max_conns : int;
+  max_out_buf : int;
   snapshot_path : string option;
   snapshot_every_s : float;
   handle_signals : bool;
@@ -19,6 +21,8 @@ let default_config ~socket_path =
     batch_max = 64;
     deadline_ms = 2000.0;
     max_frame = Proto.max_frame_default;
+    max_conns = 512;
+    max_out_buf = 4 lsl 20;
     snapshot_path = None;
     snapshot_every_s = 5.0;
     handle_signals = true
@@ -30,9 +34,20 @@ let default_config ~socket_path =
    and complete frames (4-byte length known and satisfied) peel off
    the front.  Frames are small (requests are one-line JSON), so the
    copy-the-remainder splice is cheap and keeps the state machine
-   trivial. *)
+   trivial.
 
-type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable alive : bool }
+   The outbound side mirrors it: client sockets are non-blocking, and
+   whatever the kernel will not take immediately parks in [out] and
+   drains through select's write set.  A peer that stops reading
+   therefore stalls only its own buffer — never the event loop — and
+   is closed once [out] passes [max_out_buf]. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* inbound frame reassembly *)
+  out : Buffer.t;  (* outbound bytes the kernel has not yet accepted *)
+  mutable alive : bool;
+}
 
 type pending = { conn : conn; req : Proto.request; arrival : float }
 
@@ -45,12 +60,42 @@ let close_conn conns c =
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
-let send conns c payload =
-  if c.alive then
-    try Proto.write_frame c.fd payload
-    with Unix.Unix_error _ -> close_conn conns c
+(* Push as much of [c.out] as the socket will take without blocking. *)
+let flush_out conns c =
+  if c.alive && Buffer.length c.out > 0 then begin
+    let s = Buffer.contents c.out in
+    let len = String.length s in
+    let off = ref 0 in
+    let blocked = ref false in
+    (try
+       while (not !blocked) && !off < len do
+         match Unix.write_substring c.fd s !off (len - !off) with
+         | 0 -> blocked := true
+         | written -> off := !off + written
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+             blocked := true
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       done
+     with Unix.Unix_error _ -> close_conn conns c);
+    if c.alive then begin
+      Buffer.clear c.out;
+      if !off < len then Buffer.add_substring c.out s !off (len - !off)
+    end
+  end
 
-let send_json conns c v = send conns c (Proto.json_to_string v)
+let send ~max_out_buf conns c payload =
+  if c.alive then
+    match Proto.frame payload with
+    | exception Invalid_argument _ ->
+        (* A response beyond the 4-byte length header cannot be
+           framed; hang up rather than desynchronize the stream. *)
+        close_conn conns c
+    | bytes ->
+        Buffer.add_string c.out bytes;
+        flush_out conns c;
+        (* Slow-reader shed: a peer that keeps requesting but never
+           reads cannot pin unbounded response bytes in the server. *)
+        if c.alive && Buffer.length c.out > max_out_buf then close_conn conns c
 
 (* [Some (payload)] when a complete frame heads the buffer;
    [Error len] when the declared length exceeds the limit. *)
@@ -110,6 +155,9 @@ let run ?(on_ready = fun () -> ()) config service =
   let queue : pending Queue.t = Queue.create () in
   let read_buf = Bytes.create 65536 in
 
+  let send c payload = send ~max_out_buf:config.max_out_buf conns c payload in
+  let send_json c v = send c (Proto.json_to_string v) in
+
   let cache_total () =
     let e, l, b = Service.cache_sizes service in
     e + l + b
@@ -136,12 +184,12 @@ let run ?(on_ready = fun () -> ()) config service =
       (* Never queued and never shed: the stop request must get
          through precisely when the server is drowning.  Pending
          admitted work still drains before the loop exits. *)
-      send_json conns c (Service.handle service req);
+      send_json c (Service.handle service req);
       stop := true
     end
     else if Queue.length queue >= config.queue_cap then begin
       Metrics.incr_shed metrics;
-      send_json conns c
+      send_json c
         (Proto.error_response ~id:req.Proto.id ~code:"MINEQ-S005"
            ~message:
              (Printf.sprintf "overloaded: %d requests pending, retry later"
@@ -154,14 +202,14 @@ let run ?(on_ready = fun () -> ()) config service =
     match Proto.json_of_string payload with
     | Error m ->
         Metrics.incr_error metrics;
-        send_json conns c
+        send_json c
           (Proto.error_response ~id:Proto.Null ~code:"MINEQ-S001"
              ~message:("malformed frame payload: " ^ m))
     | Ok v -> (
         match Proto.request_of_json v with
         | Error m ->
             Metrics.incr_error metrics;
-            send_json conns c
+            send_json c
               (Proto.error_response ~id:(Proto.member "id" v) ~code:"MINEQ-S001"
                  ~message:m)
         | Ok req -> admit c req)
@@ -178,7 +226,7 @@ let run ?(on_ready = fun () -> ()) config service =
         | Error len ->
             (* The stream can no longer be framed: answer and close. *)
             Metrics.incr_error metrics;
-            send_json conns c
+            send_json c
               (Proto.error_response ~id:Proto.Null ~code:"MINEQ-S006"
                  ~message:
                    (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
@@ -194,7 +242,8 @@ let run ?(on_ready = fun () -> ()) config service =
     | n ->
         Buffer.add_subbytes c.buf read_buf 0 n;
         drain_frames c
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
     | exception Unix.Unix_error _ -> close_conn conns c
   in
 
@@ -231,7 +280,7 @@ let run ?(on_ready = fun () -> ()) config service =
       let finish = now () in
       Array.iter
         (fun r ->
-          send conns r.p.conn r.response;
+          send r.p.conn r.response;
           if r.expired then Metrics.incr_deadline metrics
           else
             Metrics.record metrics ~op:r.p.req.Proto.op
@@ -242,30 +291,76 @@ let run ?(on_ready = fun () -> ()) config service =
 
   on_ready ();
   while not !stop do
-    let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
-    (match Unix.select fds [] [] 0.25 with
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    (* At the connection cap, stop polling the listen socket: new
+       clients wait in the kernel backlog instead of pushing fd
+       numbers toward FD_SETSIZE, where select itself would fail. *)
+    let rfds =
+      if Hashtbl.length conns < config.max_conns then listen_fd :: conn_fds
+      else conn_fds
+    in
+    let wfds =
+      Hashtbl.fold
+        (fun fd c acc -> if Buffer.length c.out > 0 then fd :: acc else acc)
+        conns []
+    in
+    (match Unix.select rfds wfds [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
+    | ready_r, ready_w, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> flush_out conns c
+            | None -> ())
+          ready_w;
         List.iter
           (fun fd ->
             if fd = listen_fd then begin
               match Unix.accept listen_fd with
               | client, _ ->
+                  Unix.set_nonblock client;
                   Hashtbl.replace conns client
-                    { fd = client; buf = Buffer.create 256; alive = true }
+                    { fd = client; buf = Buffer.create 256; out = Buffer.create 256;
+                      alive = true
+                    }
               | exception Unix.Unix_error _ -> ()
             end
             else
               match Hashtbl.find_opt conns fd with
               | Some c -> on_readable c
               | None -> ())
-          ready);
+          ready_r);
     dispatch ();
     if now () -. !last_save >= config.snapshot_every_s then begin
       save_snapshot ~reason:"write-behind";
       last_save := now ()
     end
   done;
+
+  (* Best-effort drain of buffered responses (the shutdown ack,
+     answers to late pipelined requests), bounded so a peer that
+     never reads cannot hold up exit. *)
+  let drain_until = now () +. 1.0 in
+  let rec drain_outbound () =
+    let pending =
+      Hashtbl.fold
+        (fun fd c acc -> if c.alive && Buffer.length c.out > 0 then fd :: acc else acc)
+        conns []
+    in
+    if pending <> [] && now () < drain_until then begin
+      (match Unix.select [] pending [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | _, writable, _ ->
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt conns fd with
+              | Some c -> flush_out conns c
+              | None -> ())
+            writable);
+      drain_outbound ()
+    end
+  in
+  drain_outbound ();
 
   save_snapshot ~reason:"shutdown";
   prerr_string (Metrics.dump metrics);
@@ -292,9 +387,9 @@ let connect ?(retries = 0) ~path () =
   in
   go 0
 
-let call ?max_frame fd request =
+let call ?(max_frame = 64 * Proto.max_frame_default) fd request =
   Proto.write_frame fd (Proto.json_to_string request);
-  match Proto.read_frame ?max_frame fd with
+  match Proto.read_frame ~max_frame fd with
   | Ok payload -> Proto.json_of_string payload
   | Error Proto.Closed -> Error "connection closed before a full response frame"
   | Error (Proto.Oversized n) -> Error (Printf.sprintf "oversized response frame (%d bytes)" n)

@@ -11,7 +11,15 @@
     [queue_cap] requests, further admissions are answered immediately
     with [MINEQ-S005] and dropped — the client learns within one
     round trip instead of watching its deadline burn in a queue the
-    server cannot drain in time.
+    server cannot drain in time.  The same policy covers the two
+    resources the queue cap cannot see: client sockets are
+    non-blocking with per-connection write buffers drained via
+    select's write set, and a peer that stops reading is closed once
+    its buffer passes [max_out_buf] (a blocking write there would
+    wedge the event loop for every client); at [max_conns] concurrent
+    connections the listen socket is no longer polled, so new clients
+    wait in the kernel backlog instead of pushing fd numbers past
+    [select]'s [FD_SETSIZE] ceiling.
 
     {b Deadlines.}  Every request is stamped on arrival; when a
     worker picks it up past its deadline (the server default, lowered
@@ -33,6 +41,12 @@ type config = {
   batch_max : int;  (** max requests per pool dispatch *)
   deadline_ms : float;  (** default per-request deadline *)
   max_frame : int;  (** request frame size bound (MINEQ-S006) *)
+  max_conns : int;
+      (** concurrent-connection cap; past it, accepts pause (keep
+          below [FD_SETSIZE], 1024 on Linux) *)
+  max_out_buf : int;
+      (** per-connection pending-response bound; a peer that stops
+          reading is closed once its buffer passes it *)
   snapshot_path : string option;
   snapshot_every_s : float;  (** write-behind period *)
   handle_signals : bool;
@@ -42,8 +56,9 @@ type config = {
 
 val default_config : socket_path:string -> config
 (** [jobs = Pool.default_jobs ()], [queue_cap = 256],
-    [batch_max = 64], [deadline_ms = 2000.], [max_frame] 1 MiB, no
-    snapshot, [snapshot_every_s = 5.], signals handled. *)
+    [batch_max = 64], [deadline_ms = 2000.], [max_frame] 1 MiB,
+    [max_conns = 512], [max_out_buf] 4 MiB, no snapshot,
+    [snapshot_every_s = 5.], signals handled. *)
 
 val run : ?on_ready:(unit -> unit) -> config -> Service.t -> unit
 (** Bind, listen and serve until a [shutdown] request or (when
@@ -63,4 +78,7 @@ val connect : ?retries:int -> path:string -> unit -> (Unix.file_descr, string) r
     (default 0: one attempt) for just-booted daemons. *)
 
 val call : ?max_frame:int -> Unix.file_descr -> Proto.json -> (Proto.json, string) result
-(** One request frame out, one response frame back, parsed. *)
+(** One request frame out, one response frame back, parsed.
+    [max_frame] bounds the {e response} and defaults to 64 MiB —
+    well above the request-side default, since lint reports on large
+    inline specs can outgrow 1 MiB. *)

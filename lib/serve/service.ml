@@ -252,7 +252,7 @@ let handle_stats t (r : Proto.request) =
       ("snapshot", Str (snapshot_note t))
     ]
 
-let handle t (r : Proto.request) =
+let dispatch_op t (r : Proto.request) =
   match r.op with
   | "ping" -> Proto.ok_response ~id:r.id [ ("op", Str "ping"); ("pong", Bool true) ]
   | "equiv" -> handle_equiv t r
@@ -265,6 +265,25 @@ let handle t (r : Proto.request) =
   | other ->
       Proto.error_response ~id:r.id ~code:"MINEQ-S002"
         ~message:(Printf.sprintf "unknown op %S" other)
+
+(* The exception barrier.  Kernels below validate with
+   [Invalid_argument]/[Failure], and a pathological request can
+   exhaust memory; any of those escaping here would cross the pool
+   back onto the event loop and take the whole daemon down with it.
+   One bad request costs one [MINEQ-S007] response, nothing more. *)
+let handle t (r : Proto.request) =
+  match dispatch_op t r with
+  | response -> response
+  | exception e ->
+      let detail =
+        match e with
+        | Invalid_argument m | Failure m -> m
+        | Out_of_memory -> "out of memory"
+        | Stack_overflow -> "stack overflow"
+        | e -> Printexc.to_string e
+      in
+      Proto.error_response ~id:r.id ~code:"MINEQ-S007"
+        ~message:("internal error: " ^ detail)
 
 (* Snapshots ---------------------------------------------------------- *)
 

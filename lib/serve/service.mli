@@ -30,7 +30,12 @@ val metrics : t -> Metrics.t
 val handle : t -> Proto.request -> Proto.json
 (** Evaluate one request to its response.  Framing, queueing,
     deadlines and shedding are the server's job — by the time a
-    request reaches [handle] it has already been admitted. *)
+    request reaches [handle] it has already been admitted.
+
+    [handle] never raises: an exception escaping evaluation (a kernel
+    [Invalid_argument], [Out_of_memory] on a pathological request)
+    becomes a [MINEQ-S007] internal-error response, so one bad
+    request cannot crash a pool worker or the daemon. *)
 
 val network_of_spec : t -> spec:string -> n:int -> (Mineq.Mi_digraph.t, string) result
 (** Resolve a named-network specification (classical name,

@@ -59,7 +59,10 @@ let save ?(version = version) ?crash_after ~path payload =
   Bytes.blit_string digest 0 buf 21 16;
   Bytes.blit_string body 0 buf header_len (String.length body);
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  (* 0o600: the payload is Marshal data, and [load] trusts it once
+     the checksum matches — nobody else should be able to write (or
+     read) the file.  See the mli's trust note. *)
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600 tmp in
   (match crash_after with
   | Some n when n < total ->
       (* Simulated kill: flush a prefix and abandon the temp file

@@ -20,7 +20,14 @@
     Loading verifies magic, version and checksum {e before}
     unmarshalling; any mismatch is a typed {!error}, never an
     exception — the daemon boots with an empty cache and a warning
-    instead of crashing on a stale or torn file. *)
+    instead of crashing on a stale or torn file.
+
+    {b Trust.}  The checksum guards against {e accidental}
+    corruption, not tampering: anyone who can write the file can
+    also write a matching digest, and [Marshal.from_string] on
+    crafted bytes is memory-unsafe.  The snapshot path must therefore
+    be private to the daemon — {!save} creates it [0o600], and it
+    should live in a directory other users cannot write. *)
 
 type payload = {
   equiv : Proto.verdict Mineq_engine.Memo.entry array;
@@ -52,10 +59,12 @@ exception Injected_crash
     durability tests' stand-in for a kill arriving mid-write. *)
 
 val save : ?version:int -> ?crash_after:int -> path:string -> payload -> unit
-(** Atomic save: temp file + rename.  [version] overrides the header
-    version (tests of stale-version rejection).  [crash_after n]
-    stops after writing [n] bytes of the temp file and raises
-    {!Injected_crash} without renaming — the file at [path] is
-    untouched. *)
+(** Atomic save: temp file (created [0o600]) + rename.  [version]
+    overrides the header version (tests of stale-version rejection).
+    [crash_after n] stops after writing [n] bytes of the temp file
+    and raises {!Injected_crash} without renaming — the file at
+    [path] is untouched. *)
 
 val load : path:string -> (payload, error) result
+(** Unmarshals only after magic, version and checksum pass; the file
+    must come from a trusted {!save} (see the trust note above). *)

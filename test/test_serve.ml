@@ -124,11 +124,29 @@ let test_request_codec () =
       check_true "request codec round-trips" (r = r')
   | Error m -> Alcotest.failf "request codec: %s" m
 
+let test_request_n_bounds () =
+  let req n =
+    Proto.Obj
+      [ ("op", Proto.Str "equiv"); ("network", Proto.Str "omega"); ("n", Proto.Int n) ]
+  in
+  let rejected n =
+    match Proto.request_of_json (req n) with Error _ -> true | Ok _ -> false
+  in
+  check_true "n below 2 is rejected" (rejected 1);
+  check_true "n above the limit is rejected" (rejected (Proto.n_limit + 1));
+  check_true "n at the limit is accepted" (not (rejected Proto.n_limit));
+  check_true "n = 2 is accepted" (not (rejected 2));
+  (* Ops that ignore n still parse without one. *)
+  match Proto.request_of_json (Proto.Obj [ ("op", Proto.Str "stats") ]) with
+  | Ok r -> check_int "absent n defaults in range" 4 r.Proto.n
+  | Error m -> Alcotest.failf "stats without n: %s" m
+
 let proto_suite =
   [ quick "json round trip" test_json_roundtrip;
     quick "json parse cases" test_json_parse;
     quick "frame round trip and oversize" test_frames;
-    quick "request codec" test_request_codec
+    quick "request codec" test_request_codec;
+    quick "request n bounds" test_request_n_bounds
   ]
   @ proto_props
 
@@ -239,10 +257,21 @@ let test_snapshot_torn_write () =
   Sys.remove path;
   if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp")
 
+let test_snapshot_permissions () =
+  let payload = Service.to_payload (warmed_service ()) in
+  let path = temp_snapshot () in
+  Snapshot.save ~path payload;
+  (* Marshal data is trusted once the checksum matches, so nobody
+     else may write (or read) the file. *)
+  check_int "snapshot file is private (0o600)" 0o600
+    ((Unix.stat path).Unix.st_perm land 0o777);
+  Sys.remove path
+
 let snapshot_suite =
   [ quick "round trip through disk" test_snapshot_roundtrip;
     quick "typed rejection of bad files" test_snapshot_rejections;
-    quick "torn write keeps the last snapshot" test_snapshot_torn_write
+    quick "torn write keeps the last snapshot" test_snapshot_torn_write;
+    quick "saved file is private" test_snapshot_permissions
   ]
 
 (* service ------------------------------------------------------------- *)
@@ -319,11 +348,24 @@ let test_service_inline_spec () =
   check_true "inline omega is equivalent"
     (json_equal (Proto.member "equivalent" resp) (Proto.Bool true))
 
+let test_service_internal_error () =
+  let s = Service.create () in
+  (* n = 1 bypasses the protocol bound (the record is built directly,
+     as a future admission bug might): the classical constructors
+     raise Invalid_argument, and the barrier must turn that into a
+     response instead of letting it cross the pool. *)
+  let resp = Service.handle s (request "banyan" ~network:"omega" ~n:1) in
+  check_true "kernel exception becomes MINEQ-S007" (code resp = "MINEQ-S007");
+  check_true "internal error is not ok" (not (Proto.response_ok resp));
+  let resp = Service.handle s (request "banyan" ~network:"omega") in
+  check_true "service keeps answering afterwards" (Proto.response_ok resp)
+
 let service_suite =
   [ quick "verdicts match the library" test_service_verdicts;
     quick "warm hits across the iso class" test_service_warm_hits;
     quick "typed request errors" test_service_errors;
-    quick "inline spec text" test_service_inline_spec
+    quick "inline spec text" test_service_inline_spec;
+    quick "exception barrier" test_service_internal_error
   ]
 
 (* server -------------------------------------------------------------- *)
@@ -466,11 +508,91 @@ let test_server_snapshot_restart () =
         (json_equal (Proto.member "hits" equiv) (Proto.Int 1)));
   Sys.remove snap
 
+let test_server_bad_n () =
+  with_server (fun _path fd ->
+      (* Before the n bound and the service's exception barrier, this
+         request crashed the daemon outright (Classical.thetas
+         requires n >= 2). *)
+      Proto.write_frame fd {|{"op":"banyan","network":"omega","n":1}|};
+      (match Proto.read_frame fd with
+      | Ok resp -> (
+          match Proto.json_of_string resp with
+          | Ok v -> check_true "out-of-range n is MINEQ-S001" (code v = "MINEQ-S001")
+          | Error m -> Alcotest.failf "unparseable error response: %s" m)
+      | Error _ -> Alcotest.fail "no response to the bad-n request");
+      let pong = call_exn fd (Proto.Obj [ ("op", Proto.Str "ping") ]) in
+      check_true "daemon survives the bad-n request"
+        (json_equal (Proto.member "pong" pong) (Proto.Bool true)))
+
+let test_server_slow_reader () =
+  with_server
+    ~configure:(fun c -> { c with max_out_buf = 4096; queue_cap = 8 })
+    (fun path fd ->
+      (* [fd] floods requests without ever reading a response.  Once
+         the kernel buffer back to it fills, responses park in the
+         per-connection buffer until the 4 KiB cap sheds the
+         connection — the event loop must never block in a write. *)
+      let ping = Proto.json_to_string (Proto.Obj [ ("op", Proto.Str "ping") ]) in
+      (try
+         for _ = 1 to 20_000 do
+           Proto.write_frame fd ping
+         done
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      (* A well-behaved client on a fresh connection is still served. *)
+      match Server.connect ~retries:10 ~path () with
+      | Error m -> Alcotest.failf "connect during the flood: %s" m
+      | Ok fd2 ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+            (fun () ->
+              let pong = call_exn fd2 (Proto.Obj [ ("op", Proto.Str "ping") ]) in
+              check_true "daemon serves other clients past a slow reader"
+                (json_equal (Proto.member "pong" pong) (Proto.Bool true))))
+
+let test_server_conn_cap () =
+  with_server
+    ~configure:(fun c -> { c with max_conns = 2 })
+    (fun path _fd ->
+      (* The harness connection occupies slot 1. *)
+      let fd2 =
+        match Server.connect ~retries:10 ~path () with
+        | Ok fd -> fd
+        | Error m -> Alcotest.failf "second connect: %s" m
+      in
+      let fd3 =
+        match Server.connect ~path () with
+        | Ok fd -> fd
+        | Error m -> Alcotest.failf "third connect: %s" m
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ fd2; fd3 ])
+        (fun () ->
+          (* At the cap the daemon stops accepting: the third client's
+             request waits in the kernel backlog, unanswered. *)
+          Proto.write_frame fd3 (Proto.json_to_string (Proto.Obj [ ("op", Proto.Str "ping") ]));
+          (match Unix.select [ fd3 ] [] [] 0.5 with
+          | [], _, _ -> check_true "no response while at the connection cap" true
+          | _ -> Alcotest.fail "served past max_conns");
+          (* Freeing a slot lets the backlogged client in. *)
+          Unix.close fd2;
+          match Proto.read_frame fd3 with
+          | Ok resp -> (
+              match Proto.json_of_string resp with
+              | Ok v ->
+                  check_true "backlogged client served once a slot frees"
+                    (json_equal (Proto.member "pong" v) (Proto.Bool true))
+              | Error m -> Alcotest.failf "bad response after the cap lifted: %s" m)
+          | Error _ -> Alcotest.fail "backlogged client never served"))
+
 let server_suite =
   [ quick "scripted session" test_server_session;
     quick "malformed frames" test_server_malformed;
     quick "oversized frame closes" test_server_oversized;
     quick "expired deadline" test_server_deadline;
     quick "overload sheds" test_server_shed;
+    quick "out-of-range n is typed, not fatal" test_server_bad_n;
+    quick "slow reader cannot stall the loop" test_server_slow_reader;
+    quick "connection cap pauses accepts" test_server_conn_cap;
     quick "snapshot warms a restart" test_server_snapshot_restart
   ]
